@@ -1,0 +1,38 @@
+//! Criterion micro-benchmark for scheduler loading: the cost of the full
+//! compilation pipeline (parse → sema → optimize → codegen → regalloc →
+//! verify) and of per-backend instantiation. The paper's API encourages
+//! applications to reuse loaded schedulers "to reduce compilation
+//! overhead" — this measures what that reuse saves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use progmp_core::{compile, Backend};
+use progmp_schedulers as sched;
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for (name, src) in [
+        ("minRttSimple", sched::MIN_RTT_SIMPLE),
+        ("default", sched::DEFAULT_MIN_RTT),
+        ("tap", sched::TAP),
+    ] {
+        group.bench_with_input(BenchmarkId::new("pipeline", name), &src, |b, src| {
+            b.iter(|| black_box(compile(src).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("instantiate");
+    let program = compile(sched::DEFAULT_MIN_RTT).unwrap();
+    for backend in [Backend::Interpreter, Backend::Aot, Backend::Vm] {
+        group.bench_with_input(
+            BenchmarkId::new("backend", backend.name()),
+            &backend,
+            |b, backend| b.iter(|| black_box(program.instantiate(*backend))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

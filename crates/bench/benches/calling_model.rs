@@ -1,0 +1,71 @@
+//! Criterion micro-benchmark for §4.1's calling-model decision: the cost
+//! of one scheduling decision executed in-process (the in-kernel model)
+//! versus dispatched to another thread over channels (the userspace
+//! up-call / netlink model). Paper reference: 0.2 µs vs 2.4 µs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use progmp_core::env::{QueueKind, SubflowProp};
+use progmp_core::exec::ExecCtx;
+use progmp_core::testenv::MockEnv;
+use progmp_core::{compile, Backend};
+use progmp_schedulers::DEFAULT_MIN_RTT;
+use std::hint::black_box;
+use std::sync::mpsc;
+
+fn env() -> MockEnv {
+    let mut env = MockEnv::new();
+    for i in 0..2 {
+        env.add_subflow(i);
+        env.set_subflow_prop(i, SubflowProp::Rtt, 10_000 + i64::from(i) * 5_000);
+        env.set_subflow_prop(i, SubflowProp::Cwnd, 100);
+    }
+    for p in 0..8u64 {
+        env.push_packet(QueueKind::SendQueue, 100 + p, 1400 * p as i64, 1400);
+    }
+    env
+}
+
+fn bench_calling_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calling_model");
+
+    let program = compile(DEFAULT_MIN_RTT).unwrap();
+    let mut inst = program.instantiate(Backend::Vm);
+    let e = env();
+    group.bench_function("in_process", |b| {
+        b.iter(|| {
+            let mut ctx = ExecCtx::new(black_box(&e), 1_000_000);
+            inst.execute_raw(&mut ctx).unwrap();
+            black_box(ctx.action_count())
+        })
+    });
+
+    let (req_tx, req_rx) = mpsc::channel::<u64>();
+    let (resp_tx, resp_rx) = mpsc::channel::<u64>();
+    let worker = std::thread::spawn(move || {
+        let program = compile(DEFAULT_MIN_RTT).unwrap();
+        let mut inst = program.instantiate(Backend::Vm);
+        let e = env();
+        while let Ok(x) = req_rx.recv() {
+            if x == u64::MAX {
+                break;
+            }
+            let mut ctx = ExecCtx::new(&e, 1_000_000);
+            inst.execute_raw(&mut ctx).unwrap();
+            if resp_tx.send(x).is_err() {
+                break;
+            }
+        }
+    });
+    group.bench_function("upcall_roundtrip", |b| {
+        b.iter(|| {
+            req_tx.send(1).unwrap();
+            black_box(resp_rx.recv().unwrap())
+        })
+    });
+    req_tx.send(u64::MAX).unwrap();
+    worker.join().expect("worker exits");
+    group.finish();
+}
+
+criterion_group!(benches, bench_calling_model);
+criterion_main!(benches);

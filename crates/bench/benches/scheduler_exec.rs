@@ -1,0 +1,59 @@
+//! Criterion micro-benchmark for Fig. 9 (top): per-execution cost of the
+//! default scheduler across the three ProgMP backends and the native
+//! implementation, at 2 and 4 subflows.
+//!
+//! Paper reference: interpreter ~144% and eBPF ~125% of the native C
+//! scheduler's execution time; the subflow count has marginal impact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mptcp_sim::native::{NativeMinRtt, NativeScheduler};
+use progmp_core::env::{QueueKind, SubflowProp};
+use progmp_core::exec::ExecCtx;
+use progmp_core::testenv::MockEnv;
+use progmp_core::{compile, Backend};
+use progmp_schedulers::DEFAULT_MIN_RTT;
+use std::hint::black_box;
+
+fn env_with(n: u32) -> MockEnv {
+    let mut env = MockEnv::new();
+    for i in 0..n {
+        env.add_subflow(i);
+        env.set_subflow_prop(i, SubflowProp::Rtt, 10_000 + i64::from(i) * 5_000);
+        env.set_subflow_prop(i, SubflowProp::Cwnd, 100);
+        env.set_subflow_prop(i, SubflowProp::Mss, 1400);
+    }
+    for p in 0..16u64 {
+        env.push_packet(QueueKind::SendQueue, 100 + p, 1400 * p as i64, 1400);
+    }
+    env
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let program = compile(DEFAULT_MIN_RTT).expect("compiles");
+    let mut group = c.benchmark_group("scheduler_exec");
+    for n in [2u32, 4] {
+        let env = env_with(n);
+        let mut native = NativeMinRtt;
+        group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = ExecCtx::new(black_box(&env), 1_000_000);
+                native.schedule(&mut ctx).unwrap();
+                black_box(ctx.action_count())
+            })
+        });
+        for backend in [Backend::Interpreter, Backend::Aot, Backend::Vm] {
+            let mut inst = program.instantiate(backend);
+            group.bench_with_input(BenchmarkId::new(backend.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    let mut ctx = ExecCtx::new(black_box(&env), 1_000_000);
+                    inst.execute_raw(&mut ctx).unwrap();
+                    black_box(ctx.action_count())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation (§5.3): the choice of the retransmitted packet in the
+//! Compensating scheduler. The paper: "A variation of the choice of the
+//! retransmitted packet using TOP instead of FIRST showed only minor
+//! impact on the FCT." We compare three variants — queue-order TOP,
+//! lowest sequence number (oldest data), and highest sequence number —
+//! expecting minor differences.
+
+use mptcp_sim::time::{from_millis, SECONDS};
+use mptcp_sim::{ConnectionConfig, PathConfig, SchedulerSpec, Sim, SubflowConfig};
+use progmp_core::env::RegId;
+
+fn compensating_with(selector: &str) -> String {
+    format!(
+        "
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (!Q.EMPTY) {{
+        VAR s = avail.MIN(sbf => sbf.RTT);
+        IF (s != NULL) {{ s.PUSH(Q.POP()); }}
+        RETURN;
+    }}
+    IF (R2 == 1) {{
+        FOREACH (VAR sbf IN SUBFLOWS) {{
+            VAR skb = QU.FILTER(p => !p.SENT_ON(sbf)){selector};
+            IF (skb != NULL) {{ sbf.PUSH(skb); }}
+        }}
+    }}"
+    )
+}
+
+fn mean_fct(selector: &str, ratio: u64) -> f64 {
+    let runs = 15;
+    let mut total = 0.0;
+    let src = compensating_with(selector);
+    for seed in 0..runs {
+        let mut sim = Sim::new(2200 + seed);
+        let cfg = ConnectionConfig::new(
+            vec![
+                SubflowConfig::new(PathConfig::symmetric(from_millis(15), 1_250_000)),
+                SubflowConfig::new(PathConfig::symmetric(from_millis(15 * ratio), 1_250_000)),
+            ],
+            SchedulerSpec::dsl(&src),
+        )
+        .with_timelines();
+        let conn = sim.add_connection(cfg).unwrap();
+        sim.app_send_at(conn, 0, 12 * 1400, 0);
+        sim.set_register_at(conn, 1, RegId::R2, 1);
+        sim.run_to_completion(30 * SECONDS);
+        total += sim.connections[conn]
+            .stats
+            .delivery_time_of(12 * 1400)
+            .expect("completes") as f64
+            / 1e6;
+    }
+    total / runs as f64
+}
+
+fn main() {
+    println!("=== Ablation §5.3: which packet does compensation retransmit? ===\n");
+    println!(
+        "{:>6} | {:>12} {:>12} {:>12}",
+        "ratio", "TOP", "MIN(SEQ)", "MAX(SEQ)"
+    );
+    let variants = [".TOP", ".MIN(k => k.SEQ)", ".MAX(k => k.SEQ)"];
+    let mut max_spread: f64 = 0.0;
+    for ratio in [2u64, 4, 8] {
+        let fcts: Vec<f64> = variants.iter().map(|v| mean_fct(v, ratio)).collect();
+        println!(
+            "{:>6} | {:>9.1} ms {:>9.1} ms {:>9.1} ms",
+            ratio, fcts[0], fcts[1], fcts[2]
+        );
+        let hi = fcts.iter().cloned().fold(f64::MIN, f64::max);
+        let lo = fcts.iter().cloned().fold(f64::MAX, f64::min);
+        max_spread = max_spread.max((hi - lo) / lo);
+    }
+    println!("\npaper shape checks:");
+    println!(
+        "  [{}] the retransmitted-packet choice has only minor FCT impact (max spread {:.1}%)",
+        if max_spread < 0.15 { "ok" } else { "??" },
+        max_spread * 100.0
+    );
+}

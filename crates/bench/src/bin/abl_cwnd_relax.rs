@@ -1,0 +1,73 @@
+//! Ablation (§6 "Dependencies"): cross-concern optimization — relaxing
+//! the congestion-window constraint for the last packets of a flow "to
+//! save an RTT". We sweep flow sizes on a window-limited path and compare
+//! the default scheduler against `cwndRelax` with the tail signaled via
+//! `R2`.
+
+use mptcp_sim::time::{from_millis, SECONDS};
+use mptcp_sim::{ConnectionConfig, PathConfig, SchedulerSpec, Sim, SubflowConfig};
+use progmp_core::env::RegId;
+use progmp_schedulers as sched;
+
+fn mean_fct(scheduler: &'static str, flow_pkts: u64, signal_tail: bool) -> f64 {
+    let runs = 10;
+    let mut total = 0.0;
+    for seed in 0..runs {
+        let mut sim = Sim::new(3100 + seed);
+        // A long-RTT path: window-limited flows pay a full RTT for every
+        // window's worth of packets beyond the initial window.
+        let cfg = ConnectionConfig::new(
+            vec![SubflowConfig::new(PathConfig::symmetric(
+                from_millis(80),
+                5_000_000,
+            ))],
+            SchedulerSpec::dsl(scheduler),
+        )
+        .with_timelines();
+        let conn = sim.add_connection(cfg).unwrap();
+        sim.app_send_at(conn, 0, flow_pkts * 1400, 0);
+        if signal_tail {
+            // Application signals the flow tail length (last 4 packets).
+            sim.set_register_at(conn, 1, RegId::R2, 4);
+        }
+        sim.run_to_completion(60 * SECONDS);
+        total += sim.connections[conn]
+            .stats
+            .delivery_time_of(flow_pkts * 1400)
+            .expect("completes") as f64
+            / 1e6;
+    }
+    total / runs as f64
+}
+
+fn main() {
+    println!("=== Ablation §6: relaxing the cwnd constraint for the flow tail ===");
+    println!("single 80 ms path; IW10 makes 11..14-packet flows pay an extra RTT\n");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "flow (pkts)", "default (ms)", "cwndRelax (ms)", "saved"
+    );
+    let mut saved_at_tail = 0.0;
+    for pkts in [8u64, 11, 13, 20, 40] {
+        let d = mean_fct(sched::DEFAULT_MIN_RTT, pkts, false);
+        let r = mean_fct(sched::CWND_RELAX, pkts, true);
+        println!("{:>12} {:>14.1} {:>14.1} {:>9.1}%", pkts, d, r, (1.0 - r / d) * 100.0);
+        if pkts == 13 {
+            saved_at_tail = d - r;
+        }
+    }
+    println!("\npaper shape checks:");
+    println!(
+        "  [{}] relaxing the window for the tail saves roughly one RTT for flows just past a window boundary ({:.0} ms at 13 pkts, RTT = 80 ms)",
+        ok(saved_at_tail > 40.0),
+        saved_at_tail
+    );
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "ok"
+    } else {
+        "??"
+    }
+}

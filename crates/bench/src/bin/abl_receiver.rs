@@ -1,0 +1,112 @@
+//! Ablation (§4.2): the improved receiver vs. the stock multi-layer-queue
+//! receiver. "For certain packet loss and out-of-order patterns between
+//! subflows, in-order data is not pushed to the application."
+//!
+//! The blocking pattern needs a subflow to carry data *below* the
+//! sequence numbers it already sent (cross-subflow retransmission) while
+//! also having a subflow-level hole — so the divergence shows up for
+//! sophisticated schedulers (compensation, reinjection-heavy recovery)
+//! under loss, and "is rarely required for the established ones", exactly
+//! as the paper observes.
+
+use mptcp_sim::time::{from_millis, SECONDS};
+use mptcp_sim::{ConnectionConfig, PathConfig, ReceiverMode, SchedulerSpec, Sim, SubflowConfig};
+use progmp_bench::percentile;
+use progmp_core::env::RegId;
+use progmp_schedulers as sched;
+
+fn fcts(scheduler: &'static str, mode: ReceiverMode, loss: f64, signal: bool) -> Vec<f64> {
+    let runs = 60;
+    let mut out = Vec::new();
+    for seed in 0..runs {
+        let mut sim = Sim::new(1300 + seed);
+        let cfg = ConnectionConfig::new(
+            vec![
+                SubflowConfig::new(
+                    PathConfig::symmetric(from_millis(20), 1_250_000).with_loss(loss),
+                ),
+                SubflowConfig::new(
+                    PathConfig::symmetric(from_millis(35), 1_250_000).with_loss(loss),
+                ),
+            ],
+            SchedulerSpec::dsl(scheduler),
+        )
+        .with_receiver_mode(mode)
+        .with_timelines();
+        let conn = sim.add_connection(cfg).unwrap();
+        sim.app_send_at(conn, 0, 30 * 1400, 0);
+        if signal {
+            sim.set_register_at(conn, 1, RegId::R2, 1);
+        }
+        sim.run_to_completion(120 * SECONDS);
+        out.push(
+            sim.connections[conn]
+                .stats
+                .delivery_time_of(30 * 1400)
+                .expect("completes") as f64
+                / 1e6,
+        );
+    }
+    out
+}
+
+fn main() {
+    println!("=== Ablation §4.2: improved vs legacy receiver (p95 FCT, ms; 60 runs) ===\n");
+    println!(
+        "{:<32} {:>6} | {:>10} {:>10} {:>8}",
+        "scheduler", "loss", "legacy", "improved", "gain"
+    );
+    let cases: [(&str, &'static str, f64, bool); 4] = [
+        ("default", sched::DEFAULT_MIN_RTT, 0.0, false),
+        ("default", sched::DEFAULT_MIN_RTT, 0.05, false),
+        ("compensating (flow end)", sched::COMPENSATING, 0.05, true),
+        ("compensating (flow end)", sched::COMPENSATING, 0.10, true),
+    ];
+    let mut worst_regression: f64 = f64::MIN;
+    let mut best_gain: f64 = 0.0;
+    let mut established_gain: f64 = 0.0;
+    for (name, src, loss, signal) in cases {
+        let mut legacy = fcts(src, ReceiverMode::Legacy, loss, signal);
+        let mut improved = fcts(src, ReceiverMode::Improved, loss, signal);
+        let lp = percentile(&mut legacy, 0.95);
+        let ip = percentile(&mut improved, 0.95);
+        println!(
+            "{:<32} {:>5.0}% | {:>10.1} {:>10.1} {:>7.1}%",
+            name,
+            loss * 100.0,
+            lp,
+            ip,
+            (1.0 - ip / lp) * 100.0
+        );
+        worst_regression = worst_regression.max(ip - lp);
+        if name.starts_with("compensating") {
+            best_gain = best_gain.max(lp - ip);
+        } else {
+            established_gain = established_gain.max(lp - ip);
+        }
+    }
+    println!("\npaper shape checks:");
+    println!(
+        "  [{}] the improved receiver never regresses (worst delta {:+.1} ms)",
+        ok(worst_regression <= 1.0),
+        worst_regression
+    );
+    println!(
+        "  [{}] it matters for sophisticated schedulers under loss (gain {:.1} ms at p95)...",
+        ok(best_gain > 1.0),
+        best_gain
+    );
+    println!(
+        "  [{}] ...and is rarely required for the established ones (default gain {:.1} ms)",
+        ok(established_gain < best_gain),
+        established_gain
+    );
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "ok"
+    } else {
+        "??"
+    }
+}

@@ -1,0 +1,141 @@
+//! §5.4 "Target Deadline" — the MP-DASH use case: video chunks with
+//! arrival deadlines. The deadline-aware scheduler uses the non-preferred
+//! (metered) subflow only when the preferred path cannot meet a chunk's
+//! deadline, unlike the default scheduler (uses LTE freely) and a
+//! WiFi-only policy (misses deadlines when WiFi dips).
+
+use mptcp_sim::time::{from_millis, SimTime, MILLIS, SECONDS};
+use mptcp_sim::{
+    ConnectionConfig, PathConfig, PathProfileEntry, SchedulerSpec, Sim, SubflowConfig,
+};
+use progmp_core::env::RegId;
+use progmp_schedulers as sched;
+
+const CHUNKS: u64 = 12;
+const CHUNK_BYTES: u64 = 800_000; // 0.8 MB every 2 s = 3.2 Mbit/s video
+const CHUNK_PERIOD: SimTime = 2 * SECONDS;
+
+/// WiFi nominally 0.5 MB/s but dipping to 0.15 MB/s for one second of
+/// every four (rate fluctuation).
+fn wifi() -> PathConfig {
+    let mut w = PathConfig::symmetric(from_millis(20), 500_000);
+    for k in 0..7u64 {
+        w = w
+            .with_profile_entry(PathProfileEntry {
+                at: (4 * k + 2) * SECONDS,
+                rate: Some(120_000),
+                loss: None,
+                fwd_delay: None,
+            })
+            .with_profile_entry(PathProfileEntry {
+                at: (4 * k + 3) * SECONDS,
+                rate: Some(500_000),
+                loss: None,
+                fwd_delay: None,
+            });
+    }
+    w
+}
+
+struct Outcome {
+    deadline_hits: u64,
+    lte_bytes: u64,
+}
+
+/// `wifi_only`: drop the LTE subflow entirely (the "avoid metered"
+/// strawman). The application updates R1 (remaining ms) and R2 (remaining
+/// chunk bytes) at every chunk start — the MP-DASH control loop.
+fn run(scheduler: &'static str, signal: bool, wifi_only: bool, seed: u64) -> Outcome {
+    let mut sim = Sim::new(seed);
+    let mut subflows = vec![SubflowConfig::new(wifi())];
+    if !wifi_only {
+        subflows.push(
+            SubflowConfig::new(PathConfig::symmetric(from_millis(60), 1_250_000)).with_cost(1),
+        );
+    }
+    let cfg =
+        ConnectionConfig::new(subflows, SchedulerSpec::dsl(scheduler)).with_timelines();
+    let conn = sim.add_connection(cfg).unwrap();
+    for i in 0..CHUNKS {
+        let start = i * CHUNK_PERIOD;
+        sim.app_send_at(conn, start, CHUNK_BYTES, 0);
+        if signal {
+            // Deadline: the next chunk boundary. Refresh the remaining
+            // budget a few times within the chunk.
+            for (k, frac) in [(0u64, 1.0f64), (1, 0.5), (2, 0.25)] {
+                let at = start + k * 500 * MILLIS;
+                let remaining_ms = (CHUNK_PERIOD / MILLIS).saturating_sub(k * 500) as i64;
+                sim.set_register_at(conn, at, RegId::R1, remaining_ms);
+                sim.set_register_at(
+                    conn,
+                    at,
+                    RegId::R2,
+                    (CHUNK_BYTES as f64 * frac) as i64,
+                );
+            }
+        }
+    }
+    sim.run_to_completion(120 * SECONDS);
+    let c = &sim.connections[conn];
+    let mut hits = 0;
+    for i in 0..CHUNKS {
+        let deadline = (i + 1) * CHUNK_PERIOD;
+        if let Some(t) = c.stats.delivery_time_of((i + 1) * CHUNK_BYTES) {
+            if t <= deadline {
+                hits += 1;
+            }
+        }
+    }
+    Outcome {
+        deadline_hits: hits,
+        lte_bytes: c.stats.subflows.get(1).map(|s| s.tx_bytes).unwrap_or(0),
+    }
+}
+
+fn main() {
+    println!("=== §5.4 target-deadline scheduler (MP-DASH scenario) ===");
+    println!(
+        "{} chunks of {} KB every {} s; WiFi 0.5 MB/s dipping to 0.15 MB/s; LTE metered\n",
+        CHUNKS,
+        CHUNK_BYTES / 1000,
+        CHUNK_PERIOD / SECONDS
+    );
+    println!(
+        "{:<28} {:>14} {:>12}",
+        "policy", "deadlines met", "LTE KB"
+    );
+    let rows = [
+        ("WiFi only", run(sched::DEFAULT_MIN_RTT, false, true, 21)),
+        ("default (both paths)", run(sched::DEFAULT_MIN_RTT, false, false, 21)),
+        ("targetDeadline (R1/R2)", run(sched::TARGET_DEADLINE, true, false, 21)),
+    ];
+    for (name, o) in &rows {
+        println!(
+            "{:<28} {:>9}/{:<4} {:>12}",
+            name,
+            o.deadline_hits,
+            CHUNKS,
+            o.lte_bytes / 1000
+        );
+    }
+    let (wifi_only, default, deadline) = (&rows[0].1, &rows[1].1, &rows[2].1);
+    println!("\npaper shape checks:");
+    println!(
+        "  [{}] WiFi alone misses deadlines ({}/{})",
+        if wifi_only.deadline_hits < CHUNKS { "ok" } else { "??" },
+        wifi_only.deadline_hits,
+        CHUNKS
+    );
+    println!(
+        "  [{}] the deadline-aware scheduler meets (nearly) all deadlines ({}/{})",
+        if deadline.deadline_hits >= CHUNKS - 1 { "ok" } else { "??" },
+        deadline.deadline_hits,
+        CHUNKS
+    );
+    println!(
+        "  [{}] while using much less metered LTE than the default scheduler ({} KB vs {} KB)",
+        if deadline.lte_bytes < default.lte_bytes { "ok" } else { "??" },
+        deadline.lte_bytes / 1000,
+        default.lte_bytes / 1000
+    );
+}

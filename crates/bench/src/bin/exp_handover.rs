@@ -1,0 +1,96 @@
+//! §5.2 — the handover-aware scheduler: during a WiFi→LTE handover the
+//! WiFi subflow degrades (loss ramps to 100%) while a fresh cellular
+//! subflow is established. The handover-aware scheduler aggressively
+//! retransmits WiFi's in-flight packets on the new subflow.
+//!
+//! Metric: the delivery stall around the handover (longest gap between
+//! consecutive in-order deliveries), which the proactive retransmission
+//! shortens compared with waiting for WiFi's RTO-based recovery.
+
+use mptcp_sim::time::{from_millis, SimTime, MILLIS, SECONDS};
+use mptcp_sim::{
+    ConnectionConfig, PathConfig, PathProfileEntry, SchedulerSpec, Sim, SubflowConfig,
+};
+use progmp_core::env::RegId;
+use progmp_schedulers as sched;
+
+const HANDOVER_AT: SimTime = 2 * SECONDS;
+
+fn run(scheduler: &'static str, signal_handover: bool, seed: u64) -> (SimTime, bool) {
+    let mut sim = Sim::new(seed);
+    // WiFi: good until the handover, then fully lossy (connection break).
+    let wifi = PathConfig::symmetric(from_millis(15), 1_250_000).with_profile_entry(
+        PathProfileEntry {
+            at: HANDOVER_AT,
+            rate: None,
+            loss: Some(1.0),
+            fwd_delay: None,
+        },
+    );
+    // Cellular subflow comes up shortly before the break (proactive
+    // establishment, as in the paper's sensor-assisted handover).
+    let lte = SubflowConfig::new(PathConfig::symmetric(from_millis(45), 1_250_000))
+        .starting_at(HANDOVER_AT - 100 * MILLIS);
+    let cfg = ConnectionConfig::new(
+        vec![SubflowConfig::new(wifi), lte],
+        SchedulerSpec::dsl(scheduler),
+    )
+    .with_timelines();
+    let conn = sim.add_connection(cfg).unwrap();
+    // A steady 500 KB/s stream across the handover.
+    sim.add_cbr_source(conn, 0, 4 * SECONDS, 500_000, from_millis(20), 0);
+    if signal_handover {
+        sim.set_register_at(conn, HANDOVER_AT - 100 * MILLIS, RegId::R3, 1);
+        sim.set_register_at(conn, HANDOVER_AT + SECONDS, RegId::R3, 0);
+    }
+    // The path manager eventually declares WiFi dead.
+    sim.subflow_down_at(conn, 0, HANDOVER_AT + 800 * MILLIS);
+    sim.run_to_completion(20 * SECONDS);
+
+    let c = &sim.connections[conn];
+    // Longest in-order delivery stall around the handover window.
+    let mut last = HANDOVER_AT.saturating_sub(200 * MILLIS);
+    let mut max_gap = 0;
+    for &(t, _) in c
+        .stats
+        .delivery_timeline
+        .iter()
+        .filter(|(t, _)| *t + 400 * MILLIS >= HANDOVER_AT && *t < HANDOVER_AT + 3 * SECONDS)
+    {
+        max_gap = max_gap.max(t.saturating_sub(last));
+        last = t;
+    }
+    (max_gap, c.all_acked())
+}
+
+fn main() {
+    println!("=== §5.2: handover-aware scheduling (WiFi breaks at t = 2 s) ===\n");
+    println!("{:<26} {:>16} {:>12}", "scheduler", "max stall (ms)", "completed");
+    let mut rows = Vec::new();
+    for (name, src, signal) in [
+        ("default", sched::DEFAULT_MIN_RTT, false),
+        ("handoverAware (R3=1)", sched::HANDOVER_AWARE, true),
+    ] {
+        let mut worst: SimTime = 0;
+        let mut all_done = true;
+        for seed in 0..10 {
+            let (gap, done) = run(src, signal, 40 + seed);
+            worst = worst.max(gap);
+            all_done &= done;
+        }
+        println!(
+            "{:<26} {:>16.1} {:>12}",
+            name,
+            worst as f64 / 1e6,
+            if all_done { "yes" } else { "no" }
+        );
+        rows.push(worst);
+    }
+    println!("\npaper shape checks:");
+    println!(
+        "  [{}] aggressive retransmission on the new subflow shortens the handover stall ({:.0} ms vs {:.0} ms)",
+        if rows[1] < rows[0] { "ok" } else { "??" },
+        rows[1] as f64 / 1e6,
+        rows[0] as f64 / 1e6
+    );
+}

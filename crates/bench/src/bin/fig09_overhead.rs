@@ -1,0 +1,147 @@
+//! Fig. 9 — overhead of the runtime environment: (top) per-execution
+//! scheduler cost of the three ProgMP backends relative to the native
+//! implementation, with 2 and 4 subflows; (bottom) maximum throughput of
+//! a saturated transfer, which must be unchanged across all schedulers.
+//!
+//! Paper numbers: interpreter ~144% and eBPF ~125% of the native C
+//! execution time; the total throughput remains unchanged throughout all
+//! schedulers; the impact of the number of subflows is marginal.
+
+use mptcp_sim::native::{NativeMinRtt, NativeScheduler};
+use mptcp_sim::time::from_millis;
+use mptcp_sim::{NativeMinRtt as _NM, PathConfig, SchedulerSpec, SubflowConfig};
+use progmp_bench::bulk_goodput;
+use progmp_core::env::{QueueKind, SubflowProp};
+use progmp_core::exec::ExecCtx;
+use progmp_core::testenv::MockEnv;
+use progmp_core::{compile, Backend};
+use progmp_schedulers::DEFAULT_MIN_RTT;
+use std::time::Instant;
+
+/// Builds a mock environment with `n` subflows and a filled send queue.
+fn env_with(n: u32) -> MockEnv {
+    let mut env = MockEnv::new();
+    for i in 0..n {
+        env.add_subflow(i);
+        env.set_subflow_prop(i, SubflowProp::Rtt, 10_000 + i64::from(i) * 5_000);
+        env.set_subflow_prop(i, SubflowProp::Cwnd, 100);
+        env.set_subflow_prop(i, SubflowProp::Mss, 1400);
+    }
+    for p in 0..32u64 {
+        env.push_packet(QueueKind::SendQueue, 100 + p, 1400 * p as i64, 1400);
+    }
+    env
+}
+
+/// Measures mean per-execution wall time (ns) over `iters` runs.
+/// Executions are side-effect-free on the timing path: effects are
+/// buffered in the context and dropped, so every run sees the same state.
+fn measure<F: FnMut(&mut ExecCtx<'_>)>(env: &MockEnv, iters: u32, mut f: F) -> f64 {
+    // Warmup.
+    for _ in 0..1000 {
+        let mut ctx = ExecCtx::new(env, 1_000_000);
+        f(&mut ctx);
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let mut ctx = ExecCtx::new(env, 1_000_000);
+        f(&mut ctx);
+    }
+    t0.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+fn main() {
+    let iters = 20_000;
+    println!("=== Fig. 9 (top): per-execution cost relative to the native scheduler ===\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "subflows", "native ns", "interp", "aot", "vm (eBPF)"
+    );
+
+    let program = compile(DEFAULT_MIN_RTT).expect("default compiles");
+    let mut rel = Vec::new();
+    for n in [2u32, 4] {
+        let env = env_with(n);
+        let mut native = NativeMinRtt;
+        let native_ns = measure(&env, iters, |ctx| {
+            native.schedule(ctx).unwrap();
+        });
+        let mut row = format!("{n:>10} {native_ns:>12.0}");
+        for backend in [Backend::Interpreter, Backend::Aot, Backend::Vm] {
+            let mut inst = program.instantiate(backend);
+            let ns = measure(&env, iters, |ctx| {
+                inst.execute_raw(ctx).unwrap();
+            });
+            let pct = ns / native_ns * 100.0;
+            row.push_str(&format!(" {:>10.0}%", pct));
+            rel.push((n, backend, pct));
+        }
+        println!("{row}");
+    }
+
+    println!("\n=== Fig. 9 (bottom): saturated throughput is scheduler-independent ===\n");
+    let subflows = || {
+        vec![
+            SubflowConfig::new(PathConfig::symmetric(from_millis(10), 1_250_000)),
+            SubflowConfig::new(PathConfig::symmetric(from_millis(20), 1_250_000)),
+        ]
+    };
+    let bytes = 6_000_000;
+    let native_gp = bulk_goodput(
+        SchedulerSpec::Native(Box::new(_NM)),
+        subflows(),
+        bytes,
+        3,
+    );
+    println!("{:<22} {:>10.3} MB/s", "native minRTT", native_gp / 1e6);
+    let mut gps = vec![native_gp];
+    for backend in [Backend::Interpreter, Backend::Aot, Backend::Vm] {
+        let gp = bulk_goodput(
+            SchedulerSpec::dsl_on(DEFAULT_MIN_RTT, backend),
+            subflows(),
+            bytes,
+            3,
+        );
+        println!("{:<22} {:>10.3} MB/s", format!("dsl/{}", backend.name()), gp / 1e6);
+        gps.push(gp);
+    }
+
+    println!("\npaper shape checks:");
+    let interp_slower_than_vm = rel
+        .iter()
+        .filter(|(_, b, _)| *b == Backend::Interpreter)
+        .map(|(_, _, p)| *p)
+        .sum::<f64>()
+        > rel
+            .iter()
+            .filter(|(_, b, _)| *b == Backend::Vm)
+            .map(|(_, _, p)| *p)
+            .sum::<f64>();
+    println!(
+        "  [{}] the eBPF-style backend reduces the interpreter's relative execution time",
+        ok(interp_slower_than_vm)
+    );
+    let spread = gps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        / gps.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "  [{}] total throughput unchanged across schedulers (max/min = {:.3})",
+        ok(spread < 1.02),
+        spread
+    );
+    let s2: f64 = rel.iter().filter(|(n, _, _)| *n == 2).map(|(_, _, p)| *p).sum();
+    let s4: f64 = rel.iter().filter(|(n, _, _)| *n == 4).map(|(_, _, p)| *p).sum();
+    println!(
+        "  [{}] impact of the number of subflows is marginal (sum rel 2sbf {:.0}% vs 4sbf {:.0}%)",
+        ok((s2 - s4).abs() / s2 < 0.5),
+        s2,
+        s4
+    );
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "ok"
+    } else {
+        "??"
+    }
+}

@@ -1,0 +1,88 @@
+//! Fig. 10b — mean flow completion time vs. flow size for the redundancy
+//! family (2 subflows, 2% loss, following the ReMP evaluation setup).
+//!
+//! Paper shape: all redundant schedulers beat the default for small
+//! flows; for growing flow sizes `OpportunisticRedundant` beats the
+//! existing `redundant` (full redundancy becomes expensive), and
+//! `RedundantIfNoQ` — which never delays fresh packets — wins overall.
+
+use mptcp_sim::time::from_millis;
+use mptcp_sim::{PathConfig, SubflowConfig};
+use progmp_bench::FlowExperiment;
+use progmp_schedulers as sched;
+
+const LOSS: f64 = 0.02;
+// 2 Mbit/s links: large flows are path-limited, so the cost of full
+// redundancy (which halves the effective aggregate capacity) is visible.
+const RATE: u64 = 250_000;
+
+fn subflows() -> Vec<SubflowConfig> {
+    vec![
+        SubflowConfig::new(PathConfig::symmetric(from_millis(20), RATE).with_loss(LOSS)),
+        SubflowConfig::new(PathConfig::symmetric(from_millis(30), RATE).with_loss(LOSS)),
+    ]
+}
+
+fn main() {
+    let schedulers = [
+        ("default", sched::DEFAULT_MIN_RTT),
+        ("redundant", sched::REDUNDANT),
+        ("oppRedundant", sched::OPPORTUNISTIC_REDUNDANT),
+        ("redundantIfNoQ", sched::REDUNDANT_IF_NO_Q),
+    ];
+    let sizes_pkts = [2u64, 4, 8, 16, 32, 64, 128, 256];
+
+    println!("=== Fig. 10b: mean FCT (ms) vs flow size; 2 subflows, 2% loss, 30 runs ===\n");
+    print!("{:>12}", "flow (pkts)");
+    for (name, _) in &schedulers {
+        print!(" {name:>15}");
+    }
+    println!();
+
+    let mut results = vec![Vec::new(); schedulers.len()];
+    for pkts in sizes_pkts {
+        print!("{pkts:>12}");
+        for (i, (_, src)) in schedulers.iter().enumerate() {
+            let batch = FlowExperiment::new(src, pkts * 1400, subflows())
+                .with_runs(30)
+                .with_seed(4200 + pkts)
+                .run();
+            print!(" {:>15.1}", batch.mean_fct_ms);
+            results[i].push(batch.mean_fct_ms);
+        }
+        println!();
+    }
+
+    // Shape checks against the paper's ranking.
+    let small = 0; // 2-packet flows
+    let default_small = results[0][small];
+    let rednoq_small = results[3][small];
+    println!("\npaper shape checks:");
+    println!(
+        "  [{}] redundancy beats the default for small flows ({:.1} ms vs {:.1} ms)",
+        ok(rednoq_small < default_small),
+        rednoq_small,
+        default_small
+    );
+    let last = sizes_pkts.len() - 1;
+    println!(
+        "  [{}] RedundantIfNoQ is the best redundant flavour for large flows ({:.1} vs redundant {:.1} ms)",
+        ok(results[3][last] <= results[1][last] * 1.05),
+        results[3][last],
+        results[1][last]
+    );
+    println!(
+        "  [{}] OpportunisticRedundant <= full redundancy for large flows ({:.1} vs {:.1} ms)",
+        ok(results[2][last] <= results[1][last] * 1.05),
+        results[2][last],
+        results[1][last]
+    );
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "ok"
+    } else {
+        "??"
+    }
+}

@@ -1,0 +1,120 @@
+//! Fig. 10c — maximum achievable throughput of the redundancy family,
+//! normalized to single-path TCP, for a constantly backlogged transfer
+//! (iPerf) and a bursty flow.
+//!
+//! Paper shape: the default scheduler aggregates both paths (~2x single
+//! path); the existing `redundant` scheduler pays full redundancy (~1x);
+//! the new `OpportunisticRedundant` and `RedundantIfNoQ` reach nearly the
+//! maximum achievable throughput for backlogged transfers, while bursty
+//! flows depend on fine timing and fall between the extremes.
+
+use mptcp_sim::time::{from_millis, SECONDS};
+use mptcp_sim::{ConnectionConfig, PathConfig, SchedulerSpec, Sim, SubflowConfig};
+use progmp_bench::bulk_goodput;
+use progmp_schedulers as sched;
+
+const RATE: u64 = 1_250_000;
+const BULK_BYTES: u64 = 8_000_000;
+
+fn subflows() -> Vec<SubflowConfig> {
+    vec![
+        SubflowConfig::new(PathConfig::symmetric(from_millis(20), RATE)),
+        SubflowConfig::new(PathConfig::symmetric(from_millis(30), RATE)),
+    ]
+}
+
+fn single_path() -> Vec<SubflowConfig> {
+    vec![SubflowConfig::new(PathConfig::symmetric(
+        from_millis(20),
+        RATE,
+    ))]
+}
+
+/// Bursty flow: 100 KB bursts every 500 ms; returns delivered goodput
+/// relative to offered load completion.
+fn bursty_goodput(scheduler: &'static str, seed: u64) -> f64 {
+    let mut sim = Sim::new(seed);
+    let cfg = ConnectionConfig::new(subflows(), SchedulerSpec::dsl(scheduler)).with_timelines();
+    let conn = sim.add_connection(cfg).unwrap();
+    let bursts = 20u64;
+    for i in 0..bursts {
+        sim.app_send_at(conn, i * 500 * 1_000_000, 100_000, 0);
+    }
+    sim.run_to_completion(60 * SECONDS);
+    let c = &sim.connections[conn];
+    let total = bursts * 100_000;
+    match c.stats.delivery_time_of(total) {
+        Some(t) => total as f64 / (t as f64 / 1e9),
+        None => 0.0,
+    }
+}
+
+fn main() {
+    println!("=== Fig. 10c: throughput normalized to single-path TCP ===");
+    println!("2 subflows at 10 Mbit/s each; backlogged (iPerf) and bursty flows\n");
+
+    let sp_bulk = bulk_goodput(
+        SchedulerSpec::dsl(sched::DEFAULT_MIN_RTT),
+        single_path(),
+        BULK_BYTES,
+        5,
+    );
+    let sp_bursty = bursty_goodput(sched::DEFAULT_MIN_RTT, 5); // single path irrelevant for bursty norm; use default 2-path? paper normalizes to single-path TCP
+    let _ = sp_bursty;
+
+    println!(
+        "single-path TCP baseline: {:.2} MB/s (backlogged)\n",
+        sp_bulk / 1e6
+    );
+    println!(
+        "{:<18} {:>14} {:>12} {:>14}",
+        "scheduler", "iPerf (MB/s)", "normalized", "bursty (MB/s)"
+    );
+
+    let schedulers = [
+        ("default", sched::DEFAULT_MIN_RTT),
+        ("redundant", sched::REDUNDANT),
+        ("oppRedundant", sched::OPPORTUNISTIC_REDUNDANT),
+        ("redundantIfNoQ", sched::REDUNDANT_IF_NO_Q),
+    ];
+    let mut normalized = Vec::new();
+    for (name, src) in schedulers {
+        let bulk = bulk_goodput(SchedulerSpec::dsl(src), subflows(), BULK_BYTES, 5);
+        let bursty = bursty_goodput(src, 5);
+        let norm = bulk / sp_bulk;
+        normalized.push((name, norm));
+        println!(
+            "{name:<18} {:>14.2} {:>11.2}x {:>14.2}",
+            bulk / 1e6,
+            norm,
+            bursty / 1e6
+        );
+    }
+
+    println!("\npaper shape checks:");
+    let get = |n: &str| normalized.iter().find(|(m, _)| *m == n).unwrap().1;
+    println!(
+        "  [{}] default aggregates both paths (~2x single path): {:.2}x",
+        ok(get("default") > 1.6),
+        get("default")
+    );
+    println!(
+        "  [{}] full redundancy trades throughput for latency (~1x): {:.2}x",
+        ok(get("redundant") < 1.35),
+        get("redundant")
+    );
+    println!(
+        "  [{}] new schedulers recover nearly maximum throughput for backlogged flows: oppRed {:.2}x, redIfNoQ {:.2}x",
+        ok(get("oppRedundant") > 1.5 && get("redundantIfNoQ") > 1.5),
+        get("oppRedundant"),
+        get("redundantIfNoQ")
+    );
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "ok"
+    } else {
+        "??"
+    }
+}

@@ -1,0 +1,152 @@
+//! Fig. 13 — the throughput- and preference-aware (TAP) scheduler in the
+//! Fig. 1 scenario: an interactive stream (1 MB/s then 4 MB/s) over
+//! WiFi (preferred, fluctuating) and LTE (metered).
+//!
+//! Paper shape: compared with the default scheduler, TAP reduces the
+//! non-preferred LTE usage to a minimum while sustaining the required
+//! stream throughput; the existing backup mode cannot sustain 4 MB/s.
+
+use mptcp_sim::time::{from_millis, SimTime, SECONDS};
+use mptcp_sim::{
+    ConnectionConfig, PathConfig, PathProfileEntry, SchedulerSpec, Sim, SubflowConfig,
+};
+use progmp_core::env::RegId;
+use progmp_schedulers as sched;
+
+const WIFI_RATE: u64 = 3_000_000;
+const LTE_RATE: u64 = 2_500_000;
+const END_S: u64 = 12;
+
+struct Outcome {
+    goodput: f64,
+    lte_share: f64,
+    p1_lte_kb: u64,
+    p2_lte_kb: u64,
+    stream_done: Option<SimTime>,
+}
+
+fn wifi_with_fluctuations() -> PathConfig {
+    let mut wifi = PathConfig::symmetric(from_millis(10), WIFI_RATE);
+    for (i, rate) in [2_400_000u64, 3_000_000, 2_600_000, 3_200_000, 2_500_000]
+        .iter()
+        .enumerate()
+    {
+        wifi = wifi.with_profile_entry(PathProfileEntry {
+            at: (2 * (i as u64 + 1)) * SECONDS,
+            rate: Some(*rate),
+            loss: None,
+            fwd_delay: None,
+        });
+    }
+    wifi
+}
+
+fn run(scheduler: &'static str, lte_backup: bool, signal_target: bool) -> Outcome {
+    let mut sim = Sim::new(1234);
+    // LTE is always flagged non-preferred for the preference-aware
+    // schedulers (COST = 1); kernel backup mode is a separate switch.
+    let mut lte = SubflowConfig::new(PathConfig::symmetric(from_millis(40), LTE_RATE)).with_cost(1);
+    if lte_backup {
+        lte = lte.backup();
+    }
+    let cfg = ConnectionConfig::new(
+        vec![SubflowConfig::new(wifi_with_fluctuations()), lte],
+        SchedulerSpec::dsl(scheduler),
+    )
+    .with_timelines();
+    let conn = sim.add_connection(cfg).unwrap();
+    if signal_target {
+        sim.set_register_at(conn, 0, RegId::R1, 1_000_000);
+        sim.set_register_at(conn, 6 * SECONDS, RegId::R1, 4_000_000);
+    }
+    sim.add_cbr_source(conn, 0, 6 * SECONDS, 1_000_000, from_millis(20), 0);
+    sim.add_cbr_source(conn, 6 * SECONDS, END_S * SECONDS, 4_000_000, from_millis(20), 0);
+    sim.run_to_completion((END_S + 10) * SECONDS);
+    let c = &sim.connections[conn];
+    let tx_in = |sbf: u32, from: u64, to: u64| -> u64 {
+        c.stats
+            .tx_timeline
+            .iter()
+            .filter(|(t, s, _)| *s == sbf && *t >= from && *t < to)
+            .map(|(_, _, b)| u64::from(*b))
+            .sum()
+    };
+    let total = 6_000_000 + 4_000_000 * (END_S - 6);
+    Outcome {
+        goodput: c.stats.delivered_bytes as f64 / (END_S as f64),
+        lte_share: c.stats.subflows[1].tx_bytes as f64 / c.stats.tx_bytes.max(1) as f64,
+        p1_lte_kb: tx_in(1, 0, 6 * SECONDS) / 1000,
+        p2_lte_kb: tx_in(1, 6 * SECONDS, END_S * SECONDS) / 1000,
+        stream_done: c.stats.delivery_time_of(total),
+    }
+}
+
+fn main() {
+    println!("=== Fig. 13: throughput- and preference-aware (TAP) scheduler ===");
+    println!("stream 1 MB/s (0-6s) then 4 MB/s (6-12s); WiFi preferred ~3 MB/s, LTE metered\n");
+    println!(
+        "{:<22} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "scheduler", "goodput", "LTE share", "LTE@1MB/s", "LTE@4MB/s", "stream done"
+    );
+
+    let rows = [
+        ("default", run(sched::DEFAULT_MIN_RTT, false, false)),
+        ("backup mode", run(sched::DEFAULT_MIN_RTT, true, false)),
+        ("TAP", run(sched::TAP, false, true)),
+    ];
+    for (name, o) in &rows {
+        println!(
+            "{:<22} {:>9.2} MB/s {:>9.1}% {:>9} KB {:>9} KB {:>12}",
+            name,
+            o.goodput / 1e6,
+            o.lte_share * 100.0,
+            o.p1_lte_kb,
+            o.p2_lte_kb,
+            o.stream_done
+                .map(|t| format!("{:.1} s", t as f64 / 1e9))
+                .unwrap_or_else(|| "never".into()),
+        );
+    }
+
+    let (default, backup, tap) = (&rows[0].1, &rows[1].1, &rows[2].1);
+    println!("\npaper shape checks:");
+    println!(
+        "  [{}] default wastes metered LTE during the sustainable 1 MB/s phase ({} KB)",
+        ok(default.p1_lte_kb > 500),
+        default.p1_lte_kb
+    );
+    println!(
+        "  [{}] TAP keeps LTE usage minimal in the 1 MB/s phase ({} KB)",
+        ok(tap.p1_lte_kb < default.p1_lte_kb / 4),
+        tap.p1_lte_kb
+    );
+    println!(
+        "  [{}] TAP still uses LTE for the leftover in the 4 MB/s phase ({} KB > 0)",
+        ok(tap.p2_lte_kb > 0),
+        tap.p2_lte_kb
+    );
+    println!(
+        "  [{}] backup mode cannot sustain the stream in time (default {:?} vs backup {:?})",
+        ok(match (default.stream_done, backup.stream_done) {
+            (Some(d), Some(b)) => b > d + SECONDS,
+            (Some(_), None) => true,
+            _ => false,
+        }),
+        default.stream_done.map(|t| t / 1_000_000),
+        backup.stream_done.map(|t| t / 1_000_000)
+    );
+    println!(
+        "  [{}] TAP sustains the overall stream throughput (goodput {:.2} vs default {:.2} MB/s)",
+        ok(tap.goodput > default.goodput * 0.9),
+        tap.goodput / 1e6,
+        default.goodput / 1e6
+    );
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "ok"
+    } else {
+        "??"
+    }
+}

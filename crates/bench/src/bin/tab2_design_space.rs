@@ -1,0 +1,104 @@
+//! Table 2 — the MPTCP scheduler design space. Every row of the paper's
+//! catalogue maps to a bundled scheduler; this binary lists them, their
+//! specification size (the paper's usability argument: the in-kernel
+//! round robin alone is 301 lines of C), and smoke-runs each of them in
+//! the simulator to prove the whole catalogue is executable.
+
+use mptcp_sim::time::{from_millis, SECONDS};
+use mptcp_sim::{ConnectionConfig, PathConfig, SchedulerSpec, Sim, SubflowConfig};
+use progmp_core::env::RegId;
+use progmp_schedulers as sched;
+
+/// (Table 2 category, goal, scheduler name).
+const CATALOGUE: &[(&str, &str, &str)] = &[
+    ("Probing", "timely RTT/capacity estimates", "probing"),
+    ("Redundancy", "minimize latency: existing full redundancy", "redundant"),
+    ("Redundancy", "prefer fresh packets at first scheduling", "opportunisticRedundant"),
+    ("Redundancy", "redundancy only when no fresh data", "redundantIfNoQ"),
+    ("Handover", "smooth WiFi/LTE handover", "handoverAware"),
+    ("Heterogeneous", "compensate scheduling at flow end", "compensating"),
+    ("Heterogeneous", "selective compensation (ratio > 2)", "selectiveCompensation"),
+    ("Preference", "ensure throughput (TAP)", "tap"),
+    ("Preference", "ensure RTT target", "targetRtt"),
+    ("Preference", "ensure chunk deadline (MP-DASH)", "targetDeadline"),
+    ("Higher protocols", "HTTP/2 content-aware strategies", "http2Aware"),
+    ("Baselines", "Linux default minRTT", "default"),
+    ("Baselines", "round robin (301 LOC in kernel C)", "roundRobin"),
+    ("Baselines", "textbook minRTT (Fig. 3)", "minRttSimple"),
+    ("Baselines", "opportunistic retransmission", "opportunisticRtx"),
+    ("Probing", "target RTT with probing composition", "targetRttProbing"),
+    ("Redundancy", "fast coupled retransmission [7,27]", "fastCoupledRtx"),
+    ("Cross-concern", "relax cwnd for the flow tail (paper 6)", "cwndRelax"),
+];
+
+fn smoke_run(name: &str) -> bool {
+    let source = sched::sources::ALL
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, s)| *s)
+        .expect("catalogue names exist");
+    let mut sim = Sim::new(5);
+    let cfg = ConnectionConfig::new(
+        vec![
+            SubflowConfig::new(PathConfig::symmetric(from_millis(10), 1_250_000)),
+            SubflowConfig::new(PathConfig::symmetric(from_millis(40), 1_250_000)).with_cost(1),
+        ],
+        SchedulerSpec::dsl(source),
+    );
+    let conn = match sim.add_connection(cfg) {
+        Ok(c) => c,
+        Err(_) => return false,
+    };
+    // Generic intents so every scheduler has what it needs.
+    sim.set_register_at(conn, 0, RegId::R1, 4_000_000);
+    sim.set_register_at(conn, 1, RegId::R3, 1);
+    sim.app_send_at(conn, 0, 50_000, 2);
+    sim.set_register_at(conn, 2, RegId::R2, 1);
+    sim.run_to_completion(30 * SECONDS);
+    sim.connections[conn].all_acked()
+}
+
+fn main() {
+    println!("=== Table 2: the executable scheduler design-space catalogue ===\n");
+    println!(
+        "{:<18} {:<42} {:<22} {:>5} {:>6} {:>10} {:>6}",
+        "category", "goal / approach", "scheduler", "LOC", "regs", "queues", "runs"
+    );
+    let mut all_ok = true;
+    for (cat, goal, name) in CATALOGUE {
+        let program = sched::load(name).expect("bundled schedulers compile");
+        let loc = program
+            .source()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count();
+        // Static audit (the multi-tenancy admission view).
+        let audit = program.analyze();
+        let regs: String = audit
+            .registers_read
+            .union(&audit.registers_written)
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let queues: String = audit.queues_read.iter().copied().collect::<Vec<_>>().join(",");
+        let ok = smoke_run(name);
+        all_ok &= ok;
+        println!(
+            "{:<18} {:<42} {:<22} {:>5} {:>6} {:>10} {:>6}",
+            cat,
+            goal,
+            name,
+            loc,
+            if regs.is_empty() { "-".into() } else { format!("R{regs}") },
+            queues,
+            if ok { "ok" } else { "FAIL" }
+        );
+    }
+    println!(
+        "\n  [{}] every design-space entry is specified, compiled, verified, and delivers data end-to-end",
+        if all_ok { "ok" } else { "??" }
+    );
+    println!(
+        "  usability reference: the kernel's C round robin is 301 LOC; the ProgMP versions above are 10-35 lines."
+    );
+}

@@ -1,0 +1,331 @@
+//! Static analysis of compiled scheduler programs.
+//!
+//! The paper's runtime hosts *tenant-supplied* schedulers inside the
+//! shared transport stack (§6: "individual schedulers per application in
+//! multi-tenancy and light-weight container environments"). Before
+//! admitting a scheduler, an operator can audit what it touches: which
+//! subflow/packet properties it reads, which queues it consumes, whether
+//! it drops data, which registers form its application interface, and how
+//! deeply its scans nest (a static cost proxy complementing the runtime
+//! step budget).
+//!
+//! The analysis is a single HIR walk; everything it reports is exact (the
+//! language has no dynamic property access).
+
+use crate::env::{QueueKind, RegId};
+use crate::hir::{ExprId, HExpr, HProgram, HStmt, StmtId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Exact static facts about a scheduler program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Analysis {
+    /// Subflow properties the scheduler reads.
+    pub subflow_props: BTreeSet<&'static str>,
+    /// Packet properties the scheduler reads.
+    pub packet_props: BTreeSet<&'static str>,
+    /// Queues the scheduler observes (TOP/COUNT/EMPTY/FILTER/MIN/SUM).
+    pub queues_read: BTreeSet<&'static str>,
+    /// Queues the scheduler pops packets from.
+    pub queues_popped: BTreeSet<&'static str>,
+    /// Registers read (the application→scheduler interface).
+    pub registers_read: BTreeSet<u8>,
+    /// Registers written (scheduler state / scheduler→application).
+    pub registers_written: BTreeSet<u8>,
+    /// Number of `PUSH` statements.
+    pub push_sites: usize,
+    /// Number of `DROP` statements.
+    pub drop_sites: usize,
+    /// Whether `SENT_ON` is used (redundancy/retransmission logic).
+    pub uses_sent_on: bool,
+    /// Whether `HAS_WINDOW_FOR` is used (receive-window awareness).
+    pub uses_window_check: bool,
+    /// Maximum static nesting depth of scans (`FILTER`/`MIN`/`MAX`/`SUM`/
+    /// `FOREACH` and queue scans): each level multiplies worst-case cost
+    /// by the element count.
+    pub max_scan_depth: usize,
+}
+
+impl Analysis {
+    /// True if the scheduler can transmit packets at all.
+    pub fn can_transmit(&self) -> bool {
+        self.push_sites > 0
+    }
+
+    /// True if the scheduler may discard data (`DROP` of send-queue
+    /// packets is the one scheduler action that loses payload).
+    pub fn can_discard(&self) -> bool {
+        self.drop_sites > 0
+    }
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let join = |set: &BTreeSet<&'static str>| -> String {
+            if set.is_empty() {
+                "-".to_string()
+            } else {
+                set.iter().copied().collect::<Vec<_>>().join(", ")
+            }
+        };
+        let regs = |set: &BTreeSet<u8>| -> String {
+            if set.is_empty() {
+                "-".to_string()
+            } else {
+                set.iter().map(|r| format!("R{r}")).collect::<Vec<_>>().join(", ")
+            }
+        };
+        writeln!(f, "subflow properties: {}", join(&self.subflow_props))?;
+        writeln!(f, "packet properties:  {}", join(&self.packet_props))?;
+        writeln!(f, "queues read:        {}", join(&self.queues_read))?;
+        writeln!(f, "queues popped:      {}", join(&self.queues_popped))?;
+        writeln!(f, "registers read:     {}", regs(&self.registers_read))?;
+        writeln!(f, "registers written:  {}", regs(&self.registers_written))?;
+        writeln!(
+            f,
+            "effects:            {} push site(s), {} drop site(s)",
+            self.push_sites, self.drop_sites
+        )?;
+        writeln!(
+            f,
+            "features:           sent_on={}, window_check={}",
+            self.uses_sent_on, self.uses_window_check
+        )?;
+        write!(f, "max scan depth:     {}", self.max_scan_depth)
+    }
+}
+
+/// Analyzes a lowered program.
+pub fn analyze(prog: &HProgram) -> Analysis {
+    let mut a = Analysis::default();
+    for &sid in &prog.body {
+        walk_stmt(prog, sid, 0, &mut a);
+    }
+    a
+}
+
+fn reg_index(r: RegId) -> u8 {
+    (r.index() + 1) as u8
+}
+
+fn walk_stmt(prog: &HProgram, sid: StmtId, depth: usize, a: &mut Analysis) {
+    match prog.stmt(sid) {
+        HStmt::VarDecl { init, .. } => walk_expr(prog, *init, depth, a),
+        HStmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            walk_expr(prog, *cond, depth, a);
+            for &s in then_body.iter().chain(else_body) {
+                walk_stmt(prog, s, depth, a);
+            }
+        }
+        HStmt::Foreach { list, body, .. } => {
+            a.max_scan_depth = a.max_scan_depth.max(depth + 1);
+            walk_expr(prog, *list, depth + 1, a);
+            for &s in body {
+                walk_stmt(prog, s, depth + 1, a);
+            }
+        }
+        HStmt::SetReg { reg, value } => {
+            a.registers_written.insert(reg_index(*reg));
+            walk_expr(prog, *value, depth, a);
+        }
+        HStmt::Push { target, packet } => {
+            a.push_sites += 1;
+            walk_expr(prog, *target, depth, a);
+            walk_expr(prog, *packet, depth, a);
+        }
+        HStmt::Drop { packet } => {
+            a.drop_sites += 1;
+            walk_expr(prog, *packet, depth, a);
+        }
+        HStmt::Return => {}
+    }
+}
+
+fn queue_base(prog: &HProgram, e: ExprId) -> Option<QueueKind> {
+    match prog.expr(e) {
+        HExpr::Queue(k) => Some(*k),
+        HExpr::QueueFilter { queue, .. } => queue_base(prog, *queue),
+        HExpr::ReadVar(slot) => prog.aggregate_init[slot.0 as usize]
+            .and_then(|init| queue_base(prog, init)),
+        _ => None,
+    }
+}
+
+fn note_queue_read(prog: &HProgram, e: ExprId, a: &mut Analysis) {
+    if let Some(k) = queue_base(prog, e) {
+        a.queues_read.insert(k.name());
+    }
+}
+
+fn walk_expr(prog: &HProgram, eid: ExprId, depth: usize, a: &mut Analysis) {
+    match prog.expr(eid) {
+        HExpr::Int(_) | HExpr::Bool(_) | HExpr::NullPacket | HExpr::NullSubflow => {}
+        HExpr::ReadReg(r) => {
+            a.registers_read.insert(reg_index(*r));
+        }
+        HExpr::ReadVar(_) | HExpr::Subflows | HExpr::Queue(_) => {}
+        HExpr::SubflowProp { sbf, prop } => {
+            a.subflow_props.insert(prop.name());
+            walk_expr(prog, *sbf, depth, a);
+        }
+        HExpr::PacketProp { pkt, prop } => {
+            a.packet_props.insert(prop.name());
+            walk_expr(prog, *pkt, depth, a);
+        }
+        HExpr::SentOn { pkt, sbf } => {
+            a.uses_sent_on = true;
+            walk_expr(prog, *pkt, depth, a);
+            walk_expr(prog, *sbf, depth, a);
+        }
+        HExpr::HasWindowFor { sbf, pkt } => {
+            a.uses_window_check = true;
+            walk_expr(prog, *sbf, depth, a);
+            walk_expr(prog, *pkt, depth, a);
+        }
+        HExpr::ListFilter { list, pred, .. } => {
+            a.max_scan_depth = a.max_scan_depth.max(depth + 1);
+            walk_expr(prog, *list, depth, a);
+            walk_expr(prog, *pred, depth + 1, a);
+        }
+        HExpr::QueueFilter { queue, pred, .. } => {
+            a.max_scan_depth = a.max_scan_depth.max(depth + 1);
+            note_queue_read(prog, eid, a);
+            walk_expr(prog, *queue, depth, a);
+            walk_expr(prog, *pred, depth + 1, a);
+        }
+        HExpr::ListMinMax { list, key, .. } => {
+            a.max_scan_depth = a.max_scan_depth.max(depth + 1);
+            walk_expr(prog, *list, depth, a);
+            walk_expr(prog, *key, depth + 1, a);
+        }
+        HExpr::QueueMinMax { queue, key, .. } => {
+            a.max_scan_depth = a.max_scan_depth.max(depth + 1);
+            note_queue_read(prog, *queue, a);
+            walk_expr(prog, *queue, depth, a);
+            walk_expr(prog, *key, depth + 1, a);
+        }
+        HExpr::ListSum { list, key, .. } => {
+            a.max_scan_depth = a.max_scan_depth.max(depth + 1);
+            walk_expr(prog, *list, depth, a);
+            walk_expr(prog, *key, depth + 1, a);
+        }
+        HExpr::QueueSum { queue, key, .. } => {
+            a.max_scan_depth = a.max_scan_depth.max(depth + 1);
+            note_queue_read(prog, *queue, a);
+            walk_expr(prog, *queue, depth, a);
+            walk_expr(prog, *key, depth + 1, a);
+        }
+        HExpr::ListCount(e) | HExpr::ListEmpty(e) => {
+            a.max_scan_depth = a.max_scan_depth.max(depth + 1);
+            walk_expr(prog, *e, depth, a);
+        }
+        HExpr::QueueCount(e) | HExpr::QueueEmpty(e) | HExpr::QueueTop(e) => {
+            a.max_scan_depth = a.max_scan_depth.max(depth + 1);
+            note_queue_read(prog, *e, a);
+            walk_expr(prog, *e, depth, a);
+        }
+        HExpr::QueuePop(e) => {
+            a.max_scan_depth = a.max_scan_depth.max(depth + 1);
+            if let Some(k) = queue_base(prog, *e) {
+                a.queues_read.insert(k.name());
+                a.queues_popped.insert(k.name());
+            }
+            walk_expr(prog, *e, depth, a);
+        }
+        HExpr::ListGet { list, index } => {
+            a.max_scan_depth = a.max_scan_depth.max(depth + 1);
+            walk_expr(prog, *list, depth, a);
+            walk_expr(prog, *index, depth, a);
+        }
+        HExpr::Unary { expr, .. } => walk_expr(prog, *expr, depth, a),
+        HExpr::Binary { lhs, rhs, .. } => {
+            walk_expr(prog, *lhs, depth, a);
+            walk_expr(prog, *rhs, depth, a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::lower;
+
+    fn analysis_of(src: &str) -> Analysis {
+        analyze(&lower(&parse(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn min_rtt_analysis() {
+        let a = analysis_of(
+            "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) { SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }",
+        );
+        assert!(a.subflow_props.contains("RTT"));
+        assert_eq!(a.queues_read.iter().copied().collect::<Vec<_>>(), ["Q"]);
+        assert_eq!(a.queues_popped.iter().copied().collect::<Vec<_>>(), ["Q"]);
+        assert_eq!(a.push_sites, 1);
+        assert_eq!(a.drop_sites, 0);
+        assert!(a.can_transmit());
+        assert!(!a.can_discard());
+        assert!(!a.uses_sent_on);
+        assert_eq!(a.max_scan_depth, 1);
+    }
+
+    #[test]
+    fn register_interface_is_reported() {
+        let a = analysis_of("IF (R1 > 0) { SET(R2, R1 + R3); }");
+        assert_eq!(a.registers_read.iter().copied().collect::<Vec<_>>(), [1, 3]);
+        assert_eq!(a.registers_written.iter().copied().collect::<Vec<_>>(), [2]);
+        assert!(!a.can_transmit());
+    }
+
+    #[test]
+    fn nested_scans_report_depth() {
+        let a = analysis_of(
+            "FOREACH (VAR s IN SUBFLOWS.FILTER(x => x.RTT > 0)) {
+                 VAR p = QU.FILTER(q => !q.SENT_ON(s)).TOP;
+                 IF (p != NULL) { s.PUSH(p); }
+             }",
+        );
+        assert!(a.uses_sent_on);
+        assert!(a.queues_read.contains("QU"));
+        assert!(a.queues_popped.is_empty(), "TOP does not pop");
+        assert!(a.max_scan_depth >= 2, "queue scan nested in FOREACH");
+    }
+
+    #[test]
+    fn drop_and_window_checks_detected() {
+        let a = analysis_of(
+            "VAR s = SUBFLOWS.GET(0);
+             IF (s != NULL AND s.HAS_WINDOW_FOR(Q.TOP)) { s.PUSH(Q.POP()); }
+             ELSE { DROP(RQ.POP()); }",
+        );
+        assert!(a.uses_window_check);
+        assert!(a.can_discard());
+        assert!(a.queues_popped.contains("Q"));
+        assert!(a.queues_popped.contains("RQ"));
+    }
+
+    #[test]
+    fn aggregate_vars_attribute_to_base_queue() {
+        let a = analysis_of(
+            "VAR hot = Q.FILTER(p => p.PROP == 1);
+             IF (!hot.EMPTY) { SUBFLOWS.GET(0).PUSH(hot.POP()); }",
+        );
+        assert!(a.queues_popped.contains("Q"), "var-level pop resolves to Q");
+        assert!(a.packet_props.contains("PROP"));
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let a = analysis_of("SET(R1, Q.COUNT);");
+        let text = a.to_string();
+        assert!(text.contains("queues read:        Q"));
+        assert!(text.contains("registers written:  R1"));
+        assert!(text.contains("max scan depth:     1"));
+    }
+}

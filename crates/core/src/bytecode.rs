@@ -1,0 +1,401 @@
+//! The eBPF-flavoured bytecode ISA (execution environment #3, paper §4.1).
+//!
+//! The paper cross-compiles the scheduler IR *inside the kernel* to eBPF
+//! assembly and lets the kernel JIT produce native code. We reproduce the
+//! architecture with a safe register VM using the same conventions as
+//! eBPF:
+//!
+//! * eleven 64-bit registers `r0`–`r10`;
+//! * `r0` holds helper return values and scratch results;
+//! * `r1`–`r5` are helper-call argument registers, clobbered by calls;
+//! * `r6`–`r9` are preserved across calls and are the allocatable set for
+//!   the linear-scan register allocator;
+//! * `r10` is the (read-only) frame pointer; spill slots live in a
+//!   bounded stack;
+//! * two-address ALU ops, compare-and-jump branches, and helper calls
+//!   into the scheduling runtime ([`crate::exec::ExecCtx`]).
+//!
+//! Division or modulo by zero yields zero, as in eBPF.
+
+use crate::env::{PacketProp, QueueKind, SubflowProp};
+use std::fmt;
+
+/// Number of machine registers (`r0` .. `r10`).
+pub const NUM_MACH_REGS: usize = 11;
+
+/// First allocatable (call-preserved) register, `r6`.
+pub const FIRST_ALLOCATABLE: u8 = 6;
+
+/// Number of allocatable registers (`r6`..`r9`).
+pub const NUM_ALLOCATABLE: usize = 4;
+
+/// Maximum stack slots (each 8 bytes). The eBPF stack is 512 bytes; we
+/// keep the same budget: 64 slots.
+pub const MAX_STACK_SLOTS: usize = 64;
+
+/// Arithmetic-logic operations (two-address: `dst = dst op src`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division; by zero yields 0.
+    Div,
+    /// Remainder; by zero yields 0.
+    Rem,
+    /// Bitwise and (used for boolean `AND`).
+    And,
+    /// Bitwise or (used for boolean `OR`).
+    Or,
+    /// Bitwise xor (used for boolean `NOT` via `^ 1`).
+    Xor,
+}
+
+/// Branch conditions (signed comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<` (signed)
+    Lt,
+    /// `<=` (signed)
+    Le,
+    /// `>` (signed)
+    Gt,
+    /// `>=` (signed)
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two signed values.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+        }
+    }
+}
+
+/// Runtime helper functions callable from bytecode.
+///
+/// Arguments are passed in `r1`..`r5`; the result (if any) is returned in
+/// `r0`. This mirrors the eBPF helper-call convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Helper {
+    /// `r0 = registers[r1]`
+    GetReg,
+    /// `set registers[r1] = r2`
+    SetReg,
+    /// `r0 = number of subflows`
+    SubflowCount,
+    /// `r0 = handle of subflow at index r1, or NULL_HANDLE`
+    SubflowAt,
+    /// `r0 = property r2 of subflow r1`
+    SubflowProp,
+    /// `r0 = raw length of queue r1`
+    QueueLen,
+    /// `r0 = packet at index r2 of queue r1 (NULL_HANDLE if removed/oob)`
+    QueueGet,
+    /// `r0 = property r2 of packet r1`
+    PacketProp,
+    /// `r0 = packet r1 sent on subflow r2`
+    SentOn,
+    /// `r0 = subflow r1 has window for packet r2`
+    HasWindowFor,
+    /// `pop packet r1 from its queue view`
+    Pop,
+    /// `push packet r2 on subflow r1`
+    Push,
+    /// `drop packet r1`
+    DropPkt,
+}
+
+impl Helper {
+    /// Number of argument registers the helper consumes.
+    pub fn arg_count(self) -> usize {
+        match self {
+            Helper::SubflowCount => 0,
+            Helper::GetReg
+            | Helper::SubflowAt
+            | Helper::QueueLen
+            | Helper::Pop
+            | Helper::DropPkt => 1,
+            Helper::SetReg
+            | Helper::SubflowProp
+            | Helper::QueueGet
+            | Helper::PacketProp
+            | Helper::SentOn
+            | Helper::HasWindowFor
+            | Helper::Push => 2,
+        }
+    }
+
+    /// Whether the helper produces a value in `r0`.
+    pub fn has_result(self) -> bool {
+        !matches!(self, Helper::SetReg | Helper::Pop | Helper::Push | Helper::DropPkt)
+    }
+}
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// `dst = imm`
+    MovImm {
+        /// Destination register.
+        dst: u8,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `dst = src`
+    Mov {
+        /// Destination register.
+        dst: u8,
+        /// Source register.
+        src: u8,
+    },
+    /// `dst = dst op src`
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and left operand) register.
+        dst: u8,
+        /// Right operand register.
+        src: u8,
+    },
+    /// `dst = dst op imm`
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and left operand) register.
+        dst: u8,
+        /// Immediate right operand.
+        imm: i64,
+    },
+    /// `dst = -dst`
+    Neg {
+        /// Destination register.
+        dst: u8,
+    },
+    /// Unconditional relative jump. `off` is relative to the *next*
+    /// instruction (eBPF convention); `off = 0` is a no-op.
+    Ja {
+        /// Relative offset.
+        off: i32,
+    },
+    /// Conditional relative jump comparing two registers.
+    Jmp {
+        /// Condition.
+        cond: Cond,
+        /// Left operand register.
+        lhs: u8,
+        /// Right operand register.
+        rhs: u8,
+        /// Relative offset (taken branch).
+        off: i32,
+    },
+    /// Conditional relative jump comparing a register with an immediate.
+    JmpImm {
+        /// Condition.
+        cond: Cond,
+        /// Left operand register.
+        lhs: u8,
+        /// Immediate right operand.
+        imm: i64,
+        /// Relative offset (taken branch).
+        off: i32,
+    },
+    /// Helper call: arguments in `r1`..`r5`, result in `r0`;
+    /// `r1`..`r5` are clobbered.
+    Call {
+        /// The helper to invoke.
+        helper: Helper,
+    },
+    /// `dst = stack[slot]`
+    Ld {
+        /// Destination register.
+        dst: u8,
+        /// Stack slot index.
+        slot: u16,
+    },
+    /// `stack[slot] = src`
+    St {
+        /// Stack slot index.
+        slot: u16,
+        /// Source register.
+        src: u8,
+    },
+    /// Terminate execution.
+    Exit,
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Insn::MovImm { dst, imm } => write!(f, "r{dst} = {imm}"),
+            Insn::Mov { dst, src } => write!(f, "r{dst} = r{src}"),
+            Insn::Alu { op, dst, src } => write!(f, "r{dst} {op:?}= r{src}"),
+            Insn::AluImm { op, dst, imm } => write!(f, "r{dst} {op:?}= {imm}"),
+            Insn::Neg { dst } => write!(f, "r{dst} = -r{dst}"),
+            Insn::Ja { off } => write!(f, "ja {off:+}"),
+            Insn::Jmp {
+                cond,
+                lhs,
+                rhs,
+                off,
+            } => write!(f, "if r{lhs} {cond:?} r{rhs} ja {off:+}"),
+            Insn::JmpImm {
+                cond,
+                lhs,
+                imm,
+                off,
+            } => write!(f, "if r{lhs} {cond:?} {imm} ja {off:+}"),
+            Insn::Call { helper } => write!(f, "call {helper:?}"),
+            Insn::Ld { dst, slot } => write!(f, "r{dst} = stack[{slot}]"),
+            Insn::St { slot, src } => write!(f, "stack[{slot}] = r{src}"),
+            Insn::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+/// Encodings of enum operands used in helper calls.
+impl SubflowProp {
+    /// Stable integer code for bytecode helper calls.
+    pub fn code(self) -> i64 {
+        SubflowProp::ALL
+            .iter()
+            .position(|p| *p == self)
+            .expect("property present in ALL") as i64
+    }
+
+    /// Decodes [`SubflowProp::code`].
+    pub fn from_code(code: i64) -> Option<SubflowProp> {
+        usize::try_from(code).ok().and_then(|i| SubflowProp::ALL.get(i).copied())
+    }
+}
+
+/// Encodings of enum operands used in helper calls.
+impl PacketProp {
+    /// Stable integer code for bytecode helper calls.
+    pub fn code(self) -> i64 {
+        PacketProp::ALL
+            .iter()
+            .position(|p| *p == self)
+            .expect("property present in ALL") as i64
+    }
+
+    /// Decodes [`PacketProp::code`].
+    pub fn from_code(code: i64) -> Option<PacketProp> {
+        usize::try_from(code).ok().and_then(|i| PacketProp::ALL.get(i).copied())
+    }
+}
+
+/// Encodings of enum operands used in helper calls.
+impl QueueKind {
+    /// Stable integer code for bytecode helper calls.
+    pub fn code(self) -> i64 {
+        QueueKind::ALL
+            .iter()
+            .position(|q| *q == self)
+            .expect("queue present in ALL") as i64
+    }
+
+    /// Decodes [`QueueKind::code`].
+    pub fn from_code(code: i64) -> Option<QueueKind> {
+        usize::try_from(code).ok().and_then(|i| QueueKind::ALL.get(i).copied())
+    }
+}
+
+/// A verified bytecode program together with its stack requirement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BytecodeProgram {
+    /// The instruction stream; always ends with [`Insn::Exit`].
+    pub code: Vec<Insn>,
+    /// Number of stack slots used by spills.
+    pub stack_slots: u16,
+}
+
+impl BytecodeProgram {
+    /// Approximate in-memory size in bytes (for §4.3 accounting).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.code.len() * std::mem::size_of::<Insn>()
+    }
+
+    /// Renders a human-readable disassembly (the proc-style debugging
+    /// interface of paper §4.1 exposes the same listing).
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (i, insn) in self.code.iter().enumerate() {
+            out.push_str(&format!("{i:4}: {insn}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helper_arity() {
+        assert_eq!(Helper::SubflowCount.arg_count(), 0);
+        assert_eq!(Helper::Push.arg_count(), 2);
+        assert!(Helper::QueueGet.has_result());
+        assert!(!Helper::Push.has_result());
+    }
+
+    #[test]
+    fn cond_eval() {
+        assert!(Cond::Lt.eval(-1, 0), "comparisons are signed");
+        assert!(Cond::Ge.eval(3, 3));
+        assert!(!Cond::Gt.eval(3, 3));
+        assert!(Cond::Ne.eval(1, 2));
+    }
+
+    #[test]
+    fn prop_codes_round_trip() {
+        for p in SubflowProp::ALL {
+            assert_eq!(SubflowProp::from_code(p.code()), Some(p));
+        }
+        for p in PacketProp::ALL {
+            assert_eq!(PacketProp::from_code(p.code()), Some(p));
+        }
+        for q in QueueKind::ALL {
+            assert_eq!(QueueKind::from_code(q.code()), Some(q));
+        }
+        assert_eq!(SubflowProp::from_code(-1), None);
+        assert_eq!(QueueKind::from_code(99), None);
+    }
+
+    #[test]
+    fn disassembly_is_stable() {
+        let prog = BytecodeProgram {
+            code: vec![
+                Insn::MovImm { dst: 6, imm: 3 },
+                Insn::JmpImm {
+                    cond: Cond::Lt,
+                    lhs: 6,
+                    imm: 10,
+                    off: 1,
+                },
+                Insn::Exit,
+                Insn::Call {
+                    helper: Helper::SubflowCount,
+                },
+                Insn::Exit,
+            ],
+            stack_slots: 0,
+        };
+        let dis = prog.disassemble();
+        assert!(dis.contains("r6 = 3"));
+        assert!(dis.contains("call SubflowCount"));
+    }
+}

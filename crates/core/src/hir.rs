@@ -1,0 +1,274 @@
+//! Typed, arena-allocated intermediate representation.
+//!
+//! [`crate::sema`] lowers the untyped AST into this HIR after resolving
+//! names, properties, and types. All three execution backends (the
+//! interpreter, the AOT closure compiler, and the eBPF-flavoured bytecode
+//! compiler) consume the HIR.
+//!
+//! Nodes reference children by arena index ([`ExprId`], [`StmtId`]) so the
+//! IR is trivially cloneable and cheap to traverse without pointer chasing.
+
+use crate::ast::{BinOp, UnOp};
+use crate::env::{PacketProp, QueueKind, RegId, SubflowProp};
+use crate::types::Type;
+
+/// Index of an expression node in [`HProgram::exprs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExprId(pub u32);
+
+/// Index of a statement node in [`HProgram::stmts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StmtId(pub u32);
+
+/// Index of a variable slot in the execution frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarSlot(pub u32);
+
+/// A typed expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// `NULL` of packet type.
+    NullPacket,
+    /// `NULL` of subflow type.
+    NullSubflow,
+    /// Read a scheduler register.
+    ReadReg(RegId),
+    /// Read a variable slot.
+    ReadVar(VarSlot),
+    /// The builtin subflow set.
+    Subflows,
+    /// A builtin queue.
+    Queue(QueueKind),
+    /// Subflow property access.
+    SubflowProp {
+        /// Subflow operand.
+        sbf: ExprId,
+        /// Resolved property.
+        prop: SubflowProp,
+    },
+    /// Packet property access.
+    PacketProp {
+        /// Packet operand.
+        pkt: ExprId,
+        /// Resolved property.
+        prop: PacketProp,
+    },
+    /// `pkt.SENT_ON(sbf)`.
+    SentOn {
+        /// Packet operand.
+        pkt: ExprId,
+        /// Subflow operand.
+        sbf: ExprId,
+    },
+    /// `sbf.HAS_WINDOW_FOR(pkt)`.
+    HasWindowFor {
+        /// Subflow operand.
+        sbf: ExprId,
+        /// Packet operand.
+        pkt: ExprId,
+    },
+    /// `FILTER` over a subflow list.
+    ListFilter {
+        /// The list operand.
+        list: ExprId,
+        /// Lambda binding slot.
+        var: VarSlot,
+        /// Boolean predicate.
+        pred: ExprId,
+    },
+    /// `FILTER` over a packet queue (evaluated lazily / fused).
+    QueueFilter {
+        /// The queue operand.
+        queue: ExprId,
+        /// Lambda binding slot.
+        var: VarSlot,
+        /// Boolean predicate.
+        pred: ExprId,
+    },
+    /// `MIN`/`MAX` over a subflow list; `NULL` when empty.
+    ListMinMax {
+        /// The list operand.
+        list: ExprId,
+        /// Lambda binding slot.
+        var: VarSlot,
+        /// Integer key.
+        key: ExprId,
+        /// True for `MAX`.
+        is_max: bool,
+    },
+    /// `MIN`/`MAX` over a packet queue; `NULL` when empty.
+    QueueMinMax {
+        /// The queue operand.
+        queue: ExprId,
+        /// Lambda binding slot.
+        var: VarSlot,
+        /// Integer key.
+        key: ExprId,
+        /// True for `MAX`.
+        is_max: bool,
+    },
+    /// `SUM` over a subflow list.
+    ListSum {
+        /// The list operand.
+        list: ExprId,
+        /// Lambda binding slot.
+        var: VarSlot,
+        /// Integer key.
+        key: ExprId,
+    },
+    /// `SUM` over a packet queue.
+    QueueSum {
+        /// The queue operand.
+        queue: ExprId,
+        /// Lambda binding slot.
+        var: VarSlot,
+        /// Integer key.
+        key: ExprId,
+    },
+    /// `COUNT` of a subflow list.
+    ListCount(ExprId),
+    /// `COUNT` of a packet queue.
+    QueueCount(ExprId),
+    /// `EMPTY` of a subflow list.
+    ListEmpty(ExprId),
+    /// `EMPTY` of a packet queue.
+    QueueEmpty(ExprId),
+    /// `GET(i)` on a subflow list; `NULL` out of range.
+    ListGet {
+        /// The list operand.
+        list: ExprId,
+        /// Zero-based index.
+        index: ExprId,
+    },
+    /// `TOP` of a packet queue; `NULL` when empty. Does not remove.
+    QueueTop(ExprId),
+    /// `POP()` of a packet queue; `NULL` when empty. Removes the packet
+    /// from the queue view for the remainder of the execution.
+    QueuePop(ExprId),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: ExprId,
+    },
+    /// Binary operation. `operand_ty` records the (common) operand type,
+    /// which matters for `==`/`!=` on nullable reference types.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: ExprId,
+        /// Right operand.
+        rhs: ExprId,
+        /// Common operand type.
+        operand_ty: Type,
+    },
+}
+
+/// A typed statement node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HStmt {
+    /// Variable declaration into `slot`.
+    VarDecl {
+        /// Destination slot.
+        slot: VarSlot,
+        /// Initializer.
+        init: ExprId,
+    },
+    /// Conditional.
+    If {
+        /// Boolean condition.
+        cond: ExprId,
+        /// Then-branch statements.
+        then_body: Vec<StmtId>,
+        /// Else-branch statements.
+        else_body: Vec<StmtId>,
+    },
+    /// Iteration over a subflow list, binding `slot` per element.
+    Foreach {
+        /// Loop variable slot.
+        slot: VarSlot,
+        /// Subflow list to iterate.
+        list: ExprId,
+        /// Loop body.
+        body: Vec<StmtId>,
+    },
+    /// Register write.
+    SetReg {
+        /// Destination register.
+        reg: RegId,
+        /// Integer value.
+        value: ExprId,
+    },
+    /// Schedule a packet on a subflow. A `NULL` subflow or packet makes
+    /// this a no-op (graceful failure by design).
+    Push {
+        /// Subflow operand.
+        target: ExprId,
+        /// Packet operand.
+        packet: ExprId,
+    },
+    /// Discard a packet from the schedulable queues. `NULL` is a no-op.
+    Drop {
+        /// Packet operand.
+        packet: ExprId,
+    },
+    /// End the execution.
+    Return,
+}
+
+/// A complete lowered program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HProgram {
+    /// Expression arena.
+    pub exprs: Vec<HExpr>,
+    /// Type of each expression, parallel to `exprs`.
+    pub expr_ty: Vec<Type>,
+    /// Statement arena.
+    pub stmts: Vec<HStmt>,
+    /// Top-level statement list.
+    pub body: Vec<StmtId>,
+    /// Number of variable slots in the execution frame (including lambda
+    /// and loop bindings).
+    pub n_slots: usize,
+    /// Type of each variable slot.
+    pub slot_ty: Vec<Type>,
+    /// For slots of aggregate type, the initializer expression. Compiled
+    /// backends re-expand these at each use site (aggregates are fused
+    /// into loops and never materialize); see DESIGN.md §3.
+    pub aggregate_init: Vec<Option<ExprId>>,
+}
+
+impl HProgram {
+    /// The expression node for `id`.
+    pub fn expr(&self, id: ExprId) -> &HExpr {
+        &self.exprs[id.0 as usize]
+    }
+
+    /// The type of expression `id`.
+    pub fn ty(&self, id: ExprId) -> Type {
+        self.expr_ty[id.0 as usize]
+    }
+
+    /// The statement node for `id`.
+    pub fn stmt(&self, id: StmtId) -> &HStmt {
+        &self.stmts[id.0 as usize]
+    }
+
+    /// Approximate in-memory size of the lowered program in bytes, for
+    /// the paper's §4.3 memory-overhead accounting.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.exprs.len() * std::mem::size_of::<HExpr>()
+            + self.expr_ty.len() * std::mem::size_of::<Type>()
+            + self.stmts.capacity() * std::mem::size_of::<HStmt>()
+            + self.body.len() * std::mem::size_of::<StmtId>()
+            + self.slot_ty.len() * std::mem::size_of::<Type>()
+            + self.aggregate_init.len() * std::mem::size_of::<Option<ExprId>>()
+    }
+}

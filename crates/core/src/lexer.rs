@@ -1,0 +1,307 @@
+//! Hand-written lexer for the scheduler specification language.
+//!
+//! Supports `/* ... */` block comments and `//` line comments, matching
+//! the examples in the Middleware '17 paper (Fig. 10a, Fig. 12).
+
+use crate::error::{CompileError, Pos, Stage};
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `source` into a vector of tokens terminated by [`TokenKind::Eof`].
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    chars: std::iter::Peekable<std::str::Chars<'s>>,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Self {
+        Lexer {
+            chars: source.chars().peekable(),
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, pos: Pos) {
+        self.out.push(Token { kind, pos });
+    }
+
+    fn err(&self, pos: Pos, msg: impl Into<String>) -> CompileError {
+        CompileError::new(Stage::Lex, pos, msg)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, CompileError> {
+        while let Some(c) = self.peek() {
+            let pos = self.pos();
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '/' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('/') => {
+                            while let Some(c) = self.peek() {
+                                if c == '\n' {
+                                    break;
+                                }
+                                self.bump();
+                            }
+                        }
+                        Some('*') => {
+                            self.bump();
+                            self.skip_block_comment(pos)?;
+                        }
+                        _ => self.push(TokenKind::Slash, pos),
+                    }
+                }
+                '0'..='9' => self.lex_int(pos)?,
+                c if c.is_ascii_alphabetic() || c == '_' => self.lex_word(pos),
+                '(' => self.single(TokenKind::LParen, pos),
+                ')' => self.single(TokenKind::RParen, pos),
+                '{' => self.single(TokenKind::LBrace, pos),
+                '}' => self.single(TokenKind::RBrace, pos),
+                ',' => self.single(TokenKind::Comma, pos),
+                ';' => self.single(TokenKind::Semicolon, pos),
+                '.' => self.single(TokenKind::Dot, pos),
+                '+' => self.single(TokenKind::Plus, pos),
+                '-' => self.single(TokenKind::Minus, pos),
+                '*' => self.single(TokenKind::Star, pos),
+                '%' => self.single(TokenKind::Percent, pos),
+                '=' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('=') => {
+                            self.bump();
+                            self.push(TokenKind::Eq, pos);
+                        }
+                        Some('>') => {
+                            self.bump();
+                            self.push(TokenKind::Arrow, pos);
+                        }
+                        _ => self.push(TokenKind::Assign, pos),
+                    }
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(TokenKind::Ne, pos);
+                    } else {
+                        self.push(TokenKind::Bang, pos);
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(TokenKind::Le, pos);
+                    } else {
+                        self.push(TokenKind::Lt, pos);
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(TokenKind::Ge, pos);
+                    } else {
+                        self.push(TokenKind::Gt, pos);
+                    }
+                }
+                other => {
+                    return Err(self.err(pos, format!("unexpected character {other:?}")));
+                }
+            }
+        }
+        let pos = self.pos();
+        self.push(TokenKind::Eof, pos);
+        Ok(self.out)
+    }
+
+    fn single(&mut self, kind: TokenKind, pos: Pos) {
+        self.bump();
+        self.push(kind, pos);
+    }
+
+    fn skip_block_comment(&mut self, start: Pos) -> Result<(), CompileError> {
+        loop {
+            match self.bump() {
+                None => return Err(self.err(start, "unterminated block comment")),
+                Some('*') => {
+                    if self.peek() == Some('/') {
+                        self.bump();
+                        return Ok(());
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn lex_int(&mut self, pos: Pos) -> Result<(), CompileError> {
+        let mut value: i64 = 0;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                value = value
+                    .checked_mul(10)
+                    .and_then(|v| v.checked_add(i64::from(d)))
+                    .ok_or_else(|| self.err(pos, "integer literal overflows i64"))?;
+                self.bump();
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                return Err(self.err(pos, "identifier may not start with a digit"));
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Int(value), pos);
+        Ok(())
+    }
+
+    fn lex_word(&mut self, pos: Pos) {
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match TokenKind::keyword(&word) {
+            Some(kind) => self.push(kind, pos),
+            None => self.push(TokenKind::Ident(word), pos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_min_rtt_example() {
+        // The Fig. 3 scheduler from the paper.
+        let src = "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {\n  SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }";
+        let ks = kinds(src);
+        assert!(ks.contains(&TokenKind::If));
+        assert!(ks.contains(&TokenKind::Arrow));
+        assert!(ks.contains(&TokenKind::Ident("PUSH".into())));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn distinguishes_assign_eq_arrow() {
+        assert_eq!(
+            kinds("= == =>"),
+            vec![
+                TokenKind::Assign,
+                TokenKind::Eq,
+                TokenKind::Arrow,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= != !"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Ne,
+                TokenKind::Bang,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("1 /* are all QU packets sent? */ 2 // trailing\n3");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Int(2),
+                TokenKind::Int(3),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn integer_overflow_is_error() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn digit_prefixed_identifier_is_error() {
+        assert!(lex("1abc").is_err());
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("VAR x\n  = 1;").unwrap();
+        assert_eq!(toks[0].pos, Pos::new(1, 1)); // VAR
+        assert_eq!(toks[1].pos, Pos::new(1, 5)); // x
+        assert_eq!(toks[2].pos, Pos::new(2, 3)); // =
+    }
+
+    #[test]
+    fn unexpected_character_reports_position() {
+        let err = lex("VAR x = @;").unwrap_err();
+        assert_eq!(err.pos, Pos::new(1, 9));
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("IF ifx IN inx"),
+            vec![
+                TokenKind::If,
+                TokenKind::Ident("ifx".into()),
+                TokenKind::In,
+                TokenKind::Ident("inx".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

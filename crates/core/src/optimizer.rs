@@ -1,0 +1,318 @@
+//! HIR-level optimizations (paper §4.1, "Runtime Optimizations").
+//!
+//! Enabled by the declarative, side-effect-free core of the programming
+//! model ("all optimizations are enabled by the abstractions of the
+//! programming model"):
+//!
+//! * **constant folding** of integer and boolean operations;
+//! * **dead-branch elimination** for `IF` with a constant condition;
+//! * **double-negation elimination**.
+//!
+//! The two other optimizations the paper names live elsewhere: *late
+//! materialization* of `FILTER` is inherent in all three backends
+//! (predicates run during a single scan), and *constant subflow number*
+//! specialization is implemented at the bytecode level
+//! ([`crate::vm::specialize_subflow_count`]). *Compressed executions* are
+//! provided by the runtime driver
+//! ([`crate::program::SchedulerInstance::run_to_quiescence`]).
+//!
+//! The optimizer rewrites expressions in place (the arena keeps dead
+//! nodes; they are simply unreferenced) and rebuilds statement bodies.
+
+use crate::ast::{BinOp, UnOp};
+use crate::hir::{ExprId, HExpr, HProgram, HStmt, StmtId};
+
+/// Optimizes `prog`, returning the number of rewrites applied.
+pub fn optimize(prog: &mut HProgram) -> usize {
+    let mut rewrites = 0;
+    // Fold expressions bottom-up until fixpoint (bounded).
+    for _ in 0..8 {
+        let before = rewrites;
+        for i in 0..prog.exprs.len() {
+            rewrites += fold_expr(prog, ExprId(i as u32));
+        }
+        if rewrites == before {
+            break;
+        }
+    }
+    let body = std::mem::take(&mut prog.body);
+    prog.body = prune_block(prog, body, &mut rewrites);
+    rewrites
+}
+
+fn const_int(prog: &HProgram, e: ExprId) -> Option<i64> {
+    match prog.expr(e) {
+        HExpr::Int(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn const_bool(prog: &HProgram, e: ExprId) -> Option<bool> {
+    match prog.expr(e) {
+        HExpr::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn fold_expr(prog: &mut HProgram, id: ExprId) -> usize {
+    let node = prog.expr(id).clone();
+    let replacement = match node {
+        HExpr::Binary { op, lhs, rhs, .. } => match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                match (const_int(prog, lhs), const_int(prog, rhs)) {
+                    (Some(a), Some(b)) => Some(HExpr::Int(match op {
+                        BinOp::Add => a.wrapping_add(b),
+                        BinOp::Sub => a.wrapping_sub(b),
+                        BinOp::Mul => a.wrapping_mul(b),
+                        BinOp::Div => {
+                            if b == 0 {
+                                0
+                            } else {
+                                a.wrapping_div(b)
+                            }
+                        }
+                        BinOp::Rem => {
+                            if b == 0 {
+                                0
+                            } else {
+                                a.wrapping_rem(b)
+                            }
+                        }
+                        _ => unreachable!(),
+                    })),
+                    // Identity: x + 0, x - 0, x * 1, x / 1.
+                    (None, Some(0)) if matches!(op, BinOp::Add | BinOp::Sub) => {
+                        Some(prog.expr(lhs).clone())
+                    }
+                    (None, Some(1)) if matches!(op, BinOp::Mul | BinOp::Div) => {
+                        Some(prog.expr(lhs).clone())
+                    }
+                    (Some(0), None) if op == BinOp::Add => Some(prog.expr(rhs).clone()),
+                    (Some(1), None) if op == BinOp::Mul => Some(prog.expr(rhs).clone()),
+                    _ => None,
+                }
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                match (const_int(prog, lhs), const_int(prog, rhs)) {
+                    (Some(a), Some(b)) => Some(HExpr::Bool(match op {
+                        BinOp::Eq => a == b,
+                        BinOp::Ne => a != b,
+                        BinOp::Lt => a < b,
+                        BinOp::Le => a <= b,
+                        BinOp::Gt => a > b,
+                        BinOp::Ge => a >= b,
+                        _ => unreachable!(),
+                    })),
+                    _ => match (const_bool(prog, lhs), const_bool(prog, rhs)) {
+                        (Some(a), Some(b)) if op == BinOp::Eq => Some(HExpr::Bool(a == b)),
+                        (Some(a), Some(b)) if op == BinOp::Ne => Some(HExpr::Bool(a != b)),
+                        _ => None,
+                    },
+                }
+            }
+            BinOp::And => match (const_bool(prog, lhs), const_bool(prog, rhs)) {
+                (Some(false), _) | (_, Some(false)) => Some(HExpr::Bool(false)),
+                (Some(true), Some(true)) => Some(HExpr::Bool(true)),
+                (Some(true), None) => Some(prog.expr(rhs).clone()),
+                (None, Some(true)) => Some(prog.expr(lhs).clone()),
+                _ => None,
+            },
+            BinOp::Or => match (const_bool(prog, lhs), const_bool(prog, rhs)) {
+                (Some(true), _) | (_, Some(true)) => Some(HExpr::Bool(true)),
+                (Some(false), Some(false)) => Some(HExpr::Bool(false)),
+                (Some(false), None) => Some(prog.expr(rhs).clone()),
+                (None, Some(false)) => Some(prog.expr(lhs).clone()),
+                _ => None,
+            },
+        },
+        HExpr::Unary { op, expr } => match op {
+            UnOp::Not => match prog.expr(expr).clone() {
+                HExpr::Bool(b) => Some(HExpr::Bool(!b)),
+                // !!x => x
+                HExpr::Unary {
+                    op: UnOp::Not,
+                    expr: inner,
+                } => Some(prog.expr(inner).clone()),
+                _ => None,
+            },
+            UnOp::Neg => const_int(prog, expr).map(|v| HExpr::Int(v.wrapping_neg())),
+        },
+        _ => None,
+    };
+    match replacement {
+        Some(new_node) if new_node != *prog.expr(id) => {
+            prog.exprs[id.0 as usize] = new_node;
+            1
+        }
+        _ => 0,
+    }
+}
+
+/// Removes statements after an unconditional `RETURN` and flattens `IF`s
+/// with constant conditions.
+fn prune_block(prog: &mut HProgram, body: Vec<StmtId>, rewrites: &mut usize) -> Vec<StmtId> {
+    let mut out = Vec::with_capacity(body.len());
+    for sid in body {
+        let stmt = prog.stmt(sid).clone();
+        match stmt {
+            HStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => match const_bool(prog, cond) {
+                Some(true) => {
+                    *rewrites += 1;
+                    let inlined = prune_block(prog, then_body, rewrites);
+                    out.extend(inlined);
+                    continue;
+                }
+                Some(false) => {
+                    *rewrites += 1;
+                    let inlined = prune_block(prog, else_body, rewrites);
+                    out.extend(inlined);
+                    continue;
+                }
+                None => {
+                    let tb = prune_block(prog, then_body, rewrites);
+                    let eb = prune_block(prog, else_body, rewrites);
+                    prog.stmts[sid.0 as usize] = HStmt::If {
+                        cond,
+                        then_body: tb,
+                        else_body: eb,
+                    };
+                    out.push(sid);
+                }
+            },
+            HStmt::Foreach { slot, list, body } => {
+                let b = prune_block(prog, body, rewrites);
+                prog.stmts[sid.0 as usize] = HStmt::Foreach {
+                    slot,
+                    list,
+                    body: b,
+                };
+                out.push(sid);
+            }
+            HStmt::Return => {
+                out.push(sid);
+                // Everything after an unconditional return is dead.
+                break;
+            }
+            _ => out.push(sid),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{RegId, SchedulerEnv};
+    use crate::exec::ExecCtx;
+    use crate::interp;
+    use crate::parser::parse;
+    use crate::sema::lower;
+    use crate::testenv::MockEnv;
+
+    fn optimized(src: &str) -> HProgram {
+        let mut p = lower(&parse(src).unwrap()).unwrap();
+        optimize(&mut p);
+        p
+    }
+
+    fn run(prog: &HProgram, env: &mut MockEnv) {
+        let mut ctx = ExecCtx::new(env, 100_000);
+        interp::execute(prog, &mut ctx).unwrap();
+        let (regs, actions, _) = ctx.finish();
+        env.apply(&regs, &actions);
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let p = optimized("SET(R1, 2 + 3 * 4);");
+        let HStmt::SetReg { value, .. } = p.stmt(p.body[0]) else {
+            panic!()
+        };
+        assert_eq!(p.expr(*value), &HExpr::Int(14));
+    }
+
+    #[test]
+    fn folds_division_by_zero_to_zero() {
+        let p = optimized("SET(R1, 9 / 0);");
+        let HStmt::SetReg { value, .. } = p.stmt(p.body[0]) else {
+            panic!()
+        };
+        assert_eq!(p.expr(*value), &HExpr::Int(0));
+    }
+
+    #[test]
+    fn prunes_constant_true_branch() {
+        let p = optimized("IF (TRUE) { SET(R1, 1); } ELSE { SET(R1, 2); }");
+        assert_eq!(p.body.len(), 1);
+        assert!(matches!(p.stmt(p.body[0]), HStmt::SetReg { .. }));
+        let mut env = MockEnv::new();
+        run(&p, &mut env);
+        assert_eq!(env.register(RegId::R1), 1);
+    }
+
+    #[test]
+    fn prunes_constant_false_branch() {
+        let p = optimized("IF (1 > 2) { SET(R1, 1); } ELSE { SET(R1, 2); }");
+        let mut env = MockEnv::new();
+        run(&p, &mut env);
+        assert_eq!(env.register(RegId::R1), 2);
+    }
+
+    #[test]
+    fn removes_dead_code_after_return() {
+        let p = optimized("SET(R1, 1); RETURN; SET(R1, 2); SET(R1, 3);");
+        assert_eq!(p.body.len(), 2);
+    }
+
+    #[test]
+    fn double_negation_eliminated() {
+        let p = optimized("IF (!!(R1 > 0)) { SET(R2, 1); }");
+        // The condition should now be the bare comparison.
+        let HStmt::If { cond, .. } = p.stmt(p.body[0]) else {
+            panic!()
+        };
+        assert!(matches!(p.expr(*cond), HExpr::Binary { op: BinOp::Gt, .. }));
+    }
+
+    #[test]
+    fn short_circuit_and_with_false() {
+        let p = optimized("IF (FALSE AND Q.EMPTY) { SET(R1, 1); } ELSE { SET(R1, 2); }");
+        // Condition folds to FALSE, IF flattens to else branch.
+        assert_eq!(p.body.len(), 1);
+        let mut env = MockEnv::new();
+        run(&p, &mut env);
+        assert_eq!(env.register(RegId::R1), 2);
+    }
+
+    #[test]
+    fn identity_operations_removed() {
+        let p = optimized("SET(R1, R2 + 0); SET(R3, R2 * 1);");
+        for &sid in &p.body {
+            let HStmt::SetReg { value, .. } = p.stmt(sid) else {
+                panic!()
+            };
+            assert!(matches!(p.expr(*value), HExpr::ReadReg(_)));
+        }
+    }
+
+    #[test]
+    fn optimization_preserves_semantics_on_mixed_program() {
+        let src = "
+            VAR x = 3 * 7;
+            IF (x > 20 AND TRUE) { SET(R1, x + 0); } ELSE { SET(R1, 0 - 1); }
+            IF (2 < 1) { SET(R2, 9); }";
+        let unopt = lower(&parse(src).unwrap()).unwrap();
+        let opt = optimized(src);
+        let mut env1 = MockEnv::new();
+        let mut env2 = MockEnv::new();
+        run(&unopt, &mut env1);
+        run(&opt, &mut env2);
+        assert_eq!(env1.register(RegId::R1), env2.register(RegId::R1));
+        assert_eq!(env1.register(RegId::R2), env2.register(RegId::R2));
+        assert_eq!(env1.register(RegId::R1), 21);
+    }
+}

@@ -1,0 +1,683 @@
+//! Recursive-descent parser for the scheduler specification language.
+//!
+//! Grammar (see DESIGN.md §3 for the full listing):
+//!
+//! ```text
+//! program := stmt*
+//! stmt    := "VAR" ident "=" expr ";"
+//!          | "IF" "(" expr ")" block ("ELSE" block)?
+//!          | "FOREACH" "(" "VAR" ident "IN" expr ")" block
+//!          | "SET" "(" Rn "," expr ")" ";"
+//!          | expr "." "PUSH" "(" expr ")" ";"
+//!          | "DROP" "(" expr ")" ";"
+//!          | "RETURN" ";"
+//! block   := "{" stmt* "}"
+//! ```
+//!
+//! `PUSH` is only recognized in statement position: the expression
+//! grammar never consumes `.PUSH`, which is how the language syntactically
+//! confines side effects to statements (paper Table 1, "Side effects:
+//! restricted to PUSH operations").
+
+use crate::ast::{BinOp, Expr, ExprKind, Program, Stmt, StmtKind, UnOp};
+use crate::env::{QueueKind, RegId};
+use crate::error::{CompileError, Pos, Stage};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parses scheduler source text into an untyped [`Program`].
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let body = parser.parse_stmts_until(TokenKind::Eof)?;
+    Ok(Program { body })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parses `R1` .. `R8` register names.
+fn reg_from_ident(name: &str) -> Option<RegId> {
+    let rest = name.strip_prefix('R')?;
+    let n: u8 = rest.parse().ok()?;
+    // Reject names like `R01`.
+    if rest.len() != 1 {
+        return None;
+    }
+    RegId::new(n)
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, CompileError> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected `{}`, found `{}`", kind, self.peek().kind)))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Pos), CompileError> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, tok.pos))
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(Stage::Parse, self.peek().pos, msg)
+    }
+
+    fn parse_stmts_until(&mut self, end: TokenKind) -> Result<Vec<Stmt>, CompileError> {
+        let mut stmts = Vec::new();
+        while !self.at(&end) {
+            if self.at(&TokenKind::Eof) {
+                return Err(self.err(format!("expected `{end}`, found end of input")));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&TokenKind::LBrace)?;
+        let body = self.parse_stmts_until(TokenKind::RBrace)?;
+        self.expect(&TokenKind::RBrace)?;
+        Ok(body)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.peek().pos;
+        match &self.peek().kind {
+            TokenKind::Var => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let init = self.parse_expr()?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::VarDecl { name, init },
+                })
+            }
+            TokenKind::If => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_body = self.parse_block()?;
+                let else_body = if self.eat(&TokenKind::Else) {
+                    if self.at(&TokenKind::If) {
+                        // `ELSE IF` chains parse as a single-statement else-block.
+                        vec![self.parse_stmt()?]
+                    } else {
+                        self.parse_block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    },
+                })
+            }
+            TokenKind::Foreach => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                self.expect(&TokenKind::Var)?;
+                let (var, _) = self.expect_ident()?;
+                self.expect(&TokenKind::In)?;
+                let list = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.parse_block()?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::Foreach { var, list, body },
+                })
+            }
+            TokenKind::Set => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let (name, rpos) = self.expect_ident()?;
+                let reg = reg_from_ident(&name).ok_or_else(|| {
+                    CompileError::new(Stage::Parse, rpos, format!("`{name}` is not a register (R1..R8)"))
+                })?;
+                self.expect(&TokenKind::Comma)?;
+                let value = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::SetReg { reg, value },
+                })
+            }
+            TokenKind::Drop => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let packet = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::Drop { packet },
+                })
+            }
+            TokenKind::Return => {
+                self.bump();
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::Return,
+                })
+            }
+            _ => {
+                // Must be a `expr.PUSH(expr);` statement.
+                let target = self.parse_expr()?;
+                if !self.eat(&TokenKind::Dot) {
+                    return Err(self.err("expected statement (VAR/IF/FOREACH/SET/DROP/RETURN or `.PUSH`)"));
+                }
+                let (name, npos) = self.expect_ident()?;
+                if name != "PUSH" {
+                    return Err(CompileError::new(
+                        Stage::Parse,
+                        npos,
+                        format!("expected `PUSH`, found `{name}` (PUSH is the only statement-level method)"),
+                    ));
+                }
+                self.expect(&TokenKind::LParen)?;
+                let packet = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::Push { target, packet },
+                })
+            }
+        }
+    }
+
+    // ----- expressions, precedence climbing -----
+
+    fn parse_expr(&mut self) -> Result<Expr, CompileError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_and()?;
+        while self.at(&TokenKind::Or) {
+            let pos = self.bump().pos;
+            let rhs = self.parse_and()?;
+            lhs = Expr {
+                pos,
+                kind: ExprKind::Binary {
+                    op: BinOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.at(&TokenKind::And) {
+            let pos = self.bump().pos;
+            let rhs = self.parse_cmp()?;
+            lhs = Expr {
+                pos,
+                kind: ExprKind::Binary {
+                    op: BinOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let pos = self.bump().pos;
+        let rhs = self.parse_add()?;
+        Ok(Expr {
+            pos,
+            kind: ExprKind::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+        })
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let pos = self.bump().pos;
+            let rhs = self.parse_mul()?;
+            lhs = Expr {
+                pos,
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            let pos = self.bump().pos;
+            let rhs = self.parse_unary()?;
+            lhs = Expr {
+                pos,
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.peek().pos;
+        match self.peek().kind {
+            TokenKind::Bang | TokenKind::Not => {
+                self.bump();
+                let expr = self.parse_unary()?;
+                Ok(Expr {
+                    pos,
+                    kind: ExprKind::Unary {
+                        op: UnOp::Not,
+                        expr: Box::new(expr),
+                    },
+                })
+            }
+            TokenKind::Minus => {
+                self.bump();
+                let expr = self.parse_unary()?;
+                Ok(Expr {
+                    pos,
+                    kind: ExprKind::Unary {
+                        op: UnOp::Neg,
+                        expr: Box::new(expr),
+                    },
+                })
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    /// Parses a primary expression followed by a chain of `.name` /
+    /// `.method(...)` postfix operations. Stops before `.PUSH`, which only
+    /// the statement grammar may consume.
+    fn parse_postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            // Peek for `.PUSH` without consuming: PUSH is statement-only.
+            if self.at(&TokenKind::Dot) {
+                if let Some(next) = self.peek2() {
+                    if matches!(&next.kind, TokenKind::Ident(n) if n == "PUSH") {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+            self.bump(); // the dot
+            let (name, npos) = self.expect_ident()?;
+            expr = self.parse_postfix_op(expr, name, npos)?;
+        }
+        Ok(expr)
+    }
+
+    fn parse_postfix_op(&mut self, obj: Expr, name: String, pos: Pos) -> Result<Expr, CompileError> {
+        let make = |kind| Expr { pos, kind };
+        match name.as_str() {
+            "FILTER" => {
+                let (var, pred) = self.parse_lambda()?;
+                Ok(make(ExprKind::Filter {
+                    obj: Box::new(obj),
+                    var,
+                    pred: Box::new(pred),
+                }))
+            }
+            "MIN" | "MAX" => {
+                let (var, key) = self.parse_lambda()?;
+                Ok(make(ExprKind::MinMax {
+                    obj: Box::new(obj),
+                    var,
+                    key: Box::new(key),
+                    is_max: name == "MAX",
+                }))
+            }
+            "SUM" => {
+                let (var, key) = self.parse_lambda()?;
+                Ok(make(ExprKind::Sum {
+                    obj: Box::new(obj),
+                    var,
+                    key: Box::new(key),
+                }))
+            }
+            "GET" => {
+                self.expect(&TokenKind::LParen)?;
+                let index = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(make(ExprKind::Get {
+                    obj: Box::new(obj),
+                    index: Box::new(index),
+                }))
+            }
+            "POP" => {
+                self.expect(&TokenKind::LParen)?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(make(ExprKind::Pop { obj: Box::new(obj) }))
+            }
+            "SENT_ON" => {
+                self.expect(&TokenKind::LParen)?;
+                let sbf = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(make(ExprKind::SentOn {
+                    pkt: Box::new(obj),
+                    sbf: Box::new(sbf),
+                }))
+            }
+            "HAS_WINDOW_FOR" => {
+                self.expect(&TokenKind::LParen)?;
+                let pkt = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(make(ExprKind::HasWindowFor {
+                    sbf: Box::new(obj),
+                    pkt: Box::new(pkt),
+                }))
+            }
+            _ => {
+                if self.at(&TokenKind::LParen) {
+                    return Err(CompileError::new(
+                        Stage::Parse,
+                        pos,
+                        format!("unknown method `{name}`"),
+                    ));
+                }
+                Ok(make(ExprKind::Prop {
+                    obj: Box::new(obj),
+                    name,
+                }))
+            }
+        }
+    }
+
+    fn parse_lambda(&mut self) -> Result<(String, Expr), CompileError> {
+        self.expect(&TokenKind::LParen)?;
+        let (var, _) = self.expect_ident()?;
+        self.expect(&TokenKind::Arrow)?;
+        let body = self.parse_expr()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok((var, body))
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CompileError> {
+        let tok = self.peek().clone();
+        let pos = tok.pos;
+        let make = |kind| Expr { pos, kind };
+        match tok.kind {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(make(ExprKind::Int(v)))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(make(ExprKind::Bool(true)))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(make(ExprKind::Bool(false)))
+            }
+            TokenKind::Null => {
+                self.bump();
+                Ok(make(ExprKind::Null))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(make(match name.as_str() {
+                    "SUBFLOWS" => ExprKind::Subflows,
+                    "Q" => ExprKind::Queue(QueueKind::SendQueue),
+                    "QU" => ExprKind::Queue(QueueKind::Unacked),
+                    "RQ" => ExprKind::Queue(QueueKind::Reinject),
+                    _ => match reg_from_ident(&name) {
+                        Some(reg) => ExprKind::Reg(reg),
+                        None => ExprKind::Var(name),
+                    },
+                }))
+            }
+            other => Err(CompileError::new(
+                Stage::Parse,
+                pos,
+                format!("expected expression, found `{other}`"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig3_min_rtt_scheduler() {
+        let src = "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {\n  SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.body.len(), 1);
+        let StmtKind::If { then_body, else_body, .. } = &prog.body[0].kind else {
+            panic!("expected IF");
+        };
+        assert_eq!(then_body.len(), 1);
+        assert!(else_body.is_empty());
+        assert!(matches!(then_body[0].kind, StmtKind::Push { .. }));
+    }
+
+    #[test]
+    fn parses_fig5_round_robin() {
+        let src = "
+            VAR sbfs = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY);
+            IF (R1 >= sbfs.COUNT) { SET(R1, 0); }
+            IF (!Q.EMPTY) {
+                VAR sbf = sbfs.GET(R1);
+                IF (sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED) {
+                    sbf.PUSH(Q.POP()); }
+                SET(R1, R1 + 1); }";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.body.len(), 3);
+        assert!(matches!(prog.body[0].kind, StmtKind::VarDecl { .. }));
+    }
+
+    #[test]
+    fn parses_foreach_redundant() {
+        let src = "
+            VAR skb = Q.POP();
+            FOREACH(VAR sbf IN SUBFLOWS) { sbf.PUSH(skb); }";
+        let prog = parse(src).unwrap();
+        assert!(matches!(prog.body[1].kind, StmtKind::Foreach { .. }));
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let src = "IF (R1 > 0) { SET(R2, 1); } ELSE IF (R1 < 0) { SET(R2, 2); } ELSE { SET(R2, 3); }";
+        let prog = parse(src).unwrap();
+        let StmtKind::If { else_body, .. } = &prog.body[0].kind else {
+            panic!()
+        };
+        assert_eq!(else_body.len(), 1);
+        assert!(matches!(else_body[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn push_is_statement_only() {
+        // PUSH inside a condition must not parse.
+        let err = parse("IF (SUBFLOWS.GET(0).PUSH(Q.POP())) { RETURN; }").unwrap_err();
+        assert_eq!(err.stage, Stage::Parse);
+    }
+
+    #[test]
+    fn parses_drop_and_return() {
+        let prog = parse("DROP(Q.POP()); RETURN;").unwrap();
+        assert!(matches!(prog.body[0].kind, StmtKind::Drop { .. }));
+        assert!(matches!(prog.body[1].kind, StmtKind::Return));
+    }
+
+    #[test]
+    fn parses_sent_on_and_has_window_for() {
+        let src = "
+            VAR sbf = SUBFLOWS.GET(0);
+            VAR skb = QU.FILTER(s => !s.SENT_ON(sbf)).TOP;
+            IF (skb != NULL AND sbf.HAS_WINDOW_FOR(skb)) { sbf.PUSH(skb); }";
+        parse(src).unwrap();
+    }
+
+    #[test]
+    fn register_names_resolve() {
+        let prog = parse("SET(R3, R1 + R2);").unwrap();
+        let StmtKind::SetReg { reg, .. } = &prog.body[0].kind else {
+            panic!()
+        };
+        assert_eq!(*reg, RegId::R3);
+    }
+
+    #[test]
+    fn r0_and_r9_are_not_registers() {
+        assert!(parse("SET(R0, 1);").is_err());
+        assert!(parse("SET(R9, 1);").is_err());
+        // As an expression, R9 is just a variable name (and will fail sema).
+        let prog = parse("VAR x = R9;").unwrap();
+        let StmtKind::VarDecl { init, .. } = &prog.body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(&init.kind, ExprKind::Var(n) if n == "R9"));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let prog = parse("VAR x = 1 + 2 * 3;").unwrap();
+        let StmtKind::VarDecl { init, .. } = &prog.body[0].kind else {
+            panic!()
+        };
+        let ExprKind::Binary { op, rhs, .. } = &init.kind else {
+            panic!()
+        };
+        assert_eq!(*op, BinOp::Add);
+        assert!(matches!(
+            &rhs.kind,
+            ExprKind::Binary { op: BinOp::Mul, .. }
+        ));
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let prog = parse("VAR x = TRUE OR TRUE AND FALSE;").unwrap();
+        let StmtKind::VarDecl { init, .. } = &prog.body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(
+            &init.kind,
+            ExprKind::Binary { op: BinOp::Or, .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_method_is_error() {
+        let err = parse("VAR x = Q.FROBNICATE(1);").unwrap_err();
+        assert!(err.message.contains("FROBNICATE"));
+    }
+
+    #[test]
+    fn missing_semicolon_is_error() {
+        assert!(parse("VAR x = 1").is_err());
+    }
+
+    #[test]
+    fn unbalanced_brace_is_error() {
+        assert!(parse("IF (TRUE) { RETURN;").is_err());
+    }
+
+    #[test]
+    fn queue_builtins_resolve() {
+        let prog = parse("VAR a = Q.COUNT + QU.COUNT + RQ.COUNT;").unwrap();
+        assert_eq!(prog.body.len(), 1);
+    }
+
+    #[test]
+    fn comparison_is_non_associative() {
+        // `1 < 2 < 3` parses as `(1 < 2) < 3`? No: cmp is single-shot, so the
+        // second `<` terminates the expression and the parser errors on it.
+        assert!(parse("VAR x = 1 < 2 < 3;").is_err());
+    }
+}

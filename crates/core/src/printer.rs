@@ -1,0 +1,258 @@
+//! Pretty-printer for scheduler programs: renders an AST back to
+//! canonical surface syntax.
+//!
+//! Used by the proc-style introspection interface (show the loaded
+//! scheduler), by tooling, and by the parser round-trip property tests
+//! (`parse(print(parse(src)))` is structurally identical to
+//! `parse(src)`).
+
+use crate::ast::{BinOp, Expr, ExprKind, Program, Stmt, StmtKind, UnOp};
+
+/// Renders a parsed program as canonical source text.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for stmt in &program.body {
+        print_stmt(stmt, 0, &mut out);
+    }
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(body: &[Stmt], level: usize, out: &mut String) {
+    out.push_str("{\n");
+    for stmt in body {
+        print_stmt(stmt, level + 1, out);
+    }
+    indent(level, out);
+    out.push('}');
+}
+
+fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match &stmt.kind {
+        StmtKind::VarDecl { name, init } => {
+            out.push_str("VAR ");
+            out.push_str(name);
+            out.push_str(" = ");
+            print_expr(init, out);
+            out.push_str(";\n");
+        }
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            out.push_str("IF (");
+            print_expr(cond, out);
+            out.push_str(") ");
+            print_block(then_body, level, out);
+            if !else_body.is_empty() {
+                out.push_str(" ELSE ");
+                print_block(else_body, level, out);
+            }
+            out.push('\n');
+        }
+        StmtKind::Foreach { var, list, body } => {
+            out.push_str("FOREACH (VAR ");
+            out.push_str(var);
+            out.push_str(" IN ");
+            print_expr(list, out);
+            out.push_str(") ");
+            print_block(body, level, out);
+            out.push('\n');
+        }
+        StmtKind::SetReg { reg, value } => {
+            out.push_str("SET(");
+            out.push_str(&reg.to_string());
+            out.push_str(", ");
+            print_expr(value, out);
+            out.push_str(");\n");
+        }
+        StmtKind::Push { target, packet } => {
+            print_expr(target, out);
+            out.push_str(".PUSH(");
+            print_expr(packet, out);
+            out.push_str(");\n");
+        }
+        StmtKind::Drop { packet } => {
+            out.push_str("DROP(");
+            print_expr(packet, out);
+            out.push_str(");\n");
+        }
+        StmtKind::Return => out.push_str("RETURN;\n"),
+    }
+}
+
+fn bin_op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "AND",
+        BinOp::Or => "OR",
+    }
+}
+
+fn print_expr(expr: &Expr, out: &mut String) {
+    match &expr.kind {
+        ExprKind::Int(v) => out.push_str(&v.to_string()),
+        ExprKind::Bool(true) => out.push_str("TRUE"),
+        ExprKind::Bool(false) => out.push_str("FALSE"),
+        ExprKind::Null => out.push_str("NULL"),
+        ExprKind::Reg(r) => out.push_str(&r.to_string()),
+        ExprKind::Var(name) => out.push_str(name),
+        ExprKind::Subflows => out.push_str("SUBFLOWS"),
+        ExprKind::Queue(q) => out.push_str(q.name()),
+        ExprKind::Prop { obj, name } => {
+            print_expr(obj, out);
+            out.push('.');
+            out.push_str(name);
+        }
+        ExprKind::Filter { obj, var, pred } => {
+            print_expr(obj, out);
+            out.push_str(".FILTER(");
+            out.push_str(var);
+            out.push_str(" => ");
+            print_expr(pred, out);
+            out.push(')');
+        }
+        ExprKind::MinMax {
+            obj,
+            var,
+            key,
+            is_max,
+        } => {
+            print_expr(obj, out);
+            out.push_str(if *is_max { ".MAX(" } else { ".MIN(" });
+            out.push_str(var);
+            out.push_str(" => ");
+            print_expr(key, out);
+            out.push(')');
+        }
+        ExprKind::Sum { obj, var, key } => {
+            print_expr(obj, out);
+            out.push_str(".SUM(");
+            out.push_str(var);
+            out.push_str(" => ");
+            print_expr(key, out);
+            out.push(')');
+        }
+        ExprKind::Get { obj, index } => {
+            print_expr(obj, out);
+            out.push_str(".GET(");
+            print_expr(index, out);
+            out.push(')');
+        }
+        ExprKind::Pop { obj } => {
+            print_expr(obj, out);
+            out.push_str(".POP()");
+        }
+        ExprKind::SentOn { pkt, sbf } => {
+            print_expr(pkt, out);
+            out.push_str(".SENT_ON(");
+            print_expr(sbf, out);
+            out.push(')');
+        }
+        ExprKind::HasWindowFor { sbf, pkt } => {
+            print_expr(sbf, out);
+            out.push_str(".HAS_WINDOW_FOR(");
+            print_expr(pkt, out);
+            out.push(')');
+        }
+        ExprKind::Unary { op, expr: inner } => {
+            match op {
+                UnOp::Not => out.push('!'),
+                UnOp::Neg => out.push('-'),
+            }
+            // Parenthesize to stay unambiguous regardless of the inner
+            // expression's structure.
+            out.push('(');
+            print_expr(inner, out);
+            out.push(')');
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            out.push('(');
+            print_expr(lhs, out);
+            out.push(' ');
+            out.push_str(bin_op_str(*op));
+            out.push(' ');
+            print_expr(rhs, out);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Positions differ after printing, so compare structure only.
+    fn strip(program: &Program) -> String {
+        format!("{:?}", program)
+            .split("pos: Pos")
+            .map(|part| part.split_once('}').map(|(_, rest)| rest).unwrap_or(part))
+            .collect()
+    }
+
+    fn round_trips(src: &str) {
+        let first = parse(src).expect("parses");
+        let printed = print_program(&first);
+        let second = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed output must parse: {e}\n{printed}"));
+        assert_eq!(
+            strip(&first),
+            strip(&second),
+            "round trip changed structure:\n--- original\n{src}\n--- printed\n{printed}"
+        );
+        // Printing is idempotent.
+        assert_eq!(printed, print_program(&second));
+    }
+
+    #[test]
+    fn round_trips_every_bundled_scheduler_shape() {
+        round_trips("IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) { SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }");
+        round_trips(
+            "VAR sbfs = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY);
+             IF (R1 >= sbfs.COUNT) { SET(R1, 0); }
+             IF (!Q.EMPTY) {
+                 VAR sbf = sbfs.GET(R1);
+                 IF (sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED) { sbf.PUSH(Q.POP()); }
+                 SET(R1, R1 + 1); }",
+        );
+        round_trips("VAR skb = Q.POP(); FOREACH (VAR sbf IN SUBFLOWS) { sbf.PUSH(skb); }");
+        round_trips("DROP(Q.POP()); RETURN;");
+        round_trips(
+            "VAR s = SUBFLOWS.GET(0);
+             VAR p = QU.FILTER(x => !x.SENT_ON(s)).TOP;
+             IF (p != NULL AND s.HAS_WINDOW_FOR(p)) { s.PUSH(p); }",
+        );
+        round_trips("SET(R2, SUBFLOWS.SUM(s => s.BW) - (3 * -R1) % 7);");
+        round_trips("IF (TRUE OR FALSE AND !Q.EMPTY) { SET(R1, 0 - 5); } ELSE { RETURN; }");
+        round_trips("VAR best = QU.MAX(p => p.SEQ); IF (NULL == best) { RETURN; }");
+    }
+
+    #[test]
+    fn precedence_is_preserved_by_parens() {
+        // 1 + 2 * 3 and (1 + 2) * 3 must print differently and re-parse
+        // to their own structure.
+        round_trips("SET(R1, 1 + 2 * 3);");
+        round_trips("SET(R1, (1 + 2) * 3);");
+        let a = parse("SET(R1, 1 + 2 * 3);").unwrap();
+        let b = parse("SET(R1, (1 + 2) * 3);").unwrap();
+        assert_ne!(print_program(&a), print_program(&b));
+    }
+}

@@ -1,0 +1,566 @@
+//! The public compilation and execution facade.
+//!
+//! [`compile`] turns scheduler source text into a [`SchedulerProgram`]
+//! (parse → type check → optimize → generate bytecode → verify);
+//! [`SchedulerProgram::instantiate`] creates a per-connection
+//! [`SchedulerInstance`] bound to one of the three execution backends.
+//! Programs are immutable and cheaply shared between instances through
+//! [`std::sync::Arc`], matching the paper's model where loaded schedulers
+//! are reused by many connections (§4.3, "Number of Schedulers").
+
+use crate::aot;
+use crate::bytecode::BytecodeProgram;
+use crate::env::SchedulerEnv;
+use crate::error::{CompileError, ExecError};
+use crate::exec::{ExecCtx, ExecStats, DEFAULT_STEP_BUDGET};
+use crate::hir::HProgram;
+use crate::interp;
+use crate::optimizer;
+use crate::parser;
+use crate::regalloc;
+use crate::sema;
+use crate::vm;
+use crate::{codegen, env::QueueKind};
+use std::sync::Arc;
+
+/// The execution backend for a scheduler instance (paper §4.1 Fig. 6:
+/// interpreter, ahead-of-time compiler, eBPF JIT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Tree-walking interpreter over the typed HIR (baseline).
+    Interpreter,
+    /// Ahead-of-time compilation to a closure graph (the "generated C"
+    /// analogue).
+    Aot,
+    /// The eBPF-flavoured bytecode VM with verifier, linear-scan register
+    /// allocation, and constant-subflow-count specialization.
+    #[default]
+    Vm,
+}
+
+impl Backend {
+    /// All backends.
+    pub const ALL: [Backend; 3] = [Backend::Interpreter, Backend::Aot, Backend::Vm];
+
+    /// Human-readable backend name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Interpreter => "interpreter",
+            Backend::Aot => "aot",
+            Backend::Vm => "vm",
+        }
+    }
+}
+
+/// A compiled, verified scheduler specification.
+#[derive(Debug, Clone)]
+pub struct SchedulerProgram {
+    name: Option<String>,
+    source: String,
+    hir: HProgram,
+    bytecode: BytecodeProgram,
+    optimizer_rewrites: usize,
+}
+
+/// Compiles scheduler source text.
+///
+/// Runs the full pipeline: lex, parse, semantic analysis (typing, single
+/// assignment, side-effect isolation), HIR optimization, bytecode
+/// generation, register allocation, and verification.
+///
+/// # Errors
+///
+/// Returns the first [`CompileError`] encountered at any stage.
+pub fn compile(source: &str) -> Result<SchedulerProgram, CompileError> {
+    compile_named(None, source)
+}
+
+/// Like [`compile`], attaching a scheduler name for diagnostics and the
+/// program registry of higher layers.
+pub fn compile_named(
+    name: Option<&str>,
+    source: &str,
+) -> Result<SchedulerProgram, CompileError> {
+    compile_with_options(name, source, CompileOptions::default())
+}
+
+/// Compilation knobs, primarily for the runtime-optimization ablation
+/// experiments: every knob defaults to the production setting.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Run the HIR optimizer (constant folding, dead-branch elimination).
+    pub optimize: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { optimize: true }
+    }
+}
+
+/// Like [`compile_named`] with explicit [`CompileOptions`].
+pub fn compile_with_options(
+    name: Option<&str>,
+    source: &str,
+    options: CompileOptions,
+) -> Result<SchedulerProgram, CompileError> {
+    let ast = parser::parse(source)?;
+    let mut hir = sema::lower(&ast)?;
+    let optimizer_rewrites = if options.optimize {
+        optimizer::optimize(&mut hir)
+    } else {
+        0
+    };
+    let vcode = codegen::generate(&hir)?;
+    let bytecode = regalloc::allocate(&vcode)?;
+    vm::verify(&bytecode)?;
+    Ok(SchedulerProgram {
+        name: name.map(str::to_owned),
+        source: source.to_owned(),
+        hir,
+        bytecode,
+        optimizer_rewrites,
+    })
+}
+
+impl SchedulerProgram {
+    /// The scheduler's registered name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Number of rewrites the HIR optimizer applied.
+    pub fn optimizer_rewrites(&self) -> usize {
+        self.optimizer_rewrites
+    }
+
+    /// Bytecode disassembly (the proc-style debug listing of §4.1).
+    pub fn disassemble(&self) -> String {
+        self.bytecode.disassemble()
+    }
+
+    /// Static audit of everything the scheduler touches (properties,
+    /// queues, registers, effects) — the multi-tenancy admission check;
+    /// see [`crate::analysis`].
+    pub fn analyze(&self) -> crate::analysis::Analysis {
+        crate::analysis::analyze(&self.hir)
+    }
+
+    /// Approximate resident size of the loaded program in bytes
+    /// (for the §4.3 memory-overhead table).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.source.len()
+            + self.hir.size_bytes()
+            + self.bytecode.size_bytes()
+    }
+
+    /// Creates a per-connection instance running on `backend`.
+    pub fn instantiate(&self, backend: Backend) -> SchedulerInstance {
+        SchedulerInstance::new(Arc::new(self.clone()), backend)
+    }
+
+    /// Creates an instance from an already shared program.
+    pub fn instantiate_shared(program: Arc<SchedulerProgram>, backend: Backend) -> SchedulerInstance {
+        SchedulerInstance::new(program, backend)
+    }
+}
+
+enum BackendState {
+    Interpreter,
+    Aot(aot::CompiledProgram),
+    Vm {
+        /// Image specialized for a constant subflow count, with the count
+        /// it was specialized for (paper §4.1 "constant subflow number").
+        specialized: Option<(i64, BytecodeProgram)>,
+    },
+}
+
+/// Cumulative counters for one scheduler instance, exposed in the spirit
+/// of the paper's proc-based statistics interface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstanceStats {
+    /// Completed executions.
+    pub executions: u64,
+    /// Total steps across all executions.
+    pub total_steps: u64,
+    /// Total `PUSH` actions emitted.
+    pub total_pushes: u64,
+    /// Total `DROP` actions emitted.
+    pub total_drops: u64,
+    /// Times the VM re-specialized for a new subflow count.
+    pub respecializations: u64,
+}
+
+/// A per-connection scheduler instance: a shared program plus the
+/// backend-specific execution state.
+pub struct SchedulerInstance {
+    program: Arc<SchedulerProgram>,
+    backend: Backend,
+    state: BackendState,
+    budget: u64,
+    stats: InstanceStats,
+    specialize: bool,
+}
+
+impl std::fmt::Debug for SchedulerInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerInstance")
+            .field("name", &self.program.name())
+            .field("backend", &self.backend.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl SchedulerInstance {
+    fn new(program: Arc<SchedulerProgram>, backend: Backend) -> Self {
+        let state = match backend {
+            Backend::Interpreter => BackendState::Interpreter,
+            Backend::Aot => BackendState::Aot(
+                aot::compile(&program.hir).expect("verified programs AOT-compile"),
+            ),
+            Backend::Vm => BackendState::Vm { specialized: None },
+        };
+        SchedulerInstance {
+            program,
+            backend,
+            state,
+            budget: DEFAULT_STEP_BUDGET,
+            stats: InstanceStats::default(),
+            specialize: true,
+        }
+    }
+
+    /// The backend this instance runs on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The shared program.
+    pub fn program(&self) -> &SchedulerProgram {
+        &self.program
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> InstanceStats {
+        self.stats
+    }
+
+    /// Overrides the per-execution step budget.
+    pub fn set_step_budget(&mut self, budget: u64) {
+        self.budget = budget.max(1);
+    }
+
+    /// Enables/disables the constant-subflow-count specialization of the
+    /// VM backend (paper §4.1); enabled by default. No effect on other
+    /// backends. For the runtime-optimization ablation.
+    pub fn set_specialization(&mut self, enabled: bool) {
+        self.specialize = enabled;
+        if let BackendState::Vm { specialized } = &mut self.state {
+            *specialized = None;
+        }
+    }
+
+    /// Approximate per-instance memory cost in bytes, excluding the shared
+    /// program (the paper reports 328 B per instantiation on top of the
+    /// loaded scheduler).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + match &self.state {
+                BackendState::Vm {
+                    specialized: Some((_, p)),
+                } => p.size_bytes(),
+                _ => 0,
+            }
+    }
+
+    /// Executes the scheduler once against `env`, applying buffered
+    /// effects afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::StepBudgetExhausted`] if the execution exceeds the
+    /// step budget; effects of the partial execution are *not* applied.
+    pub fn execute(&mut self, env: &mut dyn SchedulerEnv) -> Result<ExecStats, ExecError> {
+        let mut ctx = ExecCtx::new(env, self.budget);
+        self.execute_raw(&mut ctx)?;
+        let (regs, actions, stats) = ctx.finish();
+        env.apply(&regs, &actions);
+        self.stats.total_steps += stats.steps;
+        self.stats.total_pushes += u64::from(stats.pushes);
+        self.stats.total_drops += u64::from(stats.drops);
+        Ok(stats)
+    }
+
+    /// Runs one execution against an externally managed [`ExecCtx`]
+    /// without applying effects — the embedding transport (e.g. the
+    /// simulator's meta socket) owns context creation, effect application,
+    /// and statistics. Instance counters are still updated for
+    /// respecialization bookkeeping.
+    pub fn execute_raw(&mut self, ctx: &mut ExecCtx<'_>) -> Result<(), ExecError> {
+        match &mut self.state {
+            BackendState::Interpreter => interp::execute(&self.program.hir, ctx)?,
+            BackendState::Aot(compiled) => compiled.execute(ctx)?,
+            BackendState::Vm { specialized } => {
+                if self.specialize {
+                    let n = ctx.subflow_count();
+                    let needs_respec = !matches!(specialized, Some((k, _)) if *k == n);
+                    if needs_respec {
+                        *specialized =
+                            Some((n, vm::specialize_subflow_count(&self.program.bytecode, n)));
+                        self.stats.respecializations += 1;
+                    }
+                    let image = match specialized {
+                        Some((_, p)) => p,
+                        None => unreachable!("specialized image set above"),
+                    };
+                    vm::execute(image, ctx)?;
+                } else {
+                    vm::execute(&self.program.bytecode, ctx)?;
+                }
+            }
+        }
+        self.stats.executions += 1;
+        Ok(())
+    }
+
+    /// Runs one VM execution recording per-instruction hit counts and
+    /// returns the disassembly annotated with them — the paper's
+    /// proc-based profiling trace (§4.1). Only meaningful on the VM
+    /// backend; other backends return `None`.
+    pub fn profile_execution(&mut self, env: &mut dyn SchedulerEnv) -> Option<String> {
+        if self.backend != Backend::Vm {
+            return None;
+        }
+        let mut counts = Vec::new();
+        let mut ctx = ExecCtx::new(env, self.budget);
+        vm::execute_profiled(&self.program.bytecode, &mut ctx, &mut counts).ok()?;
+        let (regs, actions, _) = ctx.finish();
+        env.apply(&regs, &actions);
+        let mut out = String::new();
+        for (i, line) in self.program.disassemble().lines().enumerate() {
+            let hits = counts.get(i).copied().unwrap_or(0);
+            out.push_str(&format!("{hits:>8}  {line}\n"));
+        }
+        Some(out)
+    }
+
+    /// Repeatedly executes the scheduler while it makes progress — the
+    /// runtime realization of the paper's *compressed executions*: one
+    /// trigger may schedule several packets, each execution seeing fresh
+    /// state. Stops when an execution emits no `PUSH`/`DROP`, when the
+    /// sending and reinjection queues are exhausted, or after
+    /// `max_rounds`.
+    ///
+    /// Returns the number of rounds executed and the aggregated stats.
+    pub fn run_to_quiescence(
+        &mut self,
+        env: &mut dyn SchedulerEnv,
+        max_rounds: u32,
+    ) -> Result<(u32, ExecStats), ExecError> {
+        let mut total = ExecStats::default();
+        let mut rounds = 0;
+        while rounds < max_rounds {
+            let stats = self.execute(env)?;
+            rounds += 1;
+            total.steps += stats.steps;
+            total.pushes += stats.pushes;
+            total.drops += stats.drops;
+            total.pops += stats.pops;
+            total.reg_writes += stats.reg_writes;
+            if stats.pushes == 0 && stats.drops == 0 {
+                break;
+            }
+            if env.queue(QueueKind::SendQueue).is_empty() && env.queue(QueueKind::Reinject).is_empty()
+            {
+                break;
+            }
+        }
+        Ok((rounds, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{QueueKind, RegId, SchedulerEnv, SubflowProp};
+    use crate::testenv::MockEnv;
+
+    const MIN_RTT: &str =
+        "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) { SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }";
+
+    fn env_with_packets(n: u64) -> MockEnv {
+        let mut env = MockEnv::new();
+        env.add_subflow(0);
+        env.set_subflow_prop(0, SubflowProp::Rtt, 10_000);
+        env.add_subflow(1);
+        env.set_subflow_prop(1, SubflowProp::Rtt, 40_000);
+        for i in 0..n {
+            env.push_packet(QueueKind::SendQueue, 100 + i, i as i64, 1400);
+        }
+        env
+    }
+
+    #[test]
+    fn all_backends_agree_on_min_rtt() {
+        let prog = compile(MIN_RTT).unwrap();
+        for backend in Backend::ALL {
+            let mut env = env_with_packets(1);
+            let mut inst = prog.instantiate(backend);
+            inst.execute(&mut env).unwrap();
+            assert_eq!(env.transmissions.len(), 1, "backend {}", backend.name());
+            assert_eq!(env.transmissions[0].0 .0, 0, "backend {}", backend.name());
+        }
+    }
+
+    #[test]
+    fn run_to_quiescence_drains_queue() {
+        let prog = compile(MIN_RTT).unwrap();
+        let mut inst = prog.instantiate(Backend::Vm);
+        let mut env = env_with_packets(5);
+        let (rounds, total) = inst.run_to_quiescence(&mut env, 64).unwrap();
+        assert_eq!(total.pushes, 5);
+        assert!(rounds >= 5);
+        assert!(env.queue_contents(QueueKind::SendQueue).is_empty());
+    }
+
+    #[test]
+    fn run_to_quiescence_stops_without_progress() {
+        // A scheduler that never pushes must not loop.
+        let prog = compile("SET(R1, R1 + 1);").unwrap();
+        let mut inst = prog.instantiate(Backend::Interpreter);
+        let mut env = env_with_packets(3);
+        let (rounds, _) = inst.run_to_quiescence(&mut env, 64).unwrap();
+        assert_eq!(rounds, 1);
+        assert_eq!(env.register(RegId::R1), 1);
+    }
+
+    #[test]
+    fn vm_respecializes_on_subflow_change() {
+        let prog = compile("SET(R1, SUBFLOWS.COUNT);").unwrap();
+        let mut inst = prog.instantiate(Backend::Vm);
+        let mut env = MockEnv::new();
+        env.add_subflow(0);
+        inst.execute(&mut env).unwrap();
+        assert_eq!(env.register(RegId::R1), 1);
+        assert_eq!(inst.stats().respecializations, 1);
+        inst.execute(&mut env).unwrap();
+        assert_eq!(inst.stats().respecializations, 1, "count unchanged: reuse");
+        env.add_subflow(1);
+        inst.execute(&mut env).unwrap();
+        assert_eq!(env.register(RegId::R1), 2);
+        assert_eq!(inst.stats().respecializations, 2, "count changed: respecialize");
+    }
+
+    #[test]
+    fn program_is_shareable_across_instances() {
+        let prog = Arc::new(compile(MIN_RTT).unwrap());
+        let mut a = SchedulerProgram::instantiate_shared(Arc::clone(&prog), Backend::Vm);
+        let mut b = SchedulerProgram::instantiate_shared(Arc::clone(&prog), Backend::Interpreter);
+        let mut env = env_with_packets(2);
+        a.execute(&mut env).unwrap();
+        b.execute(&mut env).unwrap();
+        assert_eq!(env.transmissions.len(), 2);
+    }
+
+    #[test]
+    fn size_accounting_is_nonzero() {
+        let prog = compile(MIN_RTT).unwrap();
+        assert!(prog.size_bytes() > 500);
+        let inst = prog.instantiate(Backend::Vm);
+        assert!(inst.size_bytes() > 0);
+    }
+
+    #[test]
+    fn compile_error_surfaces_from_any_stage() {
+        assert!(compile("VAR x = @;").is_err()); // lex
+        assert!(compile("VAR x = ;").is_err()); // parse
+        assert!(compile("VAR x = y;").is_err()); // sema
+    }
+
+    #[test]
+    fn instance_stats_accumulate() {
+        let prog = compile(MIN_RTT).unwrap();
+        let mut inst = prog.instantiate(Backend::Aot);
+        let mut env = env_with_packets(3);
+        for _ in 0..3 {
+            inst.execute(&mut env).unwrap();
+        }
+        let s = inst.stats();
+        assert_eq!(s.executions, 3);
+        assert_eq!(s.total_pushes, 3);
+        assert!(s.total_steps > 0);
+    }
+
+
+    #[test]
+    fn profiling_trace_annotates_hit_counts() {
+        let prog = compile(MIN_RTT).unwrap();
+        let mut inst = prog.instantiate(Backend::Vm);
+        let mut env = env_with_packets(1);
+        let trace = inst.profile_execution(&mut env).expect("vm backend profiles");
+        // The first instruction executed exactly once; the listing carries
+        // one count column per instruction.
+        let first = trace.lines().next().unwrap();
+        assert!(first.trim_start().starts_with('1'), "{first}");
+        assert_eq!(trace.lines().count(), prog.disassemble().lines().count());
+        // Loop bodies (the subflow scan) ran more than once.
+        let max_hits: u64 = trace
+            .lines()
+            .filter_map(|l| l.split_whitespace().next()?.parse().ok())
+            .max()
+            .unwrap();
+        assert!(max_hits >= 2, "scan loop executed per subflow: {max_hits}");
+        // Profiled execution applied its effects like a normal one.
+        assert_eq!(env.transmissions.len(), 1);
+    }
+
+    #[test]
+    fn profiling_unavailable_off_vm() {
+        let prog = compile(MIN_RTT).unwrap();
+        let mut inst = prog.instantiate(Backend::Interpreter);
+        let mut env = env_with_packets(1);
+        assert!(inst.profile_execution(&mut env).is_none());
+    }
+
+    #[test]
+    fn unoptimized_compile_skips_rewrites() {
+        let src = "SET(R1, 2 + 3);";
+        let opt = compile(src).unwrap();
+        let raw = compile_with_options(None, src, CompileOptions { optimize: false }).unwrap();
+        assert!(opt.optimizer_rewrites() > 0);
+        assert_eq!(raw.optimizer_rewrites(), 0);
+        // Semantics identical either way.
+        for prog in [&opt, &raw] {
+            let mut env = MockEnv::new();
+            prog.instantiate(Backend::Vm).execute(&mut env).unwrap();
+            assert_eq!(env.register(RegId::R1), 5);
+        }
+    }
+
+    #[test]
+    fn specialization_toggle_preserves_semantics() {
+        let prog = compile(MIN_RTT).unwrap();
+        for enabled in [true, false] {
+            let mut inst = prog.instantiate(Backend::Vm);
+            inst.set_specialization(enabled);
+            let mut env = env_with_packets(1);
+            inst.execute(&mut env).unwrap();
+            assert_eq!(env.transmissions.len(), 1);
+            assert_eq!(env.transmissions[0].0 .0, 0);
+        }
+    }
+
+    #[test]
+    fn named_compile_keeps_name() {
+        let prog = compile_named(Some("minRtt"), MIN_RTT).unwrap();
+        assert_eq!(prog.name(), Some("minRtt"));
+        assert!(prog.disassemble().contains("call"));
+    }
+}

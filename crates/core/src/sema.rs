@@ -1,0 +1,769 @@
+//! Semantic analysis: name resolution, static typing, and the semantic
+//! restrictions of the programming model.
+//!
+//! Enforced rules (paper §3.3 / Table 1):
+//!
+//! 1. **Single assignment** — a variable is declared exactly once and never
+//!    reassigned; redeclaring a visible name (including shadowing) is
+//!    rejected.
+//! 2. **Implicit static typing** — each variable has the type of its
+//!    initializer; all operations are type-checked; `NULL` only exists at
+//!    packet/subflow type and only where that type can be inferred.
+//! 3. **Side-effect isolation** — `POP()` is only permitted in *effect
+//!    contexts*: a `VAR` initializer, the packet argument of `PUSH`, or
+//!    the argument of `DROP`. Conditions, lambda bodies (predicates and
+//!    keys), `FOREACH` list expressions, `GET` indices, `SET` values and
+//!    `PUSH` subflow targets are *pure contexts* where `POP` is rejected —
+//!    this is the rule that makes `Q.POP().RTT`-style accidental removal
+//!    impossible.
+//! 4. Lambda parameters bind a fresh slot; aggregate-typed variables
+//!    record their initializer for loop fusion in the compiled backends.
+
+use crate::ast::{BinOp, Expr, ExprKind, Program, Stmt, StmtKind, UnOp};
+use crate::env::{PacketProp, SubflowProp};
+use crate::error::{CompileError, Pos, Stage};
+use crate::hir::{ExprId, HExpr, HProgram, HStmt, StmtId, VarSlot};
+use crate::types::Type;
+
+/// Lowers a parsed program to typed HIR, or reports the first semantic
+/// error.
+pub fn lower(program: &Program) -> Result<HProgram, CompileError> {
+    let mut ctx = Ctx {
+        out: HProgram {
+            exprs: Vec::new(),
+            expr_ty: Vec::new(),
+            stmts: Vec::new(),
+            body: Vec::new(),
+            n_slots: 0,
+            slot_ty: Vec::new(),
+            aggregate_init: Vec::new(),
+        },
+        scopes: vec![Vec::new()],
+    };
+    let body = ctx.lower_block(&program.body)?;
+    ctx.out.body = body;
+    ctx.out.n_slots = ctx.out.slot_ty.len();
+    Ok(ctx.out)
+}
+
+/// Whether the expression being lowered may contain `POP()`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Purity {
+    /// Effect context: `POP` allowed.
+    Effect,
+    /// Pure context: `POP` rejected.
+    Pure,
+}
+
+struct Binding {
+    name: String,
+    slot: VarSlot,
+    ty: Type,
+}
+
+struct Ctx {
+    out: HProgram,
+    /// Stack of lexical scopes; lookups walk outward.
+    scopes: Vec<Vec<Binding>>,
+}
+
+impl Ctx {
+    fn err(&self, pos: Pos, msg: impl Into<String>) -> CompileError {
+        CompileError::new(Stage::Sema, pos, msg)
+    }
+
+    fn push_expr(&mut self, e: HExpr, ty: Type) -> ExprId {
+        let id = ExprId(self.out.exprs.len() as u32);
+        self.out.exprs.push(e);
+        self.out.expr_ty.push(ty);
+        id
+    }
+
+    fn push_stmt(&mut self, s: HStmt) -> StmtId {
+        let id = StmtId(self.out.stmts.len() as u32);
+        self.out.stmts.push(s);
+        id
+    }
+
+    fn new_slot(&mut self, ty: Type, init: Option<ExprId>) -> VarSlot {
+        let slot = VarSlot(self.out.slot_ty.len() as u32);
+        self.out.slot_ty.push(ty);
+        self.out
+            .aggregate_init
+            .push(if ty.is_aggregate() { init } else { None });
+        slot
+    }
+
+    fn lookup(&self, name: &str) -> Option<(&Binding, usize)> {
+        for (depth, scope) in self.scopes.iter().enumerate().rev() {
+            if let Some(b) = scope.iter().rev().find(|b| b.name == name) {
+                return Some((b, depth));
+            }
+        }
+        None
+    }
+
+    fn declare(&mut self, pos: Pos, name: &str, ty: Type, init: Option<ExprId>) -> Result<VarSlot, CompileError> {
+        if self.lookup(name).is_some() {
+            return Err(self.err(
+                pos,
+                format!("variable `{name}` is already defined (single-assignment form forbids redeclaration and shadowing)"),
+            ));
+        }
+        let slot = self.new_slot(ty, init);
+        self.scopes.last_mut().expect("scope stack non-empty").push(Binding {
+            name: name.to_string(),
+            slot,
+            ty,
+        });
+        Ok(slot)
+    }
+
+    fn lower_block(&mut self, stmts: &[Stmt]) -> Result<Vec<StmtId>, CompileError> {
+        self.scopes.push(Vec::new());
+        let result = self.lower_stmts(stmts);
+        self.scopes.pop();
+        result
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<Vec<StmtId>, CompileError> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            out.push(self.lower_stmt(s)?);
+        }
+        Ok(out)
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<StmtId, CompileError> {
+        match &stmt.kind {
+            StmtKind::VarDecl { name, init } => {
+                if matches!(init.kind, ExprKind::Null) {
+                    return Err(self.err(
+                        stmt.pos,
+                        "cannot infer a type for `VAR ... = NULL` (annotate by comparing against a typed expression instead)",
+                    ));
+                }
+                let (ie, ty) = self.lower_expr(init, Purity::Effect)?;
+                let slot = self.declare(stmt.pos, name, ty, Some(ie))?;
+                Ok(self.push_stmt(HStmt::VarDecl { slot, init: ie }))
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let (c, cty) = self.lower_expr(cond, Purity::Pure)?;
+                if cty != Type::Bool {
+                    return Err(self.err(cond.pos, format!("IF condition must be bool, found {cty}")));
+                }
+                let tb = self.lower_block(then_body)?;
+                let eb = self.lower_block(else_body)?;
+                Ok(self.push_stmt(HStmt::If {
+                    cond: c,
+                    then_body: tb,
+                    else_body: eb,
+                }))
+            }
+            StmtKind::Foreach { var, list, body } => {
+                let (le, lty) = self.lower_expr(list, Purity::Pure)?;
+                if lty != Type::SubflowList {
+                    return Err(self.err(
+                        list.pos,
+                        format!("FOREACH iterates subflow lists, found {lty}"),
+                    ));
+                }
+                self.scopes.push(Vec::new());
+                let slot = self.declare(stmt.pos, var, Type::Subflow, None)?;
+                let b = self.lower_stmts(body);
+                self.scopes.pop();
+                Ok(self.push_stmt(HStmt::Foreach {
+                    slot,
+                    list: le,
+                    body: b?,
+                }))
+            }
+            StmtKind::SetReg { reg, value } => {
+                let (v, vty) = self.lower_expr(value, Purity::Pure)?;
+                if vty != Type::Int {
+                    return Err(self.err(value.pos, format!("SET value must be int, found {vty}")));
+                }
+                Ok(self.push_stmt(HStmt::SetReg { reg: *reg, value: v }))
+            }
+            StmtKind::Push { target, packet } => {
+                let (t, tty) = self.lower_expr(target, Purity::Pure)?;
+                if tty != Type::Subflow {
+                    return Err(self.err(
+                        target.pos,
+                        format!("PUSH target must be a subflow, found {tty}"),
+                    ));
+                }
+                let (p, pty) = self.lower_expr_nullable(packet, Purity::Effect, Type::Packet)?;
+                if pty != Type::Packet {
+                    return Err(self.err(
+                        packet.pos,
+                        format!("PUSH argument must be a packet, found {pty}"),
+                    ));
+                }
+                Ok(self.push_stmt(HStmt::Push { target: t, packet: p }))
+            }
+            StmtKind::Drop { packet } => {
+                let (p, pty) = self.lower_expr_nullable(packet, Purity::Effect, Type::Packet)?;
+                if pty != Type::Packet {
+                    return Err(self.err(
+                        packet.pos,
+                        format!("DROP argument must be a packet, found {pty}"),
+                    ));
+                }
+                Ok(self.push_stmt(HStmt::Drop { packet: p }))
+            }
+            StmtKind::Return => Ok(self.push_stmt(HStmt::Return)),
+        }
+    }
+
+    /// Lowers an expression that may be a bare `NULL` when the expected
+    /// nullable type is known from context.
+    fn lower_expr_nullable(
+        &mut self,
+        expr: &Expr,
+        purity: Purity,
+        expected: Type,
+    ) -> Result<(ExprId, Type), CompileError> {
+        if matches!(expr.kind, ExprKind::Null) {
+            let node = match expected {
+                Type::Packet => HExpr::NullPacket,
+                Type::Subflow => HExpr::NullSubflow,
+                _ => return Err(self.err(expr.pos, format!("NULL cannot have type {expected}"))),
+            };
+            return Ok((self.push_expr(node, expected), expected));
+        }
+        self.lower_expr(expr, purity)
+    }
+
+    fn lower_expr(&mut self, expr: &Expr, purity: Purity) -> Result<(ExprId, Type), CompileError> {
+        match &expr.kind {
+            ExprKind::Int(v) => Ok((self.push_expr(HExpr::Int(*v), Type::Int), Type::Int)),
+            ExprKind::Bool(b) => Ok((self.push_expr(HExpr::Bool(*b), Type::Bool), Type::Bool)),
+            ExprKind::Null => Err(self.err(
+                expr.pos,
+                "NULL is only allowed where a packet/subflow type is known (comparisons, PUSH/DROP arguments)",
+            )),
+            ExprKind::Reg(r) => Ok((self.push_expr(HExpr::ReadReg(*r), Type::Int), Type::Int)),
+            ExprKind::Var(name) => match self.lookup(name) {
+                Some((b, _)) => {
+                    let (slot, ty) = (b.slot, b.ty);
+                    Ok((self.push_expr(HExpr::ReadVar(slot), ty), ty))
+                }
+                None => Err(self.err(expr.pos, format!("unknown variable `{name}`"))),
+            },
+            ExprKind::Subflows => Ok((
+                self.push_expr(HExpr::Subflows, Type::SubflowList),
+                Type::SubflowList,
+            )),
+            ExprKind::Queue(q) => Ok((
+                self.push_expr(HExpr::Queue(*q), Type::PacketQueue),
+                Type::PacketQueue,
+            )),
+            ExprKind::Prop { obj, name } => self.lower_prop(expr.pos, obj, name, purity),
+            ExprKind::Filter { obj, var, pred } => {
+                let (oe, oty) = self.lower_expr(obj, purity)?;
+                let elem_ty = match oty {
+                    Type::SubflowList => Type::Subflow,
+                    Type::PacketQueue => Type::Packet,
+                    other => {
+                        return Err(self.err(expr.pos, format!("FILTER requires a list or queue, found {other}")))
+                    }
+                };
+                let (slot, pe, pty) = self.lower_lambda(expr.pos, var, pred, elem_ty)?;
+                if pty != Type::Bool {
+                    return Err(self.err(pred.pos, format!("FILTER predicate must be bool, found {pty}")));
+                }
+                let node = if oty == Type::SubflowList {
+                    HExpr::ListFilter {
+                        list: oe,
+                        var: slot,
+                        pred: pe,
+                    }
+                } else {
+                    HExpr::QueueFilter {
+                        queue: oe,
+                        var: slot,
+                        pred: pe,
+                    }
+                };
+                Ok((self.push_expr(node, oty), oty))
+            }
+            ExprKind::MinMax {
+                obj,
+                var,
+                key,
+                is_max,
+            } => {
+                let (oe, oty) = self.lower_expr(obj, purity)?;
+                let elem_ty = match oty {
+                    Type::SubflowList => Type::Subflow,
+                    Type::PacketQueue => Type::Packet,
+                    other => {
+                        return Err(self.err(expr.pos, format!("MIN/MAX requires a list or queue, found {other}")))
+                    }
+                };
+                let (slot, ke, kty) = self.lower_lambda(expr.pos, var, key, elem_ty)?;
+                if kty != Type::Int {
+                    return Err(self.err(key.pos, format!("MIN/MAX key must be int, found {kty}")));
+                }
+                let (node, rty) = if oty == Type::SubflowList {
+                    (
+                        HExpr::ListMinMax {
+                            list: oe,
+                            var: slot,
+                            key: ke,
+                            is_max: *is_max,
+                        },
+                        Type::Subflow,
+                    )
+                } else {
+                    (
+                        HExpr::QueueMinMax {
+                            queue: oe,
+                            var: slot,
+                            key: ke,
+                            is_max: *is_max,
+                        },
+                        Type::Packet,
+                    )
+                };
+                Ok((self.push_expr(node, rty), rty))
+            }
+            ExprKind::Sum { obj, var, key } => {
+                let (oe, oty) = self.lower_expr(obj, purity)?;
+                let elem_ty = match oty {
+                    Type::SubflowList => Type::Subflow,
+                    Type::PacketQueue => Type::Packet,
+                    other => {
+                        return Err(self.err(expr.pos, format!("SUM requires a list or queue, found {other}")))
+                    }
+                };
+                let (slot, ke, kty) = self.lower_lambda(expr.pos, var, key, elem_ty)?;
+                if kty != Type::Int {
+                    return Err(self.err(key.pos, format!("SUM key must be int, found {kty}")));
+                }
+                let node = if oty == Type::SubflowList {
+                    HExpr::ListSum {
+                        list: oe,
+                        var: slot,
+                        key: ke,
+                    }
+                } else {
+                    HExpr::QueueSum {
+                        queue: oe,
+                        var: slot,
+                        key: ke,
+                    }
+                };
+                Ok((self.push_expr(node, Type::Int), Type::Int))
+            }
+            ExprKind::Get { obj, index } => {
+                let (oe, oty) = self.lower_expr(obj, purity)?;
+                if oty != Type::SubflowList {
+                    return Err(self.err(expr.pos, format!("GET requires a subflow list, found {oty}")));
+                }
+                let (ie, ity) = self.lower_expr(index, Purity::Pure)?;
+                if ity != Type::Int {
+                    return Err(self.err(index.pos, format!("GET index must be int, found {ity}")));
+                }
+                Ok((
+                    self.push_expr(HExpr::ListGet { list: oe, index: ie }, Type::Subflow),
+                    Type::Subflow,
+                ))
+            }
+            ExprKind::Pop { obj } => {
+                if purity == Purity::Pure {
+                    return Err(self.err(
+                        expr.pos,
+                        "POP() has a side effect and is not allowed in conditions, predicates, keys, or SET values",
+                    ));
+                }
+                let (oe, oty) = self.lower_expr(obj, purity)?;
+                if oty != Type::PacketQueue {
+                    return Err(self.err(expr.pos, format!("POP requires a packet queue, found {oty}")));
+                }
+                Ok((self.push_expr(HExpr::QueuePop(oe), Type::Packet), Type::Packet))
+            }
+            ExprKind::SentOn { pkt, sbf } => {
+                let (pe, pty) = self.lower_expr(pkt, Purity::Pure)?;
+                if pty != Type::Packet {
+                    return Err(self.err(pkt.pos, format!("SENT_ON receiver must be a packet, found {pty}")));
+                }
+                let (se, sty) = self.lower_expr(sbf, Purity::Pure)?;
+                if sty != Type::Subflow {
+                    return Err(self.err(sbf.pos, format!("SENT_ON argument must be a subflow, found {sty}")));
+                }
+                Ok((
+                    self.push_expr(HExpr::SentOn { pkt: pe, sbf: se }, Type::Bool),
+                    Type::Bool,
+                ))
+            }
+            ExprKind::HasWindowFor { sbf, pkt } => {
+                let (se, sty) = self.lower_expr(sbf, Purity::Pure)?;
+                if sty != Type::Subflow {
+                    return Err(self.err(
+                        sbf.pos,
+                        format!("HAS_WINDOW_FOR receiver must be a subflow, found {sty}"),
+                    ));
+                }
+                let (pe, pty) = self.lower_expr(pkt, Purity::Pure)?;
+                if pty != Type::Packet {
+                    return Err(self.err(
+                        pkt.pos,
+                        format!("HAS_WINDOW_FOR argument must be a packet, found {pty}"),
+                    ));
+                }
+                Ok((
+                    self.push_expr(HExpr::HasWindowFor { sbf: se, pkt: pe }, Type::Bool),
+                    Type::Bool,
+                ))
+            }
+            ExprKind::Unary { op, expr: inner } => {
+                let (ie, ity) = self.lower_expr(inner, purity)?;
+                let want = match op {
+                    UnOp::Not => Type::Bool,
+                    UnOp::Neg => Type::Int,
+                };
+                if ity != want {
+                    return Err(self.err(
+                        inner.pos,
+                        format!("operand of unary {op:?} must be {want}, found {ity}"),
+                    ));
+                }
+                Ok((self.push_expr(HExpr::Unary { op: *op, expr: ie }, want), want))
+            }
+            ExprKind::Binary { op, lhs, rhs } => self.lower_binary(expr.pos, *op, lhs, rhs, purity),
+        }
+    }
+
+    fn lower_binary(
+        &mut self,
+        pos: Pos,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        purity: Purity,
+    ) -> Result<(ExprId, Type), CompileError> {
+        // Equality against NULL needs the non-null side lowered first to
+        // infer the reference type.
+        if matches!(op, BinOp::Eq | BinOp::Ne) {
+            let lhs_null = matches!(lhs.kind, ExprKind::Null);
+            let rhs_null = matches!(rhs.kind, ExprKind::Null);
+            if lhs_null && rhs_null {
+                return Err(self.err(pos, "cannot compare NULL with NULL"));
+            }
+            if lhs_null || rhs_null {
+                let (typed, typed_expr) = if lhs_null { (rhs, lhs) } else { (lhs, rhs) };
+                let _ = typed_expr;
+                let (te, tty) = self.lower_expr(typed, purity)?;
+                if !tty.is_nullable() {
+                    return Err(self.err(pos, format!("cannot compare {tty} with NULL")));
+                }
+                let null_node = match tty {
+                    Type::Packet => HExpr::NullPacket,
+                    Type::Subflow => HExpr::NullSubflow,
+                    _ => unreachable!(),
+                };
+                let ne = self.push_expr(null_node, tty);
+                let (l, r) = if lhs_null { (ne, te) } else { (te, ne) };
+                let node = HExpr::Binary {
+                    op,
+                    lhs: l,
+                    rhs: r,
+                    operand_ty: tty,
+                };
+                return Ok((self.push_expr(node, Type::Bool), Type::Bool));
+            }
+        }
+
+        let (le, lty) = self.lower_expr(lhs, purity)?;
+        let (re, rty) = self.lower_expr(rhs, purity)?;
+        if lty != rty {
+            return Err(self.err(pos, format!("operands of {op:?} have mismatched types {lty} and {rty}")));
+        }
+        let result_ty = if op.is_arith() {
+            if lty != Type::Int {
+                return Err(self.err(pos, format!("arithmetic requires int operands, found {lty}")));
+            }
+            Type::Int
+        } else if op.is_logic() {
+            if lty != Type::Bool {
+                return Err(self.err(pos, format!("AND/OR require bool operands, found {lty}")));
+            }
+            Type::Bool
+        } else {
+            // comparison
+            match op {
+                BinOp::Eq | BinOp::Ne => {
+                    if lty.is_aggregate() {
+                        return Err(self.err(pos, format!("cannot compare values of type {lty}")));
+                    }
+                }
+                _ => {
+                    if lty != Type::Int {
+                        return Err(self.err(pos, format!("ordering comparison requires int operands, found {lty}")));
+                    }
+                }
+            }
+            Type::Bool
+        };
+        let node = HExpr::Binary {
+            op,
+            lhs: le,
+            rhs: re,
+            operand_ty: lty,
+        };
+        Ok((self.push_expr(node, result_ty), result_ty))
+    }
+
+    /// Lowers a lambda `var => body` binding `var` at `elem_ty`. Lambda
+    /// bodies are always pure contexts.
+    fn lower_lambda(
+        &mut self,
+        pos: Pos,
+        var: &str,
+        body: &Expr,
+        elem_ty: Type,
+    ) -> Result<(VarSlot, ExprId, Type), CompileError> {
+        self.scopes.push(Vec::new());
+        let slot = self.declare(pos, var, elem_ty, None)?;
+        let result = self.lower_expr(body, Purity::Pure);
+        self.scopes.pop();
+        let (be, bty) = result?;
+        Ok((slot, be, bty))
+    }
+
+    fn lower_prop(
+        &mut self,
+        pos: Pos,
+        obj: &Expr,
+        name: &str,
+        purity: Purity,
+    ) -> Result<(ExprId, Type), CompileError> {
+        let (oe, oty) = self.lower_expr(obj, purity)?;
+        match oty {
+            Type::Subflow => match SubflowProp::from_name(name) {
+                Some(p) => {
+                    let ty = if p.is_bool() { Type::Bool } else { Type::Int };
+                    Ok((self.push_expr(HExpr::SubflowProp { sbf: oe, prop: p }, ty), ty))
+                }
+                None => Err(self.err(pos, format!("unknown subflow property `{name}`"))),
+            },
+            Type::Packet => match PacketProp::from_name(name) {
+                Some(p) => Ok((
+                    self.push_expr(HExpr::PacketProp { pkt: oe, prop: p }, Type::Int),
+                    Type::Int,
+                )),
+                None => Err(self.err(pos, format!("unknown packet property `{name}`"))),
+            },
+            Type::SubflowList => match name {
+                "COUNT" => Ok((self.push_expr(HExpr::ListCount(oe), Type::Int), Type::Int)),
+                "EMPTY" => Ok((self.push_expr(HExpr::ListEmpty(oe), Type::Bool), Type::Bool)),
+                _ => Err(self.err(pos, format!("unknown subflow-list property `{name}`"))),
+            },
+            Type::PacketQueue => match name {
+                "COUNT" => Ok((self.push_expr(HExpr::QueueCount(oe), Type::Int), Type::Int)),
+                "EMPTY" => Ok((self.push_expr(HExpr::QueueEmpty(oe), Type::Bool), Type::Bool)),
+                "TOP" | "FIRST" => Ok((self.push_expr(HExpr::QueueTop(oe), Type::Packet), Type::Packet)),
+                _ => Err(self.err(pos, format!("unknown queue property `{name}`"))),
+            },
+            other => Err(self.err(pos, format!("type {other} has no properties"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<HProgram, CompileError> {
+        lower(&parse(src).expect("parse"))
+    }
+
+    #[test]
+    fn lowers_min_rtt_scheduler() {
+        let p = check(
+            "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) { SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }",
+        )
+        .unwrap();
+        assert_eq!(p.body.len(), 1);
+        // One lambda slot.
+        assert_eq!(p.n_slots, 1);
+        assert_eq!(p.slot_ty[0], Type::Subflow);
+    }
+
+    #[test]
+    fn lowers_round_robin_with_registers() {
+        let p = check(
+            "VAR sbfs = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY);
+             IF (R1 >= sbfs.COUNT) { SET(R1, 0); }
+             IF (!Q.EMPTY) {
+                 VAR sbf = sbfs.GET(R1);
+                 IF (sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED) { sbf.PUSH(Q.POP()); }
+                 SET(R1, R1 + 1); }",
+        )
+        .unwrap();
+        // sbfs (aggregate) records its initializer for fusion. Slot 0 is
+        // the lambda binding; the list var is allocated after it.
+        let list_slot = p
+            .slot_ty
+            .iter()
+            .position(|t| *t == Type::SubflowList)
+            .expect("sbfs slot exists");
+        assert!(p.aggregate_init[list_slot].is_some());
+    }
+
+    #[test]
+    fn pop_rejected_in_condition() {
+        let err = check("IF (Q.POP() != NULL) { RETURN; }").unwrap_err();
+        assert!(err.message.contains("POP"));
+    }
+
+    #[test]
+    fn pop_rejected_in_predicate() {
+        let err = check("VAR s = SUBFLOWS.FILTER(x => Q.POP() != NULL);").unwrap_err();
+        assert!(err.message.contains("POP"));
+    }
+
+    #[test]
+    fn pop_rejected_in_set_value() {
+        let err = check("SET(R1, Q.POP().SIZE);").unwrap_err();
+        assert!(err.message.contains("POP"));
+    }
+
+    #[test]
+    fn pop_allowed_in_var_init_and_push_and_drop() {
+        check("VAR skb = Q.POP();\nDROP(RQ.POP());\nSUBFLOWS.GET(0).PUSH(QU.POP());").unwrap();
+    }
+
+    #[test]
+    fn redeclaration_rejected() {
+        let err = check("VAR x = 1; VAR x = 2;").unwrap_err();
+        assert!(err.message.contains("already defined"));
+    }
+
+    #[test]
+    fn shadowing_rejected() {
+        let err = check("VAR x = 1; IF (TRUE) { VAR x = 2; }").unwrap_err();
+        assert!(err.message.contains("already defined"));
+    }
+
+    #[test]
+    fn lambda_shadowing_rejected() {
+        let err = check("VAR sbf = SUBFLOWS.GET(0); VAR y = SUBFLOWS.FILTER(sbf => sbf.RTT > 0);").unwrap_err();
+        assert!(err.message.contains("already defined"));
+    }
+
+    #[test]
+    fn block_scoping_allows_sibling_reuse() {
+        // x goes out of scope after the IF, so y can use the name later...
+        // but reuse of the *name* is still a redeclaration only if visible.
+        check("IF (TRUE) { VAR x = 1; } IF (TRUE) { VAR x = 2; }").unwrap();
+    }
+
+    #[test]
+    fn unknown_variable() {
+        let err = check("VAR y = x + 1;").unwrap_err();
+        assert!(err.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn unknown_property() {
+        let err = check("VAR y = SUBFLOWS.GET(0).WAT;").unwrap_err();
+        assert!(err.message.contains("unknown subflow property"));
+    }
+
+    #[test]
+    fn type_error_arith_on_bool() {
+        let err = check("VAR y = TRUE + 1;").unwrap_err();
+        assert!(err.message.contains("mismatched") || err.message.contains("int"));
+    }
+
+    #[test]
+    fn type_error_if_on_int() {
+        let err = check("IF (1) { RETURN; }").unwrap_err();
+        assert!(err.message.contains("bool"));
+    }
+
+    #[test]
+    fn null_comparison_infers_type() {
+        check("VAR s = SUBFLOWS.MIN(x => x.RTT); IF (s != NULL) { s.PUSH(Q.POP()); }").unwrap();
+        check("VAR p = Q.TOP; IF (NULL == p) { RETURN; }").unwrap();
+    }
+
+    #[test]
+    fn null_vs_null_rejected() {
+        let err = check("IF (NULL == NULL) { RETURN; }").unwrap_err();
+        assert!(err.message.contains("NULL"));
+    }
+
+    #[test]
+    fn null_vs_int_rejected() {
+        let err = check("IF (1 == NULL) { RETURN; }").unwrap_err();
+        assert!(err.message.contains("NULL"));
+    }
+
+    #[test]
+    fn bare_null_var_rejected() {
+        let err = check("VAR x = NULL;").unwrap_err();
+        assert!(err.message.contains("NULL"));
+    }
+
+    #[test]
+    fn foreach_requires_subflow_list() {
+        let err = check("FOREACH (VAR p IN Q) { RETURN; }").unwrap_err();
+        assert!(err.message.contains("subflow list"));
+    }
+
+    #[test]
+    fn push_target_must_be_subflow() {
+        let err = check("Q.TOP.PUSH(Q.POP());").unwrap_err();
+        assert!(err.message.contains("subflow"));
+    }
+
+    #[test]
+    fn sent_on_types() {
+        check("VAR sbf = SUBFLOWS.GET(0); VAR p = QU.FILTER(s => !s.SENT_ON(sbf)).TOP;").unwrap();
+        let err = check("VAR sbf = SUBFLOWS.GET(0); VAR b = sbf.SENT_ON(sbf);").unwrap_err();
+        assert!(err.message.contains("packet"));
+    }
+
+    #[test]
+    fn ordering_on_packets_rejected() {
+        let err = check("IF (Q.TOP < Q.TOP) { RETURN; }").unwrap_err();
+        assert!(err.message.contains("int"));
+    }
+
+    #[test]
+    fn queue_equality_rejected() {
+        let err = check("IF (Q == QU) { RETURN; }").unwrap_err();
+        assert!(err.message.contains("compare"));
+    }
+
+    #[test]
+    fn rtt_avg_alias_resolves() {
+        check("VAR s = SUBFLOWS.FILTER(sbf => sbf.RTT_AVG < 10).MIN(sbf => sbf.RTT_VAR);").unwrap();
+    }
+
+    #[test]
+    fn queue_min_max_yields_packet() {
+        let p = check("VAR oldest = QU.MIN(s => s.SEQ); IF (oldest != NULL) { RETURN; }").unwrap();
+        assert_eq!(p.slot_ty[1], Type::Packet); // slot 0 is the lambda var
+    }
+
+    #[test]
+    fn sum_over_list() {
+        check("VAR total = SUBFLOWS.SUM(s => s.BW); SET(R1, total);").unwrap();
+    }
+
+    #[test]
+    fn get_on_queue_rejected() {
+        let err = check("VAR p = Q.GET(0);").unwrap_err();
+        assert!(err.message.contains("subflow list"));
+    }
+}

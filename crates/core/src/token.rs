@@ -1,0 +1,185 @@
+//! Tokens of the ProgMP scheduler specification language.
+
+use crate::error::Pos;
+use std::fmt;
+
+/// A lexical token together with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Source position of the first character of the token.
+    pub pos: Pos,
+}
+
+/// The kinds of tokens produced by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal, e.g. `42`.
+    Int(i64),
+    /// Identifier or keyword-like name, e.g. `sbf`, `RTT`, `FILTER`.
+    ///
+    /// The language reserves upper-case names for builtins but the lexer
+    /// does not distinguish; the parser resolves names contextually.
+    Ident(String),
+    /// `VAR`
+    Var,
+    /// `IF`
+    If,
+    /// `ELSE`
+    Else,
+    /// `FOREACH`
+    Foreach,
+    /// `IN`
+    In,
+    /// `SET`
+    Set,
+    /// `DROP`
+    Drop,
+    /// `RETURN`
+    Return,
+    /// `NULL`
+    Null,
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT` (keyword form of `!`)
+    Not,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `=>` (lambda arrow)
+    Arrow,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Var => f.write_str("VAR"),
+            TokenKind::If => f.write_str("IF"),
+            TokenKind::Else => f.write_str("ELSE"),
+            TokenKind::Foreach => f.write_str("FOREACH"),
+            TokenKind::In => f.write_str("IN"),
+            TokenKind::Set => f.write_str("SET"),
+            TokenKind::Drop => f.write_str("DROP"),
+            TokenKind::Return => f.write_str("RETURN"),
+            TokenKind::Null => f.write_str("NULL"),
+            TokenKind::True => f.write_str("TRUE"),
+            TokenKind::False => f.write_str("FALSE"),
+            TokenKind::And => f.write_str("AND"),
+            TokenKind::Or => f.write_str("OR"),
+            TokenKind::Not => f.write_str("NOT"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::LBrace => f.write_str("{"),
+            TokenKind::RBrace => f.write_str("}"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Semicolon => f.write_str(";"),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Arrow => f.write_str("=>"),
+            TokenKind::Assign => f.write_str("="),
+            TokenKind::Eq => f.write_str("=="),
+            TokenKind::Ne => f.write_str("!="),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Ge => f.write_str(">="),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Percent => f.write_str("%"),
+            TokenKind::Bang => f.write_str("!"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+impl TokenKind {
+    /// Returns the keyword token for `word`, if `word` is a reserved word.
+    pub(crate) fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "VAR" => TokenKind::Var,
+            "IF" => TokenKind::If,
+            "ELSE" => TokenKind::Else,
+            "FOREACH" => TokenKind::Foreach,
+            "IN" => TokenKind::In,
+            "SET" => TokenKind::Set,
+            "DROP" => TokenKind::Drop,
+            "RETURN" => TokenKind::Return,
+            "NULL" => TokenKind::Null,
+            "TRUE" => TokenKind::True,
+            "FALSE" => TokenKind::False,
+            "AND" => TokenKind::And,
+            "OR" => TokenKind::Or,
+            "NOT" => TokenKind::Not,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("VAR"), Some(TokenKind::Var));
+        assert_eq!(TokenKind::keyword("FOREACH"), Some(TokenKind::Foreach));
+        assert_eq!(TokenKind::keyword("RTT"), None);
+        assert_eq!(TokenKind::keyword("var"), None, "keywords are case-sensitive");
+    }
+
+    #[test]
+    fn display_round_trip_samples() {
+        assert_eq!(TokenKind::Arrow.to_string(), "=>");
+        assert_eq!(TokenKind::Int(7).to_string(), "7");
+        assert_eq!(TokenKind::Ident("sbf".into()).to_string(), "sbf");
+    }
+}

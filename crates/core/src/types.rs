@@ -1,0 +1,76 @@
+//! The static type system of the programming model (paper Table 1):
+//! `int`, `bool`, `packet`, `subflow`, `subflow list`, `packet queue`.
+
+use std::fmt;
+
+/// A surface-language type.
+///
+/// Variables receive the implicit type of their initial assignment and
+/// are immutable; there are no dynamic type errors by design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// A packet reference, possibly `NULL`.
+    Packet,
+    /// A subflow reference, possibly `NULL`.
+    Subflow,
+    /// An ordered list of subflows (e.g. `SUBFLOWS` or a `FILTER` result).
+    SubflowList,
+    /// A packet queue view (`Q`, `QU`, `RQ`, or a `FILTER` result).
+    PacketQueue,
+}
+
+impl Type {
+    /// True for the two nullable reference types.
+    pub fn is_nullable(self) -> bool {
+        matches!(self, Type::Packet | Type::Subflow)
+    }
+
+    /// True for the two aggregate types that never materialize at runtime
+    /// in the compiled backends (they are fused into loops).
+    pub fn is_aggregate(self) -> bool {
+        matches!(self, Type::SubflowList | Type::PacketQueue)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::Int => "int",
+            Type::Bool => "bool",
+            Type::Packet => "packet",
+            Type::Subflow => "subflow",
+            Type::SubflowList => "subflow list",
+            Type::PacketQueue => "packet queue",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nullability() {
+        assert!(Type::Packet.is_nullable());
+        assert!(Type::Subflow.is_nullable());
+        assert!(!Type::Int.is_nullable());
+        assert!(!Type::SubflowList.is_nullable());
+    }
+
+    #[test]
+    fn aggregates() {
+        assert!(Type::SubflowList.is_aggregate());
+        assert!(Type::PacketQueue.is_aggregate());
+        assert!(!Type::Packet.is_aggregate());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::PacketQueue.to_string(), "packet queue");
+    }
+}

@@ -1,0 +1,267 @@
+//! Property tests: the three execution backends (interpreter, AOT
+//! closures, bytecode VM) are observationally equivalent — identical
+//! register files, transmissions, and drops — on randomly generated
+//! programs and randomly generated environments.
+//!
+//! This is the safety net behind the paper's claim that the scheduler
+//! developer "can be agnostic with respect to the execution
+//! alternatives" (§4.1 footnote 3).
+
+use progmp_core::env::{PacketProp, QueueKind, SchedulerEnv, SubflowProp, RegId};
+use progmp_core::testenv::MockEnv;
+use progmp_core::{compile, compile_with_options, Backend, CompileOptions};
+use proptest::prelude::*;
+
+/// Recursive generator for integer-typed expressions. `lambda_var` is the
+/// name of the subflow variable in scope (inside FILTER/MIN lambdas).
+fn int_expr(depth: u32, lambda_var: Option<&'static str>) -> BoxedStrategy<String> {
+    let leaf = {
+        let mut options: Vec<BoxedStrategy<String>> = vec![
+            (-100i64..100).prop_map(|v| {
+                if v < 0 {
+                    format!("(0 - {})", -v)
+                } else {
+                    v.to_string()
+                }
+            })
+            .boxed(),
+            (1u8..=4).prop_map(|r| format!("R{r}")).boxed(),
+            Just("Q.COUNT".to_string()).boxed(),
+            Just("QU.COUNT".to_string()).boxed(),
+            Just("SUBFLOWS.COUNT".to_string()).boxed(),
+        ];
+        if let Some(v) = lambda_var {
+            options.push(
+                prop_oneof![
+                    Just(format!("{v}.RTT")),
+                    Just(format!("{v}.CWND")),
+                    Just(format!("{v}.ID")),
+                    Just(format!("{v}.BW")),
+                ]
+                .boxed(),
+            );
+        }
+        proptest::strategy::Union::new(options).boxed()
+    };
+    if depth == 0 {
+        return leaf;
+    }
+    let sub = int_expr(depth - 1, lambda_var);
+    prop_oneof![
+        3 => leaf,
+        1 => (sub.clone(), sub.clone(), prop_oneof![Just("+"), Just("-"), Just("*"), Just("/"), Just("%")])
+            .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+    ]
+    .boxed()
+}
+
+/// Boolean-typed expressions.
+fn bool_expr(depth: u32, lambda_var: Option<&'static str>) -> BoxedStrategy<String> {
+    let cmp = (
+        int_expr(depth, lambda_var),
+        int_expr(depth, lambda_var),
+        prop_oneof![Just("<"), Just("<="), Just(">"), Just(">="), Just("=="), Just("!=")],
+    )
+        .prop_map(|(a, b, op)| format!("({a} {op} {b})"));
+    let mut options: Vec<BoxedStrategy<String>> = vec![
+        cmp.boxed(),
+        Just("Q.EMPTY".to_string()).boxed(),
+        Just("!SUBFLOWS.EMPTY".to_string()).boxed(),
+    ];
+    if let Some(v) = lambda_var {
+        options.push(Just(format!("!{v}.IS_BACKUP")).boxed());
+        options.push(Just(format!("!{v}.LOSSY")).boxed());
+    }
+    let base = proptest::strategy::Union::new(options);
+    if depth == 0 {
+        return base.boxed();
+    }
+    let sub = bool_expr(depth - 1, lambda_var);
+    prop_oneof![
+        3 => base,
+        1 => (sub.clone(), sub.clone(), prop_oneof![Just("AND"), Just("OR")])
+            .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+        1 => sub.prop_map(|e| format!("!{e}")),
+    ]
+    .boxed()
+}
+
+/// A statement. Variable names are made unique with `idx` to respect the
+/// single-assignment rule.
+fn stmt(depth: u32, idx: u32) -> BoxedStrategy<String> {
+    let set = (1u8..=4, int_expr(2, None)).prop_map(|(r, e)| format!("SET(R{r}, {e});"));
+    let push_min = bool_expr(1, Some("pm"))
+        .prop_map(move |pred| {
+            format!(
+                "VAR s{idx} = SUBFLOWS.FILTER(pm => {pred}).MIN(pm => pm.RTT);\n\
+                 IF (s{idx} != NULL AND !Q.EMPTY) {{ s{idx}.PUSH(Q.POP()); }}"
+            )
+        });
+    let foreach = (bool_expr(1, Some("fv")), int_expr(1, None)).prop_map(move |(pred, e)| {
+        format!(
+            "FOREACH (VAR f{idx} IN SUBFLOWS.FILTER(fv => {pred})) {{ SET(R5, R5 + {e}); }}"
+        )
+    });
+    if depth == 0 {
+        return prop_oneof![set, push_min, foreach].boxed();
+    }
+    let cond_stmt = (
+        bool_expr(1, None),
+        stmt(depth - 1, idx * 2 + 100),
+        stmt(depth - 1, idx * 2 + 101),
+    )
+        .prop_map(|(c, t, e)| format!("IF ({c}) {{\n{t}\n}} ELSE {{\n{e}\n}}"));
+    prop_oneof![
+        2 => set,
+        2 => push_min,
+        1 => foreach,
+        2 => cond_stmt,
+    ]
+    .boxed()
+}
+
+/// A whole program: 1..4 statements.
+fn program() -> impl Strategy<Value = String> {
+    proptest::collection::vec(stmt(1, 0), 1..4).prop_map(|stmts| {
+        stmts
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                // Re-number var declarations to keep names unique.
+                s.replace("s0", &format!("sa{i}"))
+                    .replace("f0", &format!("fa{i}"))
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    })
+}
+
+/// A random environment: 0..5 subflows with random properties and three
+/// queues with random packets.
+fn environment() -> impl Strategy<Value = MockEnv> {
+    (
+        proptest::collection::vec((1i64..200_000, 1i64..64, any::<bool>(), any::<bool>()), 0..5),
+        proptest::collection::vec((1u32..2000, 0i64..1_000_000), 0..6),
+        proptest::collection::vec((1u32..2000, 0i64..1_000_000), 0..4),
+        proptest::collection::vec(-50i64..50, 8),
+    )
+        .prop_map(|(subflows, q_pkts, qu_pkts, regs)| {
+            let mut env = MockEnv::new();
+            for (i, (rtt, cwnd, backup, lossy)) in subflows.iter().enumerate() {
+                let id = i as u32;
+                env.add_subflow(id);
+                env.set_subflow_prop(id, SubflowProp::Rtt, *rtt);
+                env.set_subflow_prop(id, SubflowProp::Cwnd, *cwnd);
+                env.set_subflow_prop(id, SubflowProp::Bw, rtt * 7 % 100_000);
+                env.set_subflow_prop(id, SubflowProp::IsBackup, i64::from(*backup));
+                env.set_subflow_prop(id, SubflowProp::Lossy, i64::from(*lossy));
+            }
+            let mut next_id = 1u64;
+            for (size, seq) in q_pkts {
+                env.push_packet(QueueKind::SendQueue, next_id, seq, i64::from(size));
+                next_id += 1;
+            }
+            for (i, (size, seq)) in qu_pkts.iter().enumerate() {
+                env.push_packet(QueueKind::Unacked, next_id, *seq, i64::from(*size));
+                env.set_packet_prop(next_id, PacketProp::UserProp, (i % 4) as i64);
+                if !env.subflows().is_empty() {
+                    env.mark_sent_on(next_id, (i % env.subflows().len()) as u32);
+                }
+                next_id += 1;
+            }
+            for (i, v) in regs.iter().enumerate() {
+                env.set_register(RegId::new((i + 1) as u8).unwrap(), *v);
+            }
+            env
+        })
+}
+
+/// Runs `src` on `env` with `backend`, returning the observable outcome.
+fn run(src: &str, env: &MockEnv, backend: Backend) -> (Vec<(u32, u64)>, Vec<u64>, Vec<i64>) {
+    let program = compile(src).expect("generated programs compile");
+    let mut inst = program.instantiate(backend);
+    let mut env = env.clone();
+    // Three consecutive executions to exercise register persistence.
+    for _ in 0..3 {
+        inst.execute(&mut env).expect("execution succeeds");
+    }
+    let txs = env
+        .transmissions
+        .iter()
+        .map(|(s, p)| (s.0, p.0))
+        .collect();
+    let drops = env.dropped.iter().map(|p| p.0).collect();
+    let regs = (1..=8)
+        .map(|i| env.register(RegId::new(i).unwrap()))
+        .collect();
+    (txs, drops, regs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All three backends agree on arbitrary programs and environments.
+    #[test]
+    fn backends_are_observationally_equivalent(src in program(), env in environment()) {
+        let a = run(&src, &env, Backend::Interpreter);
+        let b = run(&src, &env, Backend::Aot);
+        let c = run(&src, &env, Backend::Vm);
+        prop_assert_eq!(&a, &b, "interpreter vs aot differ for:\n{}", src);
+        prop_assert_eq!(&a, &c, "interpreter vs vm differ for:\n{}", src);
+    }
+
+    /// Generated programs always pass the verifier and never lose packets:
+    /// every packet is either still in a queue, transmitted, or dropped.
+    #[test]
+    fn no_packet_loss_by_design(src in program(), env in environment()) {
+        let program = compile(&src).expect("generated programs compile");
+        let mut inst = program.instantiate(Backend::Vm);
+        let mut e = env.clone();
+        let q_before: Vec<u64> = e.queue_contents(QueueKind::SendQueue).iter().map(|p| p.0).collect();
+        inst.execute(&mut e).expect("execution succeeds");
+        let q_after: Vec<u64> = e.queue_contents(QueueKind::SendQueue).iter().map(|p| p.0).collect();
+        let qu_after: Vec<u64> = e.queue_contents(QueueKind::Unacked).iter().map(|p| p.0).collect();
+        let dropped: Vec<u64> = e.dropped.iter().map(|p| p.0).collect();
+        for pkt in q_before {
+            let accounted = q_after.contains(&pkt)
+                || qu_after.contains(&pkt)
+                || dropped.contains(&pkt)
+                || e.transmissions.iter().any(|(_, p)| p.0 == pkt);
+            prop_assert!(accounted, "packet {pkt} vanished for program:\n{src}");
+        }
+    }
+
+    /// The HIR optimizer never changes observable behaviour: optimized
+    /// and unoptimized compiles of random programs agree on random
+    /// environments.
+    #[test]
+    fn optimizer_preserves_semantics(src in program(), env in environment()) {
+        let run_with = |optimize: bool| {
+            let program = compile_with_options(None, &src, CompileOptions { optimize })
+                .expect("generated programs compile");
+            let mut inst = program.instantiate(Backend::Vm);
+            let mut env = env.clone();
+            for _ in 0..3 {
+                inst.execute(&mut env).expect("execution succeeds");
+            }
+            let txs: Vec<(u32, u64)> = env.transmissions.iter().map(|(s, p)| (s.0, p.0)).collect();
+            let regs: Vec<i64> = (1..=8).map(|i| env.register(RegId::new(i).unwrap())).collect();
+            (txs, regs)
+        };
+        prop_assert_eq!(run_with(true), run_with(false), "optimizer changed behaviour of:\n{}", src);
+    }
+
+    /// The step budget terminates any generated program (the verifier
+    /// guarantee) and partial executions apply no effects.
+    #[test]
+    fn tiny_budget_never_panics(src in program(), env in environment()) {
+        let program = compile(&src).expect("generated programs compile");
+        for backend in Backend::ALL {
+            let mut inst = program.instantiate(backend);
+            inst.set_step_budget(7);
+            let mut e = env.clone();
+            // Either completes within budget or errors — never panics.
+            let _ = inst.execute(&mut e);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Robustness properties of the language front end: arbitrary input never
+//! panics (it either compiles or returns a structured error), and
+//! anything that parses pretty-prints to something that parses again.
+
+use progmp_core::parser::parse;
+use progmp_core::printer::print_program;
+use progmp_core::{compile, CompileError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary Unicode input: the pipeline returns Ok or Err, never
+    /// panics.
+    #[test]
+    fn arbitrary_input_never_panics(src in ".{0,200}") {
+        let _: Result<_, CompileError> = compile(&src);
+    }
+
+    /// Inputs built from language tokens (much more likely to get deep
+    /// into the parser and type checker): still no panics.
+    #[test]
+    fn token_soup_never_panics(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("VAR"), Just("IF"), Just("ELSE"), Just("FOREACH"), Just("IN"),
+            Just("SET"), Just("DROP"), Just("RETURN"), Just("NULL"), Just("TRUE"),
+            Just("AND"), Just("OR"), Just("Q"), Just("QU"), Just("RQ"),
+            Just("SUBFLOWS"), Just("R1"), Just("R2"), Just("x"), Just("sbf"),
+            Just("RTT"), Just("CWND"), Just("EMPTY"), Just("COUNT"), Just("TOP"),
+            Just("FILTER"), Just("MIN"), Just("POP"), Just("PUSH"),
+            Just("("), Just(")"), Just("{"), Just("}"), Just(";"), Just(","),
+            Just("."), Just("=>"), Just("="), Just("=="), Just("!="), Just("<"),
+            Just(">"), Just("+"), Just("-"), Just("*"), Just("/"), Just("%"),
+            Just("!"), Just("42"), Just("0"),
+        ],
+        0..40,
+    )) {
+        let src = tokens.join(" ");
+        let _: Result<_, CompileError> = compile(&src);
+    }
+
+    /// If a token soup happens to parse, printing and re-parsing succeeds.
+    #[test]
+    fn parsed_programs_reprint_and_reparse(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("SET"), Just("("), Just(")"), Just("R1"), Just("R2"), Just(","),
+            Just(";"), Just("IF"), Just("{"), Just("}"), Just("Q"), Just("EMPTY"),
+            Just("."), Just("!"), Just("1"), Just("+"), Just("RETURN"),
+        ],
+        0..30,
+    )) {
+        let src = tokens.join(" ");
+        if let Ok(ast) = parse(&src) {
+            let printed = print_program(&ast);
+            let reparsed = parse(&printed);
+            prop_assert!(reparsed.is_ok(), "printed form must parse:\n{printed}");
+        }
+    }
+}

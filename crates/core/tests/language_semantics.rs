@@ -1,0 +1,239 @@
+//! Golden tests for tricky semantic corners of the programming model,
+//! executed on all three backends (the fixed-scenario complement to the
+//! randomized backend-equivalence suite).
+
+use progmp_core::env::{PacketProp, QueueKind, RegId, SchedulerEnv, SubflowProp};
+use progmp_core::testenv::MockEnv;
+use progmp_core::{compile, Backend};
+
+fn env3() -> MockEnv {
+    let mut env = MockEnv::new();
+    for (i, rtt) in [(0u32, 30_000i64), (1, 10_000), (2, 20_000)] {
+        env.add_subflow(i);
+        env.set_subflow_prop(i, SubflowProp::Rtt, rtt);
+        env.set_subflow_prop(i, SubflowProp::Cwnd, 10);
+        env.set_subflow_prop(i, SubflowProp::Bw, rtt * 10);
+    }
+    for p in 0..5u64 {
+        env.push_packet(QueueKind::SendQueue, 100 + p, 1400 * p as i64, 1400);
+        env.set_packet_prop(100 + p, PacketProp::UserProp, (p % 3) as i64);
+    }
+    env
+}
+
+/// Runs `src` on every backend and returns the per-backend outcomes,
+/// asserting they are all identical; returns one of them.
+fn run_all(src: &str, setup: impl Fn(&mut MockEnv)) -> MockEnv {
+    let program = compile(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let mut outcomes: Vec<MockEnv> = Vec::new();
+    for backend in Backend::ALL {
+        let mut env = env3();
+        setup(&mut env);
+        let mut inst = program.instantiate(backend);
+        inst.execute(&mut env).unwrap();
+        outcomes.push(env);
+    }
+    for pair in outcomes.windows(2) {
+        assert_eq!(pair[0].transmissions, pair[1].transmissions);
+        assert_eq!(pair[0].dropped, pair[1].dropped);
+        for r in 1..=8u8 {
+            let reg = RegId::new(r).unwrap();
+            assert_eq!(pair[0].register(reg), pair[1].register(reg));
+        }
+    }
+    outcomes.pop().unwrap()
+}
+
+#[test]
+fn nested_foreach_over_filtered_lists() {
+    let env = run_all(
+        "FOREACH (VAR a IN SUBFLOWS.FILTER(x => x.RTT > 5000)) {
+             FOREACH (VAR b IN SUBFLOWS.FILTER(y => y.RTT < a.RTT)) {
+                 SET(R1, R1 + 1);
+             }
+         }",
+        |_| {},
+    );
+    // Pairs (a, b) with b.RTT < a.RTT among 30/10/20: (30,10), (30,20), (20,10).
+    assert_eq!(env.register(RegId::R1), 3);
+}
+
+#[test]
+fn deep_filter_chain_on_queue_with_register_threshold() {
+    let env = run_all(
+        "SET(R2, 2);
+         SET(R1, Q.FILTER(p => p.SEQ >= 1400)
+                  .FILTER(p => p.PROP != 1)
+                  .FILTER(p => p.SEQ / 1400 < R2 + 2).COUNT);",
+        |_| {},
+    );
+    // Packets seq 1400..5600 with PROP != 1 and index < 4: indices 2, 3
+    // (props 2, 0). Index 1 has prop 1; index 4 fails the bound.
+    assert_eq!(env.register(RegId::R1), 2);
+}
+
+#[test]
+fn get_with_register_index_and_wraparound() {
+    let env = run_all(
+        "SET(R4, 7);
+         IF (R4 >= SUBFLOWS.COUNT) { SET(R4, R4 % SUBFLOWS.COUNT); }
+         VAR s = SUBFLOWS.GET(R4);
+         IF (s != NULL) { SET(R1, s.RTT); }",
+        |_| {},
+    );
+    // 7 % 3 = 1 -> subflow 1, RTT 10 ms.
+    assert_eq!(env.register(RegId::R1), 10_000);
+}
+
+#[test]
+fn min_ties_resolve_to_first_element() {
+    let env = run_all(
+        "SET(R1, SUBFLOWS.FILTER(s => s.CWND == 10).MIN(s => s.CWND).ID);",
+        |_| {},
+    );
+    assert_eq!(env.register(RegId::R1), 0, "stable: first of equals wins");
+}
+
+#[test]
+fn queue_sum_and_max_interact_with_pops() {
+    let env = run_all(
+        "SET(R1, Q.SUM(p => p.SIZE));
+         VAR first = Q.POP();
+         SET(R2, Q.SUM(p => p.SIZE));
+         SUBFLOWS.GET(0).PUSH(first);
+         SET(R3, Q.MAX(p => p.SEQ).SEQ);",
+        |_| {},
+    );
+    assert_eq!(env.register(RegId::R1), 5 * 1400);
+    assert_eq!(env.register(RegId::R2), 4 * 1400, "pop visible to later SUM");
+    assert_eq!(env.register(RegId::R3), 4 * 1400);
+    assert_eq!(env.transmissions.len(), 1);
+}
+
+#[test]
+fn foreach_body_pops_one_per_iteration() {
+    let env = run_all(
+        "FOREACH (VAR s IN SUBFLOWS) {
+             VAR p = Q.POP();
+             IF (p != NULL) { s.PUSH(p); }
+         }",
+        |_| {},
+    );
+    // Three subflows, three distinct packets.
+    assert_eq!(env.transmissions.len(), 3);
+    let pkts: Vec<u64> = env.transmissions.iter().map(|t| t.1 .0).collect();
+    assert_eq!(pkts, vec![100, 101, 102]);
+}
+
+#[test]
+fn drop_inside_loop_consumes_queue() {
+    let env = run_all(
+        "FOREACH (VAR s IN SUBFLOWS) { DROP(Q.POP()); }",
+        |_| {},
+    );
+    assert_eq!(env.dropped.len(), 3);
+    assert_eq!(env.queue_contents(QueueKind::SendQueue).len(), 2);
+}
+
+#[test]
+fn null_propagation_through_property_chains() {
+    let env = run_all(
+        "VAR ghost = SUBFLOWS.FILTER(s => s.RTT > 1000000).MIN(s => s.RTT);
+         SET(R1, ghost.CWND + 5);
+         SET(R2, QU.TOP.SIZE + 7);",
+        |_| {},
+    );
+    assert_eq!(env.register(RegId::R1), 5, "NULL subflow property reads 0");
+    assert_eq!(env.register(RegId::R2), 7, "NULL packet property reads 0");
+}
+
+#[test]
+fn negative_arithmetic_and_modulo() {
+    let env = run_all(
+        "SET(R1, (0 - 7) / 2);
+         SET(R2, (0 - 7) % 3);
+         SET(R3, (0 - 1) * (0 - 1));",
+        |_| {},
+    );
+    // Rust/eBPF truncating semantics.
+    assert_eq!(env.register(RegId::R1), -3);
+    assert_eq!(env.register(RegId::R2), -1);
+    assert_eq!(env.register(RegId::R3), 1);
+}
+
+#[test]
+fn early_return_from_nested_blocks() {
+    let env = run_all(
+        "IF (!Q.EMPTY) {
+             FOREACH (VAR s IN SUBFLOWS) {
+                 IF (s.RTT == 10000) {
+                     SET(R1, s.ID);
+                     RETURN;
+                 }
+                 SET(R2, R2 + 1);
+             }
+         }
+         SET(R3, 99);",
+        |_| {},
+    );
+    assert_eq!(env.register(RegId::R1), 1);
+    assert_eq!(env.register(RegId::R2), 1, "one iteration before the match");
+    assert_eq!(env.register(RegId::R3), 0, "RETURN skips the trailing SET");
+}
+
+#[test]
+fn sent_on_with_variables_across_scopes() {
+    let env = run_all(
+        "VAR fast = SUBFLOWS.MIN(s => s.RTT);
+         FOREACH (VAR other IN SUBFLOWS.FILTER(o => o.ID != fast.ID)) {
+             VAR skb = QU.FILTER(p => p.SENT_ON(fast) AND !p.SENT_ON(other)).TOP;
+             IF (skb != NULL) { other.PUSH(skb); }
+         }",
+        |env| {
+            env.push_packet(QueueKind::Unacked, 500, 0, 1400);
+            env.mark_sent_on(500, 1); // sent on the fast subflow (id 1)
+        },
+    );
+    // Retransmitted on both other subflows (0 and 2).
+    assert_eq!(env.transmissions.len(), 2);
+    assert!(env.transmissions.iter().all(|t| t.1 .0 == 500));
+}
+
+#[test]
+fn empty_subflow_set_is_fully_graceful() {
+    let program = compile(
+        "SET(R1, SUBFLOWS.COUNT);
+         VAR m = SUBFLOWS.MIN(s => s.RTT);
+         IF (m == NULL) { SET(R2, 1); }
+         FOREACH (VAR s IN SUBFLOWS) { SET(R3, 9); }
+         IF (SUBFLOWS.EMPTY) { SET(R4, 1); }",
+    )
+    .unwrap();
+    for backend in Backend::ALL {
+        let mut env = MockEnv::new();
+        env.push_packet(QueueKind::SendQueue, 1, 0, 100);
+        program.instantiate(backend).execute(&mut env).unwrap();
+        assert_eq!(env.register(RegId::R1), 0);
+        assert_eq!(env.register(RegId::R2), 1);
+        assert_eq!(env.register(RegId::R3), 0);
+        assert_eq!(env.register(RegId::R4), 1);
+    }
+}
+
+#[test]
+fn redundant_push_of_same_packet_counts_each_copy() {
+    let env = run_all(
+        "VAR skb = Q.TOP;
+         FOREACH (VAR s IN SUBFLOWS) { s.PUSH(skb); }
+         DROP(Q.POP());",
+        |_| {},
+    );
+    assert_eq!(env.transmissions.len(), 3);
+    assert_eq!(
+        env.packet_prop(progmp_core::env::PacketRef(100), PacketProp::SentCount),
+        3
+    );
+    // The DROP found the packet already moved to QU by the pushes: the
+    // send queue lost exactly one packet.
+    assert_eq!(env.queue_contents(QueueKind::SendQueue).len(), 4);
+}

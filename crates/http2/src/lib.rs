@@ -1,0 +1,22 @@
+//! # http2-sim
+//!
+//! An HTTP/2-flavoured page-load model over `mptcp-sim`, reproducing the
+//! application side of paper §5.5 (Fig. 14): an MPTCP-aware web server
+//! that annotates packets with content classes (dependency-critical head
+//! data, initial-view content, post-initial content) so an HTTP/2-aware
+//! ProgMP scheduler can optimize dependency resolution and preserve
+//! subflow preferences.
+//!
+//! The paper extended Nghttp2 to forward HTTP information through OpenSSL
+//! to the scheduler API; here the [`load::ServerMode::Aware`] server plays
+//! that role by setting per-packet properties, while
+//! [`load::ServerMode::Legacy`] models an unmodified server.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod load;
+pub mod page;
+
+pub use load::{run_page_load, PageLoadResult, ServerMode, WifiLteProfile};
+pub use page::{ContentClass, Page, PageObject};

@@ -1,0 +1,233 @@
+//! Web-page model: objects, content classes, and dependency structure.
+//!
+//! Models the page anatomy of paper §5.5 (Fig. 14 right): an HTML head
+//! whose bytes carry the references to third-party content (3PC), the
+//! remaining content needed for the initial view, and additional content
+//! (e.g. below-the-fold images) that does not affect the initial page.
+//! "One fourth of the Alexa-200 pages have 3PC dependencies on their
+//! critical path"; the example page follows the paper's amazon.com-like
+//! layout where more than half of the data is post-initial.
+
+/// Content classification used for per-packet scheduling annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentClass {
+    /// Head data carrying external-dependency information (annotated as
+    /// packet property 1): its delivery time gates 3PC requests.
+    DependencyHead,
+    /// Content required to render the initial view (property 2).
+    InitialView,
+    /// Content not required for the initial view (property 3) — the
+    /// preference-aware class.
+    PostInitial,
+}
+
+impl ContentClass {
+    /// The packet-property value the MPTCP-aware web server annotates
+    /// packets of this class with.
+    pub fn prop(self) -> u32 {
+        match self {
+            ContentClass::DependencyHead => 1,
+            ContentClass::InitialView => 2,
+            ContentClass::PostInitial => 3,
+        }
+    }
+}
+
+/// One object of a page, sent in declaration order.
+#[derive(Debug, Clone)]
+pub struct PageObject {
+    /// Diagnostic name.
+    pub name: String,
+    /// Transfer size in bytes.
+    pub size: u64,
+    /// Content class.
+    pub class: ContentClass,
+}
+
+/// A web page: an ordered list of objects plus third-party dependencies
+/// discovered from the head data.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Objects in server send order.
+    pub objects: Vec<PageObject>,
+    /// Extra latency (ns) for fetching third-party content once the head
+    /// data is parsed (DNS + connect + transfer on the 3PC server).
+    pub third_party_latency: u64,
+}
+
+impl Page {
+    /// Total bytes of a content class.
+    pub fn class_bytes(&self, class: ContentClass) -> u64 {
+        self.objects
+            .iter()
+            .filter(|o| o.class == class)
+            .map(|o| o.size)
+            .sum()
+    }
+
+    /// Total page bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.iter().map(|o| o.size).sum()
+    }
+
+    /// Byte offset (in send order) at which all `DependencyHead` data has
+    /// been sent — the dependency-resolution boundary.
+    pub fn head_boundary(&self) -> u64 {
+        let mut offset = 0;
+        let mut boundary = 0;
+        for o in &self.objects {
+            offset += o.size;
+            if o.class == ContentClass::DependencyHead {
+                boundary = offset;
+            }
+        }
+        boundary
+    }
+
+    /// Byte offset after which only `PostInitial` content remains.
+    pub fn initial_boundary(&self) -> u64 {
+        let mut offset = 0;
+        let mut boundary = 0;
+        for o in &self.objects {
+            offset += o.size;
+            if o.class != ContentClass::PostInitial {
+                boundary = offset;
+            }
+        }
+        boundary
+    }
+
+    /// The paper's example page, "inspired by major optimized web pages,
+    /// such as amazon.com": optimized HTML head with dependency info
+    /// first, CSS/JS and above-the-fold images next, and more than half
+    /// of the bytes (below-the-fold images) after the initial page.
+    pub fn amazon_like() -> Page {
+        Page {
+            objects: vec![
+                PageObject {
+                    name: "html-head".into(),
+                    // Dependency references live in the first kilobytes of
+                    // the optimized HTML: small enough to fit the initial
+                    // window of a single fast subflow.
+                    size: 12_000,
+                    class: ContentClass::DependencyHead,
+                },
+                PageObject {
+                    name: "critical-css".into(),
+                    size: 45_000,
+                    class: ContentClass::InitialView,
+                },
+                PageObject {
+                    name: "app-js".into(),
+                    size: 160_000,
+                    class: ContentClass::InitialView,
+                },
+                PageObject {
+                    name: "hero-image".into(),
+                    size: 120_000,
+                    class: ContentClass::InitialView,
+                },
+                PageObject {
+                    name: "belowfold-images".into(),
+                    size: 430_000,
+                    class: ContentClass::PostInitial,
+                },
+                PageObject {
+                    name: "prefetch-assets".into(),
+                    size: 90_000,
+                    class: ContentClass::PostInitial,
+                },
+            ],
+            third_party_latency: 120 * 1_000_000, // 120 ms
+        }
+    }
+}
+
+impl Page {
+    /// A news-site-like page: heavier third-party dependency chain (ads,
+    /// analytics, CDNs) and a larger post-initial tail — the "one fourth
+    /// of the Alexa-200 pages have 3PC dependencies on their critical
+    /// path" profile.
+    pub fn news_like() -> Page {
+        Page {
+            objects: vec![
+                PageObject {
+                    name: "html-head".into(),
+                    size: 8_000,
+                    class: ContentClass::DependencyHead,
+                },
+                PageObject {
+                    name: "consent-js".into(),
+                    size: 6_000,
+                    class: ContentClass::DependencyHead,
+                },
+                PageObject {
+                    name: "layout-css".into(),
+                    size: 60_000,
+                    class: ContentClass::InitialView,
+                },
+                PageObject {
+                    name: "article-text".into(),
+                    size: 40_000,
+                    class: ContentClass::InitialView,
+                },
+                PageObject {
+                    name: "top-image".into(),
+                    size: 180_000,
+                    class: ContentClass::InitialView,
+                },
+                PageObject {
+                    name: "gallery".into(),
+                    size: 700_000,
+                    class: ContentClass::PostInitial,
+                },
+                PageObject {
+                    name: "recommendations".into(),
+                    size: 250_000,
+                    class: ContentClass::PostInitial,
+                },
+            ],
+            third_party_latency: 250 * 1_000_000, // slow ad exchange: 250 ms
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amazon_like_page_is_mostly_post_initial() {
+        let p = Page::amazon_like();
+        let post = p.class_bytes(ContentClass::PostInitial);
+        assert!(
+            post * 2 > p.total_bytes(),
+            "more than half of the data is post-initial (paper §5.5)"
+        );
+    }
+
+    #[test]
+    fn boundaries_are_ordered() {
+        let p = Page::amazon_like();
+        assert!(p.head_boundary() > 0);
+        assert!(p.head_boundary() < p.initial_boundary());
+        assert!(p.initial_boundary() < p.total_bytes());
+        assert_eq!(p.head_boundary(), 12_000);
+        assert_eq!(p.initial_boundary(), 12_000 + 45_000 + 160_000 + 120_000);
+    }
+
+    #[test]
+    fn news_like_page_has_two_head_objects_on_critical_path() {
+        let p = Page::news_like();
+        assert_eq!(p.head_boundary(), 14_000, "both head objects gate 3PC");
+        assert!(p.class_bytes(ContentClass::PostInitial) * 2 > p.total_bytes());
+        assert!(p.third_party_latency > Page::amazon_like().third_party_latency);
+    }
+
+    #[test]
+    fn class_props_match_convention() {
+        assert_eq!(ContentClass::DependencyHead.prop(), 1);
+        assert_eq!(ContentClass::InitialView.prop(), 2);
+        assert_eq!(ContentClass::PostInitial.prop(), 3);
+    }
+}

@@ -1,0 +1,632 @@
+//! ProgMP source texts for every scheduler discussed in the paper.
+//!
+//! Register conventions (set through the extended API, paper §3.2):
+//!
+//! | Register | Meaning |
+//! |---|---|
+//! | `R1` | primary application intent: target bandwidth (bytes/s) for [`TAP`], tolerable RTT (µs) for [`TARGET_RTT`], remaining deadline (ms) for [`TARGET_DEADLINE`] |
+//! | `R2` | end-of-flow flag for the compensating schedulers (§5.3), or remaining chunk bytes for [`TARGET_DEADLINE`] |
+//! | `R3` | handover-active flag for [`HANDOVER_AWARE`] (§5.2) |
+//!
+//! Subflow preference convention for the preference-aware schedulers
+//! ([`TAP`], [`TARGET_RTT`], [`TARGET_DEADLINE`], [`HTTP2_AWARE`]):
+//! preferred subflows have `COST == 0`, non-preferred (metered) subflows
+//! `COST > 0` — set through the extended API. Kernel *backup mode*
+//! (`IS_BACKUP`) remains a separate, stronger mechanism honored by the
+//! default scheduler.
+//!
+//! Packet property (`PROP`) conventions for [`HTTP2_AWARE`] (§5.5):
+//! `1` = dependency-critical initial data, `2` = remaining initial-view
+//! content, `3` = post-initial content (deferrable, preference-aware).
+
+/// Fig. 3: the minimal example — push on the subflow with minimum RTT.
+pub const MIN_RTT_SIMPLE: &str = "
+    IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {
+        SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+    }";
+
+/// The Linux default scheduler (§3.4): reinjections first, then the
+/// lowest-RTT subflow with free congestion window, skipping throttled and
+/// lossy subflows, with backup semantics (backups only when no non-backup
+/// subflow is available).
+pub const DEFAULT_MIN_RTT: &str = "
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    VAR nonBackup = avail.FILTER(sbf => !sbf.IS_BACKUP);
+    VAR rqSkb = RQ.TOP;
+    IF (rqSkb != NULL) {
+        VAR rtxSbf = avail.FILTER(sbf => !rqSkb.SENT_ON(sbf)).MIN(sbf => sbf.RTT);
+        IF (rtxSbf != NULL) {
+            rtxSbf.PUSH(RQ.POP());
+            RETURN;
+        }
+    }
+    IF (!Q.EMPTY) {
+        VAR s = nonBackup.MIN(sbf => sbf.RTT);
+        IF (s != NULL) {
+            s.PUSH(Q.POP());
+            RETURN;
+        }
+        /* backup subflows are used only when no non-backup subflow is
+           established at all (kernel backup semantics, paper 3.4) */
+        IF (SUBFLOWS.FILTER(sbf => !sbf.IS_BACKUP).EMPTY) {
+            VAR b = avail.MIN(sbf => sbf.RTT);
+            IF (b != NULL) { b.PUSH(Q.POP()); }
+        }
+    }";
+
+/// Fig. 5: the round-robin scheduler with a cyclic index in `R4` and
+/// work-conserving skip of exhausted windows.
+pub const ROUND_ROBIN: &str = "
+    VAR sbfs = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY);
+    IF (R4 >= sbfs.COUNT) { SET(R4, 0); }
+    IF (!Q.EMPTY) {
+        VAR sbf = sbfs.GET(R4);
+        IF (sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED) {
+            sbf.PUSH(Q.POP());
+        }
+        SET(R4, R4 + 1);
+    }";
+
+/// The existing redundant scheduler (§3.4 / Fig. 10a top): every subflow
+/// first catches up on in-flight packets it has not transmitted yet, then
+/// takes fresh data — converging to "all packets on all subflows".
+pub const REDUNDANT: &str = "
+    VAR sbfCandidates = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY);
+    FOREACH (VAR sbf IN sbfCandidates) {
+        VAR skb = QU.FILTER(s => !s.SENT_ON(sbf)).TOP;
+        /* are all QU packets sent on this sbf? */
+        IF (skb != NULL) {
+            sbf.PUSH(skb);
+        } ELSE {
+            sbf.PUSH(Q.POP());
+        }
+    }";
+
+/// §5.1 `OpportunisticRedundant`: a packet is sent redundantly on every
+/// subflow whose congestion window is free *when it is first scheduled*;
+/// as acknowledgements arrive, fresh packets take precedence over
+/// completing redundancy (Fig. 10a bottom).
+pub const OPPORTUNISTIC_REDUNDANT: &str = "
+    /* reinjection queue first: recover suspected losses (model §3.1) */
+    VAR rqPre = RQ.TOP;
+    IF (rqPre != NULL) {
+        VAR rqSbf = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED
+            AND !rqPre.SENT_ON(q)).MIN(q => q.RTT);
+        IF (rqSbf != NULL) {
+            rqSbf.PUSH(RQ.POP());
+            RETURN;
+        }
+        VAR rqAny = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED).MIN(q => q.RTT);
+        IF (rqAny != NULL) {
+            rqAny.PUSH(RQ.POP());
+            RETURN;
+        }
+    }
+    VAR sbfCandidates = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (!sbfCandidates.EMPTY AND !Q.EMPTY) {
+        FOREACH (VAR sbf IN sbfCandidates) {
+            sbf.PUSH(Q.TOP);
+        }
+        DROP(Q.POP());
+    }";
+
+/// §5.1 `RedundantIfNoQ`: always favors fresh packets; redundancy is only
+/// deployed when the sending queue is empty, so it never delays new data.
+pub const REDUNDANT_IF_NO_Q: &str = "
+    /* reinjection queue first: recover suspected losses (model §3.1) */
+    VAR rqPre = RQ.TOP;
+    IF (rqPre != NULL) {
+        VAR rqSbf = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED
+            AND !rqPre.SENT_ON(q)).MIN(q => q.RTT);
+        IF (rqSbf != NULL) {
+            rqSbf.PUSH(RQ.POP());
+            RETURN;
+        }
+        VAR rqAny = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED).MIN(q => q.RTT);
+        IF (rqAny != NULL) {
+            rqAny.PUSH(RQ.POP());
+            RETURN;
+        }
+    }
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (!Q.EMPTY) {
+        VAR s = avail.MIN(sbf => sbf.RTT);
+        IF (s != NULL) { s.PUSH(Q.POP()); }
+        RETURN;
+    }
+    FOREACH (VAR sbf IN avail) {
+        VAR skb = QU.FILTER(s => !s.SENT_ON(sbf)).TOP;
+        IF (skb != NULL) { sbf.PUSH(skb); }
+    }";
+
+/// §5.3 `Compensating` (Fig. 12 without the highlighted parts): behaves
+/// like the default scheduler until the application signals the end of
+/// the flow (`R2 = 1`); then every packet still in flight is retransmitted
+/// on all subflows it has not used, compensating earlier decisions.
+pub const COMPENSATING: &str = "
+    /* reinjection queue first: recover suspected losses (model §3.1) */
+    VAR rqPre = RQ.TOP;
+    IF (rqPre != NULL) {
+        VAR rqSbf = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED
+            AND !rqPre.SENT_ON(q)).MIN(q => q.RTT);
+        IF (rqSbf != NULL) {
+            rqSbf.PUSH(RQ.POP());
+            RETURN;
+        }
+        VAR rqAny = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED).MIN(q => q.RTT);
+        IF (rqAny != NULL) {
+            rqAny.PUSH(RQ.POP());
+            RETURN;
+        }
+    }
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (!Q.EMPTY) {
+        VAR s = avail.MIN(sbf => sbf.RTT);
+        IF (s != NULL) { s.PUSH(Q.POP()); }
+        RETURN;
+    }
+    IF (R2 == 1) {
+        FOREACH (VAR sbf IN SUBFLOWS) {
+            VAR skb = QU.FILTER(s => !s.SENT_ON(sbf)).TOP;
+            IF (skb != NULL) { sbf.PUSH(skb); }
+        }
+    }";
+
+/// §5.3 `Selective Compensation` (Fig. 12 highlighted parts): compensates
+/// only when the subflow RTT ratio exceeds 2, balancing flow-completion
+/// benefit against transmission overhead.
+pub const SELECTIVE_COMPENSATION: &str = "
+    /* reinjection queue first: recover suspected losses (model §3.1) */
+    VAR rqPre = RQ.TOP;
+    IF (rqPre != NULL) {
+        VAR rqSbf = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED
+            AND !rqPre.SENT_ON(q)).MIN(q => q.RTT);
+        IF (rqSbf != NULL) {
+            rqSbf.PUSH(RQ.POP());
+            RETURN;
+        }
+        VAR rqAny = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED).MIN(q => q.RTT);
+        IF (rqAny != NULL) {
+            rqAny.PUSH(RQ.POP());
+            RETURN;
+        }
+    }
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (!Q.EMPTY) {
+        VAR s = avail.MIN(sbf => sbf.RTT);
+        IF (s != NULL) { s.PUSH(Q.POP()); }
+        RETURN;
+    }
+    VAR fastRtt = SUBFLOWS.MIN(s => s.RTT).RTT;
+    VAR slowRtt = SUBFLOWS.MAX(s => s.RTT).RTT;
+    IF (R2 == 1 AND slowRtt > 2 * fastRtt) {
+        FOREACH (VAR sbf IN SUBFLOWS) {
+            VAR skb = QU.FILTER(s => !s.SENT_ON(sbf)).TOP;
+            IF (skb != NULL) { sbf.PUSH(skb); }
+        }
+    }";
+
+/// §5.4 / Fig. 13 `TAP` (throughput- and preference-aware): prefers
+/// non-backup subflows; non-preferred subflows are used only while the
+/// preferred capacity estimate is below the application's target
+/// bandwidth (`R1`, bytes/s), and only for the leftover fraction.
+pub const TAP: &str = "
+    /* reinjection queue first: recover suspected losses (model §3.1) */
+    VAR rqPre = RQ.TOP;
+    IF (rqPre != NULL) {
+        VAR rqSbf = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED
+            AND !rqPre.SENT_ON(q)).MIN(q => q.RTT);
+        IF (rqSbf != NULL) {
+            rqSbf.PUSH(RQ.POP());
+            RETURN;
+        }
+        VAR rqAny = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED).MIN(q => q.RTT);
+        IF (rqAny != NULL) {
+            rqAny.PUSH(RQ.POP());
+            RETURN;
+        }
+    }
+    /* R1 = target bandwidth signaled by the application (bytes/s);
+       preferred subflows have COST == 0, metered ones COST > 0 */
+    VAR pref = SUBFLOWS.FILTER(sbf => sbf.COST == 0);
+    VAR prefAvail = pref.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (Q.EMPTY) { RETURN; }
+    VAR s = prefAvail.MIN(sbf => sbf.RTT);
+    IF (s != NULL) {
+        s.PUSH(Q.POP());
+        RETURN;
+    }
+    /* preferred subflows blocked: expected-throughput check. The
+       achievable rate of a subflow is CWND * MSS per RTT (µs -> s). */
+    VAR prefBw = pref.SUM(sbf => (sbf.CWND * sbf.MSS * 1000000) / (sbf.RTT + 1));
+    IF (prefBw < R1) {
+        VAR np = SUBFLOWS.FILTER(sbf => sbf.COST > 0 AND !sbf.LOSSY
+            AND !sbf.TSQ_THROTTLED
+            AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED).MIN(sbf => sbf.RTT);
+        IF (np != NULL) {
+            /* use only the leftover fraction on the non-preferred subflow */
+            VAR npBw = SUBFLOWS.FILTER(sbf => sbf.COST > 0).SUM(sbf => sbf.BW);
+            IF (npBw <= R1 - prefBw) {
+                np.PUSH(Q.POP());
+            }
+        }
+    }";
+
+/// §5.4 target-RTT scheduler: keeps latency below the tolerable RTT
+/// signaled in `R1` (µs) by escalating to backup subflows only when every
+/// preferred subflow exceeds the target.
+pub const TARGET_RTT: &str = "
+    /* reinjection queue first: recover suspected losses (model §3.1) */
+    VAR rqPre = RQ.TOP;
+    IF (rqPre != NULL) {
+        VAR rqSbf = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED
+            AND !rqPre.SENT_ON(q)).MIN(q => q.RTT);
+        IF (rqSbf != NULL) {
+            rqSbf.PUSH(RQ.POP());
+            RETURN;
+        }
+        VAR rqAny = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED).MIN(q => q.RTT);
+        IF (rqAny != NULL) {
+            rqAny.PUSH(RQ.POP());
+            RETURN;
+        }
+    }
+    /* R1 = tolerable RTT in microseconds */
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (Q.EMPTY) { RETURN; }
+    /* while any preferred subflow retains the target, use preferred
+       subflows only -- waiting out momentary throttling rather than
+       spilling to the metered path */
+    IF (!SUBFLOWS.FILTER(sbf => sbf.COST == 0 AND sbf.RTT <= R1).EMPTY) {
+        VAR best = avail.FILTER(sbf => sbf.COST == 0 AND sbf.RTT <= R1)
+            .MIN(sbf => sbf.RTT);
+        IF (best != NULL) { best.PUSH(Q.POP()); }
+        RETURN;
+    }
+    /* preferred subflows violate the target: escalate to any subflow
+       that retains the target RTT */
+    VAR alt = avail.FILTER(sbf => sbf.RTT <= R1).MIN(sbf => sbf.RTT);
+    IF (alt != NULL) {
+        alt.PUSH(Q.POP());
+        RETURN;
+    }
+    /* only when NO subflow can retain the target: best effort. If one
+       could but is momentarily throttled, wait for it instead. */
+    IF (SUBFLOWS.FILTER(sbf => sbf.RTT <= R1).EMPTY) {
+        VAR anySbf = avail.MIN(sbf => sbf.RTT);
+        IF (anySbf != NULL) { anySbf.PUSH(Q.POP()); }
+    }";
+
+/// §5.4 target-deadline scheduler (the MP-DASH use case): `R1` holds the
+/// remaining deadline in milliseconds and `R2` the remaining chunk bytes;
+/// non-preferred subflows are used only when the preferred capacity
+/// cannot meet the deadline.
+pub const TARGET_DEADLINE: &str = "
+    /* reinjection queue first: recover suspected losses (model §3.1) */
+    VAR rqPre = RQ.TOP;
+    IF (rqPre != NULL) {
+        VAR rqSbf = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED
+            AND !rqPre.SENT_ON(q)).MIN(q => q.RTT);
+        IF (rqSbf != NULL) {
+            rqSbf.PUSH(RQ.POP());
+            RETURN;
+        }
+        VAR rqAny = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED).MIN(q => q.RTT);
+        IF (rqAny != NULL) {
+            rqAny.PUSH(RQ.POP());
+            RETURN;
+        }
+    }
+    /* R1 = remaining deadline (ms), R2 = remaining chunk bytes;
+       preferred subflows have COST == 0 */
+    VAR pref = SUBFLOWS.FILTER(sbf => sbf.COST == 0);
+    VAR prefAvail = pref.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (Q.EMPTY) { RETURN; }
+    VAR s = prefAvail.MIN(sbf => sbf.RTT);
+    IF (s != NULL) {
+        s.PUSH(Q.POP());
+        RETURN;
+    }
+    VAR needBw = (R2 * 1000) / (R1 + 1);
+    VAR prefBw = pref.SUM(sbf => sbf.BW);
+    IF (needBw > prefBw) {
+        VAR np = SUBFLOWS.FILTER(sbf => sbf.COST > 0 AND !sbf.TSQ_THROTTLED
+            AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED).MIN(sbf => sbf.RTT);
+        IF (np != NULL) { np.PUSH(Q.POP()); }
+    }";
+
+/// §5.2 handover-aware scheduler: while the application signals an
+/// ongoing handover (`R3 = 1`), packets in flight on the oldest subflow
+/// (the breaking WiFi link) are aggressively retransmitted on the newest
+/// subflow (the fresh cellular link) to compensate losses.
+pub const HANDOVER_AWARE: &str = "
+    /* reinjection queue first: recover suspected losses (model §3.1) */
+    VAR rqPre = RQ.TOP;
+    IF (rqPre != NULL) {
+        VAR rqSbf = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED
+            AND !rqPre.SENT_ON(q)).MIN(q => q.RTT);
+        IF (rqSbf != NULL) {
+            rqSbf.PUSH(RQ.POP());
+            RETURN;
+        }
+        VAR rqAny = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED).MIN(q => q.RTT);
+        IF (rqAny != NULL) {
+            rqAny.PUSH(RQ.POP());
+            RETURN;
+        }
+    }
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (R3 == 1 AND SUBFLOWS.COUNT > 1) {
+        VAR newSbf = SUBFLOWS.MAX(s => s.ID);
+        VAR oldSbf = SUBFLOWS.MIN(s => s.ID);
+        VAR skb = QU.FILTER(s => s.SENT_ON(oldSbf) AND !s.SENT_ON(newSbf)).TOP;
+        IF (skb != NULL) {
+            newSbf.PUSH(skb);
+            RETURN;
+        }
+    }
+    IF (!Q.EMPTY) {
+        VAR s = avail.MIN(sbf => sbf.RTT);
+        IF (s != NULL) { s.PUSH(Q.POP()); }
+    }";
+
+/// §3.4 opportunistic-retransmission flavour of the default scheduler:
+/// when the receive window blocks the fastest subflow, packets already
+/// sent on slower subflows are proactively retransmitted on the fast one.
+pub const OPPORTUNISTIC_RTX: &str = "
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    VAR minRttSbf = avail.MIN(sbf => sbf.RTT);
+    IF (minRttSbf == NULL) { RETURN; }
+    IF (!Q.EMPTY) {
+        IF (minRttSbf.HAS_WINDOW_FOR(Q.TOP)) {
+            minRttSbf.PUSH(Q.POP());
+            RETURN;
+        }
+        /* receive window blocked: penalized retransmission of the oldest
+           in-flight packet not yet sent on the fast subflow */
+        VAR skb = QU.FILTER(s => !s.SENT_ON(minRttSbf)).MIN(s => s.SEQ);
+        IF (skb != NULL) { minRttSbf.PUSH(skb); }
+    }";
+
+/// Table 2 "Probing": idle subflows (no packets in flight, no activity
+/// for 100 ms) are refreshed with a redundant copy of the oldest
+/// in-flight packet so their RTT estimates stay current for later
+/// scheduling decisions.
+pub const PROBING: &str = "
+    /* reinjection queue first: recover suspected losses (model §3.1) */
+    VAR rqPre = RQ.TOP;
+    IF (rqPre != NULL) {
+        VAR rqSbf = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED
+            AND !rqPre.SENT_ON(q)).MIN(q => q.RTT);
+        IF (rqSbf != NULL) {
+            rqSbf.PUSH(RQ.POP());
+            RETURN;
+        }
+        VAR rqAny = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED).MIN(q => q.RTT);
+        IF (rqAny != NULL) {
+            rqAny.PUSH(RQ.POP());
+            RETURN;
+        }
+    }
+    VAR idle = SUBFLOWS.FILTER(sbf => sbf.SKBS_IN_FLIGHT == 0
+        AND sbf.LAST_ACT_AGE > 100000 AND !sbf.LOSSY);
+    IF (!QU.EMPTY) {
+        FOREACH (VAR sbf IN idle) {
+            sbf.PUSH(QU.MIN(p => p.SEQ));
+        }
+    }
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (!Q.EMPTY) {
+        VAR s = avail.MIN(sbf => sbf.RTT);
+        IF (s != NULL) { s.PUSH(Q.POP()); }
+    }";
+
+/// §5.5 HTTP/2-aware scheduler: content-class-dependent strategies.
+/// `PROP 1` (dependency-critical head data) avoids high-RTT subflows so
+/// third-party requests start as early as possible; `PROP 2` (initial
+/// view) uses the default min-RTT strategy; `PROP 3` (post-initial
+/// content) is preference-aware and never touches non-preferred (metered)
+/// subflows.
+pub const HTTP2_AWARE: &str = "
+    /* reinjection queue first: recover suspected losses (model §3.1) */
+    VAR rqPre = RQ.TOP;
+    IF (rqPre != NULL) {
+        VAR rqSbf = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED
+            AND !rqPre.SENT_ON(q)).MIN(q => q.RTT);
+        IF (rqSbf != NULL) {
+            rqSbf.PUSH(RQ.POP());
+            RETURN;
+        }
+        VAR rqAny = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED).MIN(q => q.RTT);
+        IF (rqAny != NULL) {
+            rqAny.PUSH(RQ.POP());
+            RETURN;
+        }
+    }
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (Q.EMPTY) { RETURN; }
+    VAR skb = Q.TOP;
+    VAR fastestRtt = SUBFLOWS.MIN(s => s.RTT).RTT;
+    IF (skb.PROP == 1) {
+        /* dependency info: avoid high-RTT subflows entirely */
+        VAR s = avail.FILTER(sbf => 2 * sbf.RTT < 3 * fastestRtt).MIN(sbf => sbf.RTT);
+        IF (s != NULL) { s.PUSH(Q.POP()); }
+        RETURN;
+    }
+    IF (skb.PROP == 3) {
+        /* post-initial content: preference-aware, preferred subflows only */
+        VAR s = avail.FILTER(sbf => sbf.COST == 0).MIN(sbf => sbf.RTT);
+        IF (s != NULL) { s.PUSH(Q.POP()); }
+        RETURN;
+    }
+    VAR s2 = avail.MIN(sbf => sbf.RTT);
+    IF (s2 != NULL) { s2.PUSH(Q.POP()); }";
+
+/// Composition of Table 2's "Probing" feature with the target-RTT
+/// scheduler: idle subflows are probed with redundant copies of in-flight
+/// packets so their RTT estimates stay fresh, letting the scheduler move
+/// *back* to the preferred subflow once its RTT recovers — without
+/// probing, a subflow abandoned during an RTT spike would keep its stale
+/// estimate forever.
+pub const TARGET_RTT_PROBING: &str = "
+    /* probe idle subflows to refresh RTT estimates (Table 2: Probing) */
+    VAR idleProbe = SUBFLOWS.FILTER(pb => pb.SKBS_IN_FLIGHT == 0
+        AND pb.LAST_ACT_AGE > 100000 AND !pb.LOSSY);
+    IF (!QU.EMPTY) {
+        FOREACH (VAR pSbf IN idleProbe) {
+            pSbf.PUSH(QU.MIN(pp => pp.SEQ));
+        }
+    }
+    /* reinjection queue first: recover suspected losses (model 3.1) */
+    VAR rqPre = RQ.TOP;
+    IF (rqPre != NULL) {
+        VAR rqSbf = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED
+            AND !rqPre.SENT_ON(q)).MIN(q => q.RTT);
+        IF (rqSbf != NULL) {
+            rqSbf.PUSH(RQ.POP());
+            RETURN;
+        }
+    }
+    /* R1 = tolerable RTT in microseconds */
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (Q.EMPTY) { RETURN; }
+    /* while any preferred subflow retains the target, use preferred
+       subflows only -- waiting out momentary throttling rather than
+       spilling to the metered path */
+    IF (!SUBFLOWS.FILTER(sbf => sbf.COST == 0 AND sbf.RTT <= R1).EMPTY) {
+        VAR best = avail.FILTER(sbf => sbf.COST == 0 AND sbf.RTT <= R1)
+            .MIN(sbf => sbf.RTT);
+        IF (best != NULL) { best.PUSH(Q.POP()); }
+        RETURN;
+    }
+    VAR alt = avail.FILTER(sbf => sbf.RTT <= R1).MIN(sbf => sbf.RTT);
+    IF (alt != NULL) {
+        alt.PUSH(Q.POP());
+        RETURN;
+    }
+    IF (SUBFLOWS.FILTER(sbf => sbf.RTT <= R1).EMPTY) {
+        VAR anySbf = avail.MIN(sbf => sbf.RTT);
+        IF (anySbf != NULL) { anySbf.PUSH(Q.POP()); }
+    }";
+
+/// §2.2 "Compensate Loss in Short Data-center Flows" ([7, 27]): fast
+/// coupled retransmission. When a loss is suspected anywhere (`RQ`
+/// non-empty), the oldest unacknowledged packet of the subflow with the
+/// *highest loss count* is proactively retransmitted on the least-lossy
+/// alternative path — the design whose decision points ("the choice of
+/// the retransmitted packet") the paper notes were never analyzed; see
+/// the `abl_compensating_choice` ablation.
+pub const FAST_COUPLED_RTX: &str = "
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (!RQ.EMPTY AND SUBFLOWS.COUNT > 1) {
+        /* loss suspected: couple the retransmission to the best path */
+        VAR lossiest = SUBFLOWS.MAX(sbf => sbf.LOST_SKBS);
+        VAR cleanest = avail.FILTER(sbf => sbf.ID != lossiest.ID).MIN(sbf => sbf.LOST_SKBS);
+        IF (cleanest != NULL) {
+            VAR victim = QU.FILTER(p => p.SENT_ON(lossiest)
+                AND !p.SENT_ON(cleanest)).MIN(p => p.SEQ);
+            IF (victim != NULL) {
+                cleanest.PUSH(victim);
+                DROP(RQ.POP());
+                RETURN;
+            }
+        }
+        /* fall back to plain reinjection */
+        VAR rSbf = avail.MIN(sbf => sbf.RTT);
+        IF (rSbf != NULL) {
+            rSbf.PUSH(RQ.POP());
+            RETURN;
+        }
+    }
+    IF (!Q.EMPTY) {
+        VAR s = avail.MIN(sbf => sbf.RTT);
+        IF (s != NULL) { s.PUSH(Q.POP()); }
+    }";
+
+/// §6 "Dependencies" — cross-concern optimization: the scheduler relaxes
+/// the congestion-window constraint for the last few packets of a flow
+/// (signaled via `R2` = remaining packets) to save a round trip. The
+/// `abl_cwnd_relax` ablation quantifies the trade-off.
+pub const CWND_RELAX: &str = "
+    /* reinjection queue first */
+    VAR rqPre = RQ.TOP;
+    IF (rqPre != NULL) {
+        VAR rqSbf = SUBFLOWS.FILTER(q => !q.TSQ_THROTTLED AND !q.LOSSY
+            AND q.CWND > q.SKBS_IN_FLIGHT + q.QUEUED).MIN(q => q.RTT);
+        IF (rqSbf != NULL) {
+            rqSbf.PUSH(RQ.POP());
+            RETURN;
+        }
+    }
+    IF (Q.EMPTY) { RETURN; }
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    VAR s = avail.MIN(sbf => sbf.RTT);
+    IF (s != NULL) {
+        s.PUSH(Q.POP());
+        RETURN;
+    }
+    /* R2 = packets remaining in the flow: for the tail, relax the cwnd
+       constraint (but never TSQ) to avoid waiting a full RTT */
+    IF (R2 > 0 AND Q.COUNT <= R2) {
+        VAR relaxed = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY)
+            .MIN(sbf => sbf.RTT);
+        IF (relaxed != NULL) { relaxed.PUSH(Q.POP()); }
+    }";
+
+/// All named schedulers, for registries and exhaustive tests.
+pub const ALL: &[(&str, &str)] = &[
+    ("minRttSimple", MIN_RTT_SIMPLE),
+    ("default", DEFAULT_MIN_RTT),
+    ("roundRobin", ROUND_ROBIN),
+    ("redundant", REDUNDANT),
+    ("opportunisticRedundant", OPPORTUNISTIC_REDUNDANT),
+    ("redundantIfNoQ", REDUNDANT_IF_NO_Q),
+    ("compensating", COMPENSATING),
+    ("selectiveCompensation", SELECTIVE_COMPENSATION),
+    ("tap", TAP),
+    ("targetRtt", TARGET_RTT),
+    ("targetDeadline", TARGET_DEADLINE),
+    ("handoverAware", HANDOVER_AWARE),
+    ("opportunisticRtx", OPPORTUNISTIC_RTX),
+    ("probing", PROBING),
+    ("http2Aware", HTTP2_AWARE),
+    ("targetRttProbing", TARGET_RTT_PROBING),
+    ("fastCoupledRtx", FAST_COUPLED_RTX),
+    ("cwndRelax", CWND_RELAX),
+];

@@ -1,0 +1,71 @@
+//! Application traffic sources.
+//!
+//! The evaluation scenarios of the paper use: backlogged bulk transfers
+//! (iPerf), constant-bitrate interactive streams with bitrate switches
+//! (Fig. 1/13), short request/response flows (Fig. 10b/12), and bursty
+//! sources (Fig. 10c). CBR and one-shot flows are precomputed event
+//! schedules on [`crate::Sim`]; the backlogged bulk source needs feedback
+//! (refill when the sending queue drains) and keeps its state here.
+
+use crate::time::{SimTime, MILLIS};
+
+/// State of a backlogged bulk sender (iPerf-style): keeps the sending
+/// queue topped up to a low watermark until `remaining` is exhausted.
+#[derive(Debug, Clone)]
+pub struct BulkState {
+    /// Target connection.
+    pub conn: usize,
+    /// Bytes not yet handed to the transport.
+    pub remaining: u64,
+    /// Packet property for enqueued data.
+    pub prop: u32,
+    /// Refill threshold in bytes: refill when `Q` holds less.
+    pub low_watermark: u64,
+    /// Poll interval.
+    pub interval: SimTime,
+}
+
+impl BulkState {
+    /// A bulk source with a 64 KiB watermark polled every millisecond.
+    pub fn new(conn: usize, total_bytes: u64, prop: u32) -> Self {
+        BulkState {
+            conn,
+            remaining: total_bytes,
+            prop,
+            low_watermark: 64 * 1024,
+            interval: MILLIS,
+        }
+    }
+}
+
+/// Builds an on/off bursty schedule: bursts of `burst_bytes` every
+/// `period`, for `count` bursts starting at `start`. Returns
+/// `(time, bytes)` pairs to feed [`crate::Sim::app_send_at`].
+pub fn bursty_schedule(
+    start: SimTime,
+    period: SimTime,
+    burst_bytes: u64,
+    count: usize,
+) -> Vec<(SimTime, u64)> {
+    (0..count)
+        .map(|i| (start + period * i as u64, burst_bytes))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursty_schedule_spacing() {
+        let s = bursty_schedule(100, 50, 2000, 3);
+        assert_eq!(s, vec![(100, 2000), (150, 2000), (200, 2000)]);
+    }
+
+    #[test]
+    fn bulk_defaults() {
+        let b = BulkState::new(0, 1 << 20, 7);
+        assert_eq!(b.low_watermark, 64 * 1024);
+        assert_eq!(b.prop, 7);
+    }
+}

@@ -1,0 +1,194 @@
+//! Connection and scheduler configuration.
+
+use crate::cc::CcAlgo;
+use crate::native::NativeScheduler;
+use crate::path::PathConfig;
+use crate::receiver::ReceiverMode;
+use crate::time::SimTime;
+use progmp_core::Backend;
+
+/// Configuration of one subflow of a connection.
+#[derive(Debug, Clone)]
+pub struct SubflowConfig {
+    /// The network path.
+    pub path: PathConfig,
+    /// Whether the path manager flags the subflow as backup.
+    pub backup: bool,
+    /// Application-assigned cost/preference weight (`COST`).
+    pub cost: i64,
+    /// When the subflow becomes established (0 = from the start).
+    pub start_at: SimTime,
+}
+
+impl SubflowConfig {
+    /// A non-backup, zero-cost subflow established from the start.
+    pub fn new(path: PathConfig) -> Self {
+        SubflowConfig {
+            path,
+            backup: false,
+            cost: 0,
+            start_at: 0,
+        }
+    }
+
+    /// Marks the subflow as backup.
+    pub fn backup(mut self) -> Self {
+        self.backup = true;
+        self
+    }
+
+    /// Sets the cost/preference weight.
+    pub fn with_cost(mut self, cost: i64) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Delays establishment until `at`.
+    pub fn starting_at(mut self, at: SimTime) -> Self {
+        self.start_at = at;
+        self
+    }
+}
+
+/// Which scheduler a connection runs.
+pub enum SchedulerSpec {
+    /// A ProgMP program compiled from source and run on `backend`.
+    Dsl {
+        /// Scheduler source text.
+        source: String,
+        /// Execution backend.
+        backend: Backend,
+    },
+    /// A native Rust scheduler (the analogue of the paper's C-based
+    /// in-kernel schedulers, used as the Fig. 9 overhead baseline).
+    Native(Box<dyn NativeScheduler>),
+}
+
+impl std::fmt::Debug for SchedulerSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerSpec::Dsl { backend, .. } => {
+                write!(f, "SchedulerSpec::Dsl({})", backend.name())
+            }
+            SchedulerSpec::Native(n) => write!(f, "SchedulerSpec::Native({})", n.name()),
+        }
+    }
+}
+
+impl SchedulerSpec {
+    /// Convenience constructor for a DSL scheduler on the VM backend.
+    pub fn dsl(source: impl Into<String>) -> Self {
+        SchedulerSpec::Dsl {
+            source: source.into(),
+            backend: Backend::Vm,
+        }
+    }
+
+    /// Convenience constructor for a DSL scheduler on a specific backend.
+    pub fn dsl_on(source: impl Into<String>, backend: Backend) -> Self {
+        SchedulerSpec::Dsl {
+            source: source.into(),
+            backend,
+        }
+    }
+}
+
+/// Configuration of one MPTCP connection.
+#[derive(Debug)]
+pub struct ConnectionConfig {
+    /// The subflows (at least one).
+    pub subflows: Vec<SubflowConfig>,
+    /// The scheduler.
+    pub scheduler: SchedulerSpec,
+    /// Congestion-control algorithm.
+    pub cc: CcAlgo,
+    /// Receiver delivery mode (paper §4.2).
+    pub receiver_mode: ReceiverMode,
+    /// Maximum segment size in bytes.
+    pub mss: u32,
+    /// Receive buffer capacity in bytes (bounds the advertised window).
+    pub recv_buf: u64,
+    /// Per-execution scheduler step budget.
+    pub step_budget: u64,
+    /// Maximum scheduler re-executions per trigger (compressed-execution
+    /// rounds).
+    pub max_sched_rounds: u32,
+    /// Whether to record per-packet timelines (costs memory).
+    pub record_timelines: bool,
+}
+
+impl ConnectionConfig {
+    /// A connection with the given subflows and scheduler, with defaults:
+    /// Reno congestion control, improved receiver, 1400-byte MSS, 4 MiB
+    /// receive buffer.
+    pub fn new(subflows: Vec<SubflowConfig>, scheduler: SchedulerSpec) -> Self {
+        ConnectionConfig {
+            subflows,
+            scheduler,
+            cc: CcAlgo::Reno,
+            receiver_mode: ReceiverMode::Improved,
+            mss: 1400,
+            recv_buf: 4 << 20,
+            step_budget: progmp_core::DEFAULT_STEP_BUDGET,
+            max_sched_rounds: 256,
+            record_timelines: false,
+        }
+    }
+
+    /// Selects the congestion-control algorithm.
+    pub fn with_cc(mut self, cc: CcAlgo) -> Self {
+        self.cc = cc;
+        self
+    }
+
+    /// Selects the receiver mode.
+    pub fn with_receiver_mode(mut self, mode: ReceiverMode) -> Self {
+        self.receiver_mode = mode;
+        self
+    }
+
+    /// Sets the MSS.
+    pub fn with_mss(mut self, mss: u32) -> Self {
+        self.mss = mss.max(1);
+        self
+    }
+
+    /// Sets the receive buffer capacity.
+    pub fn with_recv_buf(mut self, bytes: u64) -> Self {
+        self.recv_buf = bytes;
+        self
+    }
+
+    /// Enables timeline recording.
+    pub fn with_timelines(mut self) -> Self {
+        self.record_timelines = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::from_millis;
+
+    #[test]
+    fn builders_apply() {
+        let cfg = ConnectionConfig::new(
+            vec![SubflowConfig::new(PathConfig::symmetric(from_millis(10), 1_000_000))
+                .backup()
+                .with_cost(5)
+                .starting_at(from_millis(100))],
+            SchedulerSpec::dsl("RETURN;"),
+        )
+        .with_cc(CcAlgo::Lia)
+        .with_mss(1000)
+        .with_recv_buf(1 << 16)
+        .with_timelines();
+        assert_eq!(cfg.cc, CcAlgo::Lia);
+        assert_eq!(cfg.mss, 1000);
+        assert!(cfg.subflows[0].backup);
+        assert_eq!(cfg.subflows[0].cost, 5);
+        assert_eq!(cfg.subflows[0].start_at, from_millis(100));
+        assert!(cfg.record_timelines);
+    }
+}

@@ -1,0 +1,698 @@
+//! The MPTCP meta socket: sending queues, subflow bookkeeping, acknowledge
+//! processing, loss recovery, and the [`SchedulerEnv`] implementation the
+//! scheduler programming model executes against.
+
+use crate::cc::{lia_alpha_x1024, CcAlgo};
+use crate::packet::Segment;
+use crate::receiver::Receiver;
+use crate::stats::ConnStats;
+use crate::subflow::{Subflow, TxRec};
+use crate::time::SimTime;
+use progmp_core::env::{
+    Action, PacketProp, PacketRef, QueueKind, RegId, SchedulerEnv, SubflowId, SubflowProp,
+    NUM_REGISTERS,
+};
+use progmp_core::exec::ExecCtx;
+use progmp_core::{ExecError, SchedulerInstance};
+use std::collections::HashMap;
+
+/// The scheduler bound to a connection: a compiled ProgMP program or a
+/// native Rust scheduler.
+pub enum SchedulerHandle {
+    /// DSL program instance.
+    Dsl(SchedulerInstance),
+    /// Native Rust scheduler.
+    Native(Box<dyn crate::native::NativeScheduler>),
+}
+
+impl SchedulerHandle {
+    /// Runs one scheduler execution against `ctx`.
+    pub fn execute_once(&mut self, ctx: &mut ExecCtx<'_>) -> Result<(), ExecError> {
+        match self {
+            // The instance-level execute() applies effects itself; here we
+            // need the raw execution because the connection applies
+            // effects. Route through the backend-agnostic raw API.
+            SchedulerHandle::Dsl(inst) => inst.execute_raw(ctx),
+            SchedulerHandle::Native(n) => n.schedule(ctx),
+        }
+    }
+}
+
+/// What an acknowledgement did, so the engine can schedule follow-ups.
+#[derive(Debug, Default)]
+pub struct AckOutcome {
+    /// Retransmission-timer action.
+    pub rearm_rto_at: Option<SimTime>,
+    /// Disarm the timer (nothing in flight).
+    pub disarm_rto: bool,
+    /// Packets the subflow must auto-retransmit on itself (fast
+    /// retransmit), as (packet, existing subflow seq).
+    pub auto_retransmit: Vec<(PacketRef, u64)>,
+    /// Whether a loss was suspected (packets entered `RQ`).
+    pub loss_suspected: bool,
+}
+
+/// Sender-side state of one MPTCP connection.
+pub struct Connection {
+    /// Connection index within the simulation.
+    pub id: usize,
+    /// All subflows, established or not; `SubflowId(i)` indexes this.
+    pub subflows: Vec<Subflow>,
+    /// Cache of established subflow ids, in establishment order.
+    active: Vec<SubflowId>,
+    /// All segments ever created, by handle.
+    pub segments: HashMap<PacketRef, Segment>,
+    q: Vec<PacketRef>,
+    qu: Vec<PacketRef>,
+    rq: Vec<PacketRef>,
+    registers: [i64; NUM_REGISTERS],
+    /// The connection's scheduler (taken while executing).
+    pub scheduler: Option<SchedulerHandle>,
+    /// Receiver-side state.
+    pub receiver: Receiver,
+    /// Congestion-control algorithm.
+    pub cc_algo: CcAlgo,
+    /// Maximum segment size.
+    pub mss: u32,
+    /// Simulation time as seen by property reads; kept current by the
+    /// engine before each scheduler execution.
+    pub now: SimTime,
+    next_data_seq: u64,
+    /// Meta-level cumulative acknowledged bytes.
+    pub data_acked: u64,
+    /// Last advertised receive window (bytes).
+    pub adv_rwnd: u64,
+    /// Transmissions requested by the last scheduler execution.
+    pending_tx: Vec<(SubflowId, PacketRef)>,
+    /// Measurement state.
+    pub stats: ConnStats,
+    /// Scheduler step budget per execution.
+    pub step_budget: u64,
+    /// Compressed-execution round limit per trigger.
+    pub max_sched_rounds: u32,
+    /// Whether timelines are recorded.
+    pub record_timelines: bool,
+    next_pkt_id: u64,
+    /// Default packet property for newly enqueued data (set through the
+    /// extended API).
+    pub default_prop: u32,
+}
+
+impl Connection {
+    /// Creates a connection; the engine populates subflows and receiver.
+    pub fn new(
+        id: usize,
+        subflows: Vec<Subflow>,
+        receiver: Receiver,
+        scheduler: SchedulerHandle,
+        cc_algo: CcAlgo,
+        mss: u32,
+        recv_buf: u64,
+    ) -> Self {
+        let n = subflows.len();
+        let active = subflows
+            .iter()
+            .filter(|s| s.established)
+            .map(|s| s.id)
+            .collect();
+        Connection {
+            id,
+            subflows,
+            active,
+            segments: HashMap::new(),
+            q: Vec::new(),
+            qu: Vec::new(),
+            rq: Vec::new(),
+            registers: [0; NUM_REGISTERS],
+            scheduler: Some(scheduler),
+            receiver,
+            cc_algo,
+            mss,
+            now: 0,
+            next_data_seq: 0,
+            data_acked: 0,
+            adv_rwnd: recv_buf,
+            pending_tx: Vec::new(),
+            stats: ConnStats::new(n),
+            step_budget: progmp_core::DEFAULT_STEP_BUDGET,
+            max_sched_rounds: 256,
+            record_timelines: false,
+            next_pkt_id: 1,
+            default_prop: 0,
+        }
+    }
+
+    /// Refreshes the established-subflow cache after a path change.
+    pub fn refresh_active(&mut self) {
+        self.active = self
+            .subflows
+            .iter()
+            .filter(|s| s.established)
+            .map(|s| s.id)
+            .collect();
+    }
+
+    /// Bytes currently waiting in the sending queue `Q`.
+    pub fn q_bytes(&self) -> u64 {
+        self.q
+            .iter()
+            .filter_map(|p| self.segments.get(p))
+            .map(|s| u64::from(s.size))
+            .sum()
+    }
+
+    /// Whether every byte enqueued so far has been acknowledged.
+    pub fn all_acked(&self) -> bool {
+        self.data_acked >= self.next_data_seq
+    }
+
+    /// Total bytes enqueued so far.
+    pub fn enqueued_bytes(&self) -> u64 {
+        self.next_data_seq
+    }
+
+    /// Segment lookup (read-only).
+    pub fn segment(&self, pkt: PacketRef) -> Option<&Segment> {
+        self.segments.get(&pkt)
+    }
+
+    /// Splits `bytes` of application data into MSS segments with property
+    /// `prop` and appends them to `Q`. Returns the created handles.
+    pub fn enqueue_data(&mut self, bytes: u64, prop: u32, now: SimTime) -> Vec<PacketRef> {
+        let mut out = Vec::new();
+        let mut remaining = bytes;
+        while remaining > 0 {
+            let size = remaining.min(u64::from(self.mss)) as u32;
+            let id = PacketRef(self.next_pkt_id);
+            self.next_pkt_id += 1;
+            let seg = Segment {
+                id,
+                seq: self.next_data_seq,
+                size,
+                prop,
+                enqueued_at: now,
+                sent_count: 0,
+                sent_on: Vec::new(),
+            };
+            self.next_data_seq += u64::from(size);
+            self.segments.insert(id, seg);
+            self.q.push(id);
+            out.push(id);
+            remaining -= u64::from(size);
+        }
+        self.stats.enqueued_bytes += bytes;
+        out
+    }
+
+    /// Removes all segments fully covered by the meta cumulative ack from
+    /// every queue ("acknowledged packets are automatically removed from
+    /// *all* queues", paper §3.1).
+    pub fn meta_ack(&mut self, data_ack: u64) {
+        if data_ack <= self.data_acked {
+            return;
+        }
+        self.data_acked = data_ack;
+        let segs = &self.segments;
+        let covered = |p: &PacketRef| {
+            segs.get(p)
+                .map(|s| s.end_seq() <= data_ack)
+                .unwrap_or(true)
+        };
+        self.q.retain(|p| !covered(p));
+        self.qu.retain(|p| !covered(p));
+        self.rq.retain(|p| !covered(p));
+    }
+
+    /// Processes an acknowledgement arriving on subflow `sbf_idx`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle_ack(
+        &mut self,
+        sbf_idx: usize,
+        sbf_ack: u64,
+        data_ack: u64,
+        rwnd: u64,
+        now: SimTime,
+    ) -> AckOutcome {
+        let mut out = AckOutcome::default();
+        self.adv_rwnd = rwnd;
+        self.meta_ack(data_ack);
+
+        let lia_flows: Vec<(u64, u64)> = self
+            .subflows
+            .iter()
+            .filter(|s| s.established)
+            .map(|s| (s.cc.cwnd, s.rtt.srtt()))
+            .collect();
+        let lia_idx = self
+            .subflows
+            .iter()
+            .take(sbf_idx)
+            .filter(|s| s.established)
+            .count();
+
+        let sbf = &mut self.subflows[sbf_idx];
+        sbf.last_activity = now;
+
+        if sbf_ack > sbf.acked_seq {
+            // Congestion-window validation (RFC 2861): only grow the
+            // window when the flow was actually using it; an app-limited
+            // subflow must not inflate cwnd without bound.
+            let was_cwnd_limited = sbf.in_flight() as u64 >= sbf.cc.cwnd;
+            let (pkts, bytes, sample) = sbf.take_acked(sbf_ack, now);
+            sbf.acked_seq = sbf_ack;
+            sbf.dupacks = 0;
+            if let Some(rtt) = sample {
+                sbf.rtt.sample(rtt);
+            }
+            sbf.record_delivered(now, bytes);
+            let factor = match self.cc_algo {
+                CcAlgo::Reno => 1024,
+                CcAlgo::Lia => lia_alpha_x1024(&lia_flows, lia_idx.min(lia_flows.len().saturating_sub(1))),
+            };
+            if was_cwnd_limited {
+                sbf.cc.on_ack(pkts, factor);
+            }
+            sbf.cc.maybe_exit_recovery(sbf_ack);
+            sbf.rto_token += 1;
+            if sbf.in_flight() > 0 {
+                sbf.rto_armed = true;
+                out.rearm_rto_at = Some(now + sbf.rtt.rto());
+            } else {
+                sbf.rto_armed = false;
+                out.disarm_rto = true;
+            }
+        } else if sbf.in_flight() > 0 {
+            sbf.dupacks += 1;
+            if sbf.dupacks >= 3 {
+                sbf.dupacks = 0;
+                // Fast retransmit: the subflow retransmits its oldest
+                // unacked segment on itself (TCP semantics) and the meta
+                // level adds the segment to the reinjection queue for the
+                // scheduler to recover across subflows.
+                if let Some(front) = sbf.sent.front() {
+                    let (pkt, seq) = (front.pkt, front.sbf_seq);
+                    sbf.lost_skbs += 1;
+                    sbf.cc.on_fast_retransmit(sbf_ack, sbf.next_seq);
+                    self.stats.subflows[sbf_idx].fast_retransmits += 1;
+                    out.auto_retransmit.push((pkt, seq));
+                    out.loss_suspected = self.reinject(pkt);
+                }
+            }
+        }
+        out
+    }
+
+    /// Handles a retransmission-timeout on `sbf_idx`: every in-flight
+    /// segment becomes loss-suspected (entering `RQ`), the window
+    /// collapses, and the oldest segment is retransmitted on the subflow.
+    pub fn handle_rto(&mut self, sbf_idx: usize, _now: SimTime) -> AckOutcome {
+        let mut out = AckOutcome::default();
+        let sbf = &mut self.subflows[sbf_idx];
+        if sbf.in_flight() == 0 {
+            sbf.rto_armed = false;
+            out.disarm_rto = true;
+            return out;
+        }
+        sbf.cc.on_timeout(sbf.next_seq);
+        sbf.rtt.backoff();
+        self.stats.subflows[sbf_idx].timeouts += 1;
+        let in_flight: Vec<(PacketRef, u64)> = sbf
+            .sent
+            .iter()
+            .map(|r| (r.pkt, r.sbf_seq))
+            .collect();
+        sbf.lost_skbs += in_flight.len() as u64;
+        if let Some(&(pkt, seq)) = in_flight.first() {
+            out.auto_retransmit.push((pkt, seq));
+        }
+        for &(pkt, _) in &in_flight {
+            out.loss_suspected |= self.reinject(pkt);
+        }
+        out
+    }
+
+    /// Adds a segment to the reinjection queue if it is still
+    /// unacknowledged and not already queued. Returns true if added.
+    pub fn reinject(&mut self, pkt: PacketRef) -> bool {
+        let Some(seg) = self.segments.get(&pkt) else {
+            return false;
+        };
+        if seg.end_seq() <= self.data_acked {
+            return false;
+        }
+        if self.rq.contains(&pkt) {
+            return false;
+        }
+        self.rq.push(pkt);
+        true
+    }
+
+    /// Marks a subflow established/closed. In-flight segments of a closing
+    /// subflow become loss-suspected.
+    pub fn set_subflow_established(&mut self, sbf_idx: usize, up: bool) {
+        let sbf = &mut self.subflows[sbf_idx];
+        sbf.established = up;
+        if !up {
+            let drained = sbf.drain_in_flight();
+            let n = drained.len() as u64;
+            self.subflows[sbf_idx].lost_skbs += n;
+            for rec in drained {
+                self.reinject(rec.pkt);
+            }
+        }
+        self.refresh_active();
+    }
+
+    /// Drains the transmissions requested by the last scheduler execution.
+    pub fn take_pending_tx(&mut self) -> Vec<(SubflowId, PacketRef)> {
+        std::mem::take(&mut self.pending_tx)
+    }
+
+    /// Records a transmission in the subflow's in-flight list; returns the
+    /// assigned subflow sequence number. `reuse_seq` keeps the existing
+    /// record for TCP-level retransmissions.
+    pub fn record_tx(
+        &mut self,
+        sbf_idx: usize,
+        pkt: PacketRef,
+        size: u32,
+        now: SimTime,
+        reuse_seq: Option<u64>,
+    ) -> u64 {
+        let sbf = &mut self.subflows[sbf_idx];
+        match reuse_seq {
+            Some(seq) => {
+                if let Some(rec) = sbf.sent.iter_mut().find(|r| r.sbf_seq == seq) {
+                    rec.is_rtx = true;
+                    rec.sent_at = now;
+                }
+                seq
+            }
+            None => {
+                let seq = sbf.next_seq;
+                sbf.next_seq += 1;
+                sbf.sent.push_back(TxRec {
+                    sbf_seq: seq,
+                    pkt,
+                    size,
+                    sent_at: now,
+                    is_rtx: false,
+                });
+                seq
+            }
+        }
+    }
+
+    /// Direct register write (the extended API's `setRegister`).
+    pub fn set_register_direct(&mut self, reg: RegId, value: i64) {
+        self.registers[reg.index()] = value;
+    }
+
+    /// Direct register read.
+    pub fn register_direct(&self, reg: RegId) -> i64 {
+        self.registers[reg.index()]
+    }
+}
+
+impl SchedulerEnv for Connection {
+    fn subflows(&self) -> &[SubflowId] {
+        &self.active
+    }
+
+    fn subflow_prop(&self, subflow: SubflowId, prop: SubflowProp) -> i64 {
+        let Some(sbf) = self.subflows.get(subflow.0 as usize) else {
+            return 0;
+        };
+        if !sbf.established {
+            return 0;
+        }
+        match prop {
+            SubflowProp::Id => i64::from(subflow.0),
+            SubflowProp::Rtt => (sbf.rtt.srtt() / 1000) as i64, // µs
+            SubflowProp::RttVar => (sbf.rtt.rttvar() / 1000) as i64,
+            SubflowProp::Cwnd => sbf.cc.cwnd as i64,
+            SubflowProp::Ssthresh => sbf.cc.ssthresh.min(i64::MAX as u64) as i64,
+            SubflowProp::SkbsInFlight => sbf.in_flight() as i64,
+            SubflowProp::Queued => sbf.path.queued_at(self.now) as i64,
+            SubflowProp::LostSkbs => sbf.lost_skbs as i64,
+            SubflowProp::IsBackup => i64::from(sbf.is_backup),
+            SubflowProp::TsqThrottled => i64::from(sbf.tsq_throttled(self.now)),
+            SubflowProp::Lossy => i64::from(sbf.cc.lossy()),
+            SubflowProp::Mss => i64::from(sbf.mss),
+            SubflowProp::Bw => sbf.bw_estimate().min(i64::MAX as u64) as i64,
+            SubflowProp::RwndFree => self.adv_rwnd.min(i64::MAX as u64) as i64,
+            SubflowProp::LastActAge => {
+                (self.now.saturating_sub(sbf.last_activity) / 1000) as i64
+            }
+            SubflowProp::Cost => sbf.cost,
+        }
+    }
+
+    fn queue(&self, queue: QueueKind) -> &[PacketRef] {
+        match queue {
+            QueueKind::SendQueue => &self.q,
+            QueueKind::Unacked => &self.qu,
+            QueueKind::Reinject => &self.rq,
+        }
+    }
+
+    fn packet_prop(&self, packet: PacketRef, prop: PacketProp) -> i64 {
+        let Some(seg) = self.segments.get(&packet) else {
+            return 0;
+        };
+        match prop {
+            PacketProp::Seq => seg.seq.min(i64::MAX as u64) as i64,
+            PacketProp::Size => i64::from(seg.size),
+            PacketProp::UserProp => i64::from(seg.prop),
+            PacketProp::SentCount => i64::from(seg.sent_count),
+            PacketProp::Age => (self.now.saturating_sub(seg.enqueued_at) / 1000) as i64,
+        }
+    }
+
+    fn sent_on(&self, packet: PacketRef, subflow: SubflowId) -> bool {
+        self.segments
+            .get(&packet)
+            .map(|s| s.sent_on(subflow))
+            .unwrap_or(false)
+    }
+
+    fn has_window_for(&self, _subflow: SubflowId, packet: PacketRef) -> bool {
+        let Some(seg) = self.segments.get(&packet) else {
+            return false;
+        };
+        seg.end_seq() <= self.data_acked + self.adv_rwnd
+    }
+
+    fn register(&self, reg: RegId) -> i64 {
+        self.registers[reg.index()]
+    }
+
+    fn apply(&mut self, registers: &[i64; NUM_REGISTERS], actions: &[Action]) {
+        self.registers = *registers;
+        for action in actions {
+            match *action {
+                Action::Push { subflow, packet } => {
+                    let idx = subflow.0 as usize;
+                    if self
+                        .subflows
+                        .get(idx)
+                        .map(|s| !s.established)
+                        .unwrap_or(true)
+                    {
+                        continue; // vanished subflow: packet stays schedulable
+                    }
+                    if !self.segments.contains_key(&packet) {
+                        continue;
+                    }
+                    let was_queued = {
+                        let before = self.q.len() + self.rq.len();
+                        self.q.retain(|p| *p != packet);
+                        self.rq.retain(|p| *p != packet);
+                        before != self.q.len() + self.rq.len()
+                    };
+                    if was_queued && !self.qu.contains(&packet) {
+                        self.qu.push(packet);
+                    }
+                    if let Some(seg) = self.segments.get_mut(&packet) {
+                        seg.record_tx(subflow);
+                        if seg.sent_count == 1 {
+                            self.stats.unique_tx_bytes += u64::from(seg.size);
+                        }
+                    }
+                    self.pending_tx.push((subflow, packet));
+                }
+                Action::Drop { packet } => {
+                    self.q.retain(|p| *p != packet);
+                    self.rq.retain(|p| *p != packet);
+                    self.stats.scheduler_drops += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::{Path, PathConfig};
+    use crate::receiver::ReceiverMode;
+    use crate::time::from_millis;
+
+    fn make_conn() -> Connection {
+        let subflows = vec![
+            Subflow::new(
+                SubflowId(0),
+                Path::new(&PathConfig::symmetric(from_millis(10), 1_250_000)),
+                1400,
+            ),
+            Subflow::new(
+                SubflowId(1),
+                Path::new(&PathConfig::symmetric(from_millis(40), 1_250_000)),
+                1400,
+            ),
+        ];
+        let receiver = Receiver::new(ReceiverMode::Improved, 2, 1 << 20);
+        Connection::new(
+            0,
+            subflows,
+            receiver,
+            SchedulerHandle::Native(Box::new(crate::native::NativeMinRtt)),
+            CcAlgo::Reno,
+            1400,
+            1 << 20,
+        )
+    }
+
+    #[test]
+    fn enqueue_segments_data() {
+        let mut c = make_conn();
+        let pkts = c.enqueue_data(3000, 7, 0);
+        assert_eq!(pkts.len(), 3, "3000 B at 1400 MSS -> 1400+1400+200");
+        assert_eq!(c.q_bytes(), 3000);
+        let seg = c.segment(pkts[2]).unwrap();
+        assert_eq!(seg.size, 200);
+        assert_eq!(seg.seq, 2800);
+        assert_eq!(seg.prop, 7);
+    }
+
+    #[test]
+    fn meta_ack_removes_from_all_queues() {
+        let mut c = make_conn();
+        let pkts = c.enqueue_data(2800, 0, 0);
+        // Simulate one pushed, one reinjection-queued.
+        c.qu.push(pkts[0]);
+        c.q.retain(|p| *p != pkts[0]);
+        c.rq.push(pkts[0]);
+        c.meta_ack(1400);
+        assert!(c.qu.is_empty());
+        assert!(c.rq.is_empty());
+        assert_eq!(c.q.len(), 1);
+        assert!(!c.all_acked());
+        c.meta_ack(2800);
+        assert!(c.all_acked());
+    }
+
+    #[test]
+    fn triple_dupack_triggers_fast_retransmit_and_reinjection() {
+        let mut c = make_conn();
+        let pkts = c.enqueue_data(4200, 0, 0);
+        for (i, &p) in pkts.iter().enumerate() {
+            c.qu.push(p);
+            c.record_tx(0, p, 1400, 0, None);
+            let _ = i;
+        }
+        c.q.clear();
+        let mut loss = false;
+        for _ in 0..3 {
+            let out = c.handle_ack(0, 0, 0, 1 << 20, from_millis(15));
+            loss |= out.loss_suspected;
+            if loss {
+                assert_eq!(out.auto_retransmit.len(), 1);
+                assert_eq!(out.auto_retransmit[0].0, pkts[0]);
+            }
+        }
+        assert!(loss, "third dupack suspects loss");
+        assert_eq!(c.queue(QueueKind::Reinject), &[pkts[0]]);
+        assert!(c.subflows[0].cc.lossy());
+    }
+
+    #[test]
+    fn ack_advances_and_samples_rtt() {
+        let mut c = make_conn();
+        let pkts = c.enqueue_data(1400, 0, 0);
+        c.record_tx(0, pkts[0], 1400, 0, None);
+        let out = c.handle_ack(0, 1, 1400, 1 << 20, from_millis(12));
+        assert!(out.disarm_rto);
+        assert_eq!(c.subflows[0].rtt.srtt(), from_millis(12));
+        assert_eq!(c.subflows[0].in_flight(), 0);
+        assert!(c.all_acked());
+    }
+
+    #[test]
+    fn rto_reinjects_all_in_flight() {
+        let mut c = make_conn();
+        let pkts = c.enqueue_data(4200, 0, 0);
+        for &p in &pkts {
+            c.qu.push(p);
+            c.record_tx(0, p, 1400, 0, None);
+        }
+        c.q.clear();
+        let out = c.handle_rto(0, from_millis(300));
+        assert!(out.loss_suspected);
+        assert_eq!(c.queue(QueueKind::Reinject).len(), 3);
+        assert_eq!(c.subflows[0].cc.cwnd, 1);
+        assert_eq!(out.auto_retransmit.len(), 1);
+    }
+
+    #[test]
+    fn subflow_teardown_reinjects_in_flight() {
+        let mut c = make_conn();
+        let pkts = c.enqueue_data(2800, 0, 0);
+        for &p in &pkts {
+            c.qu.push(p);
+            c.record_tx(1, p, 1400, 0, None);
+        }
+        c.set_subflow_established(1, false);
+        assert_eq!(c.subflows()[..], [SubflowId(0)]);
+        assert_eq!(c.queue(QueueKind::Reinject).len(), 2);
+    }
+
+    #[test]
+    fn env_properties_reflect_state() {
+        let mut c = make_conn();
+        c.subflows[0].rtt.sample(from_millis(10));
+        c.subflows[1].is_backup = true;
+        c.subflows[1].cost = 3;
+        assert_eq!(c.subflow_prop(SubflowId(0), SubflowProp::Rtt), 10_000);
+        assert_eq!(c.subflow_prop(SubflowId(0), SubflowProp::Cwnd), 10);
+        assert_eq!(c.subflow_prop(SubflowId(1), SubflowProp::IsBackup), 1);
+        assert_eq!(c.subflow_prop(SubflowId(1), SubflowProp::Cost), 3);
+        assert_eq!(c.subflow_prop(SubflowId(9), SubflowProp::Rtt), 0, "unknown subflow reads 0");
+    }
+
+    #[test]
+    fn has_window_for_respects_advertised_window() {
+        let mut c = make_conn();
+        c.adv_rwnd = 2000;
+        let pkts = c.enqueue_data(4200, 0, 0);
+        assert!(c.has_window_for(SubflowId(0), pkts[0]));
+        assert!(!c.has_window_for(SubflowId(0), pkts[2]), "beyond window edge");
+    }
+
+    #[test]
+    fn push_action_to_closed_subflow_keeps_packet() {
+        let mut c = make_conn();
+        let pkts = c.enqueue_data(1400, 0, 0);
+        c.set_subflow_established(1, false);
+        let regs = [0i64; NUM_REGISTERS];
+        c.apply(
+            &regs,
+            &[Action::Push {
+                subflow: SubflowId(1),
+                packet: pkts[0],
+            }],
+        );
+        assert_eq!(c.queue(QueueKind::SendQueue).len(), 1);
+        assert!(c.take_pending_tx().is_empty());
+    }
+}

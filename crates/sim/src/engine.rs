@@ -1,0 +1,859 @@
+//! The discrete-event simulation engine.
+//!
+//! Owns the virtual clock, the event queue, the connections, and the
+//! randomness (a single seeded generator, so every simulation is
+//! deterministic and reproducible per seed — the simulator's substitute
+//! for the paper's repeated real-world measurement runs).
+
+use crate::app::BulkState;
+use crate::config::{ConnectionConfig, SchedulerSpec};
+use crate::connection::{Connection, SchedulerHandle};
+use crate::path::{Path, PathProfileEntry};
+use crate::pathman::{PathManager, PmAction};
+use crate::receiver::Receiver;
+use crate::subflow::Subflow;
+use crate::time::SimTime;
+use progmp_core::env::{PacketRef, RegId, SchedulerEnv, SubflowId, Trigger};
+use progmp_core::exec::ExecCtx;
+use progmp_core::{compile, CompileError, SchedulerProgram};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Identifier of a connection within a [`Sim`].
+pub type ConnId = usize;
+
+#[derive(Debug, Clone)]
+enum EventKind {
+    AppData {
+        conn: ConnId,
+        bytes: u64,
+        prop: u32,
+    },
+    SetRegister {
+        conn: ConnId,
+        reg: RegId,
+        value: i64,
+    },
+    Arrival {
+        conn: ConnId,
+        sbf: u32,
+        sbf_seq: u64,
+        data_seq: u64,
+        pkt: PacketRef,
+        size: u32,
+    },
+    Ack {
+        conn: ConnId,
+        sbf: u32,
+        sbf_ack: u64,
+        data_ack: u64,
+        rwnd: u64,
+    },
+    Rto {
+        conn: ConnId,
+        sbf: u32,
+        token: u64,
+    },
+    Tlp {
+        conn: ConnId,
+        sbf: u32,
+        token: u64,
+    },
+    SubflowUp {
+        conn: ConnId,
+        sbf: u32,
+    },
+    SubflowDown {
+        conn: ConnId,
+        sbf: u32,
+    },
+    PathChange {
+        conn: ConnId,
+        sbf: u32,
+        entry: PathProfileEntry,
+    },
+    Refill {
+        source: usize,
+    },
+    PmTick {
+        conn: ConnId,
+        manager: usize,
+    },
+    Trigger {
+        conn: ConnId,
+        trigger: Trigger,
+    },
+}
+
+#[derive(Debug)]
+struct Ev {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The discrete-event MPTCP simulator.
+pub struct Sim {
+    /// Current simulation time (ns).
+    pub now: SimTime,
+    heap: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    rng: StdRng,
+    /// All connections, indexed by [`ConnId`].
+    pub connections: Vec<Connection>,
+    bulk_sources: Vec<BulkState>,
+    path_managers: Vec<(ConnId, PathManager)>,
+    /// Total events processed (engine health metric).
+    pub events_processed: u64,
+}
+
+impl Sim {
+    /// Creates a simulator with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: 0,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            connections: Vec::new(),
+            bulk_sources: Vec::new(),
+            path_managers: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Ev { time, seq, kind }));
+    }
+
+    /// Creates a connection from `cfg`. Fails if a DSL scheduler does not
+    /// compile.
+    pub fn add_connection(&mut self, cfg: ConnectionConfig) -> Result<ConnId, CompileError> {
+        let id = self.connections.len();
+        let scheduler = match cfg.scheduler {
+            SchedulerSpec::Dsl { source, backend } => {
+                let program: SchedulerProgram = compile(&source)?;
+                SchedulerHandle::Dsl(program.instantiate(backend))
+            }
+            SchedulerSpec::Native(n) => SchedulerHandle::Native(n),
+        };
+        let mut subflows = Vec::new();
+        for (i, sc) in cfg.subflows.iter().enumerate() {
+            let mut sbf = Subflow::new(SubflowId(i as u32), Path::new(&sc.path), cfg.mss);
+            sbf.is_backup = sc.backup;
+            sbf.cost = sc.cost;
+            sbf.established = sc.start_at == 0;
+            // Seed the RTT estimator with the handshake round-trip, as a
+            // real stack would from SYN/SYN-ACK timing. Without this,
+            // RTT-based scheduling decisions at cold start read 0.
+            sbf.rtt.sample(sc.path.fwd_delay + sc.path.rev_delay);
+            subflows.push(sbf);
+            if sc.start_at > 0 {
+                self.schedule(sc.start_at, EventKind::SubflowUp { conn: id, sbf: i as u32 });
+            }
+            for entry in &sc.path.profile {
+                self.schedule(
+                    entry.at,
+                    EventKind::PathChange {
+                        conn: id,
+                        sbf: i as u32,
+                        entry: *entry,
+                    },
+                );
+            }
+        }
+        let receiver = Receiver::new(cfg.receiver_mode, subflows.len(), cfg.recv_buf);
+        let mut conn = Connection::new(
+            id,
+            subflows,
+            receiver,
+            scheduler,
+            cfg.cc,
+            cfg.mss,
+            cfg.recv_buf,
+        );
+        conn.step_budget = cfg.step_budget;
+        conn.max_sched_rounds = cfg.max_sched_rounds;
+        conn.record_timelines = cfg.record_timelines;
+        self.connections.push(conn);
+        Ok(id)
+    }
+
+    /// Schedules `bytes` of application data with property `prop` at `at`.
+    pub fn app_send_at(&mut self, conn: ConnId, at: SimTime, bytes: u64, prop: u32) {
+        self.schedule(at, EventKind::AppData { conn, bytes, prop });
+    }
+
+    /// Schedules a register write (the extended API's `setRegister`) at `at`.
+    pub fn set_register_at(&mut self, conn: ConnId, at: SimTime, reg: RegId, value: i64) {
+        self.schedule(at, EventKind::SetRegister { conn, reg, value });
+    }
+
+    /// Schedules a scheduler trigger (e.g. a timer-driven probe) at `at`.
+    pub fn trigger_at(&mut self, conn: ConnId, at: SimTime, trigger: Trigger) {
+        self.schedule(at, EventKind::Trigger { conn, trigger });
+    }
+
+    /// Tears a subflow down at `at` (connection break / handover).
+    pub fn subflow_down_at(&mut self, conn: ConnId, sbf: u32, at: SimTime) {
+        self.schedule(at, EventKind::SubflowDown { conn, sbf });
+    }
+
+    /// (Re-)establishes a subflow at `at`.
+    pub fn subflow_up_at(&mut self, conn: ConnId, sbf: u32, at: SimTime) {
+        self.schedule(at, EventKind::SubflowUp { conn, sbf });
+    }
+
+    /// Attaches a path manager to `conn`; its policy is evaluated every
+    /// `manager.interval` starting now. Returns the manager index.
+    pub fn attach_path_manager(&mut self, conn: ConnId, manager: PathManager) -> usize {
+        let idx = self.path_managers.len();
+        let first = self.now + manager.interval;
+        self.path_managers.push((conn, manager));
+        self.schedule(first, EventKind::PmTick { conn, manager: idx });
+        idx
+    }
+
+    /// Adds a backlogged bulk sender that keeps `Q` topped up (an
+    /// iPerf-style source). Returns the source index.
+    pub fn add_bulk_source(&mut self, conn: ConnId, total_bytes: u64, prop: u32) -> usize {
+        let idx = self.bulk_sources.len();
+        self.bulk_sources.push(BulkState::new(conn, total_bytes, prop));
+        self.schedule(0, EventKind::Refill { source: idx });
+        idx
+    }
+
+    /// Adds a constant-bitrate source: every `chunk_interval`, enqueues
+    /// `rate * chunk_interval` bytes, from `start` until `end`.
+    pub fn add_cbr_source(
+        &mut self,
+        conn: ConnId,
+        start: SimTime,
+        end: SimTime,
+        rate_bytes_per_sec: u64,
+        chunk_interval: SimTime,
+        prop: u32,
+    ) {
+        let mut t = start;
+        while t < end {
+            let bytes = rate_bytes_per_sec.saturating_mul(chunk_interval) / crate::time::SECONDS;
+            if bytes > 0 {
+                self.app_send_at(conn, t, bytes, prop);
+            }
+            t += chunk_interval;
+        }
+    }
+
+    /// Runs all events up to and including `until`, then sets the clock
+    /// to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(Reverse(ev)) = self.heap.peek() {
+            if ev.time > until {
+                break;
+            }
+            let Reverse(ev) = self.heap.pop().expect("peeked");
+            self.now = ev.time;
+            self.events_processed += 1;
+            self.dispatch(ev.kind);
+        }
+        self.now = until;
+    }
+
+    /// Runs until the event queue drains or `max_time` is reached.
+    pub fn run_to_completion(&mut self, max_time: SimTime) {
+        while let Some(Reverse(ev)) = self.heap.peek() {
+            if ev.time > max_time {
+                break;
+            }
+            let Reverse(ev) = self.heap.pop().expect("peeked");
+            self.now = ev.time;
+            self.events_processed += 1;
+            self.dispatch(ev.kind);
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::AppData { conn, bytes, prop } => {
+                let now = self.now;
+                self.connections[conn].now = now;
+                self.connections[conn].enqueue_data(bytes, prop, now);
+                self.run_scheduler(conn, Trigger::NewData);
+            }
+            EventKind::SetRegister { conn, reg, value } => {
+                self.connections[conn].set_register_direct(reg, value);
+                self.run_scheduler(conn, Trigger::RegisterChanged);
+            }
+            EventKind::Arrival {
+                conn,
+                sbf,
+                sbf_seq,
+                data_seq,
+                pkt,
+                size,
+            } => {
+                let now = self.now;
+                let c = &mut self.connections[conn];
+                let res = c
+                    .receiver
+                    .on_arrival(sbf as usize, sbf_seq, data_seq, pkt, size);
+                if res.delivered_bytes > 0 {
+                    c.stats.delivered_bytes += res.delivered_bytes;
+                    if c.record_timelines {
+                        c.stats
+                            .delivery_timeline
+                            .push((now, c.receiver.delivered_total));
+                    }
+                }
+                let rwnd = c.receiver.rwnd();
+                let rev_delay = c.subflows[sbf as usize].path.rev_delay;
+                self.schedule(
+                    now + rev_delay,
+                    EventKind::Ack {
+                        conn,
+                        sbf,
+                        sbf_ack: res.sbf_ack,
+                        data_ack: res.data_ack,
+                        rwnd,
+                    },
+                );
+            }
+            EventKind::Ack {
+                conn,
+                sbf,
+                sbf_ack,
+                data_ack,
+                rwnd,
+            } => {
+                let now = self.now;
+                self.connections[conn].now = now;
+                let out =
+                    self.connections[conn].handle_ack(sbf as usize, sbf_ack, data_ack, rwnd, now);
+                for (pkt, seq) in &out.auto_retransmit {
+                    self.transmit(conn, sbf as usize, *pkt, Some(*seq));
+                }
+                if let Some(at) = out.rearm_rto_at {
+                    let token = self.connections[conn].subflows[sbf as usize].rto_token;
+                    self.schedule(at, EventKind::Rto { conn, sbf, token });
+                }
+                // (Re-)arm the tail-loss probe: each ack pushes the probe
+                // deadline out; it only fires after a quiet period with
+                // data still in flight.
+                {
+                    let s = &mut self.connections[conn].subflows[sbf as usize];
+                    s.tlp_token += 1;
+                    if s.in_flight() > 0 {
+                        s.tlp_armed = true;
+                        let at = now + s.pto();
+                        let token = s.tlp_token;
+                        self.schedule(at, EventKind::Tlp { conn, sbf, token });
+                    } else {
+                        s.tlp_armed = false;
+                    }
+                }
+                let trigger = if out.loss_suspected {
+                    Trigger::LossSuspected
+                } else {
+                    Trigger::AckReceived
+                };
+                self.run_scheduler(conn, trigger);
+            }
+            EventKind::Rto { conn, sbf, token } => {
+                let now = self.now;
+                {
+                    let s = &mut self.connections[conn].subflows[sbf as usize];
+                    if !s.rto_armed || s.rto_token != token {
+                        return;
+                    }
+                }
+                self.connections[conn].now = now;
+                let out = self.connections[conn].handle_rto(sbf as usize, now);
+                if out.disarm_rto {
+                    return;
+                }
+                for (pkt, seq) in &out.auto_retransmit {
+                    self.transmit(conn, sbf as usize, *pkt, Some(*seq));
+                }
+                // Re-arm with backed-off RTO.
+                {
+                    let s = &mut self.connections[conn].subflows[sbf as usize];
+                    s.rto_token += 1;
+                    let token = s.rto_token;
+                    let at = now + s.rtt.rto();
+                    s.rto_armed = true;
+                    self.schedule(at, EventKind::Rto { conn, sbf, token });
+                }
+                self.run_scheduler(conn, Trigger::LossSuspected);
+            }
+            EventKind::Tlp { conn, sbf, token } => {
+                let now = self.now;
+                let (probe, rearm) = {
+                    let s = &mut self.connections[conn].subflows[sbf as usize];
+                    if !s.tlp_armed || s.tlp_token != token || s.in_flight() == 0 {
+                        if s.in_flight() == 0 {
+                            s.tlp_armed = false;
+                        }
+                        return;
+                    }
+                    // Probe: retransmit the oldest unacked segment on this
+                    // subflow and flag it loss-suspected at the meta level.
+                    let front = s.sent.front().map(|r| (r.pkt, r.sbf_seq));
+                    s.tlp_token += 1;
+                    let token = s.tlp_token;
+                    // Back off further probes to the full RTO pace.
+                    let at = now + s.rtt.rto();
+                    (front, (at, token))
+                };
+                if let Some((pkt, seq)) = probe {
+                    self.connections[conn].now = now;
+                    let reinjected = self.connections[conn].reinject(pkt);
+                    self.transmit(conn, sbf as usize, pkt, Some(seq));
+                    self.schedule(rearm.0, EventKind::Tlp { conn, sbf, token: rearm.1 });
+                    if reinjected {
+                        self.run_scheduler(conn, Trigger::LossSuspected);
+                    }
+                }
+            }
+            EventKind::SubflowUp { conn, sbf } => {
+                self.connections[conn].set_subflow_established(sbf as usize, true);
+                self.run_scheduler(conn, Trigger::SubflowChange);
+            }
+            EventKind::SubflowDown { conn, sbf } => {
+                self.connections[conn].set_subflow_established(sbf as usize, false);
+                self.run_scheduler(conn, Trigger::SubflowChange);
+            }
+            EventKind::PathChange { conn, sbf, entry } => {
+                self.connections[conn].subflows[sbf as usize]
+                    .path
+                    .apply_profile(&entry);
+            }
+            EventKind::Refill { source } => {
+                self.handle_refill(source);
+            }
+            EventKind::PmTick { conn, manager } => {
+                let actions = {
+                    let c = &self.connections[conn];
+                    self.path_managers[manager].1.tick(c)
+                };
+                let mut register_changed = false;
+                for action in actions {
+                    match action {
+                        PmAction::SubflowUp(i) => {
+                            self.connections[conn].set_subflow_established(i as usize, true);
+                            self.run_scheduler(conn, Trigger::SubflowChange);
+                        }
+                        PmAction::SubflowDown(i) => {
+                            self.connections[conn].set_subflow_established(i as usize, false);
+                            self.run_scheduler(conn, Trigger::SubflowChange);
+                        }
+                        PmAction::SetRegister(reg, value) => {
+                            self.connections[conn].set_register_direct(reg, value);
+                            register_changed = true;
+                        }
+                    }
+                }
+                if register_changed {
+                    self.run_scheduler(conn, Trigger::RegisterChanged);
+                }
+                let interval = self.path_managers[manager].1.interval;
+                let at = self.now + interval;
+                self.schedule(at, EventKind::PmTick { conn, manager });
+            }
+            EventKind::Trigger { conn, trigger } => {
+                self.run_scheduler(conn, trigger);
+            }
+        }
+    }
+
+    fn handle_refill(&mut self, source: usize) {
+        let now = self.now;
+        let (conn, add, reschedule) = {
+            let s = &self.bulk_sources[source];
+            if s.remaining == 0 {
+                return;
+            }
+            let c = &self.connections[s.conn];
+            let q_bytes = c.q_bytes();
+            let add = if q_bytes < s.low_watermark {
+                (s.low_watermark * 2 - q_bytes).min(s.remaining)
+            } else {
+                0
+            };
+            (s.conn, add, true)
+        };
+        if add > 0 {
+            self.bulk_sources[source].remaining -= add;
+            let prop = self.bulk_sources[source].prop;
+            self.connections[conn].now = now;
+            self.connections[conn].enqueue_data(add, prop, now);
+            self.run_scheduler(conn, Trigger::NewData);
+        }
+        if reschedule && self.bulk_sources[source].remaining > 0 {
+            let interval = self.bulk_sources[source].interval;
+            self.schedule(now + interval, EventKind::Refill { source });
+        }
+    }
+
+    /// Executes the scheduler of `conn` to quiescence (the paper's
+    /// compressed-execution driver), flushing requested transmissions
+    /// after every round so each round observes fresh state.
+    pub fn run_scheduler(&mut self, conn: ConnId, trigger: Trigger) {
+        let _ = trigger;
+        let Some(mut handle) = self.connections[conn].scheduler.take() else {
+            return;
+        };
+        let max_rounds = self.connections[conn].max_sched_rounds;
+        for _ in 0..max_rounds {
+            let pushes;
+            {
+                let c = &mut self.connections[conn];
+                c.now = self.now;
+                let budget = c.step_budget;
+                let t0 = Instant::now();
+                let mut ctx = ExecCtx::new(&*c, budget);
+                let result = handle.execute_once(&mut ctx);
+                let host_ns = t0.elapsed().as_nanos() as u64;
+                if result.is_err() {
+                    c.stats.scheduler_errors += 1;
+                    break;
+                }
+                let (regs, actions, stats) = ctx.finish();
+                c.apply(&regs, &actions);
+                c.stats.scheduler_executions += 1;
+                c.stats.scheduler_steps += stats.steps;
+                c.stats.scheduler_host_ns += host_ns;
+                pushes = stats.pushes;
+            }
+            let pending = self.connections[conn].take_pending_tx();
+            for (sbf, pkt) in pending {
+                self.transmit(conn, sbf.0 as usize, pkt, None);
+            }
+            if pushes == 0 {
+                break;
+            }
+        }
+        self.connections[conn].scheduler = Some(handle);
+    }
+
+    /// Transmits `pkt` on subflow `sbf_idx` of `conn`. `reuse_seq` marks a
+    /// TCP-level retransmission of an existing subflow sequence number.
+    fn transmit(&mut self, conn: ConnId, sbf_idx: usize, pkt: PacketRef, reuse_seq: Option<u64>) {
+        let now = self.now;
+        let mut arrival = None;
+        let mut arm_rto = None;
+        let mut arm_tlp = None;
+        let mut departure = None;
+        {
+            let c = &mut self.connections[conn];
+            let Some(seg) = c.segments.get(&pkt) else {
+                return;
+            };
+            let (size, data_seq) = (seg.size, seg.seq);
+            let loss_p = c.subflows[sbf_idx].path.loss;
+            let lost = loss_p > 0.0 && self.rng.random::<f64>() < loss_p;
+            if !c.subflows[sbf_idx].established {
+                return;
+            }
+            let is_rtx = reuse_seq.is_some();
+            let outcome = c.subflows[sbf_idx].path.transmit(now, size, lost);
+            let sbf_seq = c.record_tx(sbf_idx, pkt, size, now, reuse_seq);
+            c.subflows[sbf_idx].last_activity = now;
+            // Statistics.
+            c.stats.tx_packets += 1;
+            c.stats.tx_bytes += u64::from(size);
+            let ss = &mut c.stats.subflows[sbf_idx];
+            ss.tx_packets += 1;
+            ss.tx_bytes += u64::from(size);
+            if is_rtx {
+                ss.retransmissions += 1;
+            }
+            match outcome {
+                crate::path::TxOutcome::Arrives { at, departs } => {
+                    arrival = Some((at, sbf_seq, data_seq, size));
+                    departure = Some(departs);
+                }
+                crate::path::TxOutcome::LostOnWire { departs } => {
+                    ss.wire_losses += 1;
+                    departure = Some(departs);
+                }
+                crate::path::TxOutcome::QueueDrop => {
+                    ss.queue_drops += 1;
+                }
+            }
+            if c.record_timelines {
+                c.stats.tx_timeline.push((now, sbf_idx as u32, size));
+            }
+            let s = &mut c.subflows[sbf_idx];
+            if !s.rto_armed {
+                s.rto_armed = true;
+                s.rto_token += 1;
+                arm_rto = Some((now + s.rtt.rto(), s.rto_token));
+            }
+            if !s.tlp_armed {
+                s.tlp_armed = true;
+                s.tlp_token += 1;
+                arm_tlp = Some((now + s.pto(), s.tlp_token));
+            }
+        }
+        if let Some((at, sbf_seq, data_seq, size)) = arrival {
+            self.schedule(
+                at,
+                EventKind::Arrival {
+                    conn,
+                    sbf: sbf_idx as u32,
+                    sbf_seq,
+                    data_seq,
+                    pkt,
+                    size,
+                },
+            );
+        }
+        if let Some((at, token)) = arm_rto {
+            self.schedule(
+                at,
+                EventKind::Rto {
+                    conn,
+                    sbf: sbf_idx as u32,
+                    token,
+                },
+            );
+        }
+        if let Some((at, token)) = arm_tlp {
+            self.schedule(
+                at,
+                EventKind::Tlp {
+                    conn,
+                    sbf: sbf_idx as u32,
+                    token,
+                },
+            );
+        }
+        // Re-invoke the scheduler when the egress queue drains (the
+        // Linux TSQ tasklet's role): a TSQ-throttled subflow becomes
+        // schedulable again at the packet's departure time.
+        if let Some(departs) = departure {
+            if departs > now {
+                self.schedule(
+                    departs,
+                    EventKind::Trigger {
+                        conn,
+                        trigger: Trigger::Timer,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ConnectionConfig, SchedulerSpec, SubflowConfig};
+    use crate::path::PathConfig;
+    use crate::time::{from_millis, SECONDS};
+
+    /// Default scheduler used across engine tests: reinjections first,
+    /// then min-RTT with free cwnd (the paper's default scheduler).
+    pub(crate) const MIN_RTT_DSL: &str = "
+        VAR rqSkb = RQ.TOP;
+        VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+            AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+        IF (rqSkb != NULL) {
+            VAR rtxSbf = avail.FILTER(sbf => !rqSkb.SENT_ON(sbf)).MIN(sbf => sbf.RTT);
+            IF (rtxSbf != NULL) {
+                rtxSbf.PUSH(RQ.POP());
+                RETURN;
+            }
+        }
+        IF (!Q.EMPTY) {
+            avail.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+        }";
+
+    fn two_path_config(scheduler: SchedulerSpec) -> ConnectionConfig {
+        ConnectionConfig::new(
+            vec![
+                SubflowConfig::new(PathConfig::symmetric(from_millis(10), 1_250_000)),
+                SubflowConfig::new(PathConfig::symmetric(from_millis(40), 1_250_000)),
+            ],
+            scheduler,
+        )
+        .with_timelines()
+    }
+
+    #[test]
+    fn bulk_transfer_completes_over_two_subflows() {
+        let mut sim = Sim::new(7);
+        let conn = sim
+            .add_connection(two_path_config(SchedulerSpec::dsl(MIN_RTT_DSL)))
+            .unwrap();
+        sim.app_send_at(conn, 0, 200_000, 0);
+        sim.run_to_completion(20 * SECONDS);
+        let c = &sim.connections[conn];
+        assert!(c.all_acked(), "all data acknowledged");
+        assert_eq!(c.stats.delivered_bytes, 200_000);
+        assert_eq!(c.receiver.delivered_total, 200_000);
+    }
+
+    #[test]
+    fn min_rtt_prefers_fast_path_for_thin_flow() {
+        let mut sim = Sim::new(7);
+        let conn = sim
+            .add_connection(two_path_config(SchedulerSpec::dsl(MIN_RTT_DSL)))
+            .unwrap();
+        // A thin flow: one packet at a time, fits the fast subflow.
+        for i in 0..10 {
+            sim.app_send_at(conn, i * from_millis(100), 1400, 0);
+        }
+        sim.run_to_completion(5 * SECONDS);
+        let c = &sim.connections[conn];
+        assert!(c.all_acked());
+        assert!(
+            c.stats.subflows[0].tx_packets >= 9,
+            "fast subflow carries (nearly) everything: {:?}",
+            c.stats.subflows.iter().map(|s| s.tx_packets).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn lossy_path_recovers_via_retransmission() {
+        let mut sim = Sim::new(42);
+        let cfg = ConnectionConfig::new(
+            vec![SubflowConfig::new(
+                PathConfig::symmetric(from_millis(20), 1_250_000).with_loss(0.05),
+            )],
+            SchedulerSpec::dsl(MIN_RTT_DSL),
+        );
+        let conn = sim.add_connection(cfg).unwrap();
+        sim.app_send_at(conn, 0, 500_000, 0);
+        sim.run_to_completion(60 * SECONDS);
+        let c = &sim.connections[conn];
+        assert!(c.all_acked(), "lossy transfer still completes");
+        assert!(
+            c.stats.subflows[0].wire_losses > 0,
+            "losses actually happened"
+        );
+        assert!(
+            c.stats.subflows[0].retransmissions > 0 || c.stats.tx_packets > 358,
+            "recovery transmitted extra packets"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut sim = Sim::new(seed);
+            let cfg = ConnectionConfig::new(
+                vec![SubflowConfig::new(
+                    PathConfig::symmetric(from_millis(20), 1_250_000).with_loss(0.02),
+                )],
+                SchedulerSpec::dsl(MIN_RTT_DSL),
+            );
+            let conn = sim.add_connection(cfg).unwrap();
+            sim.app_send_at(conn, 0, 100_000, 0);
+            sim.run_to_completion(30 * SECONDS);
+            let c = &sim.connections[conn];
+            (c.stats.tx_packets, c.stats.subflows[0].wire_losses, sim.now)
+        };
+        assert_eq!(run(5), run(5), "same seed, same outcome");
+        assert_ne!(run(5), run(6), "different seeds diverge");
+    }
+
+    #[test]
+    fn redundant_scheduler_duplicates_traffic() {
+        const REDUNDANT: &str = "
+            IF (!Q.EMPTY) {
+                VAR skb = Q.POP();
+                FOREACH(VAR sbf IN SUBFLOWS) { sbf.PUSH(skb); }
+            }";
+        let mut sim = Sim::new(7);
+        let conn = sim
+            .add_connection(two_path_config(SchedulerSpec::dsl(REDUNDANT)))
+            .unwrap();
+        sim.app_send_at(conn, 0, 14_000, 0);
+        sim.run_to_completion(10 * SECONDS);
+        let c = &sim.connections[conn];
+        assert!(c.all_acked());
+        assert!(
+            (c.stats.overhead_ratio() - 2.0).abs() < 0.05,
+            "full redundancy doubles transmitted bytes: ratio={}",
+            c.stats.overhead_ratio()
+        );
+    }
+
+    #[test]
+    fn bulk_source_keeps_queue_fed() {
+        let mut sim = Sim::new(9);
+        let conn = sim
+            .add_connection(two_path_config(SchedulerSpec::dsl(MIN_RTT_DSL)))
+            .unwrap();
+        sim.add_bulk_source(conn, 2_000_000, 0);
+        sim.run_to_completion(30 * SECONDS);
+        let c = &sim.connections[conn];
+        assert_eq!(c.stats.delivered_bytes, 2_000_000);
+        assert!(c.all_acked());
+    }
+
+    #[test]
+    fn subflow_down_reinjects_and_recovery_uses_other_path() {
+        let mut sim = Sim::new(11);
+        let conn = sim
+            .add_connection(two_path_config(SchedulerSpec::dsl(MIN_RTT_DSL)))
+            .unwrap();
+        sim.app_send_at(conn, 0, 100_000, 0);
+        sim.subflow_down_at(conn, 0, from_millis(30));
+        sim.run_to_completion(30 * SECONDS);
+        let c = &sim.connections[conn];
+        assert!(c.all_acked(), "transfer completes over surviving subflow");
+        assert!(c.stats.subflows[1].tx_packets > 0);
+    }
+
+    #[test]
+    fn cbr_source_paces_data() {
+        let mut sim = Sim::new(3);
+        let conn = sim
+            .add_connection(two_path_config(SchedulerSpec::dsl(MIN_RTT_DSL)))
+            .unwrap();
+        // 1 MB/s for 2 seconds in 10 ms chunks.
+        sim.add_cbr_source(conn, 0, 2 * SECONDS, 1_000_000, from_millis(10), 0);
+        sim.run_to_completion(5 * SECONDS);
+        let c = &sim.connections[conn];
+        assert_eq!(c.enqueued_bytes(), 2_000_000);
+        assert!(c.all_acked());
+    }
+
+    #[test]
+    fn scheduler_registers_persist_across_events() {
+        const COUNTER: &str = "SET(R1, R1 + 1); IF (!Q.EMPTY) { SUBFLOWS.MIN(s => s.RTT).PUSH(Q.POP()); }";
+        let mut sim = Sim::new(7);
+        let conn = sim
+            .add_connection(two_path_config(SchedulerSpec::dsl(COUNTER)))
+            .unwrap();
+        sim.app_send_at(conn, 0, 1400, 0);
+        sim.run_to_completion(SECONDS);
+        let c = &sim.connections[conn];
+        assert!(c.register_direct(RegId::R1) >= 2, "executions accumulated");
+        assert!(c.all_acked());
+    }
+}

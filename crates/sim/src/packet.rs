@@ -1,0 +1,71 @@
+//! Meta-level data segments (the simulator's `sk_buff`s).
+
+use crate::time::SimTime;
+use progmp_core::env::{PacketRef, SubflowId};
+
+/// One MSS-sized data segment of a connection, identified by a stable
+/// [`PacketRef`] handle that the scheduler programming model operates on.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Stable handle.
+    pub id: PacketRef,
+    /// Data-level (meta) sequence number: offset of the first byte.
+    pub seq: u64,
+    /// Payload size in bytes.
+    pub size: u32,
+    /// Application-assigned property (paper §3.2 "Packet Properties").
+    pub prop: u32,
+    /// When the segment entered the sending queue.
+    pub enqueued_at: SimTime,
+    /// Number of transmissions (any subflow), the `SENT_COUNT` property.
+    pub sent_count: u32,
+    /// Subflows this segment was transmitted on, the `SENT_ON` predicate.
+    pub sent_on: Vec<SubflowId>,
+}
+
+impl Segment {
+    /// Whether the segment was ever sent on `sbf`.
+    pub fn sent_on(&self, sbf: SubflowId) -> bool {
+        self.sent_on.contains(&sbf)
+    }
+
+    /// Records a transmission on `sbf`.
+    pub fn record_tx(&mut self, sbf: SubflowId) {
+        self.sent_count += 1;
+        if !self.sent_on.contains(&sbf) {
+            self.sent_on.push(sbf);
+        }
+    }
+
+    /// Exclusive end of the segment's byte range.
+    pub fn end_seq(&self) -> u64 {
+        self.seq + u64::from(self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tx_tracks_subflows_and_count() {
+        let mut s = Segment {
+            id: PacketRef(1),
+            seq: 0,
+            size: 1400,
+            prop: 0,
+            enqueued_at: 0,
+            sent_count: 0,
+            sent_on: Vec::new(),
+        };
+        s.record_tx(SubflowId(0));
+        s.record_tx(SubflowId(0));
+        s.record_tx(SubflowId(1));
+        assert_eq!(s.sent_count, 3);
+        assert!(s.sent_on(SubflowId(0)));
+        assert!(s.sent_on(SubflowId(1)));
+        assert!(!s.sent_on(SubflowId(2)));
+        assert_eq!(s.sent_on.len(), 2, "subflow set is deduplicated");
+        assert_eq!(s.end_seq(), 1400);
+    }
+}

@@ -1,0 +1,266 @@
+//! Network path model: rate, propagation delay, random loss, and a
+//! bounded FIFO egress queue per direction.
+//!
+//! This is the substitute for the paper's Mininet links and real WiFi/LTE
+//! interfaces: the evaluation scenarios only depend on per-path delay,
+//! capacity, loss and their dynamics, all of which are modelled here.
+//! Rates and delays may change over time through [`PathProfileEntry`] entries
+//! (WiFi throughput fluctuation, handover degradation).
+
+use crate::time::{serialize_time, SimTime};
+
+/// Static configuration of one path (one subflow's network substrate).
+#[derive(Debug, Clone)]
+pub struct PathConfig {
+    /// One-way propagation delay, data direction (ns).
+    pub fwd_delay: SimTime,
+    /// One-way propagation delay, acknowledgement direction (ns).
+    pub rev_delay: SimTime,
+    /// Link rate in bytes/second (data direction).
+    pub rate: u64,
+    /// Independent random loss probability per packet (0.0..1.0).
+    pub loss: f64,
+    /// Egress queue capacity in packets; packets beyond it are tail-dropped.
+    pub queue_cap: usize,
+    /// Scheduled changes to rate/loss over time.
+    pub profile: Vec<PathProfileEntry>,
+}
+
+/// A scheduled change of path characteristics.
+#[derive(Debug, Clone, Copy)]
+pub struct PathProfileEntry {
+    /// When the change takes effect.
+    pub at: SimTime,
+    /// New rate (bytes/second); `None` keeps the current rate.
+    pub rate: Option<u64>,
+    /// New loss probability; `None` keeps the current loss.
+    pub loss: Option<f64>,
+    /// New forward one-way delay; `None` keeps the current delay.
+    pub fwd_delay: Option<SimTime>,
+}
+
+impl PathConfig {
+    /// A symmetric path described by RTT (split evenly) and rate.
+    pub fn symmetric(rtt: SimTime, rate: u64) -> Self {
+        PathConfig {
+            fwd_delay: rtt / 2,
+            rev_delay: rtt / 2,
+            rate,
+            loss: 0.0,
+            queue_cap: 1000,
+            profile: Vec::new(),
+        }
+    }
+
+    /// Sets the random loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the egress queue capacity (packets).
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Appends a profile entry.
+    pub fn with_profile_entry(mut self, entry: PathProfileEntry) -> Self {
+        self.profile.push(entry);
+        self
+    }
+}
+
+/// Runtime state of one path.
+#[derive(Debug, Clone)]
+pub struct Path {
+    /// Current configuration values.
+    pub fwd_delay: SimTime,
+    /// Ack-direction delay.
+    pub rev_delay: SimTime,
+    /// Current rate (bytes/second).
+    pub rate: u64,
+    /// Current loss probability.
+    pub loss: f64,
+    /// Queue capacity in packets.
+    pub queue_cap: usize,
+    /// Time the link becomes free to serialize the next packet.
+    next_free: SimTime,
+    /// Departure times of packets currently in the egress queue (still
+    /// queued or being serialized). Pruned lazily.
+    departures: Vec<SimTime>,
+}
+
+/// Outcome of handing a packet to the path at the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// Packet will arrive at the receiver at the given time.
+    Arrives {
+        /// Arrival time at the receiver.
+        at: SimTime,
+        /// Departure time from the sender's egress queue.
+        departs: SimTime,
+    },
+    /// Packet was dropped (random loss); it departs but never arrives.
+    LostOnWire {
+        /// Departure time from the sender's egress queue.
+        departs: SimTime,
+    },
+    /// Packet was tail-dropped at the full egress queue.
+    QueueDrop,
+}
+
+impl Path {
+    /// Creates runtime path state from a configuration.
+    pub fn new(cfg: &PathConfig) -> Self {
+        Path {
+            fwd_delay: cfg.fwd_delay,
+            rev_delay: cfg.rev_delay,
+            rate: cfg.rate,
+            loss: cfg.loss,
+            queue_cap: cfg.queue_cap,
+            next_free: 0,
+            departures: Vec::new(),
+        }
+    }
+
+    /// Removes departed packets from the egress accounting.
+    fn prune(&mut self, now: SimTime) {
+        self.departures.retain(|&d| d > now);
+    }
+
+    /// Number of packets queued (or in serialization) at `now` — the
+    /// `QUEUED` scheduler property and the basis of TSQ throttling.
+    pub fn queued(&mut self, now: SimTime) -> usize {
+        self.prune(now);
+        self.departures.len()
+    }
+
+    /// Like [`Path::queued`] but without mutating (for property reads
+    /// during scheduler executions, which must not change state).
+    pub fn queued_at(&self, now: SimTime) -> usize {
+        self.departures.iter().filter(|&&d| d > now).count()
+    }
+
+    /// Attempts to transmit a packet of `size` bytes at `now`.
+    /// `lost` is the externally drawn Bernoulli loss decision (the caller
+    /// owns the RNG so simulations stay deterministic per seed).
+    pub fn transmit(&mut self, now: SimTime, size: u32, lost: bool) -> TxOutcome {
+        self.prune(now);
+        if self.departures.len() >= self.queue_cap {
+            return TxOutcome::QueueDrop;
+        }
+        let start = self.next_free.max(now);
+        let departs = start + serialize_time(u64::from(size), self.rate);
+        self.next_free = departs;
+        self.departures.push(departs);
+        if lost {
+            TxOutcome::LostOnWire { departs }
+        } else {
+            TxOutcome::Arrives {
+                at: departs + self.fwd_delay,
+                departs,
+            }
+        }
+    }
+
+    /// Applies a profile entry.
+    pub fn apply_profile(&mut self, entry: &PathProfileEntry) {
+        if let Some(r) = entry.rate {
+            self.rate = r;
+        }
+        if let Some(l) = entry.loss {
+            self.loss = l;
+        }
+        if let Some(d) = entry.fwd_delay {
+            self.fwd_delay = d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{from_millis, MILLIS};
+
+    fn path_10ms_10mbps() -> Path {
+        // 10 Mbit/s = 1,250,000 B/s
+        Path::new(&PathConfig::symmetric(from_millis(10), 1_250_000))
+    }
+
+    #[test]
+    fn first_packet_arrives_after_serialization_plus_delay() {
+        let mut p = path_10ms_10mbps();
+        let out = p.transmit(0, 1250, false);
+        // 1250 B at 1.25 MB/s = 1 ms serialization + 5 ms one-way delay.
+        assert_eq!(
+            out,
+            TxOutcome::Arrives {
+                at: 6 * MILLIS,
+                departs: MILLIS
+            }
+        );
+    }
+
+    #[test]
+    fn serialization_queues_back_to_back_packets() {
+        let mut p = path_10ms_10mbps();
+        let TxOutcome::Arrives { at: a1, .. } = p.transmit(0, 1250, false) else {
+            panic!()
+        };
+        let TxOutcome::Arrives { at: a2, .. } = p.transmit(0, 1250, false) else {
+            panic!()
+        };
+        assert_eq!(a2 - a1, MILLIS, "second packet waits for the first");
+    }
+
+    #[test]
+    fn queued_counts_pending_packets() {
+        let mut p = path_10ms_10mbps();
+        for _ in 0..5 {
+            p.transmit(0, 1250, false);
+        }
+        assert_eq!(p.queued(0), 5);
+        // After 3.5 ms, three packets have departed.
+        assert_eq!(p.queued(3 * MILLIS + MILLIS / 2), 2);
+        assert_eq!(p.queued(10 * MILLIS), 0);
+    }
+
+    #[test]
+    fn queue_cap_tail_drops() {
+        let mut p = Path::new(
+            &PathConfig::symmetric(from_millis(10), 1_250_000).with_queue_cap(3),
+        );
+        for _ in 0..3 {
+            assert!(!matches!(p.transmit(0, 1250, false), TxOutcome::QueueDrop));
+        }
+        assert_eq!(p.transmit(0, 1250, false), TxOutcome::QueueDrop);
+    }
+
+    #[test]
+    fn lost_packet_departs_but_never_arrives() {
+        let mut p = path_10ms_10mbps();
+        let out = p.transmit(0, 1250, true);
+        assert_eq!(out, TxOutcome::LostOnWire { departs: MILLIS });
+        // It still occupied the link.
+        let TxOutcome::Arrives { at, .. } = p.transmit(0, 1250, false) else {
+            panic!()
+        };
+        assert_eq!(at, 7 * MILLIS);
+    }
+
+    #[test]
+    fn profile_changes_rate() {
+        let mut p = path_10ms_10mbps();
+        p.apply_profile(&PathProfileEntry {
+            at: 0,
+            rate: Some(2_500_000),
+            loss: None,
+            fwd_delay: None,
+        });
+        let TxOutcome::Arrives { departs, .. } = p.transmit(0, 1250, false) else {
+            panic!()
+        };
+        assert_eq!(departs, MILLIS / 2, "doubled rate halves serialization");
+    }
+}

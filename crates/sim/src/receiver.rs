@@ -1,0 +1,307 @@
+//! Receiver-side packet handling: per-subflow in-order tracking, the meta
+//! reorder queue, and in-order delivery to the application.
+//!
+//! Implements both receiver behaviours discussed in paper §4.2:
+//!
+//! * [`ReceiverMode::Improved`] — the paper's fix: any packet that fits
+//!   in-order at the *meta* level is delivered immediately, regardless of
+//!   subflow-level ordering.
+//! * [`ReceiverMode::Legacy`] — the stock Linux behaviour the paper
+//!   criticizes: a packet is held in its subflow's out-of-order queue
+//!   until it is in-subflow-order, even when it would already fit
+//!   in-order at the meta level.
+//!
+//! Subflow-level cumulative acknowledgements advance identically in both
+//! modes (that part is plain TCP); only meta delivery differs.
+
+use progmp_core::env::PacketRef;
+use std::collections::BTreeMap;
+
+/// Receiver delivery strategy (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReceiverMode {
+    /// Deliver meta-in-order data as soon as possible (the paper's
+    /// improved receiver).
+    #[default]
+    Improved,
+    /// Hold packets until subflow-in-order before meta processing
+    /// (stock Linux multi-layer queue behaviour).
+    Legacy,
+}
+
+/// What one packet arrival produced at the receiver.
+#[derive(Debug, Clone, Default)]
+pub struct ArrivalResult {
+    /// Bytes newly delivered in-order to the application.
+    pub delivered_bytes: u64,
+    /// The new meta-level cumulative ack (next expected data byte).
+    pub data_ack: u64,
+    /// The new subflow-level cumulative ack (packets received in order).
+    pub sbf_ack: u64,
+    /// True if this data range was already received (redundant copy).
+    pub duplicate: bool,
+}
+
+/// Per-connection receiver state.
+#[derive(Debug)]
+pub struct Receiver {
+    mode: ReceiverMode,
+    /// Next expected data-level byte.
+    expected: u64,
+    /// Meta out-of-order buffer: data seq -> (packet, size).
+    meta_ooo: BTreeMap<u64, (PacketRef, u32)>,
+    /// Per-subflow next expected subflow sequence number.
+    sbf_expected: Vec<u64>,
+    /// Per-subflow out-of-order queue (legacy mode): sbf seq -> payload.
+    sbf_ooo: Vec<BTreeMap<u64, (u64, PacketRef, u32)>>,
+    /// Receive buffer capacity in bytes (bounds the OOO buffer and
+    /// therefore the advertised window).
+    buf_cap: u64,
+    ooo_bytes: u64,
+    /// Total bytes delivered to the application.
+    pub delivered_total: u64,
+}
+
+impl Receiver {
+    /// Creates a receiver for `n_subflows` with the given mode and buffer.
+    pub fn new(mode: ReceiverMode, n_subflows: usize, buf_cap: u64) -> Self {
+        Receiver {
+            mode,
+            expected: 0,
+            meta_ooo: BTreeMap::new(),
+            sbf_expected: vec![0; n_subflows],
+            sbf_ooo: vec![BTreeMap::new(); n_subflows],
+            buf_cap,
+            ooo_bytes: 0,
+            delivered_total: 0,
+        }
+    }
+
+    /// Registers an additional subflow (path-manager adding one later).
+    pub fn add_subflow(&mut self) {
+        self.sbf_expected.push(0);
+        self.sbf_ooo.push(BTreeMap::new());
+    }
+
+    /// Next expected data byte (the meta cumulative ack).
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// Free receive-buffer space (the advertised window).
+    pub fn rwnd(&self) -> u64 {
+        self.buf_cap.saturating_sub(self.ooo_bytes)
+    }
+
+    /// Subflow-level cumulative ack for `sbf`.
+    pub fn sbf_ack(&self, sbf: usize) -> u64 {
+        self.sbf_expected[sbf]
+    }
+
+    /// Processes the arrival of one packet on subflow `sbf`.
+    pub fn on_arrival(
+        &mut self,
+        sbf: usize,
+        sbf_seq: u64,
+        data_seq: u64,
+        pkt: PacketRef,
+        size: u32,
+    ) -> ArrivalResult {
+        let mut res = ArrivalResult {
+            duplicate: false,
+            ..Default::default()
+        };
+        let before = self.delivered_total;
+
+        match self.mode {
+            ReceiverMode::Improved => {
+                self.advance_sbf(sbf, sbf_seq, None);
+                res.duplicate = !self.meta_insert(data_seq, pkt, size);
+            }
+            ReceiverMode::Legacy => {
+                if sbf_seq == self.sbf_expected[sbf] {
+                    self.sbf_expected[sbf] += 1;
+                    res.duplicate = !self.meta_insert(data_seq, pkt, size);
+                    // Drain now-contiguous subflow OOO entries.
+                    while let Some((&next, _)) = self.sbf_ooo[sbf].first_key_value() {
+                        if next != self.sbf_expected[sbf] {
+                            break;
+                        }
+                        let (_, (ds, p, sz)) =
+                            self.sbf_ooo[sbf].pop_first().expect("checked non-empty");
+                        self.ooo_bytes = self.ooo_bytes.saturating_sub(u64::from(sz));
+                        self.sbf_expected[sbf] += 1;
+                        self.meta_insert(ds, p, sz);
+                    }
+                } else if sbf_seq > self.sbf_expected[sbf] {
+                    // Held hostage in the subflow OOO queue.
+                    if self.sbf_ooo[sbf]
+                        .insert(sbf_seq, (data_seq, pkt, size))
+                        .is_none()
+                    {
+                        self.ooo_bytes += u64::from(size);
+                    }
+                } else {
+                    res.duplicate = true; // old subflow-level duplicate
+                }
+            }
+        }
+
+        res.delivered_bytes = self.delivered_total - before;
+        res.data_ack = self.expected;
+        res.sbf_ack = self.sbf_expected[sbf];
+        res
+    }
+
+    /// Advances the subflow cumulative counter for improved mode
+    /// (subflow OOO packets still ack cumulatively once the gap fills;
+    /// we track highest-contiguous via the OOO map).
+    fn advance_sbf(&mut self, sbf: usize, sbf_seq: u64, _unused: Option<()>) {
+        if sbf_seq == self.sbf_expected[sbf] {
+            self.sbf_expected[sbf] += 1;
+            while self.sbf_ooo[sbf].remove(&self.sbf_expected[sbf]).is_some() {
+                self.sbf_expected[sbf] += 1;
+            }
+        } else if sbf_seq > self.sbf_expected[sbf] {
+            // Record the hole; payload already went to the meta queue.
+            self.sbf_ooo[sbf].insert(sbf_seq, (0, PacketRef(0), 0));
+        }
+    }
+
+    /// Inserts a packet into the meta queue; returns false if the data
+    /// range is a duplicate (already delivered or already buffered).
+    fn meta_insert(&mut self, data_seq: u64, pkt: PacketRef, size: u32) -> bool {
+        if data_seq + u64::from(size) <= self.expected {
+            return false;
+        }
+        if data_seq <= self.expected {
+            // In order (possibly partially duplicate): deliver.
+            let new_end = data_seq + u64::from(size);
+            let fresh = new_end - self.expected;
+            self.expected = new_end;
+            self.delivered_total += fresh;
+            // Drain contiguous buffered packets.
+            while let Some((&seq, &(_, sz))) = self.meta_ooo.first_key_value() {
+                if seq > self.expected {
+                    break;
+                }
+                self.meta_ooo.pop_first();
+                self.ooo_bytes = self.ooo_bytes.saturating_sub(u64::from(sz));
+                let end = seq + u64::from(sz);
+                if end > self.expected {
+                    self.delivered_total += end - self.expected;
+                    self.expected = end;
+                }
+            }
+            true
+        } else {
+            // Out of order: buffer unless duplicate.
+            use std::collections::btree_map::Entry;
+            match self.meta_ooo.entry(data_seq) {
+                Entry::Occupied(_) => false,
+                Entry::Vacant(v) => {
+                    v.insert((pkt, size));
+                    self.ooo_bytes += u64::from(size);
+                    true
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(n: u64) -> PacketRef {
+        PacketRef(n)
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let mut r = Receiver::new(ReceiverMode::Improved, 1, 1 << 20);
+        let a = r.on_arrival(0, 0, 0, pkt(1), 100);
+        assert_eq!(a.delivered_bytes, 100);
+        assert_eq!(a.data_ack, 100);
+        assert_eq!(a.sbf_ack, 1);
+        let b = r.on_arrival(0, 1, 100, pkt(2), 100);
+        assert_eq!(b.delivered_bytes, 100);
+        assert_eq!(r.delivered_total, 200);
+    }
+
+    #[test]
+    fn meta_reordering_buffers_then_drains() {
+        let mut r = Receiver::new(ReceiverMode::Improved, 2, 1 << 20);
+        // Packet with data 100..200 arrives first (on subflow 1).
+        let a = r.on_arrival(1, 0, 100, pkt(2), 100);
+        assert_eq!(a.delivered_bytes, 0);
+        assert_eq!(r.rwnd(), (1 << 20) - 100);
+        // Now 0..100 arrives: both deliver.
+        let b = r.on_arrival(0, 0, 0, pkt(1), 100);
+        assert_eq!(b.delivered_bytes, 200);
+        assert_eq!(b.data_ack, 200);
+    }
+
+    #[test]
+    fn duplicate_redundant_copy_detected() {
+        let mut r = Receiver::new(ReceiverMode::Improved, 2, 1 << 20);
+        let a = r.on_arrival(0, 0, 0, pkt(1), 100);
+        assert!(!a.duplicate);
+        // Redundant copy of the same bytes on the other subflow.
+        let b = r.on_arrival(1, 0, 0, pkt(1), 100);
+        assert!(b.duplicate);
+        assert_eq!(b.delivered_bytes, 0);
+        assert_eq!(r.delivered_total, 100);
+    }
+
+    #[test]
+    fn improved_mode_delivers_despite_subflow_gap() {
+        // The §4.2 scenario: subflow 0 loses its first packet (sbf_seq 0)
+        // carrying data 100..200; its second packet (sbf_seq 1) carries
+        // data 0..100, which is meta-in-order and must be delivered
+        // immediately in improved mode.
+        let mut r = Receiver::new(ReceiverMode::Improved, 1, 1 << 20);
+        let a = r.on_arrival(0, 1, 0, pkt(2), 100);
+        assert_eq!(a.delivered_bytes, 100, "meta-in-order data delivered");
+        assert_eq!(a.sbf_ack, 0, "subflow-level hole remains unacked");
+    }
+
+    #[test]
+    fn legacy_mode_holds_subflow_out_of_order_data() {
+        // Same scenario in legacy mode: delivery is blocked.
+        let mut r = Receiver::new(ReceiverMode::Legacy, 1, 1 << 20);
+        let a = r.on_arrival(0, 1, 0, pkt(2), 100);
+        assert_eq!(a.delivered_bytes, 0, "legacy receiver blocks delivery");
+        // The missing subflow packet arrives (retransmission) with data
+        // 100..200: now both deliver.
+        let b = r.on_arrival(0, 0, 100, pkt(1), 100);
+        assert_eq!(b.delivered_bytes, 200);
+    }
+
+    #[test]
+    fn subflow_ack_advances_over_filled_gaps() {
+        let mut r = Receiver::new(ReceiverMode::Improved, 1, 1 << 20);
+        r.on_arrival(0, 1, 100, pkt(2), 100);
+        r.on_arrival(0, 2, 200, pkt(3), 100);
+        let a = r.on_arrival(0, 0, 0, pkt(1), 100);
+        assert_eq!(a.sbf_ack, 3, "cumulative ack jumps over the filled gap");
+        assert_eq!(a.delivered_bytes, 300);
+    }
+
+    #[test]
+    fn rwnd_shrinks_with_ooo_buffering() {
+        let mut r = Receiver::new(ReceiverMode::Improved, 1, 1000);
+        r.on_arrival(0, 0, 500, pkt(1), 300);
+        assert_eq!(r.rwnd(), 700);
+        r.on_arrival(0, 1, 0, pkt(2), 500);
+        assert_eq!(r.rwnd(), 1000, "drained after in-order fill");
+    }
+
+    #[test]
+    fn old_duplicate_at_subflow_level_ignored() {
+        let mut r = Receiver::new(ReceiverMode::Legacy, 1, 1 << 20);
+        r.on_arrival(0, 0, 0, pkt(1), 100);
+        let a = r.on_arrival(0, 0, 0, pkt(1), 100);
+        assert!(a.duplicate);
+    }
+}

@@ -1,0 +1,145 @@
+//! RFC 6298 round-trip-time estimation (SRTT, RTTVAR, RTO).
+
+use crate::time::{SimTime, MILLIS};
+
+/// Smoothed RTT estimator with retransmission-timeout computation,
+/// following RFC 6298 (the estimator the Linux TCP stack uses, which the
+/// `RTT`/`RTT_VAR` scheduler properties expose).
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimTime>,
+    rttvar: SimTime,
+    min_rto: SimTime,
+    max_rto: SimTime,
+}
+
+impl RttEstimator {
+    /// Creates an estimator with the given RTO clamp.
+    pub fn new(min_rto: SimTime, max_rto: SimTime) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: 0,
+            min_rto,
+            max_rto,
+        }
+    }
+
+    /// Whether any sample has been observed.
+    pub fn has_sample(&self) -> bool {
+        self.srtt.is_some()
+    }
+
+    /// Records an RTT sample (nanoseconds). Samples from retransmitted
+    /// packets must not be fed here (Karn's algorithm).
+    pub fn sample(&mut self, rtt: SimTime) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let delta = srtt.abs_diff(rtt);
+                self.rttvar = (3 * self.rttvar + delta) / 4;
+                self.srtt = Some((7 * srtt + rtt) / 8);
+            }
+        }
+    }
+
+    /// Smoothed RTT (ns); 0 before the first sample.
+    pub fn srtt(&self) -> SimTime {
+        self.srtt.unwrap_or(0)
+    }
+
+    /// RTT mean deviation (ns).
+    pub fn rttvar(&self) -> SimTime {
+        self.rttvar
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> SimTime {
+        let raw = match self.srtt {
+            None => 1000 * MILLIS, // RFC 6298 initial RTO: 1 s
+            Some(srtt) => srtt + (4 * self.rttvar).max(MILLIS),
+        };
+        raw.clamp(self.min_rto, self.max_rto)
+    }
+
+    /// Doubles the RTO state after a timeout (exponential backoff) by
+    /// inflating the variance term.
+    pub fn backoff(&mut self) {
+        self.rttvar = (self.rttvar * 2).min(self.max_rto);
+        if let Some(srtt) = self.srtt {
+            // Keep srtt; backoff is expressed through rttvar inflation.
+            let _ = srtt;
+        }
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator::new(200 * MILLIS, 60_000 * MILLIS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::from_millis;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::default();
+        assert!(!e.has_sample());
+        e.sample(from_millis(10));
+        assert_eq!(e.srtt(), from_millis(10));
+        assert_eq!(e.rttvar(), from_millis(5));
+    }
+
+    #[test]
+    fn converges_to_stable_rtt() {
+        let mut e = RttEstimator::default();
+        for _ in 0..100 {
+            e.sample(from_millis(40));
+        }
+        let srtt_ms = e.srtt() / MILLIS;
+        assert!((39..=41).contains(&srtt_ms), "srtt={srtt_ms}ms");
+        assert!(e.rttvar() < from_millis(1));
+    }
+
+    #[test]
+    fn variance_tracks_jitter() {
+        let mut stable = RttEstimator::default();
+        let mut jittery = RttEstimator::default();
+        for i in 0..100 {
+            stable.sample(from_millis(30));
+            jittery.sample(from_millis(if i % 2 == 0 { 10 } else { 50 }));
+        }
+        assert!(jittery.rttvar() > stable.rttvar() * 4);
+    }
+
+    #[test]
+    fn rto_respects_min_clamp() {
+        let mut e = RttEstimator::new(from_millis(200), from_millis(60_000));
+        for _ in 0..50 {
+            e.sample(from_millis(1));
+        }
+        assert_eq!(e.rto(), from_millis(200));
+    }
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let e = RttEstimator::default();
+        assert_eq!(e.rto(), from_millis(1000));
+    }
+
+    #[test]
+    fn backoff_inflates_rto() {
+        let mut e = RttEstimator::default();
+        for _ in 0..10 {
+            e.sample(from_millis(300));
+        }
+        let before = e.rto();
+        e.backoff();
+        assert!(e.rto() >= before);
+    }
+}

@@ -1,0 +1,263 @@
+//! Sender-side subflow state: one TCP subflow of an MPTCP connection.
+
+use crate::cc::CcState;
+use crate::path::Path;
+use crate::rtt::RttEstimator;
+use crate::time::{SimTime, MILLIS, SECONDS};
+use progmp_core::env::{PacketRef, SubflowId};
+use std::collections::VecDeque;
+
+/// Record of one transmission awaiting subflow-level acknowledgement.
+#[derive(Debug, Clone)]
+pub struct TxRec {
+    /// Subflow-level sequence number (transmission index).
+    pub sbf_seq: u64,
+    /// The meta segment transmitted.
+    pub pkt: PacketRef,
+    /// Payload size (bytes).
+    pub size: u32,
+    /// Transmission time.
+    pub sent_at: SimTime,
+    /// Whether this was a retransmission (excluded from RTT sampling).
+    pub is_rtx: bool,
+}
+
+/// Sender-side state of one subflow.
+#[derive(Debug)]
+pub struct Subflow {
+    /// Stable identifier within the connection.
+    pub id: SubflowId,
+    /// The network path this subflow runs over.
+    pub path: Path,
+    /// Congestion-control state.
+    pub cc: CcState,
+    /// RTT estimator.
+    pub rtt: RttEstimator,
+    /// Backup flag set by the path manager (the `IS_BACKUP` property).
+    pub is_backup: bool,
+    /// Application-assigned cost/preference weight (the `COST` property).
+    pub cost: i64,
+    /// Whether the subflow is currently established.
+    pub established: bool,
+    /// Next subflow-level sequence number to assign.
+    pub next_seq: u64,
+    /// Cumulative subflow-level ack received.
+    pub acked_seq: u64,
+    /// Consecutive duplicate acks observed.
+    pub dupacks: u32,
+    /// Unacknowledged transmissions, oldest first.
+    pub sent: VecDeque<TxRec>,
+    /// Total packets declared lost on this subflow (`LOST_SKBS`).
+    pub lost_skbs: u64,
+    /// Last time this subflow transmitted or received (`LAST_ACT_AGE`).
+    pub last_activity: SimTime,
+    /// Token invalidating stale RTO timer events.
+    pub rto_token: u64,
+    /// Whether an RTO timer is currently armed.
+    pub rto_armed: bool,
+    /// Token invalidating stale tail-loss-probe events.
+    pub tlp_token: u64,
+    /// Whether a tail-loss probe is currently armed.
+    pub tlp_armed: bool,
+    /// TCP-small-queue limit: max packets in the egress queue before the
+    /// subflow reports `TSQ_THROTTLED`.
+    pub tsq_limit: usize,
+    /// Maximum segment size (bytes).
+    pub mss: u32,
+    // --- delivery-rate estimation (the `BW` property) ---
+    bw_bytes: u64,
+    bw_window_start: SimTime,
+    bw_est: u64,
+}
+
+impl Subflow {
+    /// Creates an established subflow over `path`.
+    pub fn new(id: SubflowId, path: Path, mss: u32) -> Self {
+        Subflow {
+            id,
+            path,
+            cc: CcState::default(),
+            rtt: RttEstimator::default(),
+            is_backup: false,
+            cost: 0,
+            established: true,
+            next_seq: 0,
+            acked_seq: 0,
+            dupacks: 0,
+            sent: VecDeque::new(),
+            lost_skbs: 0,
+            last_activity: 0,
+            rto_token: 0,
+            rto_armed: false,
+            tlp_token: 0,
+            tlp_armed: false,
+            tsq_limit: 2,
+            mss,
+            bw_bytes: 0,
+            bw_window_start: 0,
+            bw_est: 0,
+        }
+    }
+
+    /// Packets in flight at the subflow level (`SKBS_IN_FLIGHT`).
+    pub fn in_flight(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// Tail-loss-probe timeout (RFC 8985-style): `2 * SRTT + 10 ms`,
+    /// clamped to at least 30 ms — much shorter than the RTO, so tail
+    /// losses of short flows are recovered quickly.
+    pub fn pto(&self) -> SimTime {
+        (2 * self.rtt.srtt() + 10 * MILLIS).max(30 * MILLIS)
+    }
+
+    /// Whether the TCP-small-queue condition throttles this subflow.
+    pub fn tsq_throttled(&self, now: SimTime) -> bool {
+        self.path.queued_at(now) >= self.tsq_limit
+    }
+
+    /// Records acknowledged bytes for delivery-rate estimation and
+    /// returns the refreshed estimate when the window rolls over.
+    pub fn record_delivered(&mut self, now: SimTime, bytes: u64) {
+        self.bw_bytes += bytes;
+        let window = self.rtt.srtt().max(50 * MILLIS);
+        let elapsed = now.saturating_sub(self.bw_window_start);
+        if elapsed >= window {
+            let rate = self.bw_bytes.saturating_mul(SECONDS) / elapsed.max(1);
+            self.bw_est = if self.bw_est == 0 {
+                rate
+            } else {
+                (3 * self.bw_est + rate) / 4
+            };
+            self.bw_bytes = 0;
+            self.bw_window_start = now;
+        }
+    }
+
+    /// Current delivery-rate estimate in bytes/second (the `BW` property).
+    pub fn bw_estimate(&self) -> u64 {
+        self.bw_est
+    }
+
+    /// Finds and removes the transmission records acknowledged by a new
+    /// cumulative `ack`. Returns (acked packet count, acked byte count,
+    /// RTT sample from the newest first-transmission if valid).
+    pub fn take_acked(&mut self, ack: u64, now: SimTime) -> (u64, u64, Option<SimTime>) {
+        let mut pkts = 0u64;
+        let mut bytes = 0u64;
+        let mut sample = None;
+        while let Some(front) = self.sent.front() {
+            if front.sbf_seq >= ack {
+                break;
+            }
+            let rec = self.sent.pop_front().expect("checked non-empty");
+            pkts += 1;
+            bytes += u64::from(rec.size);
+            if !rec.is_rtx {
+                sample = Some(now.saturating_sub(rec.sent_at));
+            }
+        }
+        (pkts, bytes, sample)
+    }
+
+    /// Removes and returns the oldest unacknowledged transmission (the
+    /// fast-retransmit victim). Returns `None` when nothing is in flight.
+    pub fn take_oldest_unacked(&mut self) -> Option<TxRec> {
+        self.sent.pop_front()
+    }
+
+    /// Drains all in-flight transmissions (RTO recovery).
+    pub fn drain_in_flight(&mut self) -> Vec<TxRec> {
+        self.sent.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::PathConfig;
+    use crate::time::from_millis;
+
+    fn subflow() -> Subflow {
+        Subflow::new(
+            SubflowId(0),
+            Path::new(&PathConfig::symmetric(from_millis(10), 1_250_000)),
+            1400,
+        )
+    }
+
+    fn tx(sbf_seq: u64, sent_at: SimTime) -> TxRec {
+        TxRec {
+            sbf_seq,
+            pkt: PacketRef(sbf_seq),
+            size: 1400,
+            sent_at,
+            is_rtx: false,
+        }
+    }
+
+    #[test]
+    fn take_acked_pops_in_order() {
+        let mut s = subflow();
+        for i in 0..5 {
+            s.sent.push_back(tx(i, 0));
+        }
+        let (pkts, bytes, sample) = s.take_acked(3, from_millis(12));
+        assert_eq!(pkts, 3);
+        assert_eq!(bytes, 3 * 1400);
+        assert_eq!(sample, Some(from_millis(12)));
+        assert_eq!(s.in_flight(), 2);
+    }
+
+    #[test]
+    fn retransmissions_do_not_sample_rtt() {
+        let mut s = subflow();
+        s.sent.push_back(TxRec {
+            is_rtx: true,
+            ..tx(0, 0)
+        });
+        let (_, _, sample) = s.take_acked(1, from_millis(30));
+        assert_eq!(sample, None, "Karn's algorithm");
+    }
+
+    #[test]
+    fn bw_estimate_converges() {
+        let mut s = subflow();
+        for _ in 0..20 {
+            s.rtt.sample(from_millis(10));
+        }
+        let mut now = 0;
+        for _ in 0..100 {
+            now += from_millis(10);
+            // 12500 bytes per 10 ms = 1.25 MB/s
+            s.record_delivered(now, 12_500);
+        }
+        let bw = s.bw_estimate();
+        assert!(
+            (1_000_000..1_500_000).contains(&bw),
+            "bw={bw} expected ~1.25 MB/s"
+        );
+    }
+
+    #[test]
+    fn tsq_throttles_when_queue_builds() {
+        let mut s = subflow();
+        assert!(!s.tsq_throttled(0));
+        s.path.transmit(0, 1400, false);
+        s.path.transmit(0, 1400, false);
+        s.path.transmit(0, 1400, false);
+        assert!(s.tsq_throttled(0));
+        assert!(!s.tsq_throttled(from_millis(100)), "queue drains over time");
+    }
+
+    #[test]
+    fn drain_in_flight_empties() {
+        let mut s = subflow();
+        for i in 0..4 {
+            s.sent.push_back(tx(i, 0));
+        }
+        let drained = s.drain_in_flight();
+        assert_eq!(drained.len(), 4);
+        assert_eq!(s.in_flight(), 0);
+    }
+}

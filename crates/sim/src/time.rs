@@ -1,0 +1,65 @@
+//! Simulation time: integer nanoseconds since simulation start.
+
+/// A point in simulated time, in nanoseconds since simulation start.
+pub type SimTime = u64;
+
+/// One microsecond in [`SimTime`] units.
+pub const MICROS: SimTime = 1_000;
+/// One millisecond in [`SimTime`] units.
+pub const MILLIS: SimTime = 1_000_000;
+/// One second in [`SimTime`] units.
+pub const SECONDS: SimTime = 1_000_000_000;
+
+/// Converts a nanosecond time to whole microseconds.
+pub fn as_micros(t: SimTime) -> u64 {
+    t / MICROS
+}
+
+/// Converts a nanosecond time to fractional seconds.
+pub fn as_secs_f64(t: SimTime) -> f64 {
+    t as f64 / SECONDS as f64
+}
+
+/// Converts milliseconds to [`SimTime`].
+pub fn from_millis(ms: u64) -> SimTime {
+    ms * MILLIS
+}
+
+/// Converts microseconds to [`SimTime`].
+pub fn from_micros(us: u64) -> SimTime {
+    us * MICROS
+}
+
+/// Converts fractional seconds to [`SimTime`].
+pub fn from_secs_f64(s: f64) -> SimTime {
+    (s * SECONDS as f64) as SimTime
+}
+
+/// Duration of serializing `bytes` at `rate_bps` bytes/second.
+pub fn serialize_time(bytes: u64, rate_byte_per_sec: u64) -> SimTime {
+    if rate_byte_per_sec == 0 {
+        return 0;
+    }
+    bytes.saturating_mul(SECONDS) / rate_byte_per_sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(from_millis(3), 3_000_000);
+        assert_eq!(from_micros(5), 5_000);
+        assert_eq!(as_micros(from_micros(42)), 42);
+        assert!((as_secs_f64(SECONDS) - 1.0).abs() < 1e-12);
+        assert_eq!(from_secs_f64(0.5), 500 * MILLIS);
+    }
+
+    #[test]
+    fn serialization_time() {
+        // 1250 bytes at 1,250,000 B/s (10 Mbit/s) = 1 ms.
+        assert_eq!(serialize_time(1250, 1_250_000), MILLIS);
+        assert_eq!(serialize_time(100, 0), 0, "zero rate treated as instantaneous");
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end TCP-machinery behaviours of the simulator: coupled
+//! congestion control, bounded receive buffers, tiny link queues, and
+//! recovery timers all keep transfers correct.
+
+use mptcp_sim::time::{from_millis, SECONDS};
+use mptcp_sim::{
+    CcAlgo, ConnectionConfig, PathConfig, SchedulerSpec, Sim, SubflowConfig,
+};
+
+const MIN_RTT: &str = progmp_schedulers::DEFAULT_MIN_RTT;
+
+fn transfer_time(cc: CcAlgo, loss: f64, recv_buf: u64, queue_cap: usize, bytes: u64) -> u64 {
+    let mut sim = Sim::new(4242);
+    let cfg = ConnectionConfig::new(
+        vec![
+            SubflowConfig::new(
+                PathConfig::symmetric(from_millis(20), 1_250_000)
+                    .with_loss(loss)
+                    .with_queue_cap(queue_cap),
+            ),
+            SubflowConfig::new(
+                PathConfig::symmetric(from_millis(30), 1_250_000)
+                    .with_loss(loss)
+                    .with_queue_cap(queue_cap),
+            ),
+        ],
+        SchedulerSpec::dsl(MIN_RTT),
+    )
+    .with_cc(cc)
+    .with_recv_buf(recv_buf)
+    .with_timelines();
+    let conn = sim.add_connection(cfg).unwrap();
+    sim.add_bulk_source(conn, bytes, 0);
+    sim.run_to_completion(600 * SECONDS);
+    let c = &sim.connections[conn];
+    assert!(c.all_acked(), "transfer must complete");
+    c.stats.delivery_time_of(bytes).expect("completed")
+}
+
+#[test]
+fn lia_is_no_more_aggressive_than_uncoupled_reno() {
+    // RFC 6356: the coupled increase never exceeds the uncoupled one, so
+    // a LIA transfer can only be slower or equal.
+    let reno = transfer_time(CcAlgo::Reno, 0.0, 4 << 20, 1000, 3_000_000);
+    let lia = transfer_time(CcAlgo::Lia, 0.0, 4 << 20, 1000, 3_000_000);
+    assert!(
+        lia >= reno,
+        "LIA ({lia}) must not beat uncoupled Reno ({reno})"
+    );
+    // But both still aggregate the two paths: bounded by ~2.4 MB/s.
+    assert!(lia < 3 * SECONDS, "LIA still aggregates both paths: {lia}");
+}
+
+#[test]
+fn tiny_receive_buffer_still_delivers_everything() {
+    // A 16 KB receive buffer bounds out-of-order buffering hard; the
+    // transfer must still complete exactly.
+    let t = transfer_time(CcAlgo::Reno, 0.01, 16 * 1024, 1000, 500_000);
+    assert!(t < 600 * SECONDS);
+}
+
+#[test]
+fn tiny_link_queue_recovers_from_tail_drops() {
+    // A 5-packet egress queue causes heavy local drops under slow-start
+    // bursts; loss recovery must still deliver everything.
+    let t = transfer_time(CcAlgo::Reno, 0.0, 4 << 20, 5, 1_000_000);
+    assert!(t < 600 * SECONDS);
+}
+
+#[test]
+fn severe_random_loss_still_completes() {
+    let t = transfer_time(CcAlgo::Reno, 0.15, 4 << 20, 1000, 200_000);
+    assert!(t < 600 * SECONDS);
+}
+
+#[test]
+fn tail_loss_probe_bounds_last_packet_recovery() {
+    // A thin flow on a path that loses a lot: TLP (PTO ≈ 2*RTT + 10 ms)
+    // keeps per-flow completion well under the 200 ms minimum RTO in the
+    // common case. Statistically: the median over seeds must be far below
+    // the RTO floor even with 10% loss.
+    let mut times: Vec<u64> = (0..30)
+        .map(|seed| {
+            let mut sim = Sim::new(9000 + seed);
+            let cfg = ConnectionConfig::new(
+                vec![SubflowConfig::new(
+                    PathConfig::symmetric(from_millis(20), 1_250_000).with_loss(0.10),
+                )],
+                SchedulerSpec::dsl(MIN_RTT),
+            )
+            .with_timelines();
+            let conn = sim.add_connection(cfg).unwrap();
+            sim.app_send_at(conn, 0, 4 * 1400, 0);
+            sim.run_to_completion(120 * SECONDS);
+            let c = &sim.connections[conn];
+            assert!(c.all_acked());
+            c.stats.delivery_time_of(4 * 1400).unwrap()
+        })
+        .collect();
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    assert!(
+        median < 100 * from_millis(1),
+        "median FCT {median} should stay below the RTO floor thanks to TLP"
+    );
+}
+
+#[test]
+fn per_subflow_counters_are_consistent() {
+    let mut sim = Sim::new(5);
+    let cfg = ConnectionConfig::new(
+        vec![
+            SubflowConfig::new(PathConfig::symmetric(from_millis(10), 1_250_000).with_loss(0.02)),
+            SubflowConfig::new(PathConfig::symmetric(from_millis(25), 1_250_000).with_loss(0.02)),
+        ],
+        SchedulerSpec::dsl(MIN_RTT),
+    )
+    .with_timelines();
+    let conn = sim.add_connection(cfg).unwrap();
+    sim.app_send_at(conn, 0, 300_000, 0);
+    sim.run_to_completion(120 * SECONDS);
+    let c = &sim.connections[conn];
+    let per_sbf_pkts: u64 = c.stats.subflows.iter().map(|s| s.tx_packets).sum();
+    let per_sbf_bytes: u64 = c.stats.subflows.iter().map(|s| s.tx_bytes).sum();
+    assert_eq!(per_sbf_pkts, c.stats.tx_packets);
+    assert_eq!(per_sbf_bytes, c.stats.tx_bytes);
+    let timeline_bytes: u64 = c.stats.tx_timeline.iter().map(|(_, _, b)| u64::from(*b)).sum();
+    assert_eq!(timeline_bytes, c.stats.tx_bytes);
+    for s in &c.stats.subflows {
+        assert!(s.wire_losses <= s.tx_packets);
+        assert!(s.retransmissions <= s.tx_packets);
+    }
+}

@@ -1,0 +1,110 @@
+//! Automated WiFi→LTE handover: the path manager (paper building block
+//! (ii)) monitors the primary subflow, establishes the standby cellular
+//! subflow when WiFi degrades, and signals `R3` so the handover-aware
+//! scheduler (§5.2) aggressively compensates WiFi's in-flight losses —
+//! all without any manual orchestration by the application.
+//!
+//! Run with: `cargo run --release --example automated_handover`
+
+use progmp::mptcp_sim::{PathManager, PathManagerPolicy, PathProfileEntry};
+use progmp::prelude::*;
+
+fn run(with_path_manager: bool) -> (f64, u64, u64) {
+    let mut sim = Sim::new(99);
+    // WiFi degrades hard at t = 1.5 s (50% loss: the user walks away from
+    // the access point), then the link is gone.
+    let wifi = PathConfig::symmetric(from_millis(15), 1_250_000)
+        .with_profile_entry(PathProfileEntry {
+            at: 1500 * MILLIS,
+            rate: None,
+            loss: Some(0.5),
+            fwd_delay: None,
+        })
+        .with_profile_entry(PathProfileEntry {
+            at: 2500 * MILLIS,
+            rate: None,
+            loss: Some(1.0),
+            fwd_delay: None,
+        });
+    let cfg = ConnectionConfig::new(
+        vec![
+            SubflowConfig::new(wifi),
+            // Cellular standby: configured but not established.
+            SubflowConfig::new(PathConfig::symmetric(from_millis(45), 1_250_000))
+                .starting_at(u64::MAX),
+        ],
+        SchedulerSpec::dsl(schedulers::HANDOVER_AWARE),
+    )
+    .with_timelines();
+    let conn = sim.add_connection(cfg).unwrap();
+
+    if with_path_manager {
+        sim.attach_path_manager(
+            conn,
+            PathManager::new(
+                PathManagerPolicy::Handover {
+                    primary: 0,
+                    standby: 1,
+                    rtt_threshold: from_millis(400),
+                    loss_delta_threshold: 2,
+                    recovery_ticks: 5,
+                },
+                50 * MILLIS,
+            ),
+        );
+    } else {
+        // Without a path manager, nothing ever establishes the standby.
+        // Bring it up manually late, as a distracted application might.
+        sim.subflow_up_at(conn, 1, 4 * SECONDS);
+    }
+    // The WiFi link is eventually torn down by the OS either way.
+    sim.subflow_down_at(conn, 0, 4500 * MILLIS);
+
+    // A 400 KB/s stream across the handover.
+    sim.add_cbr_source(conn, 0, 5 * SECONDS, 400_000, from_millis(20), 0);
+    sim.run_to_completion(60 * SECONDS);
+
+    let c = &sim.connections[conn];
+    // Longest delivery stall after the degradation begins.
+    let mut last = 1400 * MILLIS;
+    let mut max_gap = 0u64;
+    for &(t, _) in c
+        .stats
+        .delivery_timeline
+        .iter()
+        .filter(|(t, _)| *t >= 1400 * MILLIS)
+    {
+        max_gap = max_gap.max(t.saturating_sub(last));
+        last = t;
+    }
+    (
+        max_gap as f64 / 1e6,
+        c.stats.subflows[1].tx_packets,
+        c.stats.delivered_bytes,
+    )
+}
+
+fn main() {
+    println!("WiFi degrades at t=1.5s and dies at 2.5s; 400 KB/s stream until t=5s\n");
+    println!(
+        "{:<28} {:>15} {:>12} {:>12}",
+        "configuration", "max stall (ms)", "LTE packets", "delivered"
+    );
+    let (stall_manual, lte_manual, deliv_manual) = run(false);
+    println!(
+        "{:<28} {:>15.1} {:>12} {:>12}",
+        "manual (late) handover", stall_manual, lte_manual, deliv_manual
+    );
+    let (stall_pm, lte_pm, deliv_pm) = run(true);
+    println!(
+        "{:<28} {:>15.1} {:>12} {:>12}",
+        "path manager + R3 signal", stall_pm, lte_pm, deliv_pm
+    );
+    println!(
+        "\nThe path manager detects the loss burst within one tick, brings the\n\
+         cellular subflow up, and signals the handover-aware scheduler: the\n\
+         delivery stall drops from {stall_manual:.0} ms to {stall_pm:.0} ms."
+    );
+    assert!(stall_pm < stall_manual, "automation must shorten the stall");
+    assert_eq!(deliv_pm, deliv_manual, "both deliver the full stream");
+}

@@ -1,0 +1,306 @@
+//! The application-facing ProgMP API, mirroring the paper's Python
+//! library (Fig. 8) and extended socket API (§3.2):
+//!
+//! * **Choosing a scheduler** — load named scheduler specifications once,
+//!   reuse them across connections (avoiding recompilation), and bind a
+//!   scheduler per connection.
+//! * **Setting registers** — signal scheduling intents (target
+//!   throughput, end-of-flow, handover) to the in-kernel scheduler.
+//! * **Packet properties** — annotate application data for differentiated
+//!   per-packet handling.
+//!
+//! In the paper these operations travel through `sockopts` into the
+//! kernel runtime; here they operate on a [`Sim`] connection.
+
+use mptcp_sim::{ConnId, SchedulerHandle, Sim};
+use progmp_core::env::{RegId, Trigger};
+use progmp_core::{compile_named, Backend, CompileError, InstanceStats, SchedulerProgram};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors of the application API.
+#[derive(Debug)]
+pub enum ApiError {
+    /// The scheduler source failed to compile.
+    Compile(CompileError),
+    /// No scheduler with this name has been loaded.
+    UnknownScheduler(String),
+    /// The connection id does not exist.
+    UnknownConnection(ConnId),
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::Compile(e) => write!(f, "scheduler loading error: {e}"),
+            ApiError::UnknownScheduler(n) => write!(f, "unknown scheduler `{n}`"),
+            ApiError::UnknownConnection(c) => write!(f, "unknown connection {c}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<CompileError> for ApiError {
+    fn from(e: CompileError) -> Self {
+        ApiError::Compile(e)
+    }
+}
+
+/// The ProgMP application library: a registry of loaded schedulers plus
+/// per-connection control operations.
+#[derive(Default)]
+pub struct ProgMp {
+    registry: HashMap<String, Arc<SchedulerProgram>>,
+}
+
+impl ProgMp {
+    /// Creates an empty API handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads (compiles and verifies) a scheduler specification under
+    /// `name`. Reloading the same name replaces the program; running
+    /// connections keep their current instance.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Compile`] when the specification is rejected by any
+    /// compilation stage.
+    pub fn load_scheduler(&mut self, name: &str, source: &str) -> Result<(), ApiError> {
+        let program = compile_named(Some(name), source)?;
+        self.registry.insert(name.to_string(), Arc::new(program));
+        Ok(())
+    }
+
+    /// Whether `name` is loaded.
+    pub fn is_loaded(&self, name: &str) -> bool {
+        self.registry.contains_key(name)
+    }
+
+    /// Names of loaded schedulers.
+    pub fn loaded(&self) -> Vec<&str> {
+        self.registry.keys().map(String::as_str).collect()
+    }
+
+    /// Total resident bytes of all loaded scheduler programs (the §4.3
+    /// memory accounting).
+    pub fn loaded_bytes(&self) -> usize {
+        self.registry.values().map(|p| p.size_bytes()).sum()
+    }
+
+    /// Binds the loaded scheduler `name` to `conn`, instantiated on
+    /// `backend`. The paper discourages switching schedulers mid-stream
+    /// (§3.2); this API allows it but the new instance starts from the
+    /// connection's current register state.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::UnknownScheduler`] / [`ApiError::UnknownConnection`].
+    pub fn set_scheduler(
+        &self,
+        sim: &mut Sim,
+        conn: ConnId,
+        name: &str,
+        backend: Backend,
+    ) -> Result<(), ApiError> {
+        let program = self
+            .registry
+            .get(name)
+            .ok_or_else(|| ApiError::UnknownScheduler(name.to_string()))?;
+        let connection = sim
+            .connections
+            .get_mut(conn)
+            .ok_or(ApiError::UnknownConnection(conn))?;
+        let instance = SchedulerProgram::instantiate_shared(Arc::clone(program), backend);
+        connection.scheduler = Some(SchedulerHandle::Dsl(instance));
+        Ok(())
+    }
+
+    /// Writes scheduler register `reg` of `conn` and triggers a scheduler
+    /// execution (the `RegisterChanged` event of the calling model).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::UnknownConnection`].
+    pub fn set_register(
+        &self,
+        sim: &mut Sim,
+        conn: ConnId,
+        reg: RegId,
+        value: i64,
+    ) -> Result<(), ApiError> {
+        let connection = sim
+            .connections
+            .get_mut(conn)
+            .ok_or(ApiError::UnknownConnection(conn))?;
+        connection.set_register_direct(reg, value);
+        let now = sim.now;
+        sim.trigger_at(conn, now, Trigger::RegisterChanged);
+        Ok(())
+    }
+
+    /// Reads scheduler register `reg` of `conn`.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::UnknownConnection`].
+    pub fn register(&self, sim: &Sim, conn: ConnId, reg: RegId) -> Result<i64, ApiError> {
+        sim.connections
+            .get(conn)
+            .map(|c| c.register_direct(reg))
+            .ok_or(ApiError::UnknownConnection(conn))
+    }
+
+    /// Sends application data annotated with packet property `prop`
+    /// (per-packet scheduling intents, §3.2) at simulation time `at`.
+    pub fn send_with_property(
+        &self,
+        sim: &mut Sim,
+        conn: ConnId,
+        at: u64,
+        bytes: u64,
+        prop: u32,
+    ) {
+        sim.app_send_at(conn, at, bytes, prop);
+    }
+
+    /// Proc-style introspection: the cumulative execution statistics of
+    /// the connection's scheduler instance, when it runs a DSL program.
+    pub fn scheduler_stats(&self, sim: &Sim, conn: ConnId) -> Option<InstanceStats> {
+        match sim.connections.get(conn)?.scheduler.as_ref()? {
+            SchedulerHandle::Dsl(inst) => Some(inst.stats()),
+            SchedulerHandle::Native(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mptcp_sim::time::{from_millis, SECONDS};
+    use mptcp_sim::{ConnectionConfig, PathConfig, SchedulerSpec, SubflowConfig};
+
+    fn sim_with_conn() -> (Sim, ConnId) {
+        let mut sim = Sim::new(1);
+        let conn = sim
+            .add_connection(ConnectionConfig::new(
+                vec![
+                    SubflowConfig::new(PathConfig::symmetric(from_millis(10), 1_250_000)),
+                    SubflowConfig::new(PathConfig::symmetric(from_millis(40), 1_250_000)),
+                ],
+                SchedulerSpec::dsl(progmp_schedulers::DEFAULT_MIN_RTT),
+            ))
+            .unwrap();
+        (sim, conn)
+    }
+
+    #[test]
+    fn load_and_bind_scheduler() {
+        let mut api = ProgMp::new();
+        api.load_scheduler("minRtt", progmp_schedulers::MIN_RTT_SIMPLE)
+            .unwrap();
+        assert!(api.is_loaded("minRtt"));
+        assert!(api.loaded_bytes() > 0);
+        let (mut sim, conn) = sim_with_conn();
+        api.set_scheduler(&mut sim, conn, "minRtt", Backend::Vm)
+            .unwrap();
+        sim.app_send_at(conn, 0, 10_000, 0);
+        sim.run_to_completion(5 * SECONDS);
+        assert!(sim.connections[conn].all_acked());
+        let stats = api.scheduler_stats(&sim, conn).unwrap();
+        assert!(stats.executions > 0);
+    }
+
+    #[test]
+    fn loading_error_is_reported() {
+        let mut api = ProgMp::new();
+        let err = api.load_scheduler("bad", "VAR x = ;").unwrap_err();
+        assert!(matches!(err, ApiError::Compile(_)));
+        assert!(err.to_string().contains("scheduler loading error"));
+    }
+
+    #[test]
+    fn unknown_scheduler_and_connection() {
+        let api = ProgMp::new();
+        let (mut sim, conn) = sim_with_conn();
+        assert!(matches!(
+            api.set_scheduler(&mut sim, conn, "nope", Backend::Vm),
+            Err(ApiError::UnknownScheduler(_))
+        ));
+        assert!(matches!(
+            api.set_register(&mut sim, 99, RegId::R1, 1),
+            Err(ApiError::UnknownConnection(99))
+        ));
+    }
+
+    #[test]
+    fn set_register_triggers_scheduler() {
+        let mut api = ProgMp::new();
+        api.load_scheduler("counter", "SET(R2, R2 + 1);").unwrap();
+        let (mut sim, conn) = sim_with_conn();
+        api.set_scheduler(&mut sim, conn, "counter", Backend::Interpreter)
+            .unwrap();
+        api.set_register(&mut sim, conn, RegId::R1, 5).unwrap();
+        sim.run_until(SECONDS);
+        assert_eq!(api.register(&sim, conn, RegId::R1).unwrap(), 5);
+        assert!(api.register(&sim, conn, RegId::R2).unwrap() >= 1);
+    }
+
+    #[test]
+    fn scheduler_swap_mid_stream() {
+        // The API allows replacing a connection's scheduler (the paper
+        // discourages it but supports it); registers survive the swap.
+        let mut api = ProgMp::new();
+        api.load_scheduler("a", "SET(R1, R1 + 1);").unwrap();
+        api.load_scheduler("b", progmp_schedulers::DEFAULT_MIN_RTT).unwrap();
+        let (mut sim, conn) = sim_with_conn();
+        api.set_scheduler(&mut sim, conn, "a", Backend::Vm).unwrap();
+        api.set_register(&mut sim, conn, RegId::R5, 77).unwrap();
+        sim.run_until(from_millis(10));
+        api.set_scheduler(&mut sim, conn, "b", Backend::Aot).unwrap();
+        sim.app_send_at(conn, sim.now, 10_000, 0);
+        sim.run_to_completion(5 * SECONDS);
+        assert!(sim.connections[conn].all_acked());
+        assert_eq!(api.register(&sim, conn, RegId::R5).unwrap(), 77);
+    }
+
+    #[test]
+    fn reloading_a_scheduler_replaces_it() {
+        let mut api = ProgMp::new();
+        api.load_scheduler("x", "SET(R1, 1);").unwrap();
+        let first = api.loaded_bytes();
+        api.load_scheduler("x", progmp_schedulers::TAP).unwrap();
+        assert!(api.loaded_bytes() > first, "larger program replaced it");
+        assert_eq!(api.loaded().len(), 1);
+    }
+
+    #[test]
+    fn shared_program_across_connections() {
+        let mut api = ProgMp::new();
+        api.load_scheduler("shared", progmp_schedulers::DEFAULT_MIN_RTT)
+            .unwrap();
+        let mut sim = Sim::new(2);
+        let mut conns = Vec::new();
+        for _ in 0..3 {
+            let c = sim
+                .add_connection(ConnectionConfig::new(
+                    vec![SubflowConfig::new(PathConfig::symmetric(
+                        from_millis(10),
+                        1_250_000,
+                    ))],
+                    SchedulerSpec::dsl(progmp_schedulers::MIN_RTT_SIMPLE),
+                ))
+                .unwrap();
+            api.set_scheduler(&mut sim, c, "shared", Backend::Vm).unwrap();
+            sim.app_send_at(c, 0, 5_000, 0);
+            conns.push(c);
+        }
+        sim.run_to_completion(5 * SECONDS);
+        for c in conns {
+            assert!(sim.connections[c].all_acked());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! # progmp
+//!
+//! A programming model for application-defined Multipath TCP scheduling —
+//! a Rust reproduction of Frömmgen et al., *Middleware '17*.
+//!
+//! This facade crate re-exports the workspace members and provides the
+//! high-level application API mirroring the paper's Python library
+//! (Fig. 8): load schedulers, bind them to connections, set registers,
+//! and annotate packets.
+//!
+//! * [`progmp_core`] — the scheduler specification language, its three
+//!   execution backends (interpreter, AOT closures, eBPF-flavoured
+//!   bytecode VM with verifier + linear-scan register allocation), and
+//!   the effect model.
+//! * [`mptcp_sim`] — the discrete-event MPTCP substrate (subflows,
+//!   congestion control, meta socket queues, receiver reordering).
+//! * [`progmp_schedulers`] — every scheduler from the paper as a DSL
+//!   program.
+//! * [`http2_sim`] — the HTTP/2-aware page-load model of §5.5.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use progmp::prelude::*;
+//!
+//! // Specify a scheduler (the paper's Fig. 3 example), load it, and run
+//! // a two-path transfer in the simulator.
+//! let mut sim = Sim::new(42);
+//! let conn = sim.add_connection(ConnectionConfig::new(
+//!     vec![
+//!         SubflowConfig::new(PathConfig::symmetric(from_millis(10), 1_250_000)),
+//!         SubflowConfig::new(PathConfig::symmetric(from_millis(40), 1_250_000)),
+//!     ],
+//!     SchedulerSpec::dsl(progmp_schedulers::DEFAULT_MIN_RTT),
+//! )).expect("scheduler compiles");
+//! sim.app_send_at(conn, 0, 100_000, 0);
+//! sim.run_to_completion(10 * SECONDS);
+//! assert!(sim.connections[conn].all_acked());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use http2_sim;
+pub use mptcp_sim;
+pub use progmp_core;
+pub use progmp_schedulers;
+
+pub mod api;
+
+/// Convenient single-import surface for examples and applications.
+pub mod prelude {
+    pub use crate::api::ProgMp;
+    pub use http2_sim::{run_page_load, Page, PageLoadResult, ServerMode, WifiLteProfile};
+    pub use mptcp_sim::time::{from_micros, from_millis, from_secs_f64, MILLIS, SECONDS};
+    pub use mptcp_sim::{
+        CcAlgo, ConnectionConfig, PathConfig, ReceiverMode, SchedulerSpec, Sim, SubflowConfig,
+    };
+    pub use progmp_core::env::{PacketProp, QueueKind, RegId, SubflowProp, Trigger};
+    pub use progmp_core::{compile, Backend, SchedulerInstance, SchedulerProgram};
+    pub use progmp_schedulers as schedulers;
+}

@@ -1,0 +1,237 @@
+//! Regression tests pinning the qualitative results of every evaluation
+//! scenario in the paper (small/fast variants of the bench binaries; see
+//! EXPERIMENTS.md for the full sweeps).
+
+use progmp::prelude::*;
+use progmp::mptcp_sim::PathProfileEntry;
+
+/// Fig. 10b core claim: redundancy improves short-flow FCT on lossy paths.
+#[test]
+fn redundancy_helps_short_lossy_flows() {
+    let fct = |scheduler: &'static str| -> f64 {
+        let mut total = 0.0;
+        let runs = 12;
+        for seed in 0..runs {
+            let mut sim = Sim::new(500 + seed);
+            let cfg = ConnectionConfig::new(
+                vec![
+                    SubflowConfig::new(
+                        PathConfig::symmetric(from_millis(20), 1_250_000).with_loss(0.02),
+                    ),
+                    SubflowConfig::new(
+                        PathConfig::symmetric(from_millis(30), 1_250_000).with_loss(0.02),
+                    ),
+                ],
+                SchedulerSpec::dsl(scheduler),
+            )
+            .with_timelines();
+            let conn = sim.add_connection(cfg).unwrap();
+            sim.app_send_at(conn, 0, 6 * 1400, 0);
+            sim.run_to_completion(30 * SECONDS);
+            total += sim.connections[conn]
+                .stats
+                .delivery_time_of(6 * 1400)
+                .expect("completes") as f64;
+        }
+        total / runs as f64
+    };
+    let default = fct(schedulers::DEFAULT_MIN_RTT);
+    let redundant = fct(schedulers::REDUNDANT_IF_NO_Q);
+    assert!(
+        redundant < default,
+        "redundantIfNoQ {redundant} must beat default {default} on lossy short flows"
+    );
+}
+
+/// Fig. 12 core claim: end-of-flow compensation retains FCT at RTT ratio 6.
+#[test]
+fn compensating_retains_fct_at_high_rtt_ratio() {
+    let fct = |scheduler: &'static str| -> f64 {
+        let mut total = 0.0;
+        let runs = 8;
+        for seed in 0..runs {
+            let mut sim = Sim::new(700 + seed);
+            let cfg = ConnectionConfig::new(
+                vec![
+                    SubflowConfig::new(PathConfig::symmetric(from_millis(15), 1_250_000)),
+                    SubflowConfig::new(PathConfig::symmetric(from_millis(90), 1_250_000)),
+                ],
+                SchedulerSpec::dsl(scheduler),
+            )
+            .with_timelines();
+            let conn = sim.add_connection(cfg).unwrap();
+            sim.app_send_at(conn, 0, 12 * 1400, 0);
+            sim.set_register_at(conn, 1, RegId::R2, 1);
+            sim.run_to_completion(30 * SECONDS);
+            total += sim.connections[conn]
+                .stats
+                .delivery_time_of(12 * 1400)
+                .expect("completes") as f64;
+        }
+        total / runs as f64
+    };
+    let default = fct(schedulers::DEFAULT_MIN_RTT);
+    let comp = fct(schedulers::COMPENSATING);
+    assert!(
+        comp < default * 0.6,
+        "compensation must cut the FCT substantially at ratio 6: {comp} vs {default}"
+    );
+}
+
+/// Fig. 13 core claim: TAP keeps a sustainable stream off the metered path.
+#[test]
+fn tap_preserves_preferences_for_sustainable_streams() {
+    let lte_share = |scheduler: &'static str, signal: bool| -> f64 {
+        let mut sim = Sim::new(42);
+        let cfg = ConnectionConfig::new(
+            vec![
+                SubflowConfig::new(PathConfig::symmetric(from_millis(10), 3_000_000)),
+                SubflowConfig::new(PathConfig::symmetric(from_millis(40), 2_500_000)).with_cost(1),
+            ],
+            SchedulerSpec::dsl(scheduler),
+        )
+        .with_timelines();
+        let conn = sim.add_connection(cfg).unwrap();
+        if signal {
+            sim.set_register_at(conn, 0, RegId::R1, 1_000_000);
+        }
+        sim.add_cbr_source(conn, 0, 4 * SECONDS, 1_000_000, from_millis(20), 0);
+        sim.run_to_completion(10 * SECONDS);
+        let c = &sim.connections[conn];
+        assert!(c.all_acked(), "stream must be delivered");
+        c.stats.subflows[1].tx_bytes as f64 / c.stats.tx_bytes as f64
+    };
+    let default = lte_share(schedulers::DEFAULT_MIN_RTT, false);
+    let tap = lte_share(schedulers::TAP, true);
+    assert!(
+        tap < default / 4.0,
+        "TAP must cut the metered share by far more than 4x: {tap:.3} vs {default:.3}"
+    );
+}
+
+/// Fig. 14 core claim: content-aware scheduling cuts metered usage without
+/// hurting dependency resolution.
+#[test]
+fn http2_aware_cuts_metered_usage() {
+    let page = Page::amazon_like();
+    let profile = WifiLteProfile::default();
+    let unaware = run_page_load(&page, &profile, schedulers::DEFAULT_MIN_RTT, ServerMode::Legacy, 9)
+        .unwrap();
+    let aware =
+        run_page_load(&page, &profile, schedulers::HTTP2_AWARE, ServerMode::Aware, 9).unwrap();
+    assert!(aware.lte_bytes * 2 < unaware.lte_bytes);
+    assert!(aware.dependency_resolved <= unaware.dependency_resolved + from_millis(5));
+}
+
+/// §5.2 core claim: handover-aware retransmission shortens the stall.
+#[test]
+fn handover_aware_shortens_stall() {
+    let stall = |scheduler: &'static str, signal: bool| -> u64 {
+        let mut sim = Sim::new(31);
+        let wifi = PathConfig::symmetric(from_millis(15), 1_250_000).with_profile_entry(
+            PathProfileEntry {
+                at: SECONDS,
+                rate: None,
+                loss: Some(1.0),
+                fwd_delay: None,
+            },
+        );
+        let cfg = ConnectionConfig::new(
+            vec![
+                SubflowConfig::new(wifi),
+                SubflowConfig::new(PathConfig::symmetric(from_millis(45), 1_250_000)),
+            ],
+            SchedulerSpec::dsl(scheduler),
+        )
+        .with_timelines();
+        let conn = sim.add_connection(cfg).unwrap();
+        sim.add_cbr_source(conn, 0, 2 * SECONDS, 400_000, from_millis(20), 0);
+        if signal {
+            sim.set_register_at(conn, SECONDS - 50 * MILLIS, RegId::R3, 1);
+        }
+        sim.subflow_down_at(conn, 0, SECONDS + 600 * MILLIS);
+        sim.run_to_completion(20 * SECONDS);
+        let c = &sim.connections[conn];
+        let mut last = SECONDS - 100 * MILLIS;
+        let mut max_gap = 0;
+        for &(t, _) in c
+            .stats
+            .delivery_timeline
+            .iter()
+            .filter(|(t, _)| *t + 200 * MILLIS >= SECONDS && *t < 3 * SECONDS)
+        {
+            max_gap = max_gap.max(t.saturating_sub(last));
+            last = t;
+        }
+        max_gap
+    };
+    let default = stall(schedulers::DEFAULT_MIN_RTT, false);
+    let aware = stall(schedulers::HANDOVER_AWARE, true);
+    assert!(
+        aware < default,
+        "handover-aware stall {aware} must undercut default {default}"
+    );
+}
+
+/// Fig. 1 core claim: kernel backup mode practically deactivates a subflow.
+#[test]
+fn backup_mode_starves_subflow() {
+    let mut sim = Sim::new(6);
+    let cfg = ConnectionConfig::new(
+        vec![
+            SubflowConfig::new(PathConfig::symmetric(from_millis(10), 3_000_000)),
+            SubflowConfig::new(PathConfig::symmetric(from_millis(40), 2_500_000)).backup(),
+        ],
+        SchedulerSpec::dsl(schedulers::DEFAULT_MIN_RTT),
+    )
+    .with_timelines();
+    let conn = sim.add_connection(cfg).unwrap();
+    sim.add_cbr_source(conn, 0, 3 * SECONDS, 1_000_000, from_millis(20), 0);
+    sim.run_to_completion(10 * SECONDS);
+    let c = &sim.connections[conn];
+    assert!(c.all_acked());
+    assert_eq!(
+        c.stats.subflows[1].tx_packets, 0,
+        "backup subflow unused while a non-backup subflow is established"
+    );
+}
+
+/// §4.2 core claim: the improved receiver beats the legacy multi-layer
+/// queue behaviour under loss.
+#[test]
+fn improved_receiver_delivers_earlier_under_loss() {
+    let mean_fct = |mode: ReceiverMode| -> f64 {
+        let runs = 10;
+        let mut total = 0.0;
+        for seed in 0..runs {
+            let mut sim = Sim::new(800 + seed);
+            let cfg = ConnectionConfig::new(
+                vec![
+                    SubflowConfig::new(
+                        PathConfig::symmetric(from_millis(20), 1_250_000).with_loss(0.03),
+                    ),
+                    SubflowConfig::new(
+                        PathConfig::symmetric(from_millis(30), 1_250_000).with_loss(0.03),
+                    ),
+                ],
+                SchedulerSpec::dsl(schedulers::DEFAULT_MIN_RTT),
+            )
+            .with_receiver_mode(mode)
+            .with_timelines();
+            let conn = sim.add_connection(cfg).unwrap();
+            sim.app_send_at(conn, 0, 60_000, 0);
+            sim.run_to_completion(60 * SECONDS);
+            total += sim.connections[conn]
+                .stats
+                .delivery_time_of(60_000)
+                .expect("completes") as f64;
+        }
+        total / runs as f64
+    };
+    let improved = mean_fct(ReceiverMode::Improved);
+    let legacy = mean_fct(ReceiverMode::Legacy);
+    assert!(
+        improved <= legacy,
+        "improved receiver must not be slower: {improved} vs {legacy}"
+    );
+}
