@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local CI: formatting, lints, tests, and a bounded conformance
+# sweep. Mirrors what reviewers run; keep it green before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> conformance sweep (500 seeds, all backends)"
+cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --seeds 500
+
+echo "CI green"

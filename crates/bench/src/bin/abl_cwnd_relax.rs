@@ -51,7 +51,13 @@ fn main() {
     for pkts in [8u64, 11, 13, 20, 40] {
         let d = mean_fct(sched::DEFAULT_MIN_RTT, pkts, false);
         let r = mean_fct(sched::CWND_RELAX, pkts, true);
-        println!("{:>12} {:>14.1} {:>14.1} {:>9.1}%", pkts, d, r, (1.0 - r / d) * 100.0);
+        println!(
+            "{:>12} {:>14.1} {:>14.1} {:>9.1}%",
+            pkts,
+            d,
+            r,
+            (1.0 - r / d) * 100.0
+        );
         if pkts == 13 {
             saved_at_tail = d - r;
         }

@@ -89,8 +89,8 @@ fn main() {
     );
 
     // 2. Constant-subflow-count specialization.
-    let default = compile_with_options(None, sched::DEFAULT_MIN_RTT, CompileOptions::default())
-        .unwrap();
+    let default =
+        compile_with_options(None, sched::DEFAULT_MIN_RTT, CompileOptions::default()).unwrap();
     let mut spec_on = default.instantiate(Backend::Vm);
     let mut spec_off = default.instantiate(Backend::Vm);
     spec_off.set_specialization(false);

@@ -53,8 +53,7 @@ fn run(scheduler: &'static str, signal: bool, wifi_only: bool, seed: u64) -> Out
             SubflowConfig::new(PathConfig::symmetric(from_millis(60), 1_250_000)).with_cost(1),
         );
     }
-    let cfg =
-        ConnectionConfig::new(subflows, SchedulerSpec::dsl(scheduler)).with_timelines();
+    let cfg = ConnectionConfig::new(subflows, SchedulerSpec::dsl(scheduler)).with_timelines();
     let conn = sim.add_connection(cfg).unwrap();
     for i in 0..CHUNKS {
         let start = i * CHUNK_PERIOD;
@@ -66,12 +65,7 @@ fn run(scheduler: &'static str, signal: bool, wifi_only: bool, seed: u64) -> Out
                 let at = start + k * 500 * MILLIS;
                 let remaining_ms = (CHUNK_PERIOD / MILLIS).saturating_sub(k * 500) as i64;
                 sim.set_register_at(conn, at, RegId::R1, remaining_ms);
-                sim.set_register_at(
-                    conn,
-                    at,
-                    RegId::R2,
-                    (CHUNK_BYTES as f64 * frac) as i64,
-                );
+                sim.set_register_at(conn, at, RegId::R2, (CHUNK_BYTES as f64 * frac) as i64);
             }
         }
     }
@@ -100,14 +94,17 @@ fn main() {
         CHUNK_BYTES / 1000,
         CHUNK_PERIOD / SECONDS
     );
-    println!(
-        "{:<28} {:>14} {:>12}",
-        "policy", "deadlines met", "LTE KB"
-    );
+    println!("{:<28} {:>14} {:>12}", "policy", "deadlines met", "LTE KB");
     let rows = [
         ("WiFi only", run(sched::DEFAULT_MIN_RTT, false, true, 21)),
-        ("default (both paths)", run(sched::DEFAULT_MIN_RTT, false, false, 21)),
-        ("targetDeadline (R1/R2)", run(sched::TARGET_DEADLINE, true, false, 21)),
+        (
+            "default (both paths)",
+            run(sched::DEFAULT_MIN_RTT, false, false, 21),
+        ),
+        (
+            "targetDeadline (R1/R2)",
+            run(sched::TARGET_DEADLINE, true, false, 21),
+        ),
     ];
     for (name, o) in &rows {
         println!(
@@ -122,19 +119,31 @@ fn main() {
     println!("\npaper shape checks:");
     println!(
         "  [{}] WiFi alone misses deadlines ({}/{})",
-        if wifi_only.deadline_hits < CHUNKS { "ok" } else { "??" },
+        if wifi_only.deadline_hits < CHUNKS {
+            "ok"
+        } else {
+            "??"
+        },
         wifi_only.deadline_hits,
         CHUNKS
     );
     println!(
         "  [{}] the deadline-aware scheduler meets (nearly) all deadlines ({}/{})",
-        if deadline.deadline_hits >= CHUNKS - 1 { "ok" } else { "??" },
+        if deadline.deadline_hits >= CHUNKS - 1 {
+            "ok"
+        } else {
+            "??"
+        },
         deadline.deadline_hits,
         CHUNKS
     );
     println!(
         "  [{}] while using much less metered LTE than the default scheduler ({} KB vs {} KB)",
-        if deadline.lte_bytes < default.lte_bytes { "ok" } else { "??" },
+        if deadline.lte_bytes < default.lte_bytes {
+            "ok"
+        } else {
+            "??"
+        },
         deadline.lte_bytes / 1000,
         default.lte_bytes / 1000
     );

@@ -19,14 +19,13 @@ const HANDOVER_AT: SimTime = 2 * SECONDS;
 fn run(scheduler: &'static str, signal_handover: bool, seed: u64) -> (SimTime, bool) {
     let mut sim = Sim::new(seed);
     // WiFi: good until the handover, then fully lossy (connection break).
-    let wifi = PathConfig::symmetric(from_millis(15), 1_250_000).with_profile_entry(
-        PathProfileEntry {
+    let wifi =
+        PathConfig::symmetric(from_millis(15), 1_250_000).with_profile_entry(PathProfileEntry {
             at: HANDOVER_AT,
             rate: None,
             loss: Some(1.0),
             fwd_delay: None,
-        },
-    );
+        });
     // Cellular subflow comes up shortly before the break (proactive
     // establishment, as in the paper's sensor-assisted handover).
     let lte = SubflowConfig::new(PathConfig::symmetric(from_millis(45), 1_250_000))
@@ -65,7 +64,10 @@ fn run(scheduler: &'static str, signal_handover: bool, seed: u64) -> (SimTime, b
 
 fn main() {
     println!("=== §5.2: handover-aware scheduling (WiFi breaks at t = 2 s) ===\n");
-    println!("{:<26} {:>16} {:>12}", "scheduler", "max stall (ms)", "completed");
+    println!(
+        "{:<26} {:>16} {:>12}",
+        "scheduler", "max stall (ms)", "completed"
+    );
     let mut rows = Vec::new();
     for (name, src, signal) in [
         ("default", sched::DEFAULT_MIN_RTT, false),

@@ -12,8 +12,8 @@ use mptcp_sim::time::{from_millis, SimTime, MILLIS, SECONDS};
 use mptcp_sim::{
     ConnectionConfig, PathConfig, PathProfileEntry, SchedulerSpec, Sim, SubflowConfig,
 };
-use progmp_core::env::RegId;
 use progmp_bench::{mean, percentile};
+use progmp_core::env::RegId;
 use progmp_schedulers as sched;
 
 const REQUESTS: u64 = 150;
@@ -93,7 +93,11 @@ fn main() {
         // preferred subflow: the "stay off metered LTE" strawman.
         ("WiFi-preferred only", sched::TAP, Some(0)),
         ("default", sched::DEFAULT_MIN_RTT, None),
-        ("targetRtt+probing (50 ms)", sched::TARGET_RTT_PROBING, Some(50_000)),
+        (
+            "targetRtt+probing (50 ms)",
+            sched::TARGET_RTT_PROBING,
+            Some(50_000),
+        ),
     ] {
         let (lat, lte) = run(src, target, 11);
         let p95 = percentile(&mut lat.clone(), 0.95);

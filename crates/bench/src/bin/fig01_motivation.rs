@@ -36,7 +36,14 @@ fn run(lte_backup: bool) -> Outcome {
     .with_timelines();
     let conn = sim.add_connection(cfg).unwrap();
     sim.add_cbr_source(conn, 0, 6 * SECONDS, 1_000_000, from_millis(20), 0);
-    sim.add_cbr_source(conn, 6 * SECONDS, END_S * SECONDS, 4_000_000, from_millis(20), 0);
+    sim.add_cbr_source(
+        conn,
+        6 * SECONDS,
+        END_S * SECONDS,
+        4_000_000,
+        from_millis(20),
+        0,
+    );
     sim.run_to_completion((END_S + 10) * SECONDS);
 
     let c = &sim.connections[conn];
@@ -60,10 +67,9 @@ fn run(lte_backup: bool) -> Outcome {
             .map(|(_, b)| *b)
             .unwrap_or(0)
     };
-    let phase2_goodput =
-        (delivered_at(END_S * SECONDS + 500 * MILLIS).saturating_sub(delivered_at(6 * SECONDS)))
-            as f64
-            / 6.5;
+    let phase2_goodput = (delivered_at(END_S * SECONDS + 500 * MILLIS)
+        .saturating_sub(delivered_at(6 * SECONDS))) as f64
+        / 6.5;
     Outcome {
         phase1_lte_share: p1_lte as f64 / (p1_wifi + p1_lte).max(1) as f64,
         phase2_goodput,

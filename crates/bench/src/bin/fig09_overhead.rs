@@ -87,12 +87,7 @@ fn main() {
         ]
     };
     let bytes = 6_000_000;
-    let native_gp = bulk_goodput(
-        SchedulerSpec::Native(Box::new(_NM)),
-        subflows(),
-        bytes,
-        3,
-    );
+    let native_gp = bulk_goodput(SchedulerSpec::Native(Box::new(_NM)), subflows(), bytes, 3);
     println!("{:<22} {:>10.3} MB/s", "native minRTT", native_gp / 1e6);
     let mut gps = vec![native_gp];
     for backend in [Backend::Interpreter, Backend::Aot, Backend::Vm] {
@@ -102,7 +97,11 @@ fn main() {
             bytes,
             3,
         );
-        println!("{:<22} {:>10.3} MB/s", format!("dsl/{}", backend.name()), gp / 1e6);
+        println!(
+            "{:<22} {:>10.3} MB/s",
+            format!("dsl/{}", backend.name()),
+            gp / 1e6
+        );
         gps.push(gp);
     }
 
@@ -128,8 +127,16 @@ fn main() {
         ok(spread < 1.02),
         spread
     );
-    let s2: f64 = rel.iter().filter(|(n, _, _)| *n == 2).map(|(_, _, p)| *p).sum();
-    let s4: f64 = rel.iter().filter(|(n, _, _)| *n == 4).map(|(_, _, p)| *p).sum();
+    let s2: f64 = rel
+        .iter()
+        .filter(|(n, _, _)| *n == 2)
+        .map(|(_, _, p)| *p)
+        .sum();
+    let s4: f64 = rel
+        .iter()
+        .filter(|(n, _, _)| *n == 4)
+        .map(|(_, _, p)| *p)
+        .sum();
     println!(
         "  [{}] impact of the number of subflows is marginal (sum rel 2sbf {:.0}% vs 4sbf {:.0}%)",
         ok((s2 - s4).abs() / s2 < 0.5),

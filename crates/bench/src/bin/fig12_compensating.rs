@@ -27,7 +27,9 @@ fn subflows(ratio: u64) -> Vec<SubflowConfig> {
 }
 
 fn main() {
-    println!("=== Fig. 12: FCT and overhead vs RTT ratio (12-packet flows, end-of-flow signal) ===\n");
+    println!(
+        "=== Fig. 12: FCT and overhead vs RTT ratio (12-packet flows, end-of-flow signal) ===\n"
+    );
     println!(
         "{:>6} | {:>11} {:>7} | {:>11} {:>7} | {:>11} {:>7}",
         "ratio", "default", "ovh", "compensate", "ovh", "selective", "ovh"
@@ -55,7 +57,13 @@ fn main() {
             .run();
         println!(
             "{:>6} | {:>8.1} ms {:>6.2}x | {:>8.1} ms {:>6.2}x | {:>8.1} ms {:>6.2}x",
-            ratio, d.mean_fct_ms, d.mean_overhead, c.mean_fct_ms, c.mean_overhead, s.mean_fct_ms, s.mean_overhead
+            ratio,
+            d.mean_fct_ms,
+            d.mean_overhead,
+            c.mean_fct_ms,
+            c.mean_overhead,
+            s.mean_fct_ms,
+            s.mean_overhead
         );
         def.push(d.mean_fct_ms);
         comp.push(c.mean_fct_ms);

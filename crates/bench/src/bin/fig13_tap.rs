@@ -60,7 +60,14 @@ fn run(scheduler: &'static str, lte_backup: bool, signal_target: bool) -> Outcom
         sim.set_register_at(conn, 6 * SECONDS, RegId::R1, 4_000_000);
     }
     sim.add_cbr_source(conn, 0, 6 * SECONDS, 1_000_000, from_millis(20), 0);
-    sim.add_cbr_source(conn, 6 * SECONDS, END_S * SECONDS, 4_000_000, from_millis(20), 0);
+    sim.add_cbr_source(
+        conn,
+        6 * SECONDS,
+        END_S * SECONDS,
+        4_000_000,
+        from_millis(20),
+        0,
+    );
     sim.run_to_completion((END_S + 10) * SECONDS);
     let c = &sim.connections[conn];
     let tx_in = |sbf: u32, from: u64, to: u64| -> u64 {

@@ -22,7 +22,13 @@ fn main() {
     );
     println!(
         "{:>12} | {:>11} {:>11} | {:>12} {:>12} | {:>9} {:>9}",
-        "WiFi RTT", "deps dflt", "deps aware", "initial dflt", "initial aware", "LTE dflt", "LTE aware"
+        "WiFi RTT",
+        "deps dflt",
+        "deps aware",
+        "initial dflt",
+        "initial aware",
+        "LTE dflt",
+        "LTE aware"
     );
 
     let mut lte_savings = Vec::new();
@@ -33,8 +39,14 @@ fn main() {
             wifi_rtt: from_millis(wifi_ms),
             ..Default::default()
         };
-        let unaware =
-            run_page_load(&page, &profile, sched::DEFAULT_MIN_RTT, ServerMode::Legacy, 31).unwrap();
+        let unaware = run_page_load(
+            &page,
+            &profile,
+            sched::DEFAULT_MIN_RTT,
+            ServerMode::Legacy,
+            31,
+        )
+        .unwrap();
         let aware =
             run_page_load(&page, &profile, sched::HTTP2_AWARE, ServerMode::Aware, 31).unwrap();
         println!(

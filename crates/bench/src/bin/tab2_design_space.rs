@@ -12,23 +12,71 @@ use progmp_schedulers as sched;
 /// (Table 2 category, goal, scheduler name).
 const CATALOGUE: &[(&str, &str, &str)] = &[
     ("Probing", "timely RTT/capacity estimates", "probing"),
-    ("Redundancy", "minimize latency: existing full redundancy", "redundant"),
-    ("Redundancy", "prefer fresh packets at first scheduling", "opportunisticRedundant"),
-    ("Redundancy", "redundancy only when no fresh data", "redundantIfNoQ"),
+    (
+        "Redundancy",
+        "minimize latency: existing full redundancy",
+        "redundant",
+    ),
+    (
+        "Redundancy",
+        "prefer fresh packets at first scheduling",
+        "opportunisticRedundant",
+    ),
+    (
+        "Redundancy",
+        "redundancy only when no fresh data",
+        "redundantIfNoQ",
+    ),
     ("Handover", "smooth WiFi/LTE handover", "handoverAware"),
-    ("Heterogeneous", "compensate scheduling at flow end", "compensating"),
-    ("Heterogeneous", "selective compensation (ratio > 2)", "selectiveCompensation"),
+    (
+        "Heterogeneous",
+        "compensate scheduling at flow end",
+        "compensating",
+    ),
+    (
+        "Heterogeneous",
+        "selective compensation (ratio > 2)",
+        "selectiveCompensation",
+    ),
     ("Preference", "ensure throughput (TAP)", "tap"),
     ("Preference", "ensure RTT target", "targetRtt"),
-    ("Preference", "ensure chunk deadline (MP-DASH)", "targetDeadline"),
-    ("Higher protocols", "HTTP/2 content-aware strategies", "http2Aware"),
+    (
+        "Preference",
+        "ensure chunk deadline (MP-DASH)",
+        "targetDeadline",
+    ),
+    (
+        "Higher protocols",
+        "HTTP/2 content-aware strategies",
+        "http2Aware",
+    ),
     ("Baselines", "Linux default minRTT", "default"),
-    ("Baselines", "round robin (301 LOC in kernel C)", "roundRobin"),
+    (
+        "Baselines",
+        "round robin (301 LOC in kernel C)",
+        "roundRobin",
+    ),
     ("Baselines", "textbook minRTT (Fig. 3)", "minRttSimple"),
-    ("Baselines", "opportunistic retransmission", "opportunisticRtx"),
-    ("Probing", "target RTT with probing composition", "targetRttProbing"),
-    ("Redundancy", "fast coupled retransmission [7,27]", "fastCoupledRtx"),
-    ("Cross-concern", "relax cwnd for the flow tail (paper 6)", "cwndRelax"),
+    (
+        "Baselines",
+        "opportunistic retransmission",
+        "opportunisticRtx",
+    ),
+    (
+        "Probing",
+        "target RTT with probing composition",
+        "targetRttProbing",
+    ),
+    (
+        "Redundancy",
+        "fast coupled retransmission [7,27]",
+        "fastCoupledRtx",
+    ),
+    (
+        "Cross-concern",
+        "relax cwnd for the flow tail (paper 6)",
+        "cwndRelax",
+    ),
 ];
 
 fn smoke_run(name: &str) -> bool {
@@ -80,7 +128,12 @@ fn main() {
             .map(|r| r.to_string())
             .collect::<Vec<_>>()
             .join(",");
-        let queues: String = audit.queues_read.iter().copied().collect::<Vec<_>>().join(",");
+        let queues: String = audit
+            .queues_read
+            .iter()
+            .copied()
+            .collect::<Vec<_>>()
+            .join(",");
         let ok = smoke_run(name);
         all_ok &= ok;
         println!(
@@ -89,7 +142,11 @@ fn main() {
             goal,
             name,
             loc,
-            if regs.is_empty() { "-".into() } else { format!("R{regs}") },
+            if regs.is_empty() {
+                "-".into()
+            } else {
+                format!("R{regs}")
+            },
             queues,
             if ok { "ok" } else { "FAIL" }
         );

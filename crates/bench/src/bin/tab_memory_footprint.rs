@@ -45,7 +45,11 @@ fn main() {
     let inst = rr.instantiate(Backend::Vm);
     println!(
         "  [{}] per-instance overhead is small relative to the program ({} B vs {} B)",
-        if inst.size_bytes() < rr.size_bytes() { "ok" } else { "??" },
+        if inst.size_bytes() < rr.size_bytes() {
+            "ok"
+        } else {
+            "??"
+        },
         inst.size_bytes(),
         rr.size_bytes()
     );

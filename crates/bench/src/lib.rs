@@ -105,11 +105,9 @@ impl FlowExperiment {
         let mut completed = 0u64;
         for i in 0..self.runs {
             let mut sim = Sim::new(self.seed + i);
-            let cfg = ConnectionConfig::new(
-                self.subflows.clone(),
-                SchedulerSpec::dsl(self.scheduler),
-            )
-            .with_timelines();
+            let cfg =
+                ConnectionConfig::new(self.subflows.clone(), SchedulerSpec::dsl(self.scheduler))
+                    .with_timelines();
             let conn = sim.add_connection(cfg).expect("scheduler compiles");
             sim.app_send_at(conn, 0, self.flow_bytes, 0);
             if self.signal_flow_end {

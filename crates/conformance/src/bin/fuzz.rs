@@ -1,0 +1,78 @@
+//! Seed-sweeping differential fuzzer.
+//!
+//! ```text
+//! conformance-fuzz [--start S] [--seeds N]
+//! ```
+//!
+//! Explores seeds `[S, S+N)` (default `[0, 500)`). Each seed generates a
+//! well-typed scheduler program and a random environment, runs the
+//! program through all three backends, and compares the observable
+//! outcomes. On the first divergence the case is shrunk to a minimal
+//! repro, the report is printed, and the process exits non-zero.
+
+use progmp_conformance::differ::{check_seed, run_differential, Divergence};
+use progmp_conformance::gen::Generator;
+use progmp_conformance::shrink::shrink;
+
+fn parse_args() -> (u64, u64) {
+    let mut start = 0u64;
+    let mut seeds = 500u64;
+    fn usage() -> ! {
+        eprintln!("usage: conformance-fuzz [--start S] [--seeds N]");
+        std::process::exit(2);
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = match arg.as_str() {
+            "--start" | "--seeds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => v,
+                None => usage(),
+            },
+            _ => usage(),
+        };
+        match arg.as_str() {
+            "--start" => start = value,
+            _ => seeds = value,
+        }
+    }
+    (start, seeds)
+}
+
+fn minimize(divergence: Divergence) -> Divergence {
+    let seed = divergence.seed;
+    let mut generator = Generator::new(seed.expect("fuzzer divergences carry their seed"));
+    let program = generator.program();
+    let spec = generator.env_spec();
+    let mut still_diverges = |p: &progmp_core::ast::Program,
+                              s: &progmp_conformance::gen::EnvSpec| {
+        matches!(run_differential(&p.to_string(), s), Ok(Some(_)))
+    };
+    let (program, spec) = shrink(program, spec, &mut still_diverges);
+    match run_differential(&program.to_string(), &spec) {
+        Ok(Some(mut d)) => {
+            d.seed = seed;
+            d
+        }
+        // Shrinking preserved the predicate at every step, so this is
+        // unreachable; fall back to the original report if it somehow
+        // happens.
+        _ => divergence,
+    }
+}
+
+fn main() {
+    let (start, seeds) = parse_args();
+    println!("conformance-fuzz: seeds [{start}, {})", start + seeds);
+    for seed in start..start + seeds {
+        if let Some(divergence) = check_seed(seed) {
+            eprintln!("seed {seed}: backends diverged; shrinking...");
+            let minimal = minimize(divergence);
+            eprintln!("{}", minimal.report());
+            std::process::exit(1);
+        }
+        if (seed - start + 1) % 100 == 0 {
+            println!("  {} seeds ok", seed - start + 1);
+        }
+    }
+    println!("all {seeds} seeds agree across interpreter, aot, and vm");
+}

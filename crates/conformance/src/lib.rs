@@ -1,0 +1,25 @@
+//! Cross-backend differential conformance harness.
+//!
+//! The ProgMP pipeline ships three execution backends (tree-walking
+//! interpreter, AOT closure compiler, bytecode VM) that must be
+//! observationally identical: same effect trace, same final environment
+//! state, same runtime errors, for every well-typed program on every
+//! environment state. This crate enforces that contract by generating
+//! random-but-well-typed scheduler programs from a seed
+//! ([`gen::Generator`]), executing each on randomized mock environments
+//! across all backends ([`differ`]), and shrinking any divergence to a
+//! minimal printable repro ([`shrink`]).
+//!
+//! Everything is deterministic from the seed: `conformance-fuzz --start S
+//! --seeds N` explores seeds `[S, S+N)`, and a reported failure replays
+//! from its seed number alone. See `TESTING.md` at the repository root
+//! for the workflow, including the mutation check that validates the
+//! harness can actually catch backend bugs.
+
+#![warn(missing_docs)]
+
+pub mod differ;
+pub mod gen;
+pub mod rng;
+pub mod shrink;
+pub mod snapshot;

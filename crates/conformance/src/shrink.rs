@@ -1,0 +1,292 @@
+//! Failure-case minimization.
+//!
+//! Given a program + environment pair for which some predicate holds
+//! (normally "the backends diverge"), the shrinker greedily applies
+//! structure-preserving reductions until a fixpoint:
+//!
+//! * delete any single statement (at any nesting depth),
+//! * splice an `IF`/`FOREACH` body into its parent block,
+//! * replace an `IF` condition with `TRUE` or `FALSE`,
+//! * drop a subflow or packet from the environment, zero a register.
+//!
+//! Each candidate must still compile (checked by printing and
+//! recompiling — deleting a `VAR` that later statements use is rejected
+//! here) and must still satisfy the predicate. Because every accepted
+//! step strictly shrinks either the statement count or the environment,
+//! termination is guaranteed.
+
+use crate::gen::EnvSpec;
+use progmp_core::ast::{Expr, ExprKind, Program, Stmt, StmtKind};
+use progmp_core::error::Pos;
+
+/// Predicate over a candidate case. Returns true when the (possibly
+/// shrunk) case still exhibits the behavior being minimized.
+pub type Predicate<'a> = &'a mut dyn FnMut(&Program, &EnvSpec) -> bool;
+
+/// Total number of statements, recursively.
+pub fn stmt_count(body: &[Stmt]) -> usize {
+    body.iter()
+        .map(|s| {
+            1 + match &s.kind {
+                StmtKind::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => stmt_count(then_body) + stmt_count(else_body),
+                StmtKind::Foreach { body, .. } => stmt_count(body),
+                _ => 0,
+            }
+        })
+        .sum()
+}
+
+/// A single reduction applied to a preorder statement index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reduction {
+    /// Delete the statement entirely.
+    Delete,
+    /// Replace an `IF`/`FOREACH` with its body's statements.
+    Splice,
+    /// Replace an `IF` condition with a boolean literal.
+    LiteralCond(bool),
+}
+
+/// Outcome of trying a reduction at one preorder index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reduced {
+    /// The target statement was changed.
+    Applied,
+    /// The target statement was found but the reduction does not apply
+    /// to it (e.g. splicing a leaf).
+    NoOp,
+    /// The target index lies beyond this block.
+    NotFound,
+}
+
+/// Applies `reduction` to the `n`-th statement (preorder) of `body`,
+/// decrementing `n` as statements are passed over.
+fn reduce_nth(body: &mut Vec<Stmt>, n: &mut usize, reduction: Reduction) -> Reduced {
+    let mut i = 0;
+    while i < body.len() {
+        if *n == 0 {
+            match reduction {
+                Reduction::Delete => {
+                    body.remove(i);
+                    return Reduced::Applied;
+                }
+                Reduction::Splice => {
+                    let replacement = match &mut body[i].kind {
+                        StmtKind::If {
+                            then_body,
+                            else_body,
+                            ..
+                        } => {
+                            let mut spliced = std::mem::take(then_body);
+                            spliced.append(else_body);
+                            spliced
+                        }
+                        StmtKind::Foreach { body: inner, .. } => std::mem::take(inner),
+                        _ => return Reduced::NoOp,
+                    };
+                    body.splice(i..=i, replacement);
+                    return Reduced::Applied;
+                }
+                Reduction::LiteralCond(value) => {
+                    if let StmtKind::If { cond, .. } = &mut body[i].kind {
+                        if matches!(cond.kind, ExprKind::Bool(_)) {
+                            return Reduced::NoOp;
+                        }
+                        *cond = Expr {
+                            pos: Pos { line: 1, col: 1 },
+                            kind: ExprKind::Bool(value),
+                        };
+                        return Reduced::Applied;
+                    }
+                    return Reduced::NoOp;
+                }
+            }
+        }
+        *n -= 1;
+        match &mut body[i].kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                match reduce_nth(then_body, n, reduction) {
+                    Reduced::NotFound => {}
+                    done => return done,
+                }
+                match reduce_nth(else_body, n, reduction) {
+                    Reduced::NotFound => {}
+                    done => return done,
+                }
+            }
+            StmtKind::Foreach { body: inner, .. } => match reduce_nth(inner, n, reduction) {
+                Reduced::NotFound => {}
+                done => return done,
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    Reduced::NotFound
+}
+
+fn compiles(program: &Program) -> bool {
+    progmp_core::compile(&program.to_string()).is_ok()
+}
+
+/// One full pass over all program reductions; returns true if any
+/// candidate was accepted into `program`.
+fn shrink_program_pass(program: &mut Program, spec: &EnvSpec, pred: Predicate<'_>) -> bool {
+    let reductions = [
+        Reduction::Delete,
+        Reduction::Splice,
+        Reduction::LiteralCond(true),
+        Reduction::LiteralCond(false),
+    ];
+    for reduction in reductions {
+        let total = stmt_count(&program.body);
+        for index in 0..total {
+            let mut candidate = program.clone();
+            let mut n = index;
+            if reduce_nth(&mut candidate.body, &mut n, reduction) != Reduced::Applied {
+                continue;
+            }
+            if candidate.body.is_empty() {
+                continue; // empty programs are not valid schedulers
+            }
+            if compiles(&candidate) && pred(&candidate, spec) {
+                *program = candidate;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// One full pass over all environment reductions; returns true if any
+/// candidate was accepted into `spec`.
+fn shrink_env_pass(program: &Program, spec: &mut EnvSpec, pred: Predicate<'_>) -> bool {
+    for i in 0..spec.packets.len() {
+        let mut candidate = spec.clone();
+        candidate.packets.remove(i);
+        if pred(program, &candidate) {
+            *spec = candidate;
+            return true;
+        }
+    }
+    for i in 0..spec.subflows.len() {
+        let mut candidate = spec.clone();
+        let removed = candidate.subflows.remove(i).id;
+        for p in &mut candidate.packets {
+            p.sent_on.retain(|s| *s != removed);
+        }
+        if pred(program, &candidate) {
+            *spec = candidate;
+            return true;
+        }
+    }
+    for i in 0..spec.registers.len() {
+        if spec.registers[i] == 0 {
+            continue;
+        }
+        let mut candidate = spec.clone();
+        candidate.registers[i] = 0;
+        if pred(program, &candidate) {
+            *spec = candidate;
+            return true;
+        }
+    }
+    false
+}
+
+/// Shrinks `(program, spec)` to a locally minimal case still satisfying
+/// `pred`. The inputs must satisfy `pred` already; the result always
+/// does.
+pub fn shrink(mut program: Program, mut spec: EnvSpec, pred: Predicate<'_>) -> (Program, EnvSpec) {
+    debug_assert!(pred(&program, &spec), "shrink input must satisfy predicate");
+    loop {
+        let changed = shrink_program_pass(&mut program, &spec, pred)
+            || shrink_env_pass(&program, &mut spec, pred);
+        if !changed {
+            return (program, spec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Generator;
+    use progmp_core::parser::parse;
+
+    #[test]
+    fn counts_statements_recursively() {
+        let p = parse("IF (TRUE) { RETURN; SET(R1, 1); } ELSE { RETURN; } RETURN;").unwrap();
+        assert_eq!(stmt_count(&p.body), 5);
+    }
+
+    #[test]
+    fn deletes_trailing_statement() {
+        let p = parse("SET(R1, 1); SET(R2, 2);").unwrap();
+        let spec = EnvSpec::default();
+        let mut pred = |prog: &Program, _: &EnvSpec| prog.to_string().contains("R1");
+        let (shrunk, _) = shrink(p, spec, &mut pred);
+        assert_eq!(stmt_count(&shrunk.body), 1);
+        assert!(shrunk.to_string().contains("R1"));
+    }
+
+    #[test]
+    fn splices_if_bodies() {
+        let p = parse("IF (R1 > 0) { SET(R2, 7); }").unwrap();
+        let spec = EnvSpec::default();
+        let mut pred = |prog: &Program, _: &EnvSpec| prog.to_string().contains("SET(R2, 7)");
+        let (shrunk, _) = shrink(p, spec, &mut pred);
+        // Minimal form keeps only the SET, with the IF gone entirely.
+        assert_eq!(shrunk.to_string().trim(), "SET(R2, 7);");
+    }
+
+    #[test]
+    fn rejects_deleting_used_var_decl() {
+        let p = parse("VAR x = R1; SET(R2, x);").unwrap();
+        let spec = EnvSpec::default();
+        let mut pred = |prog: &Program, _: &EnvSpec| prog.to_string().contains("SET(R2");
+        let (shrunk, _) = shrink(p, spec, &mut pred);
+        // The VAR cannot be deleted (the SET uses it), so both remain.
+        assert_eq!(stmt_count(&shrunk.body), 2);
+    }
+
+    #[test]
+    fn shrinks_environment() {
+        let mut generator = Generator::new(77);
+        let spec = generator.env_spec();
+        let p = parse("RETURN;").unwrap();
+        let mut pred = |_: &Program, _: &EnvSpec| true;
+        let (_, shrunk) = shrink(p, spec, &mut pred);
+        assert!(shrunk.packets.is_empty());
+        assert!(shrunk.subflows.is_empty());
+        assert!(shrunk.registers.iter().all(|r| *r == 0));
+    }
+
+    #[test]
+    fn generated_cases_shrink_small() {
+        // A synthetic predicate ("program contains a PUSH") must shrink
+        // any generated program to a handful of lines.
+        for seed in [3u64, 11, 29] {
+            let mut generator = Generator::new(seed);
+            let program = generator.program();
+            let spec = generator.env_spec();
+            if !program.to_string().contains(".PUSH(") {
+                continue;
+            }
+            let mut pred = |prog: &Program, _: &EnvSpec| prog.to_string().contains(".PUSH(");
+            let (shrunk, _) = shrink(program, spec, &mut pred);
+            assert!(
+                shrunk.to_string().lines().count() <= 10,
+                "seed {seed} shrunk repro too large:\n{shrunk}"
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Golden-file snapshot comparison.
+//!
+//! Snapshots live in `crates/conformance/snapshots/<name>.snap` and are
+//! checked into the repository. A test compares its actual output to the
+//! stored file; running with `UPDATE_SNAPSHOTS=1` rewrites the files
+//! instead, so intentional behavior changes are reviewed as snapshot
+//! diffs.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("snapshots")
+        .join(format!("{name}.snap"))
+}
+
+/// True when the run should rewrite snapshots instead of comparing.
+pub fn update_mode() -> bool {
+    std::env::var("UPDATE_SNAPSHOTS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Compares `actual` against the stored snapshot `name`, panicking with a
+/// diff-friendly message on mismatch. With `UPDATE_SNAPSHOTS=1` the
+/// snapshot is (re)written and the comparison skipped.
+pub fn assert_snapshot(name: &str, actual: &str) {
+    let path = snapshot_path(name);
+    if update_mode() {
+        fs::create_dir_all(path.parent().expect("snapshot path has parent"))
+            .expect("create snapshots directory");
+        fs::write(&path, actual).expect("write snapshot");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing snapshot {}: run with UPDATE_SNAPSHOTS=1 to create it",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let mut msg = format!("snapshot mismatch for {name}\n");
+        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            if e != a {
+                msg.push_str(&format!("line {}: expected `{e}`, got `{a}`\n", i + 1));
+            }
+        }
+        let (el, al) = (expected.lines().count(), actual.lines().count());
+        if el != al {
+            msg.push_str(&format!("line counts differ: expected {el}, got {al}\n"));
+        }
+        msg.push_str("rerun with UPDATE_SNAPSHOTS=1 to accept the new output\n");
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_are_stable() {
+        let p = snapshot_path("x");
+        assert!(p.ends_with("snapshots/x.snap"));
+    }
+}

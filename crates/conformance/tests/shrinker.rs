@@ -1,0 +1,71 @@
+//! End-to-end shrinker behavior on generator output: synthetic
+//! predicates must reduce real generated cases to tiny repros, the same
+//! way a genuine backend divergence is minimized by `conformance-fuzz`.
+
+use progmp_conformance::gen::{EnvSpec, Generator};
+use progmp_conformance::shrink::{shrink, stmt_count};
+use progmp_core::ast::{Program, StmtKind};
+
+fn contains_push(program: &Program) -> bool {
+    fn any(body: &[progmp_core::ast::Stmt]) -> bool {
+        body.iter().any(|s| match &s.kind {
+            StmtKind::Push { .. } => true,
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => any(then_body) || any(else_body),
+            StmtKind::Foreach { body, .. } => any(body),
+            _ => false,
+        })
+    }
+    any(&program.body)
+}
+
+#[test]
+fn shrinks_generated_cases_with_push_to_minimal_repro() {
+    let mut shrunk_any = false;
+    for seed in 0..40u64 {
+        let mut generator = Generator::new(seed);
+        let program = generator.program();
+        let spec = generator.env_spec();
+        if !contains_push(&program) {
+            continue;
+        }
+        let before = stmt_count(&program.body);
+        let mut pred = |p: &Program, _: &EnvSpec| contains_push(p);
+        let (minimal, min_spec) = shrink(program, spec, &mut pred);
+        assert!(contains_push(&minimal), "seed {seed}: predicate lost");
+        assert!(
+            stmt_count(&minimal.body) <= before,
+            "seed {seed}: shrinking grew the program"
+        );
+        // A PUSH statement plus at most the declarations it depends on.
+        assert!(
+            minimal.to_string().lines().count() < 10,
+            "seed {seed}: repro not minimal:\n{minimal}"
+        );
+        // The environment is irrelevant to this predicate, so it must
+        // shrink to nothing.
+        assert!(min_spec.packets.is_empty() && min_spec.subflows.is_empty());
+        shrunk_any = true;
+    }
+    assert!(
+        shrunk_any,
+        "no generated program contained PUSH in 40 seeds"
+    );
+}
+
+#[test]
+fn shrunk_case_still_compiles() {
+    for seed in [7u64, 19, 33] {
+        let mut generator = Generator::new(seed);
+        let program = generator.program();
+        let spec = generator.env_spec();
+        let mut pred = |p: &Program, _: &EnvSpec| !p.body.is_empty();
+        let (minimal, _) = shrink(program, spec, &mut pred);
+        progmp_core::compile(&minimal.to_string())
+            .unwrap_or_else(|e| panic!("seed {seed}: shrunk program must compile: {e}"));
+        assert_eq!(stmt_count(&minimal.body), 1, "seed {seed}");
+    }
+}

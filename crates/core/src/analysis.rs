@@ -72,7 +72,10 @@ impl fmt::Display for Analysis {
             if set.is_empty() {
                 "-".to_string()
             } else {
-                set.iter().map(|r| format!("R{r}")).collect::<Vec<_>>().join(", ")
+                set.iter()
+                    .map(|r| format!("R{r}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             }
         };
         writeln!(f, "subflow properties: {}", join(&self.subflow_props))?;
@@ -149,8 +152,9 @@ fn queue_base(prog: &HProgram, e: ExprId) -> Option<QueueKind> {
     match prog.expr(e) {
         HExpr::Queue(k) => Some(*k),
         HExpr::QueueFilter { queue, .. } => queue_base(prog, *queue),
-        HExpr::ReadVar(slot) => prog.aggregate_init[slot.0 as usize]
-            .and_then(|init| queue_base(prog, init)),
+        HExpr::ReadVar(slot) => {
+            prog.aggregate_init[slot.0 as usize].and_then(|init| queue_base(prog, init))
+        }
         _ => None,
     }
 }

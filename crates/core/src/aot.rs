@@ -223,12 +223,14 @@ impl<'p> Compiler<'p> {
             }),
             HExpr::ListFilter { list, var, pred } => {
                 let mut scan = self.compile_scan(list)?;
-                scan.filters.push((var.0 as usize, self.compile_expr(pred)?));
+                scan.filters
+                    .push((var.0 as usize, self.compile_expr(pred)?));
                 Ok(scan)
             }
             HExpr::QueueFilter { queue, var, pred } => {
                 let mut scan = self.compile_scan(queue)?;
-                scan.filters.push((var.0 as usize, self.compile_expr(pred)?));
+                scan.filters
+                    .push((var.0 as usize, self.compile_expr(pred)?));
                 Ok(scan)
             }
             HExpr::ReadVar(slot) => {
@@ -301,7 +303,10 @@ impl<'p> Compiler<'p> {
                     Ok(frame[s])
                 })
             }
-            HExpr::Subflows | HExpr::Queue(_) | HExpr::ListFilter { .. } | HExpr::QueueFilter { .. } => {
+            HExpr::Subflows
+            | HExpr::Queue(_)
+            | HExpr::ListFilter { .. }
+            | HExpr::QueueFilter { .. } => {
                 return Err(self.internal_err("aggregate expression evaluated as scalar"))
             }
             HExpr::SubflowProp { sbf, prop } => {
@@ -352,7 +357,12 @@ impl<'p> Compiler<'p> {
                 key,
                 is_max,
             } => self.compile_minmax(queue, var, key, is_max)?,
-            HExpr::ListSum { list, var, key } | HExpr::QueueSum { queue: list, var, key } => {
+            HExpr::ListSum { list, var, key }
+            | HExpr::QueueSum {
+                queue: list,
+                var,
+                key,
+            } => {
                 let scan = self.compile_scan(list)?;
                 let k = self.compile_expr(key)?;
                 let s = var.0 as usize;
@@ -369,15 +379,11 @@ impl<'p> Compiler<'p> {
             }
             HExpr::ListCount(src) | HExpr::QueueCount(src) => {
                 let scan = self.compile_scan(src)?;
-                Rc::new(move |ctx, frame| {
-                    Ok(scan.collect(ctx, frame, usize::MAX)?.len() as i64)
-                })
+                Rc::new(move |ctx, frame| Ok(scan.collect(ctx, frame, usize::MAX)?.len() as i64))
             }
             HExpr::ListEmpty(src) | HExpr::QueueEmpty(src) => {
                 let scan = self.compile_scan(src)?;
-                Rc::new(move |ctx, frame| {
-                    Ok(i64::from(scan.collect(ctx, frame, 1)?.is_empty()))
-                })
+                Rc::new(move |ctx, frame| Ok(i64::from(scan.collect(ctx, frame, 1)?.is_empty())))
             }
             HExpr::ListGet { list, index } => {
                 let scan = self.compile_scan(list)?;
@@ -507,7 +513,10 @@ mod tests {
         env.add_subflow(0);
         env.add_subflow(1);
         env.add_subflow(2);
-        run_aot("FOREACH(VAR s IN SUBFLOWS) { SET(R1, R1 + s.ID + 1); }", &mut env);
+        run_aot(
+            "FOREACH(VAR s IN SUBFLOWS) { SET(R1, R1 + s.ID + 1); }",
+            &mut env,
+        );
         assert_eq!(env.register(RegId::R1), 1 + 2 + 3);
     }
 

@@ -268,7 +268,8 @@ mod tests {
             BinOp::Or,
         ];
         for op in all {
-            let n = usize::from(op.is_comparison()) + usize::from(op.is_arith())
+            let n = usize::from(op.is_comparison())
+                + usize::from(op.is_arith())
                 + usize::from(op.is_logic());
             assert_eq!(n, 1, "{op:?} must be in exactly one class");
         }

@@ -141,7 +141,10 @@ impl Helper {
 
     /// Whether the helper produces a value in `r0`.
     pub fn has_result(self) -> bool {
-        !matches!(self, Helper::SetReg | Helper::Pop | Helper::Push | Helper::DropPkt)
+        !matches!(
+            self,
+            Helper::SetReg | Helper::Pop | Helper::Push | Helper::DropPkt
+        )
     }
 }
 
@@ -278,7 +281,9 @@ impl SubflowProp {
 
     /// Decodes [`SubflowProp::code`].
     pub fn from_code(code: i64) -> Option<SubflowProp> {
-        usize::try_from(code).ok().and_then(|i| SubflowProp::ALL.get(i).copied())
+        usize::try_from(code)
+            .ok()
+            .and_then(|i| SubflowProp::ALL.get(i).copied())
     }
 }
 
@@ -294,7 +299,9 @@ impl PacketProp {
 
     /// Decodes [`PacketProp::code`].
     pub fn from_code(code: i64) -> Option<PacketProp> {
-        usize::try_from(code).ok().and_then(|i| PacketProp::ALL.get(i).copied())
+        usize::try_from(code)
+            .ok()
+            .and_then(|i| PacketProp::ALL.get(i).copied())
     }
 }
 
@@ -310,7 +317,9 @@ impl QueueKind {
 
     /// Decodes [`QueueKind::code`].
     pub fn from_code(code: i64) -> Option<QueueKind> {
-        usize::try_from(code).ok().and_then(|i| QueueKind::ALL.get(i).copied())
+        usize::try_from(code)
+            .ok()
+            .and_then(|i| QueueKind::ALL.get(i).copied())
     }
 }
 

@@ -205,7 +205,11 @@ impl<'p> Cg<'p> {
         }
     }
 
-    fn decompose_queue(&self, e: ExprId, filters: &mut Vec<(VarSlot, ExprId)>) -> Result<QueueKind, CompileError> {
+    fn decompose_queue(
+        &self,
+        e: ExprId,
+        filters: &mut Vec<(VarSlot, ExprId)>,
+    ) -> Result<QueueKind, CompileError> {
         match self.prog.expr(e) {
             HExpr::Queue(kind) => Ok(*kind),
             HExpr::QueueFilter { queue, var, pred } => {
@@ -230,7 +234,9 @@ impl<'p> Cg<'p> {
     where
         F: FnMut(&mut Self, VReg, Label) -> Result<(), CompileError>,
     {
-        let mut chain = ListChain { filters: Vec::new() };
+        let mut chain = ListChain {
+            filters: Vec::new(),
+        };
         self.decompose_list(list, &mut chain)?;
 
         let idx = self.vreg();
@@ -259,7 +265,10 @@ impl<'p> Cg<'p> {
         });
         for &(slot, pred) in &chain.filters {
             let bound = self.slot(slot);
-            self.emit(VInsn::Mov { dst: bound, src: sbf });
+            self.emit(VInsn::Mov {
+                dst: bound,
+                src: sbf,
+            });
             let p = self.gen_expr(pred)?;
             self.emit(VInsn::JccImm {
                 cond: Cond::Eq,
@@ -323,7 +332,10 @@ impl<'p> Cg<'p> {
         });
         for &(slot, pred) in &filters {
             let bound = self.slot(slot);
-            self.emit(VInsn::Mov { dst: bound, src: pkt });
+            self.emit(VInsn::Mov {
+                dst: bound,
+                src: pkt,
+            });
             let p = self.gen_expr(pred)?;
             self.emit(VInsn::JccImm {
                 cond: Cond::Eq,
@@ -379,7 +391,10 @@ impl<'p> Cg<'p> {
         });
         self.emit(VInsn::Ja(skip));
         self.place(take);
-        self.emit(VInsn::Mov { dst: best, src: elem });
+        self.emit(VInsn::Mov {
+            dst: best,
+            src: elem,
+        });
         self.emit(VInsn::Mov { dst: bestk, src: k });
         self.emit(VInsn::MovImm { dst: first, imm: 0 });
         self.place(skip);
@@ -430,7 +445,10 @@ impl<'p> Cg<'p> {
             }
             HStmt::Foreach { slot, list, body } => self.gen_list_loop(list, |cg, sbf, _end| {
                 let bound = cg.slot(slot);
-                cg.emit(VInsn::Mov { dst: bound, src: sbf });
+                cg.emit(VInsn::Mov {
+                    dst: bound,
+                    src: sbf,
+                });
                 cg.gen_block(&body)
             }),
             HStmt::SetReg { reg, value } => {
@@ -493,7 +511,10 @@ impl<'p> Cg<'p> {
                 );
                 Ok(self.slot(slot))
             }
-            HExpr::Subflows | HExpr::Queue(_) | HExpr::ListFilter { .. } | HExpr::QueueFilter { .. } => {
+            HExpr::Subflows
+            | HExpr::Queue(_)
+            | HExpr::ListFilter { .. }
+            | HExpr::QueueFilter { .. } => {
                 Err(self.internal_err("aggregate expression evaluated as scalar"))
             }
             HExpr::SubflowProp { sbf, prop } => {
@@ -585,7 +606,10 @@ impl<'p> Cg<'p> {
                 self.emit(VInsn::MovImm { dst: total, imm: 0 });
                 self.gen_list_loop(list, |cg, sbf, _| {
                     let bound = cg.slot(var);
-                    cg.emit(VInsn::Mov { dst: bound, src: sbf });
+                    cg.emit(VInsn::Mov {
+                        dst: bound,
+                        src: sbf,
+                    });
                     let k = cg.gen_expr(key)?;
                     cg.emit(VInsn::Alu {
                         op: AluOp::Add,
@@ -602,7 +626,10 @@ impl<'p> Cg<'p> {
                 self.emit(VInsn::MovImm { dst: total, imm: 0 });
                 self.gen_queue_loop(queue, |cg, pkt, _| {
                     let bound = cg.slot(var);
-                    cg.emit(VInsn::Mov { dst: bound, src: pkt });
+                    cg.emit(VInsn::Mov {
+                        dst: bound,
+                        src: pkt,
+                    });
                     let k = cg.gen_expr(key)?;
                     cg.emit(VInsn::Alu {
                         op: AluOp::Add,
@@ -801,12 +828,22 @@ mod tests {
 
     #[test]
     fn generates_code_for_min_rtt() {
-        let code = gen("IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) { SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }");
+        let code = gen(
+            "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) { SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }",
+        );
         assert!(matches!(code.last(), Some(VInsn::Exit)));
         // Push helper must appear exactly once.
         let pushes = code
             .iter()
-            .filter(|i| matches!(i, VInsn::Call { helper: Helper::Push, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    VInsn::Call {
+                        helper: Helper::Push,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(pushes, 1);
     }
@@ -818,7 +855,15 @@ mod tests {
         let code = gen("SET(R1, SUBFLOWS.FILTER(s => s.RTT > 1).FILTER(t => t.CWND > 1).COUNT);");
         let loops = code
             .iter()
-            .filter(|i| matches!(i, VInsn::Call { helper: Helper::SubflowCount, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    VInsn::Call {
+                        helper: Helper::SubflowCount,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(loops, 1, "fused filters share one scan loop");
     }
@@ -826,14 +871,20 @@ mod tests {
     #[test]
     fn aggregate_vars_are_inlined_per_use() {
         // `sbfs` used twice -> the subflow scan is expanded twice.
-        let code = gen(
-            "VAR sbfs = SUBFLOWS.FILTER(s => s.RTT > 0);
+        let code = gen("VAR sbfs = SUBFLOWS.FILTER(s => s.RTT > 0);
              SET(R1, sbfs.COUNT);
-             SET(R2, sbfs.COUNT);",
-        );
+             SET(R2, sbfs.COUNT);");
         let loops = code
             .iter()
-            .filter(|i| matches!(i, VInsn::Call { helper: Helper::SubflowCount, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    VInsn::Call {
+                        helper: Helper::SubflowCount,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(loops, 2);
     }
@@ -848,11 +899,19 @@ mod tests {
     #[test]
     fn pop_calls_pop_helper() {
         let code = gen("DROP(Q.POP());");
-        assert!(code
-            .iter()
-            .any(|i| matches!(i, VInsn::Call { helper: Helper::Pop, .. })));
-        assert!(code
-            .iter()
-            .any(|i| matches!(i, VInsn::Call { helper: Helper::DropPkt, .. })));
+        assert!(code.iter().any(|i| matches!(
+            i,
+            VInsn::Call {
+                helper: Helper::Pop,
+                ..
+            }
+        )));
+        assert!(code.iter().any(|i| matches!(
+            i,
+            VInsn::Call {
+                helper: Helper::DropPkt,
+                ..
+            }
+        )));
     }
 }

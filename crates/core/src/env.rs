@@ -314,6 +314,122 @@ pub enum Action {
     },
 }
 
+/// The complete observable effect of one scheduler execution: the final
+/// register file and the ordered action list handed to
+/// [`SchedulerEnv::apply`].
+///
+/// Two executions with equal effect traces are indistinguishable to the
+/// environment — this is the comparison unit of the cross-backend
+/// differential conformance harness (`progmp-conformance`), which demands
+/// bit-identical traces from all three backends.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EffectTrace {
+    /// Register file as applied (one entry per completed execution).
+    pub registers: Vec<[i64; NUM_REGISTERS]>,
+    /// Every action applied, in emission order, tagged with the index of
+    /// the execution that emitted it.
+    pub actions: Vec<(u32, Action)>,
+}
+
+impl EffectTrace {
+    /// Number of completed executions recorded.
+    pub fn executions(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Canonical line-per-effect rendering, stable across runs, for
+    /// golden files and divergence reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, regs) in self.registers.iter().enumerate() {
+            out.push_str(&format!("exec {i} regs ["));
+            for (j, r) in regs.iter().enumerate() {
+                if j > 0 {
+                    out.push(' ');
+                }
+                out.push_str(&r.to_string());
+            }
+            out.push_str("]\n");
+            for (exec, action) in self.actions.iter().filter(|(e, _)| *e as usize == i) {
+                let _ = exec;
+                match action {
+                    Action::Push { subflow, packet } => {
+                        out.push_str(&format!("  push {subflow} {packet}\n"));
+                    }
+                    Action::Drop { packet } => {
+                        out.push_str(&format!("  drop {packet}\n"));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A [`SchedulerEnv`] wrapper that records every applied effect into an
+/// [`EffectTrace`] before forwarding it to the wrapped environment.
+///
+/// Reads delegate unchanged, so wrapping is semantically invisible to the
+/// scheduler. Used by the conformance harness to capture the exact effect
+/// stream of each backend; usable with any environment, including the
+/// simulator's meta socket.
+#[derive(Debug)]
+pub struct RecordingEnv<E> {
+    /// The wrapped environment.
+    pub inner: E,
+    /// Effects recorded so far.
+    pub trace: EffectTrace,
+}
+
+impl<E: SchedulerEnv> RecordingEnv<E> {
+    /// Wraps `inner` with an empty trace.
+    pub fn new(inner: E) -> Self {
+        RecordingEnv {
+            inner,
+            trace: EffectTrace::default(),
+        }
+    }
+}
+
+impl<E: SchedulerEnv> SchedulerEnv for RecordingEnv<E> {
+    fn subflows(&self) -> &[SubflowId] {
+        self.inner.subflows()
+    }
+
+    fn subflow_prop(&self, subflow: SubflowId, prop: SubflowProp) -> i64 {
+        self.inner.subflow_prop(subflow, prop)
+    }
+
+    fn queue(&self, queue: QueueKind) -> &[PacketRef] {
+        self.inner.queue(queue)
+    }
+
+    fn packet_prop(&self, packet: PacketRef, prop: PacketProp) -> i64 {
+        self.inner.packet_prop(packet, prop)
+    }
+
+    fn sent_on(&self, packet: PacketRef, subflow: SubflowId) -> bool {
+        self.inner.sent_on(packet, subflow)
+    }
+
+    fn has_window_for(&self, subflow: SubflowId, packet: PacketRef) -> bool {
+        self.inner.has_window_for(subflow, packet)
+    }
+
+    fn register(&self, reg: RegId) -> i64 {
+        self.inner.register(reg)
+    }
+
+    fn apply(&mut self, registers: &[i64; NUM_REGISTERS], actions: &[Action]) {
+        let exec = self.trace.registers.len() as u32;
+        self.trace.registers.push(*registers);
+        self.trace
+            .actions
+            .extend(actions.iter().map(|a| (exec, *a)));
+        self.inner.apply(registers, actions);
+    }
+}
+
 /// Why the runtime invoked the scheduler (paper Fig. 4 calling model).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Trigger {
@@ -433,5 +549,60 @@ mod tests {
         assert_eq!(QueueKind::SendQueue.name(), "Q");
         assert_eq!(QueueKind::Unacked.name(), "QU");
         assert_eq!(QueueKind::Reinject.name(), "RQ");
+    }
+
+    #[test]
+    fn recording_env_captures_effects_and_delegates() {
+        use crate::testenv::MockEnv;
+
+        let mut env = MockEnv::new();
+        env.add_subflow(0);
+        env.push_packet(QueueKind::SendQueue, 7, 0, 100);
+        let mut rec = RecordingEnv::new(env);
+
+        let mut regs = [0i64; NUM_REGISTERS];
+        regs[0] = 42;
+        rec.apply(
+            &regs,
+            &[Action::Push {
+                subflow: SubflowId(0),
+                packet: PacketRef(7),
+            }],
+        );
+        rec.apply(
+            &regs,
+            &[Action::Drop {
+                packet: PacketRef(7),
+            }],
+        );
+
+        assert_eq!(rec.trace.executions(), 2);
+        assert_eq!(rec.trace.actions.len(), 2);
+        assert_eq!(rec.trace.actions[0].0, 0);
+        assert_eq!(rec.trace.actions[1].0, 1);
+        // The wrapped env observed the same effects.
+        assert_eq!(rec.inner.transmissions.len(), 1);
+        assert_eq!(rec.inner.register(RegId::R1), 42);
+        let rendered = rec.trace.render();
+        assert!(rendered.contains("push sbf#0 skb#7"), "{rendered}");
+        assert!(rendered.contains("drop skb#7"), "{rendered}");
+    }
+
+    #[test]
+    fn equal_traces_compare_equal() {
+        let mk = || {
+            let mut t = EffectTrace::default();
+            t.registers.push([1; NUM_REGISTERS]);
+            t.actions.push((
+                0,
+                Action::Push {
+                    subflow: SubflowId(1),
+                    packet: PacketRef(2),
+                },
+            ));
+            t
+        };
+        assert_eq!(mk(), mk());
+        assert_eq!(mk().render(), mk().render());
     }
 }

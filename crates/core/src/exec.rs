@@ -89,7 +89,9 @@ impl<'e> ExecCtx<'e> {
             Ok(())
         } else {
             self.steps_left = 0;
-            Err(ExecError::StepBudgetExhausted { budget: self.budget })
+            Err(ExecError::StepBudgetExhausted {
+                budget: self.budget,
+            })
         }
     }
 
@@ -156,7 +158,10 @@ impl<'e> ExecCtx<'e> {
         if pkt < 0 || sbf < 0 {
             return 0;
         }
-        i64::from(self.env.sent_on(PacketRef(pkt as u64), SubflowId(sbf as u32)))
+        i64::from(
+            self.env
+                .sent_on(PacketRef(pkt as u64), SubflowId(sbf as u32)),
+        )
     }
 
     /// `HAS_WINDOW_FOR`; `NULL` operands yield `false`.

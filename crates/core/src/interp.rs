@@ -165,7 +165,12 @@ impl<'p> Interp<'p> {
 
     /// Iterates the visible packets of a queue view, calling `f` for each
     /// matching packet; stops early when `f` returns `false`.
-    fn scan_queue<F>(&mut self, view: &QueueView, ctx: &mut ExecCtx<'_>, mut f: F) -> Result<(), ExecError>
+    fn scan_queue<F>(
+        &mut self,
+        view: &QueueView,
+        ctx: &mut ExecCtx<'_>,
+        mut f: F,
+    ) -> Result<(), ExecError>
     where
         F: FnMut(&mut ExecCtx<'_>, i64) -> bool,
     {
@@ -457,11 +462,19 @@ impl<'p> Interp<'p> {
                     BinOp::Div => {
                         let d = r.as_int();
                         // Division by zero yields 0, as in eBPF.
-                        Value::Int(if d == 0 { 0 } else { l.as_int().wrapping_div(d) })
+                        Value::Int(if d == 0 {
+                            0
+                        } else {
+                            l.as_int().wrapping_div(d)
+                        })
                     }
                     BinOp::Rem => {
                         let d = r.as_int();
-                        Value::Int(if d == 0 { 0 } else { l.as_int().wrapping_rem(d) })
+                        Value::Int(if d == 0 {
+                            0
+                        } else {
+                            l.as_int().wrapping_rem(d)
+                        })
                     }
                     BinOp::Eq | BinOp::Ne => {
                         let equal = if operand_ty.is_nullable() {
@@ -711,10 +724,7 @@ mod tests {
         env.push_packet(QueueKind::Unacked, 102, 5, 100);
         env.push_packet(QueueKind::Unacked, 100, 1, 100);
         env.push_packet(QueueKind::Unacked, 101, 3, 100);
-        run(
-            "SUBFLOWS.GET(0).PUSH(QU.MIN(p => p.SEQ));",
-            &mut env,
-        );
+        run("SUBFLOWS.GET(0).PUSH(QU.MIN(p => p.SEQ));", &mut env);
         assert_eq!(env.transmissions[0].1 .0, 100);
     }
 

@@ -211,7 +211,8 @@ mod tests {
     #[test]
     fn lexes_min_rtt_example() {
         // The Fig. 3 scheduler from the paper.
-        let src = "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {\n  SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }";
+        let src =
+            "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {\n  SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }";
         let ks = kinds(src);
         assert!(ks.contains(&TokenKind::If));
         assert!(ks.contains(&TokenKind::Arrow));

@@ -178,7 +178,11 @@ impl Parser {
                 self.expect(&TokenKind::LParen)?;
                 let (name, rpos) = self.expect_ident()?;
                 let reg = reg_from_ident(&name).ok_or_else(|| {
-                    CompileError::new(Stage::Parse, rpos, format!("`{name}` is not a register (R1..R8)"))
+                    CompileError::new(
+                        Stage::Parse,
+                        rpos,
+                        format!("`{name}` is not a register (R1..R8)"),
+                    )
                 })?;
                 self.expect(&TokenKind::Comma)?;
                 let value = self.parse_expr()?;
@@ -212,7 +216,9 @@ impl Parser {
                 // Must be a `expr.PUSH(expr);` statement.
                 let target = self.parse_expr()?;
                 if !self.eat(&TokenKind::Dot) {
-                    return Err(self.err("expected statement (VAR/IF/FOREACH/SET/DROP/RETURN or `.PUSH`)"));
+                    return Err(
+                        self.err("expected statement (VAR/IF/FOREACH/SET/DROP/RETURN or `.PUSH`)")
+                    );
                 }
                 let (name, npos) = self.expect_ident()?;
                 if name != "PUSH" {
@@ -394,7 +400,12 @@ impl Parser {
         Ok(expr)
     }
 
-    fn parse_postfix_op(&mut self, obj: Expr, name: String, pos: Pos) -> Result<Expr, CompileError> {
+    fn parse_postfix_op(
+        &mut self,
+        obj: Expr,
+        name: String,
+        pos: Pos,
+    ) -> Result<Expr, CompileError> {
         let make = |kind| Expr { pos, kind };
         match name.as_str() {
             "FILTER" => {
@@ -534,10 +545,16 @@ mod tests {
 
     #[test]
     fn parses_fig3_min_rtt_scheduler() {
-        let src = "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {\n  SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }";
+        let src =
+            "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {\n  SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }";
         let prog = parse(src).unwrap();
         assert_eq!(prog.body.len(), 1);
-        let StmtKind::If { then_body, else_body, .. } = &prog.body[0].kind else {
+        let StmtKind::If {
+            then_body,
+            else_body,
+            ..
+        } = &prog.body[0].kind
+        else {
             panic!("expected IF");
         };
         assert_eq!(then_body.len(), 1);
@@ -571,7 +588,8 @@ mod tests {
 
     #[test]
     fn parses_else_if_chain() {
-        let src = "IF (R1 > 0) { SET(R2, 1); } ELSE IF (R1 < 0) { SET(R2, 2); } ELSE { SET(R2, 3); }";
+        let src =
+            "IF (R1 > 0) { SET(R2, 1); } ELSE IF (R1 < 0) { SET(R2, 2); } ELSE { SET(R2, 3); }";
         let prog = parse(src).unwrap();
         let StmtKind::If { else_body, .. } = &prog.body[0].kind else {
             panic!()
@@ -634,10 +652,7 @@ mod tests {
             panic!()
         };
         assert_eq!(*op, BinOp::Add);
-        assert!(matches!(
-            &rhs.kind,
-            ExprKind::Binary { op: BinOp::Mul, .. }
-        ));
+        assert!(matches!(&rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
     }
 
     #[test]
@@ -646,10 +661,7 @@ mod tests {
         let StmtKind::VarDecl { init, .. } = &prog.body[0].kind else {
             panic!()
         };
-        assert!(matches!(
-            &init.kind,
-            ExprKind::Binary { op: BinOp::Or, .. }
-        ));
+        assert!(matches!(&init.kind, ExprKind::Binary { op: BinOp::Or, .. }));
     }
 
     #[test]

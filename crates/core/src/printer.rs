@@ -17,6 +17,14 @@ pub fn print_program(program: &Program) -> String {
     out
 }
 
+/// `Display` renders the canonical source text, same as [`print_program`]:
+/// `program.to_string()` parses back to a structurally identical AST.
+impl std::fmt::Display for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&print_program(self))
+    }
+}
+
 fn indent(level: usize, out: &mut String) {
     for _ in 0..level {
         out.push_str("    ");
@@ -211,8 +219,8 @@ mod tests {
     fn round_trips(src: &str) {
         let first = parse(src).expect("parses");
         let printed = print_program(&first);
-        let second = parse(&printed)
-            .unwrap_or_else(|e| panic!("printed output must parse: {e}\n{printed}"));
+        let second =
+            parse(&printed).unwrap_or_else(|e| panic!("printed output must parse: {e}\n{printed}"));
         assert_eq!(
             strip(&first),
             strip(&second),
@@ -224,7 +232,9 @@ mod tests {
 
     #[test]
     fn round_trips_every_bundled_scheduler_shape() {
-        round_trips("IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) { SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }");
+        round_trips(
+            "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) { SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }",
+        );
         round_trips(
             "VAR sbfs = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY);
              IF (R1 >= sbfs.COUNT) { SET(R1, 0); }
@@ -243,6 +253,14 @@ mod tests {
         round_trips("SET(R2, SUBFLOWS.SUM(s => s.BW) - (3 * -R1) % 7);");
         round_trips("IF (TRUE OR FALSE AND !Q.EMPTY) { SET(R1, 0 - 5); } ELSE { RETURN; }");
         round_trips("VAR best = QU.MAX(p => p.SEQ); IF (NULL == best) { RETURN; }");
+    }
+
+    #[test]
+    fn display_matches_print_program() {
+        let p = parse("IF (!Q.EMPTY) { SUBFLOWS.MIN(s => s.RTT).PUSH(Q.POP()); }").unwrap();
+        assert_eq!(p.to_string(), print_program(&p));
+        // Display output round-trips like print_program output.
+        assert_eq!(strip(&p), strip(&parse(&p.to_string()).unwrap()));
     }
 
     #[test]

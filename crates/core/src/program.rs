@@ -77,10 +77,7 @@ pub fn compile(source: &str) -> Result<SchedulerProgram, CompileError> {
 
 /// Like [`compile`], attaching a scheduler name for diagnostics and the
 /// program registry of higher layers.
-pub fn compile_named(
-    name: Option<&str>,
-    source: &str,
-) -> Result<SchedulerProgram, CompileError> {
+pub fn compile_named(name: Option<&str>, source: &str) -> Result<SchedulerProgram, CompileError> {
     compile_with_options(name, source, CompileOptions::default())
 }
 
@@ -166,7 +163,10 @@ impl SchedulerProgram {
     }
 
     /// Creates an instance from an already shared program.
-    pub fn instantiate_shared(program: Arc<SchedulerProgram>, backend: Backend) -> SchedulerInstance {
+    pub fn instantiate_shared(
+        program: Arc<SchedulerProgram>,
+        backend: Backend,
+    ) -> SchedulerInstance {
         SchedulerInstance::new(program, backend)
     }
 }
@@ -377,7 +377,8 @@ impl SchedulerInstance {
             if stats.pushes == 0 && stats.drops == 0 {
                 break;
             }
-            if env.queue(QueueKind::SendQueue).is_empty() && env.queue(QueueKind::Reinject).is_empty()
+            if env.queue(QueueKind::SendQueue).is_empty()
+                && env.queue(QueueKind::Reinject).is_empty()
             {
                 break;
             }
@@ -455,7 +456,11 @@ mod tests {
         env.add_subflow(1);
         inst.execute(&mut env).unwrap();
         assert_eq!(env.register(RegId::R1), 2);
-        assert_eq!(inst.stats().respecializations, 2, "count changed: respecialize");
+        assert_eq!(
+            inst.stats().respecializations,
+            2,
+            "count changed: respecialize"
+        );
     }
 
     #[test]
@@ -498,13 +503,14 @@ mod tests {
         assert!(s.total_steps > 0);
     }
 
-
     #[test]
     fn profiling_trace_annotates_hit_counts() {
         let prog = compile(MIN_RTT).unwrap();
         let mut inst = prog.instantiate(Backend::Vm);
         let mut env = env_with_packets(1);
-        let trace = inst.profile_execution(&mut env).expect("vm backend profiles");
+        let trace = inst
+            .profile_execution(&mut env)
+            .expect("vm backend profiles");
         // The first instruction executed exactly once; the listing carries
         // one count column per instruction.
         let first = trace.lines().next().unwrap();

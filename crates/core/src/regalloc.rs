@@ -25,9 +25,7 @@
 //! anywhere inside a loop body are extended to the loop's back-edge, so a
 //! value defined before a loop and used within it survives the whole loop.
 
-use crate::bytecode::{
-    BytecodeProgram, Insn, FIRST_ALLOCATABLE, MAX_STACK_SLOTS, NUM_ALLOCATABLE,
-};
+use crate::bytecode::{BytecodeProgram, Insn, FIRST_ALLOCATABLE, MAX_STACK_SLOTS, NUM_ALLOCATABLE};
 use crate::codegen::{Label, VInsn, VReg};
 use crate::error::{CompileError, Pos, Stage};
 use std::collections::HashMap;
@@ -265,10 +263,16 @@ fn lower(code: &[VInsn], assignment: &HashMap<VReg, Loc>) -> Result<BytecodeProg
         match l {
             Loc::Reg(r) => {
                 if r != src_reg {
-                    out.push(Insn::Mov { dst: r, src: src_reg });
+                    out.push(Insn::Mov {
+                        dst: r,
+                        src: src_reg,
+                    });
                 }
             }
-            Loc::Slot(s) => out.push(Insn::St { slot: s, src: src_reg }),
+            Loc::Slot(s) => out.push(Insn::St {
+                slot: s,
+                src: src_reg,
+            }),
         }
     }
 
@@ -540,5 +544,109 @@ mod tests {
             let target = (ja_idx as i64 + 1 + i64::from(off)) as usize;
             assert!(matches!(prog.code[target], Insn::Exit));
         }
+    }
+
+    #[test]
+    fn heavy_pressure_spills_excess_live_values() {
+        // Twelve values all live at once against four allocatable
+        // registers: at least eight must move to stack slots, and the
+        // lowered program must still pass the verifier.
+        const LIVE: u32 = 12;
+        let mut code = Vec::new();
+        for i in 0..LIVE {
+            code.push(VInsn::MovImm {
+                dst: VReg(i),
+                imm: i64::from(i) + 1,
+            });
+        }
+        // Consume every value in one chain, keeping all simultaneously
+        // live from definition to here.
+        for i in 1..LIVE {
+            code.push(VInsn::Alu {
+                op: AluOp::Add,
+                dst: VReg(0),
+                a: VReg(0),
+                b: VReg(i),
+            });
+        }
+        code.push(VInsn::Exit);
+        let prog = allocate(&code).unwrap();
+        assert!(
+            usize::from(prog.stack_slots) >= LIVE as usize - NUM_ALLOCATABLE,
+            "expected >= {} spill slots, got {}",
+            LIVE as usize - NUM_ALLOCATABLE,
+            prog.stack_slots
+        );
+        assert!(usize::from(prog.stack_slots) <= LIVE as usize);
+        crate::vm::verify(&prog).expect("spilled program must verify");
+        // Spilled operands are accessed through loads/stores.
+        assert!(prog.code.iter().any(|i| matches!(i, Insn::Ld { .. })));
+        assert!(prog.code.iter().any(|i| matches!(i, Insn::St { .. })));
+    }
+
+    #[test]
+    fn spill_pressure_inside_loop_keeps_values_alive() {
+        // Values defined before a loop, with pressure inside the loop
+        // body, must survive the back edge whether spilled or not.
+        const LIVE: u32 = 8;
+        let l = Label(0);
+        let mut code = Vec::new();
+        for i in 0..LIVE {
+            code.push(VInsn::MovImm {
+                dst: VReg(i),
+                imm: 1,
+            });
+        }
+        // Loop counter.
+        code.push(VInsn::MovImm {
+            dst: VReg(LIVE),
+            imm: 0,
+        });
+        code.push(VInsn::Label(l));
+        for i in 0..LIVE {
+            code.push(VInsn::Alu {
+                op: AluOp::Add,
+                dst: VReg(LIVE),
+                a: VReg(LIVE),
+                b: VReg(i),
+            });
+        }
+        code.push(VInsn::JccImm {
+            cond: Cond::Lt,
+            a: VReg(LIVE),
+            imm: 100,
+            target: l,
+        });
+        code.push(VInsn::Exit);
+        let prog = allocate(&code).unwrap();
+        assert!(prog.stack_slots >= 1, "pressure must spill");
+        crate::vm::verify(&prog).expect("looping spilled program must verify");
+    }
+
+    #[test]
+    fn exceeding_stack_slot_budget_is_rejected() {
+        // More simultaneously live values than registers + stack slots:
+        // allocation must fail with the spill-slot budget error, not
+        // overflow or mis-allocate.
+        let live = (MAX_STACK_SLOTS + NUM_ALLOCATABLE + 1) as u32;
+        let mut code = Vec::new();
+        for i in 0..live {
+            code.push(VInsn::MovImm {
+                dst: VReg(i),
+                imm: 1,
+            });
+        }
+        for i in 1..live {
+            code.push(VInsn::Alu {
+                op: AluOp::Add,
+                dst: VReg(0),
+                a: VReg(0),
+                b: VReg(i),
+            });
+        }
+        code.push(VInsn::Exit);
+        let err = allocate(&code).unwrap_err();
+        assert_eq!(err.stage, Stage::Codegen);
+        assert!(err.message.contains("spill slots"), "{}", err.message);
     }
 }

@@ -103,7 +103,13 @@ impl Ctx {
         None
     }
 
-    fn declare(&mut self, pos: Pos, name: &str, ty: Type, init: Option<ExprId>) -> Result<VarSlot, CompileError> {
+    fn declare(
+        &mut self,
+        pos: Pos,
+        name: &str,
+        ty: Type,
+        init: Option<ExprId>,
+    ) -> Result<VarSlot, CompileError> {
         if self.lookup(name).is_some() {
             return Err(self.err(
                 pos,
@@ -111,11 +117,14 @@ impl Ctx {
             ));
         }
         let slot = self.new_slot(ty, init);
-        self.scopes.last_mut().expect("scope stack non-empty").push(Binding {
-            name: name.to_string(),
-            slot,
-            ty,
-        });
+        self.scopes
+            .last_mut()
+            .expect("scope stack non-empty")
+            .push(Binding {
+                name: name.to_string(),
+                slot,
+                ty,
+            });
         Ok(slot)
     }
 
@@ -154,7 +163,9 @@ impl Ctx {
             } => {
                 let (c, cty) = self.lower_expr(cond, Purity::Pure)?;
                 if cty != Type::Bool {
-                    return Err(self.err(cond.pos, format!("IF condition must be bool, found {cty}")));
+                    return Err(
+                        self.err(cond.pos, format!("IF condition must be bool, found {cty}"))
+                    );
                 }
                 let tb = self.lower_block(then_body)?;
                 let eb = self.lower_block(else_body)?;
@@ -187,7 +198,10 @@ impl Ctx {
                 if vty != Type::Int {
                     return Err(self.err(value.pos, format!("SET value must be int, found {vty}")));
                 }
-                Ok(self.push_stmt(HStmt::SetReg { reg: *reg, value: v }))
+                Ok(self.push_stmt(HStmt::SetReg {
+                    reg: *reg,
+                    value: v,
+                }))
             }
             StmtKind::Push { target, packet } => {
                 let (t, tty) = self.lower_expr(target, Purity::Pure)?;
@@ -204,7 +218,10 @@ impl Ctx {
                         format!("PUSH argument must be a packet, found {pty}"),
                     ));
                 }
-                Ok(self.push_stmt(HStmt::Push { target: t, packet: p }))
+                Ok(self.push_stmt(HStmt::Push {
+                    target: t,
+                    packet: p,
+                }))
             }
             StmtKind::Drop { packet } => {
                 let (p, pty) = self.lower_expr_nullable(packet, Purity::Effect, Type::Packet)?;
@@ -483,11 +500,17 @@ impl Ctx {
         let (le, lty) = self.lower_expr(lhs, purity)?;
         let (re, rty) = self.lower_expr(rhs, purity)?;
         if lty != rty {
-            return Err(self.err(pos, format!("operands of {op:?} have mismatched types {lty} and {rty}")));
+            return Err(self.err(
+                pos,
+                format!("operands of {op:?} have mismatched types {lty} and {rty}"),
+            ));
         }
         let result_ty = if op.is_arith() {
             if lty != Type::Int {
-                return Err(self.err(pos, format!("arithmetic requires int operands, found {lty}")));
+                return Err(self.err(
+                    pos,
+                    format!("arithmetic requires int operands, found {lty}"),
+                ));
             }
             Type::Int
         } else if op.is_logic() {
@@ -505,7 +528,10 @@ impl Ctx {
                 }
                 _ => {
                     if lty != Type::Int {
-                        return Err(self.err(pos, format!("ordering comparison requires int operands, found {lty}")));
+                        return Err(self.err(
+                            pos,
+                            format!("ordering comparison requires int operands, found {lty}"),
+                        ));
                     }
                 }
             }
@@ -549,7 +575,10 @@ impl Ctx {
             Type::Subflow => match SubflowProp::from_name(name) {
                 Some(p) => {
                     let ty = if p.is_bool() { Type::Bool } else { Type::Int };
-                    Ok((self.push_expr(HExpr::SubflowProp { sbf: oe, prop: p }, ty), ty))
+                    Ok((
+                        self.push_expr(HExpr::SubflowProp { sbf: oe, prop: p }, ty),
+                        ty,
+                    ))
                 }
                 None => Err(self.err(pos, format!("unknown subflow property `{name}`"))),
             },
@@ -567,8 +596,14 @@ impl Ctx {
             },
             Type::PacketQueue => match name {
                 "COUNT" => Ok((self.push_expr(HExpr::QueueCount(oe), Type::Int), Type::Int)),
-                "EMPTY" => Ok((self.push_expr(HExpr::QueueEmpty(oe), Type::Bool), Type::Bool)),
-                "TOP" | "FIRST" => Ok((self.push_expr(HExpr::QueueTop(oe), Type::Packet), Type::Packet)),
+                "EMPTY" => Ok((
+                    self.push_expr(HExpr::QueueEmpty(oe), Type::Bool),
+                    Type::Bool,
+                )),
+                "TOP" | "FIRST" => Ok((
+                    self.push_expr(HExpr::QueueTop(oe), Type::Packet),
+                    Type::Packet,
+                )),
                 _ => Err(self.err(pos, format!("unknown queue property `{name}`"))),
             },
             other => Err(self.err(pos, format!("type {other} has no properties"))),
@@ -655,7 +690,8 @@ mod tests {
 
     #[test]
     fn lambda_shadowing_rejected() {
-        let err = check("VAR sbf = SUBFLOWS.GET(0); VAR y = SUBFLOWS.FILTER(sbf => sbf.RTT > 0);").unwrap_err();
+        let err = check("VAR sbf = SUBFLOWS.GET(0); VAR y = SUBFLOWS.FILTER(sbf => sbf.RTT > 0);")
+            .unwrap_err();
         assert!(err.message.contains("already defined"));
     }
 

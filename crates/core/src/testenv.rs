@@ -144,6 +144,87 @@ impl MockEnv {
     pub fn queue_contents(&self, queue: QueueKind) -> &[PacketRef] {
         self.queues.get(&queue).map(Vec::as_slice).unwrap_or(&[])
     }
+
+    /// Canonical multi-line dump of the complete observable state:
+    /// subflows with their set properties, packets with properties and
+    /// transmission history, queue contents, registers, and the applied
+    /// transmission/drop logs.
+    ///
+    /// The rendering is deterministic (hash maps are emitted in a fixed
+    /// order), so two environments are observably identical iff their
+    /// fingerprints are string-equal. This is the comparison anchor of the
+    /// cross-backend differential harness and doubles as the repro
+    /// description a divergence report prints.
+    pub fn state_fingerprint(&self) -> String {
+        let mut out = String::new();
+        out.push_str("registers [");
+        for (i, r) in self.registers.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&r.to_string());
+        }
+        out.push_str("]\n");
+        for sid in &self.subflow_order {
+            let s = &self.subflows[sid];
+            out.push_str(&format!("subflow {} window={}", sid.0, s.has_window));
+            for prop in SubflowProp::ALL {
+                if let Some(v) = s.props.get(&prop) {
+                    out.push_str(&format!(" {}={v}", prop.name()));
+                }
+            }
+            out.push('\n');
+        }
+        let mut pkt_ids: Vec<PacketRef> = self.packets.keys().copied().collect();
+        pkt_ids.sort();
+        for pid in pkt_ids {
+            let p = &self.packets[&pid];
+            out.push_str(&format!("packet {}", pid.0));
+            for prop in PacketProp::ALL {
+                if let Some(v) = p.props.get(&prop) {
+                    out.push_str(&format!(" {}={v}", prop.name()));
+                }
+            }
+            if !p.sent_on.is_empty() {
+                out.push_str(" sent_on=[");
+                for (i, s) in p.sent_on.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    out.push_str(&s.0.to_string());
+                }
+                out.push(']');
+            }
+            out.push('\n');
+        }
+        for kind in QueueKind::ALL {
+            out.push_str(&format!("{} [", kind.name()));
+            for (i, p) in self.queue_contents(kind).iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(&p.0.to_string());
+            }
+            out.push_str("]\n");
+        }
+        out.push_str("transmissions [");
+        for (i, (s, p)) in self.transmissions.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{}:{}", s.0, p.0));
+        }
+        out.push_str("]\n");
+        out.push_str("dropped [");
+        for (i, p) in self.dropped.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&p.0.to_string());
+        }
+        out.push_str("]\n");
+        out
+    }
 }
 
 impl SchedulerEnv for MockEnv {
@@ -311,13 +392,37 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_distinguishes_observable_state() {
+        let mut a = MockEnv::new();
+        a.add_subflow(0);
+        a.push_packet(QueueKind::SendQueue, 1, 0, 100);
+        let mut b = a.clone();
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+        b.set_register(RegId::R1, 5);
+        assert_ne!(a.state_fingerprint(), b.state_fingerprint());
+        let mut c = a.clone();
+        c.mark_sent_on(1, 0);
+        assert_ne!(a.state_fingerprint(), c.state_fingerprint());
+    }
+
+    #[test]
     fn drop_action_removes_from_q_and_rq_only() {
         let mut env = MockEnv::new();
         env.push_packet(QueueKind::SendQueue, 1, 0, 100);
         env.push_packet(QueueKind::Unacked, 2, 1, 100);
         let regs = [0i64; NUM_REGISTERS];
-        env.apply(&regs, &[Action::Drop { packet: PacketRef(1) }]);
-        env.apply(&regs, &[Action::Drop { packet: PacketRef(2) }]);
+        env.apply(
+            &regs,
+            &[Action::Drop {
+                packet: PacketRef(1),
+            }],
+        );
+        env.apply(
+            &regs,
+            &[Action::Drop {
+                packet: PacketRef(2),
+            }],
+        );
         assert!(env.queue_contents(QueueKind::SendQueue).is_empty());
         // QU entries are only removed by acknowledgement.
         assert_eq!(env.queue_contents(QueueKind::Unacked), &[PacketRef(2)]);

@@ -173,7 +173,11 @@ mod tests {
         assert_eq!(TokenKind::keyword("VAR"), Some(TokenKind::Var));
         assert_eq!(TokenKind::keyword("FOREACH"), Some(TokenKind::Foreach));
         assert_eq!(TokenKind::keyword("RTT"), None);
-        assert_eq!(TokenKind::keyword("var"), None, "keywords are case-sensitive");
+        assert_eq!(
+            TokenKind::keyword("var"),
+            None,
+            "keywords are case-sensitive"
+        );
     }
 
     #[test]

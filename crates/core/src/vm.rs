@@ -211,12 +211,12 @@ fn execute_inner(
             }
             Insn::St { slot, src } => {
                 let v = regs[usize::from(src)];
-                *stack
-                    .get_mut(usize::from(slot))
-                    .ok_or_else(|| ExecError::MalformedBytecode {
+                *stack.get_mut(usize::from(slot)).ok_or_else(|| {
+                    ExecError::MalformedBytecode {
                         pc: pc - 1,
                         detail: "stack write out of range".into(),
-                    })? = v;
+                    }
+                })? = v;
             }
             Insn::Exit => return Ok(()),
         }
@@ -306,10 +306,10 @@ fn reg_id(index: i64) -> Option<RegId> {
 mod tests {
     use super::*;
     use crate::codegen::generate;
+    use crate::env::SchedulerEnv;
     use crate::parser::parse;
     use crate::regalloc::allocate;
     use crate::sema::lower;
-    use crate::env::SchedulerEnv;
     use crate::testenv::MockEnv;
 
     fn compile_vm(src: &str) -> BytecodeProgram {
@@ -407,10 +407,12 @@ mod tests {
     fn specialization_replaces_subflow_count() {
         let prog = compile_vm("SET(R1, SUBFLOWS.COUNT);");
         let spec = specialize_subflow_count(&prog, 3);
-        assert!(spec
-            .code
-            .iter()
-            .all(|i| !matches!(i, Insn::Call { helper: Helper::SubflowCount })));
+        assert!(spec.code.iter().all(|i| !matches!(
+            i,
+            Insn::Call {
+                helper: Helper::SubflowCount
+            }
+        )));
         // Specialized program computes with the constant.
         let mut env = MockEnv::new();
         for i in 0..3 {
@@ -444,9 +446,7 @@ mod tests {
         // r1..r5 are zeroed by calls; ensure lowered code never relies on
         // them surviving. This is a structural test over generated code:
         // after every Call, the next read of r1..r5 must be a write-first.
-        let prog = compile_vm(
-            "VAR a = SUBFLOWS.COUNT; VAR b = SUBFLOWS.COUNT; SET(R1, a + b);",
-        );
+        let prog = compile_vm("VAR a = SUBFLOWS.COUNT; VAR b = SUBFLOWS.COUNT; SET(R1, a + b);");
         // Execute for effect: two subflows -> R1 = 4.
         let mut env = MockEnv::new();
         env.add_subflow(0);

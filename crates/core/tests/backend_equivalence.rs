@@ -7,7 +7,7 @@
 //! developer "can be agnostic with respect to the execution
 //! alternatives" (§4.1 footnote 3).
 
-use progmp_core::env::{PacketProp, QueueKind, SchedulerEnv, SubflowProp, RegId};
+use progmp_core::env::{PacketProp, QueueKind, RegId, SchedulerEnv, SubflowProp};
 use progmp_core::testenv::MockEnv;
 use progmp_core::{compile, compile_with_options, Backend, CompileOptions};
 use proptest::prelude::*;
@@ -17,14 +17,15 @@ use proptest::prelude::*;
 fn int_expr(depth: u32, lambda_var: Option<&'static str>) -> BoxedStrategy<String> {
     let leaf = {
         let mut options: Vec<BoxedStrategy<String>> = vec![
-            (-100i64..100).prop_map(|v| {
-                if v < 0 {
-                    format!("(0 - {})", -v)
-                } else {
-                    v.to_string()
-                }
-            })
-            .boxed(),
+            (-100i64..100)
+                .prop_map(|v| {
+                    if v < 0 {
+                        format!("(0 - {})", -v)
+                    } else {
+                        v.to_string()
+                    }
+                })
+                .boxed(),
             (1u8..=4).prop_map(|r| format!("R{r}")).boxed(),
             Just("Q.COUNT".to_string()).boxed(),
             Just("QU.COUNT".to_string()).boxed(),
@@ -60,7 +61,14 @@ fn bool_expr(depth: u32, lambda_var: Option<&'static str>) -> BoxedStrategy<Stri
     let cmp = (
         int_expr(depth, lambda_var),
         int_expr(depth, lambda_var),
-        prop_oneof![Just("<"), Just("<="), Just(">"), Just(">="), Just("=="), Just("!=")],
+        prop_oneof![
+            Just("<"),
+            Just("<="),
+            Just(">"),
+            Just(">="),
+            Just("=="),
+            Just("!=")
+        ],
     )
         .prop_map(|(a, b, op)| format!("({a} {op} {b})"));
     let mut options: Vec<BoxedStrategy<String>> = vec![
@@ -90,17 +98,14 @@ fn bool_expr(depth: u32, lambda_var: Option<&'static str>) -> BoxedStrategy<Stri
 /// single-assignment rule.
 fn stmt(depth: u32, idx: u32) -> BoxedStrategy<String> {
     let set = (1u8..=4, int_expr(2, None)).prop_map(|(r, e)| format!("SET(R{r}, {e});"));
-    let push_min = bool_expr(1, Some("pm"))
-        .prop_map(move |pred| {
-            format!(
-                "VAR s{idx} = SUBFLOWS.FILTER(pm => {pred}).MIN(pm => pm.RTT);\n\
-                 IF (s{idx} != NULL AND !Q.EMPTY) {{ s{idx}.PUSH(Q.POP()); }}"
-            )
-        });
-    let foreach = (bool_expr(1, Some("fv")), int_expr(1, None)).prop_map(move |(pred, e)| {
+    let push_min = bool_expr(1, Some("pm")).prop_map(move |pred| {
         format!(
-            "FOREACH (VAR f{idx} IN SUBFLOWS.FILTER(fv => {pred})) {{ SET(R5, R5 + {e}); }}"
+            "VAR s{idx} = SUBFLOWS.FILTER(pm => {pred}).MIN(pm => pm.RTT);\n\
+                 IF (s{idx} != NULL AND !Q.EMPTY) {{ s{idx}.PUSH(Q.POP()); }}"
         )
+    });
+    let foreach = (bool_expr(1, Some("fv")), int_expr(1, None)).prop_map(move |(pred, e)| {
+        format!("FOREACH (VAR f{idx} IN SUBFLOWS.FILTER(fv => {pred})) {{ SET(R5, R5 + {e}); }}")
     });
     if depth == 0 {
         return prop_oneof![set, push_min, foreach].boxed();
@@ -140,7 +145,10 @@ fn program() -> impl Strategy<Value = String> {
 /// queues with random packets.
 fn environment() -> impl Strategy<Value = MockEnv> {
     (
-        proptest::collection::vec((1i64..200_000, 1i64..64, any::<bool>(), any::<bool>()), 0..5),
+        proptest::collection::vec(
+            (1i64..200_000, 1i64..64, any::<bool>(), any::<bool>()),
+            0..5,
+        ),
         proptest::collection::vec((1u32..2000, 0i64..1_000_000), 0..6),
         proptest::collection::vec((1u32..2000, 0i64..1_000_000), 0..4),
         proptest::collection::vec(-50i64..50, 8),
@@ -185,11 +193,7 @@ fn run(src: &str, env: &MockEnv, backend: Backend) -> (Vec<(u32, u64)>, Vec<u64>
     for _ in 0..3 {
         inst.execute(&mut env).expect("execution succeeds");
     }
-    let txs = env
-        .transmissions
-        .iter()
-        .map(|(s, p)| (s.0, p.0))
-        .collect();
+    let txs = env.transmissions.iter().map(|(s, p)| (s.0, p.0)).collect();
     let drops = env.dropped.iter().map(|p| p.0).collect();
     let regs = (1..=8)
         .map(|i| env.register(RegId::new(i).unwrap()))

@@ -105,7 +105,11 @@ fn queue_sum_and_max_interact_with_pops() {
         |_| {},
     );
     assert_eq!(env.register(RegId::R1), 5 * 1400);
-    assert_eq!(env.register(RegId::R2), 4 * 1400, "pop visible to later SUM");
+    assert_eq!(
+        env.register(RegId::R2),
+        4 * 1400,
+        "pop visible to later SUM"
+    );
     assert_eq!(env.register(RegId::R3), 4 * 1400);
     assert_eq!(env.transmissions.len(), 1);
 }
@@ -127,10 +131,7 @@ fn foreach_body_pops_one_per_iteration() {
 
 #[test]
 fn drop_inside_loop_consumes_queue() {
-    let env = run_all(
-        "FOREACH (VAR s IN SUBFLOWS) { DROP(Q.POP()); }",
-        |_| {},
-    );
+    let env = run_all("FOREACH (VAR s IN SUBFLOWS) { DROP(Q.POP()); }", |_| {});
     assert_eq!(env.dropped.len(), 3);
     assert_eq!(env.queue_contents(QueueKind::SendQueue).len(), 2);
 }

@@ -119,14 +119,8 @@ pub fn run_page_load(
     let head = page.head_boundary();
     let initial = page.initial_boundary();
     let total = page.total_bytes();
-    let dependency_resolved = c
-        .stats
-        .delivery_time_of(head)
-        .unwrap_or(u64::MAX);
-    let initial_delivered = c
-        .stats
-        .delivery_time_of(initial)
-        .unwrap_or(u64::MAX);
+    let dependency_resolved = c.stats.delivery_time_of(head).unwrap_or(u64::MAX);
+    let initial_delivered = c.stats.delivery_time_of(initial).unwrap_or(u64::MAX);
     let full_load_time = c.stats.delivery_time_of(total).unwrap_or(u64::MAX);
     let third_party_done = dependency_resolved.saturating_add(page.third_party_latency);
     Ok(PageLoadResult {
@@ -155,8 +149,14 @@ mod tests {
     fn page_load_completes_with_both_schedulers() {
         let page = Page::amazon_like();
         for sched in [DEFAULT_MIN_RTT, HTTP2_AWARE] {
-            let r = run_page_load(&page, &WifiLteProfile::default(), sched, ServerMode::Aware, 1)
-                .unwrap();
+            let r = run_page_load(
+                &page,
+                &WifiLteProfile::default(),
+                sched,
+                ServerMode::Aware,
+                1,
+            )
+            .unwrap();
             assert!(r.full_load_time < 120 * SECONDS, "page finished loading");
             assert!(r.dependency_resolved <= r.initial_page_time);
             assert!(r.initial_page_time <= r.full_load_time.max(r.initial_page_time));
@@ -167,7 +167,8 @@ mod tests {
     fn aware_scheduler_saves_metered_lte_bytes() {
         let page = Page::amazon_like();
         let profile = WifiLteProfile::default();
-        let unaware = run_page_load(&page, &profile, DEFAULT_MIN_RTT, ServerMode::Legacy, 1).unwrap();
+        let unaware =
+            run_page_load(&page, &profile, DEFAULT_MIN_RTT, ServerMode::Legacy, 1).unwrap();
         let aware = run_page_load(&page, &profile, HTTP2_AWARE, ServerMode::Aware, 1).unwrap();
         assert!(
             aware.lte_bytes < unaware.lte_bytes / 2,

@@ -48,12 +48,10 @@ pub fn load(name: &str) -> Result<SchedulerProgram, CompileError> {
         .iter()
         .find(|(n, _)| *n == name)
         .map(|(_, s)| *s)
-        .ok_or_else(|| {
-            CompileError {
-                stage: progmp_core::error::Stage::Sema,
-                pos: progmp_core::error::Pos { line: 0, col: 0 },
-                message: format!("unknown scheduler `{name}`"),
-            }
+        .ok_or_else(|| CompileError {
+            stage: progmp_core::error::Stage::Sema,
+            pos: progmp_core::error::Pos { line: 0, col: 0 },
+            message: format!("unknown scheduler `{name}`"),
         })?;
     compile_named(Some(name), source)
 }
@@ -145,7 +143,10 @@ mod tests {
         env.mark_sent_on(2, 0);
         run("default", &mut env);
         assert_eq!(env.transmissions[0].1 .0, 2, "reinjection first");
-        assert_eq!(env.transmissions[0].0 .0, 1, "on the subflow that has not sent it");
+        assert_eq!(
+            env.transmissions[0].0 .0, 1,
+            "on the subflow that has not sent it"
+        );
     }
 
     #[test]
@@ -173,8 +174,18 @@ mod tests {
         run("redundant", &mut env);
         // Subflow 0 has sent everything in QU -> takes fresh packet 6;
         // subflow 1 catches up on packet 5.
-        let on0: Vec<u64> = env.transmissions.iter().filter(|t| t.0 .0 == 0).map(|t| t.1 .0).collect();
-        let on1: Vec<u64> = env.transmissions.iter().filter(|t| t.0 .0 == 1).map(|t| t.1 .0).collect();
+        let on0: Vec<u64> = env
+            .transmissions
+            .iter()
+            .filter(|t| t.0 .0 == 0)
+            .map(|t| t.1 .0)
+            .collect();
+        let on1: Vec<u64> = env
+            .transmissions
+            .iter()
+            .filter(|t| t.0 .0 == 1)
+            .map(|t| t.1 .0)
+            .collect();
         assert_eq!(on0, vec![6]);
         assert_eq!(on1, vec![5]);
     }
@@ -201,12 +212,15 @@ mod tests {
         env.mark_sent_on(5, 0);
         env.push_packet(QueueKind::SendQueue, 6, 1, 1400);
         run("redundantIfNoQ", &mut env);
-        assert_eq!(env.transmissions.len(), 1, "fresh data only while Q non-empty");
+        assert_eq!(
+            env.transmissions.len(),
+            1,
+            "fresh data only while Q non-empty"
+        );
         assert_eq!(env.transmissions[0].1 .0, 6);
         // Q now empty: the next execution deploys redundancy from QU.
         run("redundantIfNoQ", &mut env);
-        assert!(env
-            .transmissions[1..]
+        assert!(env.transmissions[1..]
             .iter()
             .any(|t| t.1 .0 == 5 && t.0 .0 == 1));
     }
@@ -222,8 +236,14 @@ mod tests {
         env.set_register(RegId::R2, 1);
         run_rounds("compensating", &mut env, 2);
         // Packet 5 compensated on subflow 1, packet 6 on subflow 0.
-        assert!(env.transmissions.contains(&(progmp_core::env::SubflowId(1), progmp_core::env::PacketRef(5))));
-        assert!(env.transmissions.contains(&(progmp_core::env::SubflowId(0), progmp_core::env::PacketRef(6))));
+        assert!(env.transmissions.contains(&(
+            progmp_core::env::SubflowId(1),
+            progmp_core::env::PacketRef(5)
+        )));
+        assert!(env.transmissions.contains(&(
+            progmp_core::env::SubflowId(0),
+            progmp_core::env::PacketRef(6)
+        )));
     }
 
     #[test]
@@ -315,7 +335,10 @@ mod tests {
         env.set_register(RegId::R1, 50_000); // tolerate 50 ms
         env.push_packet(QueueKind::SendQueue, 1, 0, 1400);
         run("targetRtt", &mut env);
-        assert_eq!(env.transmissions[0].0 .0, 1, "backup retains the RTT target");
+        assert_eq!(
+            env.transmissions[0].0 .0, 1,
+            "backup retains the RTT target"
+        );
     }
 
     #[test]
@@ -353,7 +376,10 @@ mod tests {
         env.mark_sent_on(5, 0); // in flight on the breaking WiFi link
         env.set_register(RegId::R3, 1);
         run("handoverAware", &mut env);
-        assert_eq!(env.transmissions[0].0 .0, 1, "retransmitted on the new subflow");
+        assert_eq!(
+            env.transmissions[0].0 .0, 1,
+            "retransmitted on the new subflow"
+        );
         assert_eq!(env.transmissions[0].1 .0, 5);
     }
 
@@ -363,10 +389,10 @@ mod tests {
         env.set_subflow_prop(1, SubflowProp::LastActAge, 200_000);
         env.push_packet(QueueKind::Unacked, 5, 0, 1400);
         run("probing", &mut env);
-        assert!(env
-            .transmissions
-            .iter()
-            .any(|t| t.0 .0 == 1 && t.1 .0 == 5), "idle subflow probed with in-flight packet");
+        assert!(
+            env.transmissions.iter().any(|t| t.0 .0 == 1 && t.1 .0 == 5),
+            "idle subflow probed with in-flight packet"
+        );
     }
 
     #[test]
@@ -413,11 +439,13 @@ mod tests {
         run("opportunisticRtx", &mut env);
         assert_eq!(
             env.transmissions[0],
-            (progmp_core::env::SubflowId(0), progmp_core::env::PacketRef(5)),
+            (
+                progmp_core::env::SubflowId(0),
+                progmp_core::env::PacketRef(5)
+            ),
             "penalized retransmission on the fast subflow"
         );
     }
-
 
     #[test]
     fn fast_coupled_rtx_recovers_on_cleanest_path() {
@@ -431,7 +459,10 @@ mod tests {
         run("fastCoupledRtx", &mut env);
         assert_eq!(
             env.transmissions[0],
-            (progmp_core::env::SubflowId(1), progmp_core::env::PacketRef(5)),
+            (
+                progmp_core::env::SubflowId(1),
+                progmp_core::env::PacketRef(5)
+            ),
             "oldest unacked of the lossiest subflow retransmitted on the cleanest"
         );
         assert!(
@@ -457,7 +488,11 @@ mod tests {
         env.push_packet(QueueKind::SendQueue, 1, 0, 1400);
         env.set_register(RegId::R2, 2);
         run("cwndRelax", &mut env);
-        assert_eq!(env.transmissions.len(), 1, "tail packet sent despite full cwnd");
+        assert_eq!(
+            env.transmissions.len(),
+            1,
+            "tail packet sent despite full cwnd"
+        );
         assert_eq!(env.transmissions[0].0 .0, 0, "on the min-RTT subflow");
     }
 
@@ -495,10 +530,20 @@ mod tests {
                 for _ in 0..3 {
                     inst.execute(&mut env).unwrap();
                 }
-                outcomes.push((backend.name(), env.transmissions.clone(), env.dropped.clone()));
+                outcomes.push((
+                    backend.name(),
+                    env.transmissions.clone(),
+                    env.dropped.clone(),
+                ));
             }
-            assert_eq!(outcomes[0].1, outcomes[1].1, "{name}: interp vs aot transmissions");
-            assert_eq!(outcomes[0].1, outcomes[2].1, "{name}: interp vs vm transmissions");
+            assert_eq!(
+                outcomes[0].1, outcomes[1].1,
+                "{name}: interp vs aot transmissions"
+            );
+            assert_eq!(
+                outcomes[0].1, outcomes[2].1,
+                "{name}: interp vs vm transmissions"
+            );
             assert_eq!(outcomes[0].2, outcomes[1].2, "{name}: interp vs aot drops");
             assert_eq!(outcomes[0].2, outcomes[2].2, "{name}: interp vs vm drops");
         }

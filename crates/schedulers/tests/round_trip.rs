@@ -1,0 +1,54 @@
+//! Parser/printer round-trip over every bundled scheduler: printing a
+//! parsed program and re-parsing it must yield the identical structure,
+//! and printing must be idempotent. This pins the canonical surface
+//! syntax that the proc-style introspection interface exposes.
+
+use progmp_core::ast::Program;
+use progmp_core::parser::parse;
+use progmp_core::printer::print_program;
+use progmp_schedulers::sources::ALL;
+
+/// Structure-only rendering: positions change across a print/parse trip,
+/// so strip them before comparing.
+fn strip_positions(program: &Program) -> String {
+    format!("{program:?}")
+        .split("pos: Pos")
+        .map(|part| part.split_once('}').map(|(_, rest)| rest).unwrap_or(part))
+        .collect()
+}
+
+#[test]
+fn every_bundled_scheduler_round_trips() {
+    for (name, source) in ALL {
+        let first = parse(source).unwrap_or_else(|e| panic!("`{name}` must parse: {e}"));
+        let printed = print_program(&first);
+        let second = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed `{name}` must re-parse: {e}\n{printed}"));
+        assert_eq!(
+            strip_positions(&first),
+            strip_positions(&second),
+            "`{name}`: parse(print(parse(src))) != parse(src)\n--- printed\n{printed}"
+        );
+    }
+}
+
+#[test]
+fn printing_is_idempotent_for_every_bundled_scheduler() {
+    for (name, source) in ALL {
+        let parsed = parse(source).unwrap_or_else(|e| panic!("`{name}` must parse: {e}"));
+        let once = print_program(&parsed);
+        let twice = print_program(&parse(&once).expect("printed output parses"));
+        assert_eq!(once, twice, "`{name}`: printing is not idempotent");
+    }
+}
+
+#[test]
+fn every_bundled_scheduler_compiles_from_printed_form() {
+    // The canonical form is not just parseable but a complete, compilable
+    // program — sema and codegen accept it like the original.
+    for (name, source) in ALL {
+        let printed = print_program(&parse(source).expect("parses"));
+        progmp_core::compile(&printed)
+            .unwrap_or_else(|e| panic!("printed `{name}` must compile: {e}"));
+    }
+}

@@ -91,7 +91,8 @@ impl CcState {
     /// `highest_sent` is the subflow-level sequence that must be acked to
     /// leave recovery. Returns false if already recovering this window.
     pub fn on_fast_retransmit(&mut self, acked_seq: u64, highest_sent: u64) -> bool {
-        if matches!(self.phase, CcPhase::Recovery | CcPhase::Loss) && acked_seq < self.recovery_point
+        if matches!(self.phase, CcPhase::Recovery | CcPhase::Loss)
+            && acked_seq < self.recovery_point
         {
             return false;
         }
@@ -113,7 +114,8 @@ impl CcState {
 
     /// Called when the cumulative subflow ack passes the recovery point.
     pub fn maybe_exit_recovery(&mut self, acked_seq: u64) {
-        if matches!(self.phase, CcPhase::Recovery | CcPhase::Loss) && acked_seq >= self.recovery_point
+        if matches!(self.phase, CcPhase::Recovery | CcPhase::Loss)
+            && acked_seq >= self.recovery_point
         {
             self.phase = if self.cwnd >= self.ssthresh {
                 CcPhase::CongestionAvoidance

@@ -174,10 +174,12 @@ mod tests {
     #[test]
     fn builders_apply() {
         let cfg = ConnectionConfig::new(
-            vec![SubflowConfig::new(PathConfig::symmetric(from_millis(10), 1_000_000))
-                .backup()
-                .with_cost(5)
-                .starting_at(from_millis(100))],
+            vec![
+                SubflowConfig::new(PathConfig::symmetric(from_millis(10), 1_000_000))
+                    .backup()
+                    .with_cost(5)
+                    .starting_at(from_millis(100)),
+            ],
             SchedulerSpec::dsl("RETURN;"),
         )
         .with_cc(CcAlgo::Lia)

@@ -213,11 +213,7 @@ impl Connection {
         }
         self.data_acked = data_ack;
         let segs = &self.segments;
-        let covered = |p: &PacketRef| {
-            segs.get(p)
-                .map(|s| s.end_seq() <= data_ack)
-                .unwrap_or(true)
-        };
+        let covered = |p: &PacketRef| segs.get(p).map(|s| s.end_seq() <= data_ack).unwrap_or(true);
         self.q.retain(|p| !covered(p));
         self.qu.retain(|p| !covered(p));
         self.rq.retain(|p| !covered(p));
@@ -267,7 +263,9 @@ impl Connection {
             sbf.record_delivered(now, bytes);
             let factor = match self.cc_algo {
                 CcAlgo::Reno => 1024,
-                CcAlgo::Lia => lia_alpha_x1024(&lia_flows, lia_idx.min(lia_flows.len().saturating_sub(1))),
+                CcAlgo::Lia => {
+                    lia_alpha_x1024(&lia_flows, lia_idx.min(lia_flows.len().saturating_sub(1)))
+                }
             };
             if was_cwnd_limited {
                 sbf.cc.on_ack(pkts, factor);
@@ -316,11 +314,8 @@ impl Connection {
         sbf.cc.on_timeout(sbf.next_seq);
         sbf.rtt.backoff();
         self.stats.subflows[sbf_idx].timeouts += 1;
-        let in_flight: Vec<(PacketRef, u64)> = sbf
-            .sent
-            .iter()
-            .map(|r| (r.pkt, r.sbf_seq))
-            .collect();
+        let in_flight: Vec<(PacketRef, u64)> =
+            sbf.sent.iter().map(|r| (r.pkt, r.sbf_seq)).collect();
         sbf.lost_skbs += in_flight.len() as u64;
         if let Some(&(pkt, seq)) = in_flight.first() {
             out.auto_retransmit.push((pkt, seq));
@@ -441,9 +436,7 @@ impl SchedulerEnv for Connection {
             SubflowProp::Mss => i64::from(sbf.mss),
             SubflowProp::Bw => sbf.bw_estimate().min(i64::MAX as u64) as i64,
             SubflowProp::RwndFree => self.adv_rwnd.min(i64::MAX as u64) as i64,
-            SubflowProp::LastActAge => {
-                (self.now.saturating_sub(sbf.last_activity) / 1000) as i64
-            }
+            SubflowProp::LastActAge => (self.now.saturating_sub(sbf.last_activity) / 1000) as i64,
             SubflowProp::Cost => sbf.cost,
         }
     }
@@ -667,7 +660,11 @@ mod tests {
         assert_eq!(c.subflow_prop(SubflowId(0), SubflowProp::Cwnd), 10);
         assert_eq!(c.subflow_prop(SubflowId(1), SubflowProp::IsBackup), 1);
         assert_eq!(c.subflow_prop(SubflowId(1), SubflowProp::Cost), 3);
-        assert_eq!(c.subflow_prop(SubflowId(9), SubflowProp::Rtt), 0, "unknown subflow reads 0");
+        assert_eq!(
+            c.subflow_prop(SubflowId(9), SubflowProp::Rtt),
+            0,
+            "unknown subflow reads 0"
+        );
     }
 
     #[test]
@@ -676,7 +673,10 @@ mod tests {
         c.adv_rwnd = 2000;
         let pkts = c.enqueue_data(4200, 0, 0);
         assert!(c.has_window_for(SubflowId(0), pkts[0]));
-        assert!(!c.has_window_for(SubflowId(0), pkts[2]), "beyond window edge");
+        assert!(
+            !c.has_window_for(SubflowId(0), pkts[2]),
+            "beyond window edge"
+        );
     }
 
     #[test]

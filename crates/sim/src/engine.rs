@@ -171,7 +171,13 @@ impl Sim {
             sbf.rtt.sample(sc.path.fwd_delay + sc.path.rev_delay);
             subflows.push(sbf);
             if sc.start_at > 0 {
-                self.schedule(sc.start_at, EventKind::SubflowUp { conn: id, sbf: i as u32 });
+                self.schedule(
+                    sc.start_at,
+                    EventKind::SubflowUp {
+                        conn: id,
+                        sbf: i as u32,
+                    },
+                );
             }
             for entry in &sc.path.profile {
                 self.schedule(
@@ -240,7 +246,8 @@ impl Sim {
     /// iPerf-style source). Returns the source index.
     pub fn add_bulk_source(&mut self, conn: ConnId, total_bytes: u64, prop: u32) -> usize {
         let idx = self.bulk_sources.len();
-        self.bulk_sources.push(BulkState::new(conn, total_bytes, prop));
+        self.bulk_sources
+            .push(BulkState::new(conn, total_bytes, prop));
         self.schedule(0, EventKind::Refill { source: idx });
         idx
     }
@@ -430,7 +437,14 @@ impl Sim {
                     self.connections[conn].now = now;
                     let reinjected = self.connections[conn].reinject(pkt);
                     self.transmit(conn, sbf as usize, pkt, Some(seq));
-                    self.schedule(rearm.0, EventKind::Tlp { conn, sbf, token: rearm.1 });
+                    self.schedule(
+                        rearm.0,
+                        EventKind::Tlp {
+                            conn,
+                            sbf,
+                            token: rearm.1,
+                        },
+                    );
                     if reinjected {
                         self.run_scheduler(conn, Trigger::LossSuspected);
                     }
@@ -732,7 +746,11 @@ mod tests {
         assert!(
             c.stats.subflows[0].tx_packets >= 9,
             "fast subflow carries (nearly) everything: {:?}",
-            c.stats.subflows.iter().map(|s| s.tx_packets).collect::<Vec<_>>()
+            c.stats
+                .subflows
+                .iter()
+                .map(|s| s.tx_packets)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -845,7 +863,8 @@ mod tests {
 
     #[test]
     fn scheduler_registers_persist_across_events() {
-        const COUNTER: &str = "SET(R1, R1 + 1); IF (!Q.EMPTY) { SUBFLOWS.MIN(s => s.RTT).PUSH(Q.POP()); }";
+        const COUNTER: &str =
+            "SET(R1, R1 + 1); IF (!Q.EMPTY) { SUBFLOWS.MIN(s => s.RTT).PUSH(Q.POP()); }";
         let mut sim = Sim::new(7);
         let conn = sim
             .add_connection(two_path_config(SchedulerSpec::dsl(COUNTER)))

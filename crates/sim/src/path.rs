@@ -228,9 +228,7 @@ mod tests {
 
     #[test]
     fn queue_cap_tail_drops() {
-        let mut p = Path::new(
-            &PathConfig::symmetric(from_millis(10), 1_250_000).with_queue_cap(3),
-        );
+        let mut p = Path::new(&PathConfig::symmetric(from_millis(10), 1_250_000).with_queue_cap(3));
         for _ in 0..3 {
             assert!(!matches!(p.transmit(0, 1250, false), TxOutcome::QueueDrop));
         }

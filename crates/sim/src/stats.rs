@@ -93,7 +93,12 @@ impl ConnStats {
 
     /// Delivered-byte rate over a sliding window, sampled at `step`
     /// intervals: returns (time, bytes/second) pairs. Requires timelines.
-    pub fn goodput_series(&self, window: SimTime, step: SimTime, until: SimTime) -> Vec<(SimTime, f64)> {
+    pub fn goodput_series(
+        &self,
+        window: SimTime,
+        step: SimTime,
+        until: SimTime,
+    ) -> Vec<(SimTime, f64)> {
         let mut out = Vec::new();
         if step == 0 {
             return out;
@@ -102,7 +107,10 @@ impl ConnStats {
         while t <= until {
             let start = t.saturating_sub(window);
             let at = |x: SimTime| -> u64 {
-                match self.delivery_timeline.binary_search_by_key(&x, |(ts, _)| *ts) {
+                match self
+                    .delivery_timeline
+                    .binary_search_by_key(&x, |(ts, _)| *ts)
+                {
                     Ok(mut i) => {
                         // Take the last sample at time x.
                         while i + 1 < self.delivery_timeline.len()
@@ -119,6 +127,53 @@ impl ConnStats {
             let delta = at(t).saturating_sub(at(start));
             out.push((t, delta as f64 / as_secs_f64(t - start)));
             t += step;
+        }
+        out
+    }
+
+    /// Deterministic, integer-only serialization of the connection's
+    /// counters and timelines for golden snapshot tests.
+    ///
+    /// Contains only exactly-representable quantities (no derived
+    /// floating-point metrics), so the output is bit-stable across runs
+    /// and platforms for a fixed scenario and seed. Timelines are included
+    /// in full when recorded; their absence serializes as empty sections,
+    /// keeping snapshots comparable either way.
+    pub fn snapshot_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "tx_packets {}\ntx_bytes {}\nunique_tx_bytes {}\nenqueued_bytes {}\ndelivered_bytes {}\n",
+            self.tx_packets, self.tx_bytes, self.unique_tx_bytes, self.enqueued_bytes,
+            self.delivered_bytes
+        ));
+        out.push_str(&format!(
+            "scheduler_drops {}\nscheduler_executions {}\nscheduler_errors {}\nscheduler_steps {}\n",
+            self.scheduler_drops, self.scheduler_executions, self.scheduler_errors,
+            self.scheduler_steps
+        ));
+        for (i, s) in self.subflows.iter().enumerate() {
+            out.push_str(&format!(
+                "subflow {i} tx_packets {} tx_bytes {} retransmissions {} wire_losses {} \
+                 queue_drops {} fast_retransmits {} timeouts {}\n",
+                s.tx_packets,
+                s.tx_bytes,
+                s.retransmissions,
+                s.wire_losses,
+                s.queue_drops,
+                s.fast_retransmits,
+                s.timeouts
+            ));
+        }
+        out.push_str(&format!(
+            "delivery_timeline {}\n",
+            self.delivery_timeline.len()
+        ));
+        for (t, b) in &self.delivery_timeline {
+            out.push_str(&format!("  {t} {b}\n"));
+        }
+        out.push_str(&format!("tx_timeline {}\n", self.tx_timeline.len()));
+        for (t, s, b) in &self.tx_timeline {
+            out.push_str(&format!("  {t} {s} {b}\n"));
         }
         out
     }
@@ -195,6 +250,27 @@ mod tests {
         assert_eq!(s.delivery_time_of(100), Some(10));
         assert_eq!(s.delivery_time_of(250), Some(20));
         assert_eq!(s.delivery_time_of(501), None);
+    }
+
+    #[test]
+    fn snapshot_text_is_deterministic_and_complete() {
+        let mut s = ConnStats::new(2);
+        s.tx_packets = 10;
+        s.tx_bytes = 14_000;
+        s.delivered_bytes = 12_600;
+        s.subflows[1].retransmissions = 3;
+        s.delivery_timeline = vec![(from_millis(10), 1400), (from_millis(20), 2800)];
+        s.tx_timeline = vec![(from_millis(5), 0, 1400)];
+        let a = s.snapshot_text();
+        let b = s.snapshot_text();
+        assert_eq!(a, b);
+        assert!(a.contains("tx_packets 10"));
+        assert!(a.contains("subflow 1 "));
+        assert!(a.contains("retransmissions 3"));
+        assert!(a.contains("delivery_timeline 2"));
+        assert!(a.contains("tx_timeline 1"));
+        // No floating point anywhere in the serialization.
+        assert!(!a.contains('.'), "snapshot must be integer-only: {a}");
     }
 
     #[test]

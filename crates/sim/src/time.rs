@@ -60,6 +60,10 @@ mod tests {
     fn serialization_time() {
         // 1250 bytes at 1,250,000 B/s (10 Mbit/s) = 1 ms.
         assert_eq!(serialize_time(1250, 1_250_000), MILLIS);
-        assert_eq!(serialize_time(100, 0), 0, "zero rate treated as instantaneous");
+        assert_eq!(
+            serialize_time(100, 0),
+            0,
+            "zero rate treated as instantaneous"
+        );
     }
 }

@@ -30,11 +30,7 @@ struct Driver {
 }
 
 fn kv(token: &str, key: &str) -> Option<u64> {
-    token
-        .strip_prefix(key)?
-        .strip_prefix('=')?
-        .parse()
-        .ok()
+    token.strip_prefix(key)?.strip_prefix('=')?.parse().ok()
 }
 
 /// Runs a script, panicking with the line number on any failed

@@ -28,7 +28,12 @@ const SIZE: u32 = 1000;
 
 /// Replays the plan against a receiver, returning the delivery times
 /// (arrival index at which each cumulative byte count was reached).
-fn replay(mode: ReceiverMode, pkts: &[(usize, u32)], order: &[usize], n_subflows: usize) -> (u64, Vec<u64>) {
+fn replay(
+    mode: ReceiverMode,
+    pkts: &[(usize, u32)],
+    order: &[usize],
+    n_subflows: usize,
+) -> (u64, Vec<u64>) {
     let mut rx = Receiver::new(mode, n_subflows, 1 << 20);
     // Per-subflow sequence numbers in transmission order (the order the
     // packets were assigned, which is data order here).

@@ -3,9 +3,7 @@
 //! recovery timers all keep transfers correct.
 
 use mptcp_sim::time::{from_millis, SECONDS};
-use mptcp_sim::{
-    CcAlgo, ConnectionConfig, PathConfig, SchedulerSpec, Sim, SubflowConfig,
-};
+use mptcp_sim::{CcAlgo, ConnectionConfig, PathConfig, SchedulerSpec, Sim, SubflowConfig};
 
 const MIN_RTT: &str = progmp_schedulers::DEFAULT_MIN_RTT;
 
@@ -124,7 +122,12 @@ fn per_subflow_counters_are_consistent() {
     let per_sbf_bytes: u64 = c.stats.subflows.iter().map(|s| s.tx_bytes).sum();
     assert_eq!(per_sbf_pkts, c.stats.tx_packets);
     assert_eq!(per_sbf_bytes, c.stats.tx_bytes);
-    let timeline_bytes: u64 = c.stats.tx_timeline.iter().map(|(_, _, b)| u64::from(*b)).sum();
+    let timeline_bytes: u64 = c
+        .stats
+        .tx_timeline
+        .iter()
+        .map(|(_, _, b)| u64::from(*b))
+        .sum();
     assert_eq!(timeline_bytes, c.stats.tx_bytes);
     for s in &c.stats.subflows {
         assert!(s.wire_losses <= s.tx_packets);

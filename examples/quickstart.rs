@@ -21,7 +21,8 @@ fn main() {
 
     // 1. Load the scheduler through the application API.
     let mut api = ProgMp::new();
-    api.load_scheduler("myMinRtt", spec).expect("scheduler compiles");
+    api.load_scheduler("myMinRtt", spec)
+        .expect("scheduler compiles");
     println!(
         "loaded scheduler `myMinRtt` ({} bytes resident)",
         api.loaded_bytes()

@@ -52,12 +52,18 @@ fn main() {
         LOSS * 100.0,
         FLOWS
     );
-    println!("{:<26} {:>14} {:>10}", "scheduler", "mean FCT (ms)", "overhead");
+    println!(
+        "{:<26} {:>14} {:>10}",
+        "scheduler", "mean FCT (ms)", "overhead"
+    );
 
     let candidates = [
         ("default (minRTT)", schedulers::DEFAULT_MIN_RTT),
         ("redundant (existing)", schedulers::REDUNDANT),
-        ("opportunisticRedundant", schedulers::OPPORTUNISTIC_REDUNDANT),
+        (
+            "opportunisticRedundant",
+            schedulers::OPPORTUNISTIC_REDUNDANT,
+        ),
         ("redundantIfNoQ", schedulers::REDUNDANT_IF_NO_Q),
     ];
     let mut results = Vec::new();

@@ -50,7 +50,14 @@ fn run_stream(scheduler: SchedulerSpec, target_bw: Option<(u64, u64)>) -> (f64, 
 
     // The stream: 1 MB/s for 6 s, then 4 MB/s (Fig. 1).
     sim.add_cbr_source(conn, 0, 6 * SECONDS, 1_000_000, from_millis(20), 0);
-    sim.add_cbr_source(conn, 6 * SECONDS, STREAM_END_S * SECONDS, 4_000_000, from_millis(20), 0);
+    sim.add_cbr_source(
+        conn,
+        6 * SECONDS,
+        STREAM_END_S * SECONDS,
+        4_000_000,
+        from_millis(20),
+        0,
+    );
     sim.run_to_completion((STREAM_END_S + 8) * SECONDS);
 
     let c = &sim.connections[conn];

@@ -156,14 +156,7 @@ impl ProgMp {
 
     /// Sends application data annotated with packet property `prop`
     /// (per-packet scheduling intents, §3.2) at simulation time `at`.
-    pub fn send_with_property(
-        &self,
-        sim: &mut Sim,
-        conn: ConnId,
-        at: u64,
-        bytes: u64,
-        prop: u32,
-    ) {
+    pub fn send_with_property(&self, sim: &mut Sim, conn: ConnId, at: u64, bytes: u64, prop: u32) {
         sim.app_send_at(conn, at, bytes, prop);
     }
 
@@ -255,12 +248,14 @@ mod tests {
         // discourages it but supports it); registers survive the swap.
         let mut api = ProgMp::new();
         api.load_scheduler("a", "SET(R1, R1 + 1);").unwrap();
-        api.load_scheduler("b", progmp_schedulers::DEFAULT_MIN_RTT).unwrap();
+        api.load_scheduler("b", progmp_schedulers::DEFAULT_MIN_RTT)
+            .unwrap();
         let (mut sim, conn) = sim_with_conn();
         api.set_scheduler(&mut sim, conn, "a", Backend::Vm).unwrap();
         api.set_register(&mut sim, conn, RegId::R5, 77).unwrap();
         sim.run_until(from_millis(10));
-        api.set_scheduler(&mut sim, conn, "b", Backend::Aot).unwrap();
+        api.set_scheduler(&mut sim, conn, "b", Backend::Aot)
+            .unwrap();
         sim.app_send_at(conn, sim.now, 10_000, 0);
         sim.run_to_completion(5 * SECONDS);
         assert!(sim.connections[conn].all_acked());
@@ -294,7 +289,8 @@ mod tests {
                     SchedulerSpec::dsl(progmp_schedulers::MIN_RTT_SIMPLE),
                 ))
                 .unwrap();
-            api.set_scheduler(&mut sim, c, "shared", Backend::Vm).unwrap();
+            api.set_scheduler(&mut sim, c, "shared", Backend::Vm)
+                .unwrap();
             sim.app_send_at(c, 0, 5_000, 0);
             conns.push(c);
         }

@@ -91,7 +91,9 @@ fn per_connection_scheduler_choice() {
     // simulator — the multi-tenancy isolation story of the paper.
     let mut sim = Sim::new(5);
     let bulk = sim
-        .add_connection(two_path_cfg(SchedulerSpec::dsl(schedulers::DEFAULT_MIN_RTT)))
+        .add_connection(two_path_cfg(SchedulerSpec::dsl(
+            schedulers::DEFAULT_MIN_RTT,
+        )))
         .unwrap();
     let latency = sim
         .add_connection(two_path_cfg(SchedulerSpec::dsl(schedulers::REDUNDANT)))
@@ -173,7 +175,9 @@ fn subflow_churn_mid_transfer_is_safe() {
     // subflow reference" scenario that crashes naive kernel schedulers.
     let mut sim = Sim::new(21);
     let conn = sim
-        .add_connection(two_path_cfg(SchedulerSpec::dsl(schedulers::DEFAULT_MIN_RTT)))
+        .add_connection(two_path_cfg(SchedulerSpec::dsl(
+            schedulers::DEFAULT_MIN_RTT,
+        )))
         .unwrap();
     sim.add_bulk_source(conn, 400_000, 0);
     for k in 0..4 {
@@ -207,14 +211,13 @@ fn automated_handover_via_path_manager() {
     // loss burst, establishes the standby LTE subflow, and signals R3 so
     // the handover-aware scheduler compensates — no manual orchestration.
     let mut sim = Sim::new(33);
-    let wifi = PathConfig::symmetric(from_millis(15), 1_250_000).with_profile_entry(
-        PathProfileEntry {
+    let wifi =
+        PathConfig::symmetric(from_millis(15), 1_250_000).with_profile_entry(PathProfileEntry {
             at: SECONDS,
             rate: None,
             loss: Some(0.5),
             fwd_delay: None,
-        },
-    );
+        });
     let cfg = ConnectionConfig::new(
         vec![
             SubflowConfig::new(wifi),

@@ -2,8 +2,8 @@
 //! scenario in the paper (small/fast variants of the bench binaries; see
 //! EXPERIMENTS.md for the full sweeps).
 
-use progmp::prelude::*;
 use progmp::mptcp_sim::PathProfileEntry;
+use progmp::prelude::*;
 
 /// Fig. 10b core claim: redundancy improves short-flow FCT on lossy paths.
 #[test]
@@ -115,10 +115,22 @@ fn tap_preserves_preferences_for_sustainable_streams() {
 fn http2_aware_cuts_metered_usage() {
     let page = Page::amazon_like();
     let profile = WifiLteProfile::default();
-    let unaware = run_page_load(&page, &profile, schedulers::DEFAULT_MIN_RTT, ServerMode::Legacy, 9)
-        .unwrap();
-    let aware =
-        run_page_load(&page, &profile, schedulers::HTTP2_AWARE, ServerMode::Aware, 9).unwrap();
+    let unaware = run_page_load(
+        &page,
+        &profile,
+        schedulers::DEFAULT_MIN_RTT,
+        ServerMode::Legacy,
+        9,
+    )
+    .unwrap();
+    let aware = run_page_load(
+        &page,
+        &profile,
+        schedulers::HTTP2_AWARE,
+        ServerMode::Aware,
+        9,
+    )
+    .unwrap();
     assert!(aware.lte_bytes * 2 < unaware.lte_bytes);
     assert!(aware.dependency_resolved <= unaware.dependency_resolved + from_millis(5));
 }

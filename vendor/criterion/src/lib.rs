@@ -1,0 +1,179 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides just enough of criterion's surface for the workspace benches
+//! to compile and run: `Criterion`, `BenchmarkGroup`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! Measurements are a simple best-of-N wall-clock loop — adequate for
+//! relative comparisons, with none of criterion's statistics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Iterations per measurement sample (tuned for sub-second benches).
+const WARMUP_ITERS: u64 = 10;
+const SAMPLES: u32 = 5;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup { _c: self, name }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.into(), &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark of the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_bench(&format!("{}/{}", self.name, id.0), &mut g);
+        self
+    }
+
+    /// Ends the group (reporting no-op).
+    pub fn finish(self) {}
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    best: Duration,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, keeping the best mean over several samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: aim for samples of roughly 10 ms.
+        let start = Instant::now();
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(f());
+        }
+        let per_iter = start.elapsed() / (WARMUP_ITERS as u32);
+        let target = Duration::from_millis(10);
+        let iters = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = iters;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let mean = start.elapsed() / (iters as u32);
+            if mean < self.best {
+                self.best = mean;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher {
+        best: Duration::MAX,
+        iters_per_sample: 0,
+    };
+    f(&mut b);
+    if b.best == Duration::MAX {
+        eprintln!("  {name}: no measurement");
+    } else {
+        eprintln!(
+            "  {name}: {:?}/iter (best of {SAMPLES} samples x {} iters)",
+            b.best, b.iters_per_sample
+        );
+    }
+}
+
+/// Declares a benchmark group function calling each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("f", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

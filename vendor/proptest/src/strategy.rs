@@ -1,0 +1,394 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value and derives a second strategy
+    /// from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Shuffles the generated collection (Fisher–Yates).
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+    {
+        Shuffle(self)
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+#[derive(Clone)]
+pub struct Shuffle<S>(S);
+
+impl<S, T> Strategy for Shuffle<S>
+where
+    S: Strategy<Value = Vec<T>>,
+{
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let mut v = self.0.generate(rng);
+        for i in (1..v.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            v.swap(i, j);
+        }
+        v
+    }
+}
+
+/// Picks one of several strategies, with optional weights.
+pub struct Union<S> {
+    options: Vec<(u32, S)>,
+    total_weight: u64,
+}
+
+impl<S: Strategy> Union<S> {
+    /// Uniform choice over `options`.
+    pub fn new(options: impl IntoIterator<Item = S>) -> Self {
+        Union::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Weighted choice over `options`.
+    pub fn new_weighted(options: Vec<(u32, S)>) -> Self {
+        assert!(!options.is_empty(), "Union needs at least one option");
+        let total_weight = options.iter().map(|(w, _)| u64::from(*w)).sum::<u64>();
+        assert!(total_weight > 0, "Union weights must not all be zero");
+        Union {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let mut pick = rng.below(self.total_weight);
+        for (w, s) in &self.options {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total_weight")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (*self.start() as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// String strategies from a regex-like pattern. Only the `.{a,b}` shape
+/// (any chars, length between `a` and `b`) is supported; other patterns
+/// panic so a silently weakened test cannot slip through.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or_else(|| {
+            panic!("vendored proptest supports only `.{{a,b}}` string patterns, got {self:?}")
+        });
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            // Mostly printable ASCII with a sprinkle of arbitrary
+            // Unicode scalars, mirroring proptest's `.` distribution
+            // closely enough for never-panics robustness tests.
+            if rng.below(5) != 0 {
+                s.push((0x20 + rng.below(0x5f) as u8) as char);
+            } else {
+                loop {
+                    if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                        s.push(c);
+                        break;
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    let lo = lo.trim().parse().ok()?;
+    let hi = hi.trim().parse().ok()?;
+    (lo <= hi).then_some((lo, hi))
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical full-range strategy of the type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Function-style strategy over the full range of `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+any_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = Any<bool>;
+    fn arbitrary() -> Any<bool> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = Any<f64>;
+    fn arbitrary() -> Any<f64> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// The canonical full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = (5u64..80).generate(&mut rng);
+            assert!((5..80).contains(&v));
+            let v = (-100i64..100).generate(&mut rng);
+            assert!((-100..100).contains(&v));
+            let v = (1u8..=4).generate(&mut rng);
+            assert!((1..=4).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_shuffle_compose() {
+        let mut rng = TestRng::from_seed(2);
+        let s = (1usize..5)
+            .prop_flat_map(|n| Just((0..n).collect::<Vec<_>>()).prop_shuffle())
+            .prop_map(|v| v.len());
+        for _ in 0..100 {
+            let n = s.generate(&mut rng);
+            assert!((1..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let u = Union::new_weighted(vec![(0, Just(1u8).boxed()), (5, Just(2u8).boxed())]);
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..50 {
+            assert_eq!(u.generate(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn string_pattern_lengths() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..200 {
+            let s = ".{0,20}".generate(&mut rng);
+            assert!(s.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let gen = |seed| {
+            let mut rng = TestRng::from_seed(seed);
+            (0u64..1000).generate(&mut rng)
+        };
+        assert_eq!(gen(9), gen(9));
+    }
+}
