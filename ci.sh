@@ -13,7 +13,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> admission lint (examples + all bundled schedulers)"
+cargo run -q --release -p progmp --bin progmp-lint -- examples/schedulers/*.progmp
+cargo run -q --release -p progmp --bin progmp-lint -- --all
+
 echo "==> conformance sweep (500 seeds, all backends)"
 cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --seeds 500
+
+echo "==> verifier-soundness sweep (500 seeds)"
+cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --soundness --seeds 500
 
 echo "CI green"

@@ -75,8 +75,24 @@ fn main() {
     println!("=== Ablation §4.1: runtime optimizations (VM backend) ===\n");
 
     // 1. HIR optimizer.
-    let opt = compile_with_options(None, FOLDABLE, CompileOptions { optimize: true }).unwrap();
-    let unopt = compile_with_options(None, FOLDABLE, CompileOptions { optimize: false }).unwrap();
+    let opt = compile_with_options(
+        None,
+        FOLDABLE,
+        CompileOptions {
+            optimize: true,
+            ..CompileOptions::default()
+        },
+    )
+    .unwrap();
+    let unopt = compile_with_options(
+        None,
+        FOLDABLE,
+        CompileOptions {
+            optimize: false,
+            ..CompileOptions::default()
+        },
+    )
+    .unwrap();
     let mut opt_inst = opt.instantiate(Backend::Vm);
     let mut unopt_inst = unopt.instantiate(Backend::Vm);
     let opt_ns = measure(&mut opt_inst, &env, iters);

@@ -1,41 +1,64 @@
-//! Seed-sweeping differential fuzzer.
+//! Seed-sweeping differential and soundness fuzzer.
 //!
 //! ```text
-//! conformance-fuzz [--start S] [--seeds N]
+//! conformance-fuzz [--start S] [--seeds N] [--soundness]
 //! ```
 //!
-//! Explores seeds `[S, S+N)` (default `[0, 500)`). Each seed generates a
+//! Explores seeds `[S, S+N)` (default `[0, 500)`).
+//!
+//! In the default **differential** mode, each seed generates a
 //! well-typed scheduler program and a random environment, runs the
 //! program through all three backends, and compares the observable
 //! outcomes. On the first divergence the case is shrunk to a minimal
 //! repro, the report is printed, and the process exits non-zero.
+//!
+//! With `--soundness`, each seed instead checks the admission
+//! verifier's contract: programs the verifier admits must execute on
+//! every backend without runtime errors and within their certified step
+//! bound. Rejections are counted (and the reject rate reported) but are
+//! not failures; a violation prints the counterexample and exits
+//! non-zero.
 
 use progmp_conformance::differ::{check_seed, run_differential, Divergence};
 use progmp_conformance::gen::Generator;
 use progmp_conformance::shrink::shrink;
+use progmp_conformance::soundness;
 
-fn parse_args() -> (u64, u64) {
-    let mut start = 0u64;
-    let mut seeds = 500u64;
+struct Args {
+    start: u64,
+    seeds: u64,
+    soundness: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        start: 0,
+        seeds: 500,
+        soundness: false,
+    };
     fn usage() -> ! {
-        eprintln!("usage: conformance-fuzz [--start S] [--seeds N]");
+        eprintln!("usage: conformance-fuzz [--start S] [--seeds N] [--soundness]");
         std::process::exit(2);
     }
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let value = match arg.as_str() {
-            "--start" | "--seeds" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) => v,
-                None => usage(),
-            },
-            _ => usage(),
-        };
         match arg.as_str() {
-            "--start" => start = value,
-            _ => seeds = value,
+            "--soundness" => parsed.soundness = true,
+            "--start" | "--seeds" => {
+                let value = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => usage(),
+                };
+                if arg == "--start" {
+                    parsed.start = value;
+                } else {
+                    parsed.seeds = value;
+                }
+            }
+            _ => usage(),
         }
     }
-    (start, seeds)
+    parsed
 }
 
 fn minimize(divergence: Divergence) -> Divergence {
@@ -60,8 +83,28 @@ fn minimize(divergence: Divergence) -> Divergence {
     }
 }
 
+fn run_soundness(start: u64, seeds: u64) {
+    println!(
+        "conformance-fuzz --soundness: seeds [{start}, {})",
+        start + seeds
+    );
+    let report = soundness::sweep(start, seeds);
+    println!("{}", report.summary());
+    if !report.violations.is_empty() {
+        for violation in &report.violations {
+            eprintln!("{violation}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let (start, seeds) = parse_args();
+    let args = parse_args();
+    if args.soundness {
+        run_soundness(args.start, args.seeds);
+        return;
+    }
+    let (start, seeds) = (args.start, args.seeds);
     println!("conformance-fuzz: seeds [{start}, {})", start + seeds);
     for seed in start..start + seeds {
         if let Some(divergence) = check_seed(seed) {

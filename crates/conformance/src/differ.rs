@@ -14,7 +14,7 @@
 
 use crate::gen::{EnvSpec, Generator};
 use progmp_core::env::{EffectTrace, RecordingEnv};
-use progmp_core::{compile, Backend, CompileError, ExecError};
+use progmp_core::{Backend, CompileError, ExecError};
 
 /// What one backend did with the program.
 #[derive(Debug, Clone)]
@@ -73,8 +73,12 @@ impl Divergence {
 /// Returns `Ok(None)` when all backends agree, `Ok(Some(divergence))`
 /// otherwise, and `Err` if the program does not compile (a generator bug
 /// when the source came from [`Generator`]).
+///
+/// Compiles in observe mode ([`crate::compile_observed`]): the
+/// differential contract covers every well-typed program, including
+/// ones the admission gate would reject.
 pub fn run_differential(source: &str, spec: &EnvSpec) -> Result<Option<Divergence>, CompileError> {
-    let program = compile(source)?;
+    let program = crate::compile_observed(source)?;
     let mut outcomes = Vec::with_capacity(Backend::ALL.len());
     for backend in Backend::ALL {
         let mut env = RecordingEnv::new(spec.build());
@@ -142,7 +146,7 @@ mod tests {
         let mut generator = Generator::new(5);
         let spec = generator.env_spec();
         let src = "RETURN;";
-        let program = compile(src).unwrap();
+        let program = progmp_core::compile(src).unwrap();
         let mut outcomes = Vec::new();
         for backend in Backend::ALL {
             let mut env = RecordingEnv::new(spec.build());

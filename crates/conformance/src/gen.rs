@@ -122,7 +122,7 @@ impl Generator {
             let candidate = Program {
                 body: self.block(len, 0),
             };
-            match progmp_core::compile(&candidate.to_string()) {
+            match crate::compile_observed(&candidate.to_string()) {
                 Ok(_) => return candidate,
                 Err(e) if e.stage == progmp_core::error::Stage::Codegen => continue,
                 Err(e) => panic!("generator produced an ill-typed program: {e}\n{candidate}"),
@@ -682,7 +682,7 @@ mod tests {
             let mut generator = Generator::new(seed);
             let program = generator.program();
             let src = print_program(&program);
-            progmp_core::compile(&src).unwrap_or_else(|e| {
+            crate::compile_observed(&src).unwrap_or_else(|e| {
                 panic!("seed {seed}: generated program must compile: {e}\n{src}")
             });
         }

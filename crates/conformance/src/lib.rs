@@ -23,3 +23,27 @@ pub mod gen;
 pub mod rng;
 pub mod shrink;
 pub mod snapshot;
+pub mod soundness;
+
+/// Compiles `source` in observe mode: the admission verifier still runs
+/// and records its [`progmp_core::Verdict`], but error-severity findings
+/// do not reject the program.
+///
+/// The conformance harness needs this because generated programs
+/// legitimately trip admission lints (literal zero divisors, popped
+/// packets that are never pushed) while remaining well-typed — and the
+/// differential contract must hold for those too. The soundness sweep
+/// ([`soundness`]) then checks the other direction: programs the
+/// verifier *does* admit never raise the runtime errors it excluded.
+pub fn compile_observed(
+    source: &str,
+) -> Result<progmp_core::SchedulerProgram, progmp_core::CompileError> {
+    progmp_core::compile_with_options(
+        None,
+        source,
+        progmp_core::CompileOptions {
+            enforce_admission: false,
+            ..progmp_core::CompileOptions::default()
+        },
+    )
+}

@@ -134,7 +134,10 @@ fn reduce_nth(body: &mut Vec<Stmt>, n: &mut usize, reduction: Reduction) -> Redu
 }
 
 fn compiles(program: &Program) -> bool {
-    progmp_core::compile(&program.to_string()).is_ok()
+    // Observe mode: shrunken repros may legitimately trip admission
+    // lints (that is often the point of the repro), but they must stay
+    // well-typed so the report replays.
+    crate::compile_observed(&program.to_string()).is_ok()
 }
 
 /// One full pass over all program reductions; returns true if any

@@ -1,0 +1,186 @@
+//! Verifier-soundness sweep: admitted programs never fail at runtime.
+//!
+//! The admission verifier ([`progmp_core::verify`]) claims that any
+//! program it admits (a) runs to completion under its certified step
+//! bound and (b) never hits a runtime error — the only ones possible
+//! being `StepBudgetExhausted` and `MalformedBytecode`, both of which
+//! the verifier's cost proof and the bytecode verifier are supposed to
+//! exclude. This module checks that claim empirically: for each seed it
+//! generates a random well-typed program, compiles it in observe mode,
+//! and — when the verifier admits it — executes it several times on
+//! every backend under the certified bound. Any execution error, or a
+//! step count above the certified bound, is a *soundness violation*.
+//!
+//! Rejections are not failures (the verifier is allowed to be
+//! conservative), but the sweep tracks the reject rate so precision
+//! regressions are visible in CI logs.
+
+use crate::gen::Generator;
+use progmp_core::Backend;
+
+/// Executions run per backend for each admitted program, to exercise
+/// register persistence and repeated queue consumption.
+const RUNS_PER_BACKEND: u32 = 3;
+
+/// A counterexample to verifier soundness: the verifier admitted the
+/// program, yet an execution misbehaved.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Seed that produced the program and environment.
+    pub seed: u64,
+    /// Program source (canonical printer output).
+    pub source: String,
+    /// Backend on which the violation occurred.
+    pub backend: Backend,
+    /// Certified step bound the program was admitted under.
+    pub certified_bound: u64,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "soundness violation at seed {}", self.seed)?;
+        writeln!(f, "backend: {}", self.backend.name())?;
+        writeln!(f, "certified step bound: {}", self.certified_bound)?;
+        writeln!(f, "detail: {}", self.detail)?;
+        writeln!(f, "program:\n{}", self.source)
+    }
+}
+
+/// Result of checking a single seed.
+#[derive(Debug, Clone)]
+pub enum SeedOutcome {
+    /// The verifier rejected the program; nothing was executed.
+    Rejected,
+    /// Admitted and every execution stayed within the certified bound.
+    Sound,
+    /// Admitted, but an execution misbehaved.
+    Unsound(Box<Violation>),
+}
+
+/// Generates the program and environment for `seed` and checks the
+/// soundness contract, panicking on generator bugs (programs that fail
+/// to compile) since those invalidate the harness itself.
+pub fn check_seed(seed: u64) -> SeedOutcome {
+    let mut generator = Generator::new(seed);
+    let candidate = generator.program();
+    let spec = generator.env_spec();
+    let source = candidate.to_string();
+    let program = crate::compile_observed(&source).unwrap_or_else(|e| {
+        panic!("seed {seed}: generated program failed to compile: {e}\n{source}")
+    });
+    if !program.verdict().admitted() {
+        return SeedOutcome::Rejected;
+    }
+    let bound = program.certified_step_bound();
+    for backend in Backend::ALL {
+        // Instances inherit the certified bound as their step budget.
+        let mut instance = program.instantiate(backend);
+        let mut env = spec.build();
+        for round in 0..RUNS_PER_BACKEND {
+            match instance.execute(&mut env) {
+                Ok(stats) if stats.steps > bound => {
+                    return SeedOutcome::Unsound(Box::new(Violation {
+                        seed,
+                        source,
+                        backend,
+                        certified_bound: bound,
+                        detail: format!(
+                            "execution {round} took {} steps, above the certified bound",
+                            stats.steps
+                        ),
+                    }));
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    return SeedOutcome::Unsound(Box::new(Violation {
+                        seed,
+                        source,
+                        backend,
+                        certified_bound: bound,
+                        detail: format!("execution {round} failed: {e}"),
+                    }));
+                }
+            }
+        }
+    }
+    SeedOutcome::Sound
+}
+
+/// Aggregate results of a soundness sweep over a seed range.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Seeds checked in total.
+    pub checked: u64,
+    /// Programs the verifier admitted (and which executed soundly).
+    pub admitted: u64,
+    /// Programs the verifier rejected (conservatism, not failure).
+    pub rejected: u64,
+    /// Soundness violations found (must be empty for a passing sweep).
+    pub violations: Vec<Violation>,
+}
+
+impl SweepReport {
+    /// Fraction of checked programs the verifier rejected, in percent.
+    pub fn reject_rate_percent(&self) -> f64 {
+        if self.checked == 0 {
+            0.0
+        } else {
+            100.0 * self.rejected as f64 / self.checked as f64
+        }
+    }
+
+    /// One-line human summary for CI logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "soundness sweep: {} seeds, {} admitted, {} rejected ({:.1}% reject rate), {} violations",
+            self.checked,
+            self.admitted,
+            self.rejected,
+            self.reject_rate_percent(),
+            self.violations.len()
+        )
+    }
+}
+
+/// Runs [`check_seed`] over seeds `[start, start + count)`.
+pub fn sweep(start: u64, count: u64) -> SweepReport {
+    let mut report = SweepReport::default();
+    for seed in start..start + count {
+        report.checked += 1;
+        match check_seed(seed) {
+            SeedOutcome::Rejected => report.rejected += 1,
+            SeedOutcome::Sound => report.admitted += 1,
+            SeedOutcome::Unsound(v) => {
+                report.admitted += 1;
+                report.violations.push(*v);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_is_sound() {
+        let report = sweep(0, 32);
+        assert_eq!(report.checked, 32);
+        assert!(
+            report.violations.is_empty(),
+            "{}",
+            report
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        // The generator mostly emits guarded programs; the verifier must
+        // not reject everything wholesale.
+        assert!(report.admitted > 0, "{}", report.summary());
+    }
+}

@@ -64,7 +64,7 @@ fn shrunk_case_still_compiles() {
         let spec = generator.env_spec();
         let mut pred = |p: &Program, _: &EnvSpec| !p.body.is_empty();
         let (minimal, _) = shrink(program, spec, &mut pred);
-        progmp_core::compile(&minimal.to_string())
+        progmp_conformance::compile_observed(&minimal.to_string())
             .unwrap_or_else(|e| panic!("seed {seed}: shrunk program must compile: {e}"));
         assert_eq!(stmt_count(&minimal.body), 1, "seed {seed}");
     }

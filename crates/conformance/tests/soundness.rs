@@ -1,0 +1,36 @@
+//! Verifier-soundness sweep: over a large seed range, every program the
+//! admission verifier accepts must execute without runtime errors and
+//! within its certified step bound on all three backends.
+//!
+//! This is the empirical half of the admission-gate contract (the
+//! analytical half lives in `progmp_core::verify`'s unit tests). The
+//! reject rate is printed so precision regressions show up in CI logs
+//! even though they do not fail the test.
+
+use progmp_conformance::soundness::sweep;
+
+const SEEDS: u64 = 500;
+
+#[test]
+fn admitted_programs_never_fail_at_runtime() {
+    let report = sweep(0, SEEDS);
+    println!("{}", report.summary());
+    assert_eq!(report.checked, SEEDS);
+    assert!(
+        report.violations.is_empty(),
+        "verifier soundness violated:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Precision floor: the verifier must admit a healthy majority of
+    // generated programs, otherwise the gate is uselessly conservative.
+    assert!(
+        report.admitted * 2 > report.checked,
+        "verifier rejected too much: {}",
+        report.summary()
+    );
+}

@@ -40,9 +40,11 @@ pub struct Analysis {
     pub uses_sent_on: bool,
     /// Whether `HAS_WINDOW_FOR` is used (receive-window awareness).
     pub uses_window_check: bool,
-    /// Maximum static nesting depth of scans (`FILTER`/`MIN`/`MAX`/`SUM`/
-    /// `FOREACH` and queue scans): each level multiplies worst-case cost
-    /// by the element count.
+    /// Maximum static nesting depth of true scans (`FILTER`/`MIN`/`MAX`/
+    /// `SUM`/`FOREACH`): each level multiplies worst-case cost by the
+    /// element count. O(1) queue operations (`COUNT`/`EMPTY`/`TOP`/`GET`
+    /// and a plain `POP`) do not deepen it; popping *through* a filter
+    /// still counts via the `FILTER` node itself.
     pub max_scan_depth: usize,
 }
 
@@ -224,16 +226,13 @@ fn walk_expr(prog: &HProgram, eid: ExprId, depth: usize, a: &mut Analysis) {
             walk_expr(prog, *key, depth + 1, a);
         }
         HExpr::ListCount(e) | HExpr::ListEmpty(e) => {
-            a.max_scan_depth = a.max_scan_depth.max(depth + 1);
             walk_expr(prog, *e, depth, a);
         }
         HExpr::QueueCount(e) | HExpr::QueueEmpty(e) | HExpr::QueueTop(e) => {
-            a.max_scan_depth = a.max_scan_depth.max(depth + 1);
             note_queue_read(prog, *e, a);
             walk_expr(prog, *e, depth, a);
         }
         HExpr::QueuePop(e) => {
-            a.max_scan_depth = a.max_scan_depth.max(depth + 1);
             if let Some(k) = queue_base(prog, *e) {
                 a.queues_read.insert(k.name());
                 a.queues_popped.insert(k.name());
@@ -241,7 +240,6 @@ fn walk_expr(prog: &HProgram, eid: ExprId, depth: usize, a: &mut Analysis) {
             walk_expr(prog, *e, depth, a);
         }
         HExpr::ListGet { list, index } => {
-            a.max_scan_depth = a.max_scan_depth.max(depth + 1);
             walk_expr(prog, *list, depth, a);
             walk_expr(prog, *index, depth, a);
         }
@@ -330,6 +328,19 @@ mod tests {
         let text = a.to_string();
         assert!(text.contains("queues read:        Q"));
         assert!(text.contains("registers written:  R1"));
-        assert!(text.contains("max scan depth:     1"));
+        assert!(text.contains("max scan depth:     0"));
+    }
+
+    #[test]
+    fn constant_time_queue_ops_are_not_scans() {
+        // COUNT/EMPTY/TOP/GET and a plain POP are O(1): no scan level.
+        let a = analysis_of(
+            "SET(R1, Q.COUNT);
+             IF (!QU.EMPTY AND RQ.TOP != NULL) { SUBFLOWS.GET(0).PUSH(Q.POP()); }",
+        );
+        assert_eq!(a.max_scan_depth, 0);
+        // Popping *through* a filter still scans (the FILTER node counts).
+        let b = analysis_of("VAR p = Q.FILTER(x => x.PROP == 1).POP();");
+        assert_eq!(b.max_scan_depth, 1);
     }
 }

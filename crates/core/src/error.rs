@@ -47,6 +47,10 @@ pub enum Stage {
     Sema,
     /// Bytecode generation or verification.
     Codegen,
+    /// Static admission verification (abstract interpretation): a program
+    /// was rejected because the verifier reported an error-severity
+    /// diagnostic (see [`crate::verify`]).
+    Verify,
 }
 
 impl fmt::Display for Stage {
@@ -56,6 +60,7 @@ impl fmt::Display for Stage {
             Stage::Parse => "parse",
             Stage::Sema => "sema",
             Stage::Codegen => "codegen",
+            Stage::Verify => "verify",
         };
         f.write_str(s)
     }
@@ -144,5 +149,6 @@ mod tests {
         assert_eq!(Stage::Parse.to_string(), "parse");
         assert_eq!(Stage::Sema.to_string(), "sema");
         assert_eq!(Stage::Codegen.to_string(), "codegen");
+        assert_eq!(Stage::Verify.to_string(), "verify");
     }
 }

@@ -30,10 +30,17 @@ use crate::error::ExecError;
 /// The `i64` encoding of `NULL` for packet and subflow handles.
 pub const NULL_HANDLE: i64 = -1;
 
-/// Default per-execution step budget. One step is charged per evaluated
+/// Fallback per-execution step budget. One step is charged per evaluated
 /// node / executed bytecode instruction / scanned queue element, so this
 /// bounds scheduler executions the way the eBPF verifier bounds program
 /// runtime.
+///
+/// Compiled programs normally run under the much tighter per-program
+/// bound certified by the admission verifier
+/// ([`crate::program::SchedulerProgram::certified_step_bound`]); this
+/// blanket value remains as the sentinel default for raw
+/// [`ExecCtx`]-level execution and for callers that opt out of
+/// admission.
 pub const DEFAULT_STEP_BUDGET: u64 = 1_000_000;
 
 /// Statistics describing one completed scheduler execution.

@@ -10,6 +10,7 @@
 
 use crate::ast::{BinOp, UnOp};
 use crate::env::{PacketProp, QueueKind, RegId, SubflowProp};
+use crate::error::Pos;
 use crate::types::Type;
 
 /// Index of an expression node in [`HProgram::exprs`].
@@ -229,8 +230,15 @@ pub struct HProgram {
     pub exprs: Vec<HExpr>,
     /// Type of each expression, parallel to `exprs`.
     pub expr_ty: Vec<Type>,
+    /// Source position of each expression, parallel to `exprs`. The
+    /// optimizer rewrites nodes in place (never appends), so these stay
+    /// aligned across the whole pipeline and back diagnostics in
+    /// [`crate::verify`].
+    pub expr_pos: Vec<Pos>,
     /// Statement arena.
     pub stmts: Vec<HStmt>,
+    /// Source position of each statement, parallel to `stmts`.
+    pub stmt_pos: Vec<Pos>,
     /// Top-level statement list.
     pub body: Vec<StmtId>,
     /// Number of variable slots in the execution frame (including lambda
@@ -260,13 +268,25 @@ impl HProgram {
         &self.stmts[id.0 as usize]
     }
 
+    /// The source position of expression `id`.
+    pub fn expr_pos(&self, id: ExprId) -> Pos {
+        self.expr_pos[id.0 as usize]
+    }
+
+    /// The source position of statement `id`.
+    pub fn stmt_pos(&self, id: StmtId) -> Pos {
+        self.stmt_pos[id.0 as usize]
+    }
+
     /// Approximate in-memory size of the lowered program in bytes, for
     /// the paper's §4.3 memory-overhead accounting.
     pub fn size_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.exprs.len() * std::mem::size_of::<HExpr>()
             + self.expr_ty.len() * std::mem::size_of::<Type>()
+            + self.expr_pos.len() * std::mem::size_of::<Pos>()
             + self.stmts.capacity() * std::mem::size_of::<HStmt>()
+            + self.stmt_pos.len() * std::mem::size_of::<Pos>()
             + self.body.len() * std::mem::size_of::<StmtId>()
             + self.slot_ty.len() * std::mem::size_of::<Type>()
             + self.aggregate_init.len() * std::mem::size_of::<Option<ExprId>>()

@@ -68,6 +68,7 @@ pub mod bytecode;
 pub mod codegen;
 pub mod optimizer;
 pub mod regalloc;
+pub mod verify;
 pub mod vm;
 
 pub use error::{CompileError, ExecError};
@@ -77,3 +78,4 @@ pub use program::{
     SchedulerInstance, SchedulerProgram,
 };
 pub use types::Type;
+pub use verify::{Diagnostic, Lint, Severity, Verdict, VerifyConfig};

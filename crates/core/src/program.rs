@@ -1,7 +1,10 @@
 //! The public compilation and execution facade.
 //!
 //! [`compile`] turns scheduler source text into a [`SchedulerProgram`]
-//! (parse → type check → optimize → generate bytecode → verify);
+//! (parse → type check → optimize → admission verify → generate bytecode
+//! → bytecode verify); the admission step runs the abstract-interpretation
+//! verifier of [`crate::verify`] ahead of every backend and certifies the
+//! per-program step bound instances run under;
 //! [`SchedulerProgram::instantiate`] creates a per-connection
 //! [`SchedulerInstance`] bound to one of the three execution backends.
 //! Programs are immutable and cheaply shared between instances through
@@ -11,8 +14,8 @@
 use crate::aot;
 use crate::bytecode::BytecodeProgram;
 use crate::env::SchedulerEnv;
-use crate::error::{CompileError, ExecError};
-use crate::exec::{ExecCtx, ExecStats, DEFAULT_STEP_BUDGET};
+use crate::error::{CompileError, ExecError, Stage};
+use crate::exec::{ExecCtx, ExecStats};
 use crate::hir::HProgram;
 use crate::interp;
 use crate::optimizer;
@@ -60,6 +63,7 @@ pub struct SchedulerProgram {
     hir: HProgram,
     bytecode: BytecodeProgram,
     optimizer_rewrites: usize,
+    verdict: crate::verify::Verdict,
 }
 
 /// Compiles scheduler source text.
@@ -87,11 +91,20 @@ pub fn compile_named(name: Option<&str>, source: &str) -> Result<SchedulerProgra
 pub struct CompileOptions {
     /// Run the HIR optimizer (constant folding, dead-branch elimination).
     pub optimize: bool,
+    /// Reject programs the static admission verifier finds an
+    /// error-severity diagnostic in (see [`crate::verify`]). Disabling
+    /// this "observe mode" still runs the verifier and records its
+    /// [`crate::verify::Verdict`] on the program, but admits everything —
+    /// used by the fuzzing harnesses to measure verifier precision.
+    pub enforce_admission: bool,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { optimize: true }
+        CompileOptions {
+            optimize: true,
+            enforce_admission: true,
+        }
     }
 }
 
@@ -108,6 +121,22 @@ pub fn compile_with_options(
     } else {
         0
     };
+    // Static admission: the abstract-interpretation verifier runs on the
+    // exact HIR the backends execute. Its verdict is always recorded;
+    // enforcement turns error-severity findings into compile errors.
+    let verdict = crate::verify::verify(&hir);
+    if options.enforce_admission && !verdict.admitted() {
+        let first = verdict
+            .diagnostics
+            .iter()
+            .find(|d| d.severity == crate::verify::Severity::Error)
+            .expect("unadmitted verdict has an error diagnostic");
+        return Err(CompileError {
+            stage: Stage::Verify,
+            pos: first.pos,
+            message: format!("[{}] {}", first.lint, first.message),
+        });
+    }
     let vcode = codegen::generate(&hir)?;
     let bytecode = regalloc::allocate(&vcode)?;
     vm::verify(&bytecode)?;
@@ -117,6 +146,7 @@ pub fn compile_with_options(
         hir,
         bytecode,
         optimizer_rewrites,
+        verdict,
     })
 }
 
@@ -134,6 +164,18 @@ impl SchedulerProgram {
     /// Number of rewrites the HIR optimizer applied.
     pub fn optimizer_rewrites(&self) -> usize {
         self.optimizer_rewrites
+    }
+
+    /// The admission verifier's verdict for this program (always computed,
+    /// even in observe mode).
+    pub fn verdict(&self) -> &crate::verify::Verdict {
+        &self.verdict
+    }
+
+    /// The certified worst-case step bound: new instances use this as
+    /// their per-execution budget instead of a blanket default.
+    pub fn certified_step_bound(&self) -> u64 {
+        self.verdict.certified_step_bound
     }
 
     /// Bytecode disassembly (the proc-style debug listing of §4.1).
@@ -227,11 +269,15 @@ impl SchedulerInstance {
             ),
             Backend::Vm => BackendState::Vm { specialized: None },
         };
+        // The per-program certified bound replaces the blanket default
+        // budget: tight enough to stop runaways early, provably above any
+        // legal execution of *this* program.
+        let budget = program.certified_step_bound();
         SchedulerInstance {
             program,
             backend,
             state,
-            budget: DEFAULT_STEP_BUDGET,
+            budget,
             stats: InstanceStats::default(),
             specialize: true,
         }
@@ -539,7 +585,15 @@ mod tests {
     fn unoptimized_compile_skips_rewrites() {
         let src = "SET(R1, 2 + 3);";
         let opt = compile(src).unwrap();
-        let raw = compile_with_options(None, src, CompileOptions { optimize: false }).unwrap();
+        let raw = compile_with_options(
+            None,
+            src,
+            CompileOptions {
+                optimize: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
         assert!(opt.optimizer_rewrites() > 0);
         assert_eq!(raw.optimizer_rewrites(), 0);
         // Semantics identical either way.
@@ -561,6 +615,43 @@ mod tests {
             assert_eq!(env.transmissions.len(), 1);
             assert_eq!(env.transmissions[0].0 .0, 0);
         }
+    }
+
+    #[test]
+    fn admission_gate_rejects_error_diagnostics() {
+        // A popped packet that is never pushed or dropped is an
+        // error-severity finding: the compile fails at the verify stage.
+        let err = compile("VAR p = Q.POP(); SET(R1, R1 + 1);").unwrap_err();
+        assert_eq!(err.stage, crate::error::Stage::Verify);
+        assert!(err.message.contains("pop-without-push"), "{}", err.message);
+    }
+
+    #[test]
+    fn observe_mode_admits_and_records_verdict() {
+        let prog = compile_with_options(
+            None,
+            "VAR p = Q.POP(); SET(R1, R1 + 1);",
+            CompileOptions {
+                enforce_admission: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!prog.verdict().admitted());
+        assert!(prog.certified_step_bound() >= 1024);
+    }
+
+    #[test]
+    fn instances_run_under_the_certified_bound() {
+        let prog = compile(MIN_RTT).unwrap();
+        assert!(prog.verdict().admitted());
+        let bound = prog.certified_step_bound();
+        assert!(bound >= 1024);
+        // The bound must actually admit real executions.
+        let mut inst = prog.instantiate(Backend::Vm);
+        let mut env = env_with_packets(2);
+        let stats = inst.execute(&mut env).unwrap();
+        assert!(stats.steps <= bound, "{} > {bound}", stats.steps);
     }
 
     #[test]

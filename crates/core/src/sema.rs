@@ -32,7 +32,9 @@ pub fn lower(program: &Program) -> Result<HProgram, CompileError> {
         out: HProgram {
             exprs: Vec::new(),
             expr_ty: Vec::new(),
+            expr_pos: Vec::new(),
             stmts: Vec::new(),
+            stmt_pos: Vec::new(),
             body: Vec::new(),
             n_slots: 0,
             slot_ty: Vec::new(),
@@ -72,16 +74,18 @@ impl Ctx {
         CompileError::new(Stage::Sema, pos, msg)
     }
 
-    fn push_expr(&mut self, e: HExpr, ty: Type) -> ExprId {
+    fn push_expr(&mut self, e: HExpr, ty: Type, pos: Pos) -> ExprId {
         let id = ExprId(self.out.exprs.len() as u32);
         self.out.exprs.push(e);
         self.out.expr_ty.push(ty);
+        self.out.expr_pos.push(pos);
         id
     }
 
-    fn push_stmt(&mut self, s: HStmt) -> StmtId {
+    fn push_stmt(&mut self, s: HStmt, pos: Pos) -> StmtId {
         let id = StmtId(self.out.stmts.len() as u32);
         self.out.stmts.push(s);
+        self.out.stmt_pos.push(pos);
         id
     }
 
@@ -154,7 +158,7 @@ impl Ctx {
                 }
                 let (ie, ty) = self.lower_expr(init, Purity::Effect)?;
                 let slot = self.declare(stmt.pos, name, ty, Some(ie))?;
-                Ok(self.push_stmt(HStmt::VarDecl { slot, init: ie }))
+                Ok(self.push_stmt(HStmt::VarDecl { slot, init: ie }, stmt.pos))
             }
             StmtKind::If {
                 cond,
@@ -169,11 +173,14 @@ impl Ctx {
                 }
                 let tb = self.lower_block(then_body)?;
                 let eb = self.lower_block(else_body)?;
-                Ok(self.push_stmt(HStmt::If {
-                    cond: c,
-                    then_body: tb,
-                    else_body: eb,
-                }))
+                Ok(self.push_stmt(
+                    HStmt::If {
+                        cond: c,
+                        then_body: tb,
+                        else_body: eb,
+                    },
+                    stmt.pos,
+                ))
             }
             StmtKind::Foreach { var, list, body } => {
                 let (le, lty) = self.lower_expr(list, Purity::Pure)?;
@@ -187,21 +194,27 @@ impl Ctx {
                 let slot = self.declare(stmt.pos, var, Type::Subflow, None)?;
                 let b = self.lower_stmts(body);
                 self.scopes.pop();
-                Ok(self.push_stmt(HStmt::Foreach {
-                    slot,
-                    list: le,
-                    body: b?,
-                }))
+                Ok(self.push_stmt(
+                    HStmt::Foreach {
+                        slot,
+                        list: le,
+                        body: b?,
+                    },
+                    stmt.pos,
+                ))
             }
             StmtKind::SetReg { reg, value } => {
                 let (v, vty) = self.lower_expr(value, Purity::Pure)?;
                 if vty != Type::Int {
                     return Err(self.err(value.pos, format!("SET value must be int, found {vty}")));
                 }
-                Ok(self.push_stmt(HStmt::SetReg {
-                    reg: *reg,
-                    value: v,
-                }))
+                Ok(self.push_stmt(
+                    HStmt::SetReg {
+                        reg: *reg,
+                        value: v,
+                    },
+                    stmt.pos,
+                ))
             }
             StmtKind::Push { target, packet } => {
                 let (t, tty) = self.lower_expr(target, Purity::Pure)?;
@@ -218,10 +231,13 @@ impl Ctx {
                         format!("PUSH argument must be a packet, found {pty}"),
                     ));
                 }
-                Ok(self.push_stmt(HStmt::Push {
-                    target: t,
-                    packet: p,
-                }))
+                Ok(self.push_stmt(
+                    HStmt::Push {
+                        target: t,
+                        packet: p,
+                    },
+                    stmt.pos,
+                ))
             }
             StmtKind::Drop { packet } => {
                 let (p, pty) = self.lower_expr_nullable(packet, Purity::Effect, Type::Packet)?;
@@ -231,9 +247,9 @@ impl Ctx {
                         format!("DROP argument must be a packet, found {pty}"),
                     ));
                 }
-                Ok(self.push_stmt(HStmt::Drop { packet: p }))
+                Ok(self.push_stmt(HStmt::Drop { packet: p }, stmt.pos))
             }
-            StmtKind::Return => Ok(self.push_stmt(HStmt::Return)),
+            StmtKind::Return => Ok(self.push_stmt(HStmt::Return, stmt.pos)),
         }
     }
 
@@ -251,33 +267,33 @@ impl Ctx {
                 Type::Subflow => HExpr::NullSubflow,
                 _ => return Err(self.err(expr.pos, format!("NULL cannot have type {expected}"))),
             };
-            return Ok((self.push_expr(node, expected), expected));
+            return Ok((self.push_expr(node, expected, expr.pos), expected));
         }
         self.lower_expr(expr, purity)
     }
 
     fn lower_expr(&mut self, expr: &Expr, purity: Purity) -> Result<(ExprId, Type), CompileError> {
         match &expr.kind {
-            ExprKind::Int(v) => Ok((self.push_expr(HExpr::Int(*v), Type::Int), Type::Int)),
-            ExprKind::Bool(b) => Ok((self.push_expr(HExpr::Bool(*b), Type::Bool), Type::Bool)),
+            ExprKind::Int(v) => Ok((self.push_expr(HExpr::Int(*v), Type::Int, expr.pos), Type::Int)),
+            ExprKind::Bool(b) => Ok((self.push_expr(HExpr::Bool(*b), Type::Bool, expr.pos), Type::Bool)),
             ExprKind::Null => Err(self.err(
                 expr.pos,
                 "NULL is only allowed where a packet/subflow type is known (comparisons, PUSH/DROP arguments)",
             )),
-            ExprKind::Reg(r) => Ok((self.push_expr(HExpr::ReadReg(*r), Type::Int), Type::Int)),
+            ExprKind::Reg(r) => Ok((self.push_expr(HExpr::ReadReg(*r), Type::Int, expr.pos), Type::Int)),
             ExprKind::Var(name) => match self.lookup(name) {
                 Some((b, _)) => {
                     let (slot, ty) = (b.slot, b.ty);
-                    Ok((self.push_expr(HExpr::ReadVar(slot), ty), ty))
+                    Ok((self.push_expr(HExpr::ReadVar(slot), ty, expr.pos), ty))
                 }
                 None => Err(self.err(expr.pos, format!("unknown variable `{name}`"))),
             },
             ExprKind::Subflows => Ok((
-                self.push_expr(HExpr::Subflows, Type::SubflowList),
+                self.push_expr(HExpr::Subflows, Type::SubflowList, expr.pos),
                 Type::SubflowList,
             )),
             ExprKind::Queue(q) => Ok((
-                self.push_expr(HExpr::Queue(*q), Type::PacketQueue),
+                self.push_expr(HExpr::Queue(*q), Type::PacketQueue, expr.pos),
                 Type::PacketQueue,
             )),
             ExprKind::Prop { obj, name } => self.lower_prop(expr.pos, obj, name, purity),
@@ -307,7 +323,7 @@ impl Ctx {
                         pred: pe,
                     }
                 };
-                Ok((self.push_expr(node, oty), oty))
+                Ok((self.push_expr(node, oty, expr.pos), oty))
             }
             ExprKind::MinMax {
                 obj,
@@ -348,7 +364,7 @@ impl Ctx {
                         Type::Packet,
                     )
                 };
-                Ok((self.push_expr(node, rty), rty))
+                Ok((self.push_expr(node, rty, expr.pos), rty))
             }
             ExprKind::Sum { obj, var, key } => {
                 let (oe, oty) = self.lower_expr(obj, purity)?;
@@ -376,7 +392,7 @@ impl Ctx {
                         key: ke,
                     }
                 };
-                Ok((self.push_expr(node, Type::Int), Type::Int))
+                Ok((self.push_expr(node, Type::Int, expr.pos), Type::Int))
             }
             ExprKind::Get { obj, index } => {
                 let (oe, oty) = self.lower_expr(obj, purity)?;
@@ -388,7 +404,7 @@ impl Ctx {
                     return Err(self.err(index.pos, format!("GET index must be int, found {ity}")));
                 }
                 Ok((
-                    self.push_expr(HExpr::ListGet { list: oe, index: ie }, Type::Subflow),
+                    self.push_expr(HExpr::ListGet { list: oe, index: ie }, Type::Subflow, expr.pos),
                     Type::Subflow,
                 ))
             }
@@ -403,7 +419,7 @@ impl Ctx {
                 if oty != Type::PacketQueue {
                     return Err(self.err(expr.pos, format!("POP requires a packet queue, found {oty}")));
                 }
-                Ok((self.push_expr(HExpr::QueuePop(oe), Type::Packet), Type::Packet))
+                Ok((self.push_expr(HExpr::QueuePop(oe), Type::Packet, expr.pos), Type::Packet))
             }
             ExprKind::SentOn { pkt, sbf } => {
                 let (pe, pty) = self.lower_expr(pkt, Purity::Pure)?;
@@ -415,7 +431,7 @@ impl Ctx {
                     return Err(self.err(sbf.pos, format!("SENT_ON argument must be a subflow, found {sty}")));
                 }
                 Ok((
-                    self.push_expr(HExpr::SentOn { pkt: pe, sbf: se }, Type::Bool),
+                    self.push_expr(HExpr::SentOn { pkt: pe, sbf: se }, Type::Bool, expr.pos),
                     Type::Bool,
                 ))
             }
@@ -435,7 +451,7 @@ impl Ctx {
                     ));
                 }
                 Ok((
-                    self.push_expr(HExpr::HasWindowFor { sbf: se, pkt: pe }, Type::Bool),
+                    self.push_expr(HExpr::HasWindowFor { sbf: se, pkt: pe }, Type::Bool, expr.pos),
                     Type::Bool,
                 ))
             }
@@ -451,7 +467,7 @@ impl Ctx {
                         format!("operand of unary {op:?} must be {want}, found {ity}"),
                     ));
                 }
-                Ok((self.push_expr(HExpr::Unary { op: *op, expr: ie }, want), want))
+                Ok((self.push_expr(HExpr::Unary { op: *op, expr: ie }, want, expr.pos), want))
             }
             ExprKind::Binary { op, lhs, rhs } => self.lower_binary(expr.pos, *op, lhs, rhs, purity),
         }
@@ -485,7 +501,7 @@ impl Ctx {
                     Type::Subflow => HExpr::NullSubflow,
                     _ => unreachable!(),
                 };
-                let ne = self.push_expr(null_node, tty);
+                let ne = self.push_expr(null_node, tty, pos);
                 let (l, r) = if lhs_null { (ne, te) } else { (te, ne) };
                 let node = HExpr::Binary {
                     op,
@@ -493,7 +509,7 @@ impl Ctx {
                     rhs: r,
                     operand_ty: tty,
                 };
-                return Ok((self.push_expr(node, Type::Bool), Type::Bool));
+                return Ok((self.push_expr(node, Type::Bool, pos), Type::Bool));
             }
         }
 
@@ -543,7 +559,7 @@ impl Ctx {
             rhs: re,
             operand_ty: lty,
         };
-        Ok((self.push_expr(node, result_ty), result_ty))
+        Ok((self.push_expr(node, result_ty, pos), result_ty))
     }
 
     /// Lowers a lambda `var => body` binding `var` at `elem_ty`. Lambda
@@ -576,7 +592,7 @@ impl Ctx {
                 Some(p) => {
                     let ty = if p.is_bool() { Type::Bool } else { Type::Int };
                     Ok((
-                        self.push_expr(HExpr::SubflowProp { sbf: oe, prop: p }, ty),
+                        self.push_expr(HExpr::SubflowProp { sbf: oe, prop: p }, ty, pos),
                         ty,
                     ))
                 }
@@ -584,24 +600,33 @@ impl Ctx {
             },
             Type::Packet => match PacketProp::from_name(name) {
                 Some(p) => Ok((
-                    self.push_expr(HExpr::PacketProp { pkt: oe, prop: p }, Type::Int),
+                    self.push_expr(HExpr::PacketProp { pkt: oe, prop: p }, Type::Int, pos),
                     Type::Int,
                 )),
                 None => Err(self.err(pos, format!("unknown packet property `{name}`"))),
             },
             Type::SubflowList => match name {
-                "COUNT" => Ok((self.push_expr(HExpr::ListCount(oe), Type::Int), Type::Int)),
-                "EMPTY" => Ok((self.push_expr(HExpr::ListEmpty(oe), Type::Bool), Type::Bool)),
+                "COUNT" => Ok((
+                    self.push_expr(HExpr::ListCount(oe), Type::Int, pos),
+                    Type::Int,
+                )),
+                "EMPTY" => Ok((
+                    self.push_expr(HExpr::ListEmpty(oe), Type::Bool, pos),
+                    Type::Bool,
+                )),
                 _ => Err(self.err(pos, format!("unknown subflow-list property `{name}`"))),
             },
             Type::PacketQueue => match name {
-                "COUNT" => Ok((self.push_expr(HExpr::QueueCount(oe), Type::Int), Type::Int)),
+                "COUNT" => Ok((
+                    self.push_expr(HExpr::QueueCount(oe), Type::Int, pos),
+                    Type::Int,
+                )),
                 "EMPTY" => Ok((
-                    self.push_expr(HExpr::QueueEmpty(oe), Type::Bool),
+                    self.push_expr(HExpr::QueueEmpty(oe), Type::Bool, pos),
                     Type::Bool,
                 )),
                 "TOP" | "FIRST" => Ok((
-                    self.push_expr(HExpr::QueueTop(oe), Type::Packet),
+                    self.push_expr(HExpr::QueueTop(oe), Type::Packet, pos),
                     Type::Packet,
                 )),
                 _ => Err(self.err(pos, format!("unknown queue property `{name}`"))),

@@ -1,0 +1,197 @@
+//! Closed-form worst-case step-cost certification.
+//!
+//! Computes an upper bound on the number of accounting steps one
+//! execution can take on *any* backend, assuming the environment stays
+//! within the configured cardinality caps ([`VerifyConfig::max_subflows`]
+//! subflows, [`VerifyConfig::max_queue_len`] packets per queue view). The
+//! model charges one abstract unit per statement and expression node and
+//! a full scan (`elements × per-element work`) for every aggregate
+//! consumption: filtered `COUNT`/`EMPTY`/`TOP`/`POP`, any
+//! `MIN`/`MAX`/`SUM`/`GET`, and `FOREACH` iteration. Aggregate variables
+//! are resolved through their initializer chains, and every consumption
+//! site re-charges the full re-expansion — exactly how the compiled
+//! backends execute fused aggregates. The result is multiplied by
+//! [`VerifyConfig::cost_safety_factor`] to absorb differences between the
+//! three backends' step-accounting granularities; the conformance
+//! soundness sweep checks the certified bound empirically.
+
+use crate::hir::{ExprId, HExpr, HProgram, HStmt, StmtId};
+use crate::types::Type;
+
+use super::VerifyConfig;
+
+/// Minimum certified bound, so trivial programs keep headroom for
+/// per-execution bookkeeping steps.
+const MIN_BOUND: u64 = 1024;
+
+/// The certified worst-case step bound for `prog` under `cfg`'s caps.
+pub(super) fn certified_step_bound(prog: &HProgram, cfg: &VerifyConfig) -> u64 {
+    let c = Coster { prog, cfg };
+    let total = c.block_cost(&prog.body);
+    total.saturating_mul(cfg.cost_safety_factor).max(MIN_BOUND)
+}
+
+/// Worst-case shape of one aggregate view chain.
+struct ViewInfo {
+    /// Cap on the number of elements a scan of the view visits.
+    elems: u64,
+    /// Per-element cost of evaluating the accumulated filter predicates.
+    pred_cost: u64,
+    /// True when the chain contains at least one `FILTER`.
+    filtered: bool,
+}
+
+struct Coster<'a> {
+    prog: &'a HProgram,
+    cfg: &'a VerifyConfig,
+}
+
+impl<'a> Coster<'a> {
+    fn block_cost(&self, body: &[StmtId]) -> u64 {
+        body.iter()
+            .fold(0u64, |acc, &s| acc.saturating_add(self.stmt_cost(s)))
+    }
+
+    fn stmt_cost(&self, sid: StmtId) -> u64 {
+        match self.prog.stmt(sid) {
+            HStmt::VarDecl { init, .. } => 1u64.saturating_add(self.expr_cost(*init)),
+            HStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                // Never prune branches here, even ones the dataflow pass
+                // proves dead: the bound must hold for the program as
+                // compiled.
+                1u64.saturating_add(self.expr_cost(*cond))
+                    .saturating_add(self.block_cost(then_body).max(self.block_cost(else_body)))
+            }
+            HStmt::Foreach { list, body, .. } => {
+                let view = self.view_info(*list);
+                let per_elem = view
+                    .pred_cost
+                    .saturating_add(1)
+                    .saturating_add(self.block_cost(body));
+                1u64.saturating_add(self.expr_cost(*list))
+                    .saturating_add(view.elems.saturating_mul(per_elem))
+            }
+            HStmt::SetReg { value, .. } => 1u64.saturating_add(self.expr_cost(*value)),
+            HStmt::Push { target, packet } => 1u64
+                .saturating_add(self.expr_cost(*target))
+                .saturating_add(self.expr_cost(*packet)),
+            HStmt::Drop { packet } => 1u64.saturating_add(self.expr_cost(*packet)),
+            HStmt::Return => 1,
+        }
+    }
+
+    /// Cost of evaluating the expression at its appearance site. Scans are
+    /// charged at the consuming node.
+    fn expr_cost(&self, id: ExprId) -> u64 {
+        match self.prog.expr(id) {
+            HExpr::Int(_)
+            | HExpr::Bool(_)
+            | HExpr::NullPacket
+            | HExpr::NullSubflow
+            | HExpr::ReadReg(_)
+            | HExpr::ReadVar(_)
+            | HExpr::Subflows
+            | HExpr::Queue(_) => 1,
+            HExpr::SubflowProp { sbf: e, .. } | HExpr::PacketProp { pkt: e, .. } => {
+                1u64.saturating_add(self.expr_cost(*e))
+            }
+            HExpr::SentOn { pkt: a, sbf: b } | HExpr::HasWindowFor { sbf: a, pkt: b } => 1u64
+                .saturating_add(self.expr_cost(*a))
+                .saturating_add(self.expr_cost(*b)),
+            // A FILTER node by itself builds a lazy view; the predicate is
+            // charged once here (loosely) and per element at consumers.
+            HExpr::ListFilter { list, pred, .. } => 1u64
+                .saturating_add(self.expr_cost(*list))
+                .saturating_add(self.expr_cost(*pred)),
+            HExpr::QueueFilter { queue, pred, .. } => 1u64
+                .saturating_add(self.expr_cost(*queue))
+                .saturating_add(self.expr_cost(*pred)),
+            HExpr::ListMinMax { list, key, .. } => self.scan_cost(*list, Some(*key)),
+            HExpr::QueueMinMax { queue, key, .. } => self.scan_cost(*queue, Some(*key)),
+            HExpr::ListSum { list, key, .. } => self.scan_cost(*list, Some(*key)),
+            HExpr::QueueSum { queue, key, .. } => self.scan_cost(*queue, Some(*key)),
+            // O(1) on an unfiltered view; a full scan through filters.
+            HExpr::ListCount(e)
+            | HExpr::QueueCount(e)
+            | HExpr::ListEmpty(e)
+            | HExpr::QueueEmpty(e)
+            | HExpr::QueueTop(e)
+            | HExpr::QueuePop(e) => {
+                let view = self.view_info(*e);
+                if view.filtered {
+                    self.scan_cost(*e, None)
+                } else {
+                    1u64.saturating_add(self.expr_cost(*e))
+                }
+            }
+            // GET is charged as a scan even unfiltered (index walk).
+            HExpr::ListGet { list, index } => self
+                .scan_cost(*list, None)
+                .saturating_add(self.expr_cost(*index)),
+            HExpr::Unary { expr, .. } => 1u64.saturating_add(self.expr_cost(*expr)),
+            HExpr::Binary { lhs, rhs, .. } => 1u64
+                .saturating_add(self.expr_cost(*lhs))
+                .saturating_add(self.expr_cost(*rhs)),
+        }
+    }
+
+    /// Cost of one full scan over the view `e`, optionally evaluating a
+    /// per-element `key` expression.
+    fn scan_cost(&self, e: ExprId, key: Option<ExprId>) -> u64 {
+        let view = self.view_info(e);
+        let key_cost = key.map_or(0, |k| self.expr_cost(k));
+        let per_elem = view.pred_cost.saturating_add(key_cost).saturating_add(1);
+        1u64.saturating_add(self.expr_cost(e))
+            .saturating_add(view.elems.saturating_mul(per_elem))
+    }
+
+    /// Resolves the worst-case shape of a view chain, following aggregate
+    /// variables to their initializers.
+    fn view_info(&self, e: ExprId) -> ViewInfo {
+        match self.prog.expr(e) {
+            HExpr::Subflows => ViewInfo {
+                elems: self.cfg.max_subflows,
+                pred_cost: 0,
+                filtered: false,
+            },
+            HExpr::Queue(_) => ViewInfo {
+                elems: self.cfg.max_queue_len,
+                pred_cost: 0,
+                filtered: false,
+            },
+            HExpr::ListFilter { list, pred, .. } => {
+                let mut v = self.view_info(*list);
+                v.pred_cost = v.pred_cost.saturating_add(self.expr_cost(*pred));
+                v.filtered = true;
+                v
+            }
+            HExpr::QueueFilter { queue, pred, .. } => {
+                let mut v = self.view_info(*queue);
+                v.pred_cost = v.pred_cost.saturating_add(self.expr_cost(*pred));
+                v.filtered = true;
+                v
+            }
+            HExpr::ReadVar(slot) => match self.prog.aggregate_init[slot.0 as usize] {
+                Some(init) => self.view_info(init),
+                None => self.fallback_view(e),
+            },
+            _ => self.fallback_view(e),
+        }
+    }
+
+    fn fallback_view(&self, e: ExprId) -> ViewInfo {
+        let elems = match self.prog.ty(e) {
+            Type::PacketQueue => self.cfg.max_queue_len,
+            _ => self.cfg.max_subflows,
+        };
+        ViewInfo {
+            elems,
+            pred_cost: 0,
+            filtered: false,
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Abstract domains: integer intervals, reference nullability, and queue
+//! emptiness.
+//!
+//! The interval transfer functions mirror the runtime's *wrapping*
+//! arithmetic: when both operands are exact the abstract result is the
+//! exact wrapped value, and when a range endpoint computation would
+//! overflow the result widens to [`Interval::TOP`] — saturating would be
+//! unsound because the concrete semantics wrap.
+
+/// A non-empty closed integer interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The full `i64` range (no information).
+    pub const TOP: Interval = Interval {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
+
+    /// The boolean range `[0, 1]`.
+    pub const BOOL: Interval = Interval { lo: 0, hi: 1 };
+
+    /// A single value.
+    pub const fn exact(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// `[lo, hi]`; callers must keep `lo <= hi`.
+    pub const fn new(lo: i64, hi: i64) -> Interval {
+        Interval { lo, hi }
+    }
+
+    /// The single value, if the interval is a point.
+    pub fn as_exact(self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Whether `v` is inside the interval.
+    pub fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Least upper bound.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Greatest lower bound; `None` when the intervals are disjoint
+    /// (an infeasible state).
+    pub fn meet(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Standard widening: bounds that moved since `self` jump to infinity.
+    pub fn widen(self, next: Interval) -> Interval {
+        Interval {
+            lo: if next.lo < self.lo { i64::MIN } else { self.lo },
+            hi: if next.hi > self.hi { i64::MAX } else { self.hi },
+        }
+    }
+
+    fn lift2(self, rhs: Interval, f: impl Fn(i64, i64) -> Option<i64>) -> Interval {
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for a in [self.lo, self.hi] {
+            for b in [rhs.lo, rhs.hi] {
+                match f(a, b) {
+                    Some(v) => {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                    None => return Interval::TOP,
+                }
+            }
+        }
+        Interval { lo, hi }
+    }
+
+    /// Abstract `+` under wrapping semantics.
+    pub fn add(self, rhs: Interval) -> Interval {
+        if let (Some(a), Some(b)) = (self.as_exact(), rhs.as_exact()) {
+            return Interval::exact(a.wrapping_add(b));
+        }
+        self.lift2(rhs, i64::checked_add)
+    }
+
+    /// Abstract `-` under wrapping semantics.
+    pub fn sub(self, rhs: Interval) -> Interval {
+        if let (Some(a), Some(b)) = (self.as_exact(), rhs.as_exact()) {
+            return Interval::exact(a.wrapping_sub(b));
+        }
+        self.lift2(rhs, i64::checked_sub)
+    }
+
+    /// Abstract `*` under wrapping semantics.
+    pub fn mul(self, rhs: Interval) -> Interval {
+        if let (Some(a), Some(b)) = (self.as_exact(), rhs.as_exact()) {
+            return Interval::exact(a.wrapping_mul(b));
+        }
+        self.lift2(rhs, i64::checked_mul)
+    }
+
+    /// Abstract `/`; division by zero yields 0 (the runtime semantics).
+    pub fn div(self, rhs: Interval) -> Interval {
+        if rhs == Interval::exact(0) {
+            return Interval::exact(0);
+        }
+        if let (Some(a), Some(b)) = (self.as_exact(), rhs.as_exact()) {
+            return Interval::exact(a.wrapping_div(b));
+        }
+        if rhs.contains(0) {
+            // The result mixes real quotients with the by-zero 0 case.
+            return Interval::TOP;
+        }
+        // rhs has one sign throughout, so endpoint quotients bound the
+        // result; i64::MIN / -1 overflows (wraps at runtime) -> TOP.
+        self.lift2(rhs, i64::checked_div)
+    }
+
+    /// Abstract `%`; modulo by zero yields 0.
+    pub fn rem(self, rhs: Interval) -> Interval {
+        if rhs == Interval::exact(0) {
+            return Interval::exact(0);
+        }
+        if let (Some(a), Some(b)) = (self.as_exact(), rhs.as_exact()) {
+            return Interval::exact(a.wrapping_rem(b));
+        }
+        // |a % b| < max(|b.lo|, |b.hi|); 0 included for the by-zero case.
+        let m = rhs.lo.unsigned_abs().max(rhs.hi.unsigned_abs());
+        let m = i64::try_from(m.saturating_sub(1)).unwrap_or(i64::MAX);
+        Interval::new(-m, m)
+    }
+
+    /// Abstract unary negation under wrapping semantics.
+    pub fn neg(self) -> Interval {
+        if let Some(v) = self.as_exact() {
+            return Interval::exact(v.wrapping_neg());
+        }
+        match (self.hi.checked_neg(), self.lo.checked_neg()) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+}
+
+/// Three-valued truth of an abstract comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tri {
+    /// Holds in every concretization.
+    True,
+    /// Holds in no concretization.
+    False,
+    /// Indeterminate.
+    Unknown,
+}
+
+impl Tri {
+    /// As a boolean interval.
+    pub fn interval(self) -> Interval {
+        match self {
+            Tri::True => Interval::exact(1),
+            Tri::False => Interval::exact(0),
+            Tri::Unknown => Interval::BOOL,
+        }
+    }
+
+    /// Logical negation.
+    pub fn not(self) -> Tri {
+        match self {
+            Tri::True => Tri::False,
+            Tri::False => Tri::True,
+            Tri::Unknown => Tri::Unknown,
+        }
+    }
+
+    /// From an exact-bool interval.
+    pub fn from_interval(iv: Interval) -> Tri {
+        match iv.as_exact() {
+            Some(0) => Tri::False,
+            Some(_) => Tri::True,
+            None => Tri::Unknown,
+        }
+    }
+}
+
+impl Interval {
+    /// Abstract `<`.
+    pub fn lt(self, rhs: Interval) -> Tri {
+        if self.hi < rhs.lo {
+            Tri::True
+        } else if self.lo >= rhs.hi {
+            Tri::False
+        } else {
+            Tri::Unknown
+        }
+    }
+
+    /// Abstract `<=`.
+    pub fn le(self, rhs: Interval) -> Tri {
+        if self.hi <= rhs.lo {
+            Tri::True
+        } else if self.lo > rhs.hi {
+            Tri::False
+        } else {
+            Tri::Unknown
+        }
+    }
+
+    /// Abstract `==`.
+    pub fn eq_ab(self, rhs: Interval) -> Tri {
+        match (self.as_exact(), rhs.as_exact()) {
+            (Some(a), Some(b)) if a == b => Tri::True,
+            _ if self.meet(rhs).is_none() => Tri::False,
+            _ => Tri::Unknown,
+        }
+    }
+
+    /// Refines `(self, rhs)` under the assumption `self < rhs`; `None`
+    /// when the assumption is infeasible.
+    pub fn assume_lt(self, rhs: Interval) -> Option<(Interval, Interval)> {
+        if rhs.hi == i64::MIN || self.lo == i64::MAX {
+            return None;
+        }
+        let a = self.meet(Interval::new(i64::MIN, rhs.hi - 1))?;
+        let b = rhs.meet(Interval::new(self.lo + 1, i64::MAX))?;
+        Some((a, b))
+    }
+
+    /// Refines `(self, rhs)` under `self <= rhs`.
+    pub fn assume_le(self, rhs: Interval) -> Option<(Interval, Interval)> {
+        let a = self.meet(Interval::new(i64::MIN, rhs.hi))?;
+        let b = rhs.meet(Interval::new(self.lo, i64::MAX))?;
+        Some((a, b))
+    }
+
+    /// Refines `(self, rhs)` under `self == rhs`.
+    pub fn assume_eq(self, rhs: Interval) -> Option<(Interval, Interval)> {
+        let m = self.meet(rhs)?;
+        Some((m, m))
+    }
+
+    /// Refines `(self, rhs)` under `self != rhs` (only exact operands can
+    /// shave an endpoint).
+    pub fn assume_ne(self, rhs: Interval) -> Option<(Interval, Interval)> {
+        let shave = |iv: Interval, v: i64| -> Option<Interval> {
+            if iv.as_exact() == Some(v) {
+                None
+            } else if iv.lo == v {
+                Some(Interval::new(v + 1, iv.hi))
+            } else if iv.hi == v {
+                Some(Interval::new(iv.lo, v - 1))
+            } else {
+                Some(iv)
+            }
+        };
+        let a = match rhs.as_exact() {
+            Some(v) => shave(self, v)?,
+            None => self,
+        };
+        let b = match self.as_exact() {
+            Some(v) => shave(rhs, v)?,
+            None => rhs,
+        };
+        Some((a, b))
+    }
+}
+
+/// Whether a packet/subflow reference is `NULL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nullability {
+    /// Provably `NULL`.
+    Null,
+    /// Provably not `NULL`.
+    NonNull,
+    /// Either.
+    MaybeNull,
+}
+
+impl Nullability {
+    /// Least upper bound.
+    pub fn join(self, other: Nullability) -> Nullability {
+        if self == other {
+            self
+        } else {
+            Nullability::MaybeNull
+        }
+    }
+}
+
+/// Whether a queue view holds any packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Emptiness {
+    /// Provably empty (stays empty: executions never add packets to views).
+    Empty,
+    /// Provably non-empty (invalidated by any `POP`/`DROP`).
+    NonEmpty,
+    /// Either.
+    Unknown,
+}
+
+impl Emptiness {
+    /// Least upper bound.
+    pub fn join(self, other: Emptiness) -> Emptiness {
+        if self == other {
+            self
+        } else {
+            Emptiness::Unknown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_arithmetic_mirrors_wrapping() {
+        assert_eq!(
+            Interval::exact(i64::MAX).add(Interval::exact(1)),
+            Interval::exact(i64::MIN)
+        );
+        assert_eq!(
+            Interval::exact(i64::MIN).div(Interval::exact(-1)),
+            Interval::exact(i64::MIN)
+        );
+        assert_eq!(
+            Interval::exact(7).rem(Interval::exact(0)),
+            Interval::exact(0)
+        );
+    }
+
+    #[test]
+    fn range_overflow_goes_to_top() {
+        let near_max = Interval::new(i64::MAX - 1, i64::MAX);
+        assert_eq!(near_max.add(Interval::new(0, 5)), Interval::TOP);
+        assert_eq!(
+            Interval::new(0, 10).add(Interval::new(1, 2)),
+            Interval::new(1, 12)
+        );
+    }
+
+    #[test]
+    fn division_semantics() {
+        assert_eq!(
+            Interval::new(10, 100).div(Interval::new(2, 5)),
+            Interval::new(2, 50)
+        );
+        // Divisor range containing zero mixes quotients with the 0 case.
+        assert_eq!(
+            Interval::new(10, 100).div(Interval::new(-1, 1)),
+            Interval::TOP
+        );
+        assert_eq!(
+            Interval::new(1, 5).rem(Interval::new(1, 10)),
+            Interval::new(-9, 9)
+        );
+    }
+
+    #[test]
+    fn comparisons_and_refinement() {
+        assert_eq!(Interval::new(0, 3).lt(Interval::new(5, 9)), Tri::True);
+        assert_eq!(Interval::new(5, 9).lt(Interval::new(0, 3)), Tri::False);
+        assert_eq!(Interval::new(0, 9).lt(Interval::new(3, 5)), Tri::Unknown);
+        let (a, b) = Interval::new(0, 10).assume_lt(Interval::new(0, 5)).unwrap();
+        assert_eq!(a, Interval::new(0, 4));
+        assert_eq!(b, Interval::new(1, 5));
+        assert!(Interval::exact(9).assume_lt(Interval::exact(3)).is_none());
+        let (a, _) = Interval::new(0, 10).assume_ne(Interval::exact(0)).unwrap();
+        assert_eq!(a, Interval::new(1, 10));
+        assert!(Interval::exact(4).assume_ne(Interval::exact(4)).is_none());
+    }
+
+    #[test]
+    fn joins_meets_widen() {
+        assert_eq!(
+            Interval::new(0, 3).join(Interval::new(7, 9)),
+            Interval::new(0, 9)
+        );
+        assert!(Interval::new(0, 3).meet(Interval::new(7, 9)).is_none());
+        let w = Interval::new(0, 3).widen(Interval::new(0, 4));
+        assert_eq!(w, Interval::new(0, i64::MAX));
+        assert_eq!(
+            Nullability::Null.join(Nullability::NonNull),
+            Nullability::MaybeNull
+        );
+        assert_eq!(Emptiness::Empty.join(Emptiness::Empty), Emptiness::Empty);
+    }
+}

@@ -108,7 +108,10 @@ pub struct ConnectionConfig {
     pub mss: u32,
     /// Receive buffer capacity in bytes (bounds the advertised window).
     pub recv_buf: u64,
-    /// Per-execution scheduler step budget.
+    /// Per-execution scheduler step budget. Leaving the default
+    /// ([`progmp_core::DEFAULT_STEP_BUDGET`]) means "use the admission
+    /// verifier's certified per-program bound" for DSL schedulers; any
+    /// other value is honoured verbatim.
     pub step_budget: u64,
     /// Maximum scheduler re-executions per trigger (compressed-execution
     /// rounds).

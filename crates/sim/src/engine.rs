@@ -152,9 +152,17 @@ impl Sim {
     /// compile.
     pub fn add_connection(&mut self, cfg: ConnectionConfig) -> Result<ConnId, CompileError> {
         let id = self.connections.len();
+        let mut step_budget = cfg.step_budget;
         let scheduler = match cfg.scheduler {
             SchedulerSpec::Dsl { source, backend } => {
                 let program: SchedulerProgram = compile(&source)?;
+                // The config default is a sentinel meaning "let the
+                // admission verifier pick": admitted programs carry a
+                // per-program certified worst-case bound, which is much
+                // tighter than the blanket fallback.
+                if step_budget == progmp_core::DEFAULT_STEP_BUDGET {
+                    step_budget = program.certified_step_bound();
+                }
                 SchedulerHandle::Dsl(program.instantiate(backend))
             }
             SchedulerSpec::Native(n) => SchedulerHandle::Native(n),
@@ -200,7 +208,7 @@ impl Sim {
             cfg.mss,
             cfg.recv_buf,
         );
-        conn.step_budget = cfg.step_budget;
+        conn.step_budget = step_budget;
         conn.max_sched_rounds = cfg.max_sched_rounds;
         conn.record_timelines = cfg.record_timelines;
         self.connections.push(conn);

@@ -1,0 +1,188 @@
+//! Admission-verifier lint driver.
+//!
+//! ```text
+//! progmp-lint [--json] [--inspect] <file.progmp | scheduler-name>...
+//! progmp-lint [--json] [--inspect] --all
+//! ```
+//!
+//! Each argument is either a path to a scheduler source file or the name
+//! of a bundled scheduler (e.g. `minRttSimple`, `tap` — see
+//! `progmp_schedulers::sources::ALL`). `--all` lints every bundled
+//! scheduler. Programs are compiled in *observe* mode so diagnostics are
+//! reported even for programs the enforcing admission gate would reject.
+//!
+//! * default: human-readable verdicts (severity, lint name, source span,
+//!   certified step bound);
+//! * `--json`: one JSON object per program, machine-readable;
+//! * `--inspect`: additionally print the static audit report
+//!   (`progmp_core::analysis`) next to each verdict.
+//!
+//! Exit status: `0` when every program is admitted, `1` when any program
+//! has error-severity findings or fails to compile, `2` on usage errors.
+
+use std::process::ExitCode;
+
+use progmp_core::{compile_with_options, CompileOptions};
+
+struct Options {
+    json: bool,
+    inspect: bool,
+    targets: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: progmp-lint [--json] [--inspect] <file.progmp | scheduler-name>...\n\
+         \x20      progmp-lint [--json] [--inspect] --all\n\
+         \n\
+         bundled scheduler names:"
+    );
+    for (name, _) in progmp_schedulers::sources::ALL {
+        eprintln!("  {name}");
+    }
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        json: false,
+        inspect: false,
+        targets: Vec::new(),
+    };
+    let mut all = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--inspect" => opts.inspect = true,
+            "--all" => all = true,
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with("--") => return Err(usage()),
+            other => opts.targets.push(other.to_string()),
+        }
+    }
+    if all {
+        opts.targets.extend(
+            progmp_schedulers::sources::ALL
+                .iter()
+                .map(|(name, _)| name.to_string()),
+        );
+    }
+    if opts.targets.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+/// Resolves a target to `(display name, source text)`: bundled scheduler
+/// names take precedence, anything else is read as a file path.
+fn resolve(target: &str) -> Result<(String, String), String> {
+    if let Some((name, src)) = progmp_schedulers::sources::ALL
+        .iter()
+        .find(|(name, _)| *name == target)
+    {
+        return Ok((name.to_string(), src.to_string()));
+    }
+    match std::fs::read_to_string(target) {
+        Ok(src) => Ok((target.to_string(), src)),
+        Err(e) => Err(format!(
+            "{target}: not a bundled scheduler name and unreadable as a file: {e}"
+        )),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    let mut failed = false;
+    let mut first = true;
+    if opts.json {
+        println!("[");
+    }
+    for target in &opts.targets {
+        if opts.json && !first {
+            println!(",");
+        }
+        first = false;
+        let (name, source) = match resolve(target) {
+            Ok(pair) => pair,
+            Err(msg) => {
+                failed = true;
+                if opts.json {
+                    print!(
+                        "{{\"name\":\"{}\",\"error\":\"{}\"}}",
+                        json_escape(target),
+                        json_escape(&msg)
+                    );
+                } else {
+                    eprintln!("error: {msg}");
+                }
+                continue;
+            }
+        };
+        let compiled = compile_with_options(
+            Some(&name),
+            &source,
+            CompileOptions {
+                enforce_admission: false,
+                ..CompileOptions::default()
+            },
+        );
+        match compiled {
+            Ok(program) => {
+                let verdict = program.verdict();
+                if !verdict.admitted() {
+                    failed = true;
+                }
+                if opts.json {
+                    print!("{}", verdict.render_json(&name));
+                } else {
+                    println!("{}", verdict.render_human(&name));
+                }
+                if opts.inspect && !opts.json {
+                    println!("--- static audit: {name} ---");
+                    println!("{}", program.analyze());
+                    println!();
+                }
+            }
+            Err(e) => {
+                failed = true;
+                if opts.json {
+                    print!(
+                        "{{\"name\":\"{}\",\"error\":\"{}\"}}",
+                        json_escape(&name),
+                        json_escape(&e.to_string())
+                    );
+                } else {
+                    eprintln!("{name}: COMPILE ERROR: {e}");
+                }
+            }
+        }
+    }
+    if opts.json {
+        println!("\n]");
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
