@@ -17,10 +17,16 @@ echo "==> admission lint (examples + all bundled schedulers)"
 cargo run -q --release -p progmp --bin progmp-lint -- examples/schedulers/*.progmp
 cargo run -q --release -p progmp --bin progmp-lint -- --all
 
+echo "==> bytecode verification lint (all bundled schedulers; output elided)"
+cargo run -q --release -p progmp --bin progmp-lint -- --bytecode --all > /dev/null
+
 echo "==> conformance sweep (500 seeds, all backends)"
 cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --seeds 500
 
 echo "==> verifier-soundness sweep (500 seeds)"
 cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --soundness --seeds 500
+
+echo "==> bytecode-verifier soundness sweep + codegen-mutation check (500 seeds)"
+cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --vm-soundness --seeds 500
 
 echo "CI green"

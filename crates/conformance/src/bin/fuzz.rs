@@ -1,7 +1,7 @@
 //! Seed-sweeping differential and soundness fuzzer.
 //!
 //! ```text
-//! conformance-fuzz [--start S] [--seeds N] [--soundness]
+//! conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness]
 //! ```
 //!
 //! Explores seeds `[S, S+N)` (default `[0, 500)`).
@@ -18,16 +18,26 @@
 //! bound. Rejections are counted (and the reject rate reported) but are
 //! not failures; a violation prints the counterexample and exits
 //! non-zero.
+//!
+//! With `--vm-soundness`, each seed checks the *bytecode* verifier's
+//! precision instead: the image our own compiler generates (and every
+//! constant-subflow-count specialization of it) must validate against
+//! the HIR admission certificate with zero error-severity findings. The
+//! run finishes with the seeded codegen-mutation check, which must catch
+//! every simulated miscompile statically with a spanned `miscompile`
+//! diagnostic.
 
 use progmp_conformance::differ::{check_seed, run_differential, Divergence};
 use progmp_conformance::gen::Generator;
 use progmp_conformance::shrink::shrink;
 use progmp_conformance::soundness;
+use progmp_conformance::vm_soundness;
 
 struct Args {
     start: u64,
     seeds: u64,
     soundness: bool,
+    vm_soundness: bool,
 }
 
 fn parse_args() -> Args {
@@ -35,15 +45,17 @@ fn parse_args() -> Args {
         start: 0,
         seeds: 500,
         soundness: false,
+        vm_soundness: false,
     };
     fn usage() -> ! {
-        eprintln!("usage: conformance-fuzz [--start S] [--seeds N] [--soundness]");
+        eprintln!("usage: conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness]");
         std::process::exit(2);
     }
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--soundness" => parsed.soundness = true,
+            "--vm-soundness" => parsed.vm_soundness = true,
             "--start" | "--seeds" => {
                 let value = match args.next().and_then(|v| v.parse().ok()) {
                     Some(v) => v,
@@ -98,8 +110,52 @@ fn run_soundness(start: u64, seeds: u64) {
     }
 }
 
+fn run_vm_soundness(start: u64, seeds: u64) {
+    println!(
+        "conformance-fuzz --vm-soundness: seeds [{start}, {})",
+        start + seeds
+    );
+    let report = vm_soundness::sweep(start, seeds);
+    println!("{}", report.summary());
+    let mut failed = false;
+    if !report.violations.is_empty() {
+        for violation in &report.violations {
+            eprintln!("{violation}");
+        }
+        failed = true;
+    }
+    let mutations = vm_soundness::mutation_check();
+    println!("{}", mutations.summary());
+    for outcome in &mutations.outcomes {
+        println!(
+            "  [{}] {} — {}",
+            if outcome.caught && outcome.has_span {
+                "caught"
+            } else {
+                "MISSED"
+            },
+            outcome.description,
+            if outcome.detail.is_empty() {
+                "admitted (BAD)"
+            } else {
+                &outcome.detail
+            }
+        );
+    }
+    if !mutations.all_caught() {
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.vm_soundness {
+        run_vm_soundness(args.start, args.seeds);
+        return;
+    }
     if args.soundness {
         run_soundness(args.start, args.seeds);
         return;

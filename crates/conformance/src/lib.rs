@@ -24,6 +24,7 @@ pub mod rng;
 pub mod shrink;
 pub mod snapshot;
 pub mod soundness;
+pub mod vm_soundness;
 
 /// Compiles `source` in observe mode: the admission verifier still runs
 /// and records its [`progmp_core::Verdict`], but error-severity findings

@@ -18,6 +18,7 @@
 //! Division or modulo by zero yields zero, as in eBPF.
 
 use crate::env::{PacketProp, QueueKind, SubflowProp};
+use crate::error::Pos;
 use std::fmt;
 
 /// Number of machine registers (`r0` .. `r10`).
@@ -320,6 +321,31 @@ impl QueueKind {
         usize::try_from(code)
             .ok()
             .and_then(|i| QueueKind::ALL.get(i).copied())
+    }
+}
+
+/// Instruction → source-span side table.
+///
+/// Parallel to [`BytecodeProgram::code`]: `spans[pc]` is the source
+/// position of the construct that instruction `pc` was compiled from.
+/// Kept out of [`BytecodeProgram`] itself so the executable image stays a
+/// pure ISA artifact (and existing hand-built programs keep working); the
+/// bytecode verifier uses this table to attach real positions to
+/// diagnostics, like BTF line info attached to an eBPF object.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DebugTable {
+    /// Source position per instruction, indexed by pc.
+    pub spans: Vec<Pos>,
+}
+
+impl DebugTable {
+    /// The source span for `pc`, or `0:0` when the table has no entry
+    /// (hand-built programs, out-of-range pc).
+    pub fn pos(&self, pc: usize) -> Pos {
+        self.spans
+            .get(pc)
+            .copied()
+            .unwrap_or(Pos { line: 0, col: 0 })
     }
 }
 

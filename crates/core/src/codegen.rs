@@ -115,11 +115,36 @@ pub enum VInsn {
     Exit,
 }
 
+/// Virtual-register code plus the instruction → source-span side table.
+///
+/// `spans[i]` is the source position of the HIR construct that produced
+/// `insns[i]`; [`crate::regalloc`] threads the spans through lowering so
+/// every machine instruction in the final [`crate::bytecode::DebugTable`]
+/// maps back to scheduler source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VCode {
+    /// The virtual-register instruction stream.
+    pub insns: Vec<VInsn>,
+    /// Source position per instruction, parallel to `insns`.
+    pub spans: Vec<Pos>,
+}
+
+impl VCode {
+    /// Wraps a hand-built instruction list with `0:0` spans (tests and
+    /// synthetic programs that have no source).
+    pub fn from_insns(insns: Vec<VInsn>) -> Self {
+        let spans = vec![Pos { line: 0, col: 0 }; insns.len()];
+        VCode { insns, spans }
+    }
+}
+
 /// Generates virtual-register code for a lowered program.
-pub fn generate(prog: &HProgram) -> Result<Vec<VInsn>, CompileError> {
+pub fn generate(prog: &HProgram) -> Result<VCode, CompileError> {
     let mut cg = Cg {
         prog,
         out: Vec::new(),
+        spans: Vec::new(),
+        cur_pos: Pos::new(0, 0),
         next_vreg: 0,
         next_label: 0,
         slot_vreg: vec![None; prog.n_slots],
@@ -127,8 +152,11 @@ pub fn generate(prog: &HProgram) -> Result<Vec<VInsn>, CompileError> {
     for &sid in &prog.body {
         cg.gen_stmt(sid)?;
     }
-    cg.out.push(VInsn::Exit);
-    Ok(cg.out)
+    cg.emit(VInsn::Exit);
+    Ok(VCode {
+        insns: cg.out,
+        spans: cg.spans,
+    })
 }
 
 /// Decomposed subflow-list expression: the `SUBFLOWS` base plus a fused
@@ -140,6 +168,11 @@ struct ListChain {
 struct Cg<'p> {
     prog: &'p HProgram,
     out: Vec<VInsn>,
+    /// Source span per emitted instruction, parallel to `out`.
+    spans: Vec<Pos>,
+    /// Position of the construct currently being lowered; stamped onto
+    /// every instruction [`Cg::emit`] produces.
+    cur_pos: Pos,
     next_vreg: u32,
     next_label: u32,
     slot_vreg: Vec<Option<VReg>>,
@@ -160,6 +193,7 @@ impl<'p> Cg<'p> {
 
     fn emit(&mut self, i: VInsn) {
         self.out.push(i);
+        self.spans.push(self.cur_pos);
     }
 
     fn place(&mut self, l: Label) {
@@ -411,6 +445,7 @@ impl<'p> Cg<'p> {
     }
 
     fn gen_stmt(&mut self, sid: StmtId) -> Result<(), CompileError> {
+        self.cur_pos = self.prog.stmt_pos(sid);
         match self.prog.stmt(sid).clone() {
             HStmt::VarDecl { slot, init } => {
                 if self.prog.slot_ty[slot.0 as usize].is_aggregate() {
@@ -490,6 +525,7 @@ impl<'p> Cg<'p> {
     // ----- expressions -----
 
     fn gen_expr(&mut self, eid: ExprId) -> Result<VReg, CompileError> {
+        self.cur_pos = self.prog.expr_pos(eid);
         match self.prog.expr(eid).clone() {
             HExpr::Int(v) => Ok(self.imm(v)),
             HExpr::Bool(b) => Ok(self.imm(i64::from(b))),
@@ -823,7 +859,23 @@ mod tests {
     use crate::sema::lower;
 
     fn gen(src: &str) -> Vec<VInsn> {
-        generate(&lower(&parse(src).unwrap()).unwrap()).unwrap()
+        generate(&lower(&parse(src).unwrap()).unwrap())
+            .unwrap()
+            .insns
+    }
+
+    #[test]
+    fn spans_are_parallel_to_insns_and_nonzero() {
+        let vcode =
+            generate(&lower(&parse("SET(R1, 2);\nSET(R2, SUBFLOWS.COUNT);").unwrap()).unwrap())
+                .unwrap();
+        assert_eq!(vcode.insns.len(), vcode.spans.len());
+        // Everything except the synthetic trailing Exit carries a real
+        // source position; the second statement's code points at line 2.
+        assert!(vcode.spans[..vcode.spans.len() - 1]
+            .iter()
+            .all(|p| p.line >= 1));
+        assert!(vcode.spans.iter().any(|p| p.line == 2));
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub enum Stage {
     /// was rejected because the verifier reported an error-severity
     /// diagnostic (see [`crate::verify`]).
     Verify,
+    /// Bytecode-level verification: the eBPF-style dataflow verifier over
+    /// the compiled artifact (see [`crate::verify::vm`]) rejected the
+    /// program, or the structural bytecode checks failed.
+    VmVerify,
 }
 
 impl fmt::Display for Stage {
@@ -61,6 +65,7 @@ impl fmt::Display for Stage {
             Stage::Sema => "sema",
             Stage::Codegen => "codegen",
             Stage::Verify => "verify",
+            Stage::VmVerify => "vm-verify",
         };
         f.write_str(s)
     }
@@ -150,5 +155,6 @@ mod tests {
         assert_eq!(Stage::Sema.to_string(), "sema");
         assert_eq!(Stage::Codegen.to_string(), "codegen");
         assert_eq!(Stage::Verify.to_string(), "verify");
+        assert_eq!(Stage::VmVerify.to_string(), "vm-verify");
     }
 }

@@ -12,7 +12,7 @@
 //! are reused by many connections (§4.3, "Number of Schedulers").
 
 use crate::aot;
-use crate::bytecode::BytecodeProgram;
+use crate::bytecode::{BytecodeProgram, DebugTable};
 use crate::env::SchedulerEnv;
 use crate::error::{CompileError, ExecError, Stage};
 use crate::exec::{ExecCtx, ExecStats};
@@ -62,8 +62,10 @@ pub struct SchedulerProgram {
     source: String,
     hir: HProgram,
     bytecode: BytecodeProgram,
+    debug: DebugTable,
     optimizer_rewrites: usize,
     verdict: crate::verify::Verdict,
+    vm_verdict: crate::verify::vm::BytecodeVerdict,
 }
 
 /// Compiles scheduler source text.
@@ -138,15 +140,40 @@ pub fn compile_with_options(
         });
     }
     let vcode = codegen::generate(&hir)?;
-    let bytecode = regalloc::allocate(&vcode)?;
-    vm::verify(&bytecode)?;
+    let (bytecode, debug) = regalloc::allocate_with_debug(&vcode)?;
+    vm::verify_with_debug(&bytecode, Some(&debug))?;
+    // Translation validation: an independent abstract interpretation over
+    // the generated bytecode, cross-checked against the HIR admission
+    // certificate (step bound + helper audit). Any error here means the
+    // compiler produced code that disagrees with what was certified.
+    let vm_verdict = crate::verify::vm::validate_translation(
+        &bytecode,
+        &debug,
+        &hir,
+        verdict.certified_step_bound,
+        &crate::verify::VerifyConfig::default(),
+    );
+    if options.enforce_admission && !vm_verdict.admitted() {
+        let first = vm_verdict
+            .diagnostics
+            .iter()
+            .find(|d| d.severity == crate::verify::Severity::Error)
+            .expect("unadmitted bytecode verdict has an error diagnostic");
+        return Err(CompileError {
+            stage: Stage::VmVerify,
+            pos: first.pos,
+            message: format!("[{}] {}", first.lint, first.message),
+        });
+    }
     Ok(SchedulerProgram {
         name: name.map(str::to_owned),
         source: source.to_owned(),
         hir,
         bytecode,
+        debug,
         optimizer_rewrites,
         verdict,
+        vm_verdict,
     })
 }
 
@@ -181,6 +208,49 @@ impl SchedulerProgram {
     /// Bytecode disassembly (the proc-style debug listing of §4.1).
     pub fn disassemble(&self) -> String {
         self.bytecode.disassemble()
+    }
+
+    /// The generated bytecode image the VM backend executes.
+    pub fn bytecode(&self) -> &BytecodeProgram {
+        &self.bytecode
+    }
+
+    /// The instruction → source-span debug side table emitted by codegen.
+    pub fn debug_table(&self) -> &DebugTable {
+        &self.debug
+    }
+
+    /// The bytecode verifier's verdict for the generated image (always
+    /// computed, even in observe mode; see [`crate::verify::vm`]).
+    pub fn bytecode_verdict(&self) -> &crate::verify::vm::BytecodeVerdict {
+        &self.vm_verdict
+    }
+
+    /// Human-readable bytecode verification report: annotated listing
+    /// (spans + abstract register states) plus the verdict, as surfaced
+    /// by `progmp-lint --bytecode`.
+    pub fn bytecode_report(&self) -> String {
+        let name = self.name.as_deref().unwrap_or("<program>");
+        format!(
+            "{}{}",
+            self.vm_verdict.render_human(name),
+            self.vm_verdict.annotated
+        )
+    }
+
+    /// Re-runs translation validation of an alternate bytecode `image`
+    /// against this program's HIR admission certificate. Used by the
+    /// conformance harness to prove that seeded codegen/regalloc
+    /// miscompiles are caught statically; the image must be span-aligned
+    /// with this program's debug table (in-place mutations only).
+    pub fn validate_bytecode(&self, image: &BytecodeProgram) -> crate::verify::vm::BytecodeVerdict {
+        crate::verify::vm::validate_translation(
+            image,
+            &self.debug,
+            &self.hir,
+            self.verdict.certified_step_bound,
+            &crate::verify::VerifyConfig::default(),
+        )
     }
 
     /// Static audit of everything the scheduler touches (properties,

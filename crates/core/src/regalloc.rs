@@ -25,8 +25,10 @@
 //! anywhere inside a loop body are extended to the loop's back-edge, so a
 //! value defined before a loop and used within it survives the whole loop.
 
-use crate::bytecode::{BytecodeProgram, Insn, FIRST_ALLOCATABLE, MAX_STACK_SLOTS, NUM_ALLOCATABLE};
-use crate::codegen::{Label, VInsn, VReg};
+use crate::bytecode::{
+    BytecodeProgram, DebugTable, Insn, FIRST_ALLOCATABLE, MAX_STACK_SLOTS, NUM_ALLOCATABLE,
+};
+use crate::codegen::{Label, VCode, VInsn, VReg};
 use crate::error::{CompileError, Pos, Stage};
 use std::collections::HashMap;
 
@@ -40,11 +42,20 @@ pub enum Loc {
 }
 
 /// Allocates registers for `code` and lowers it to verified-ready machine
-/// instructions.
+/// instructions. Convenience wrapper over [`allocate_with_debug`] for
+/// hand-built instruction lists with no source spans.
 pub fn allocate(code: &[VInsn]) -> Result<BytecodeProgram, CompileError> {
-    let intervals = live_intervals(code);
+    allocate_with_debug(&VCode::from_insns(code.to_vec())).map(|(prog, _)| prog)
+}
+
+/// Allocates registers for `vcode` and lowers it to verified-ready
+/// machine instructions, threading each virtual instruction's source span
+/// onto every machine instruction it expands to. The returned
+/// [`DebugTable`] is parallel to the program's instruction stream.
+pub fn allocate_with_debug(vcode: &VCode) -> Result<(BytecodeProgram, DebugTable), CompileError> {
+    let intervals = live_intervals(&vcode.insns);
     let assignment = linear_scan(&intervals)?;
-    lower(code, &assignment)
+    lower(vcode, &assignment)
 }
 
 /// A live interval `[start, end]` over `VInsn` indices.
@@ -227,14 +238,21 @@ fn linear_scan(intervals: &[Interval]) -> Result<HashMap<VReg, Loc>, CompileErro
 }
 
 /// Lowers virtual instructions to machine instructions using the
-/// allocation map, resolving labels to relative offsets.
-fn lower(code: &[VInsn], assignment: &HashMap<VReg, Loc>) -> Result<BytecodeProgram, CompileError> {
+/// allocation map, resolving labels to relative offsets. Every machine
+/// instruction inherits the source span of the virtual instruction it was
+/// expanded from.
+fn lower(
+    vcode: &VCode,
+    assignment: &HashMap<VReg, Loc>,
+) -> Result<(BytecodeProgram, DebugTable), CompileError> {
+    let code = &vcode.insns;
     let loc = |v: VReg| -> Loc {
         *assignment
             .get(&v)
             .expect("every touched vreg has an assignment")
     };
     let mut out: Vec<Insn> = Vec::with_capacity(code.len() * 2);
+    let mut spans: Vec<Pos> = Vec::with_capacity(code.len() * 2);
     let mut label_at: HashMap<Label, usize> = HashMap::new();
     // (index in `out` of the jump, label) to patch after emission.
     let mut fixups: Vec<(usize, Label)> = Vec::new();
@@ -276,7 +294,12 @@ fn lower(code: &[VInsn], assignment: &HashMap<VReg, Loc>) -> Result<BytecodeProg
         }
     }
 
-    for insn in code {
+    for (vi, insn) in code.iter().enumerate() {
+        let span = vcode
+            .spans
+            .get(vi)
+            .copied()
+            .unwrap_or(Pos { line: 0, col: 0 });
         match insn {
             VInsn::Label(l) => {
                 label_at.insert(*l, out.len());
@@ -371,9 +394,15 @@ fn lower(code: &[VInsn], assignment: &HashMap<VReg, Loc>) -> Result<BytecodeProg
             }
             VInsn::Exit => out.push(Insn::Exit),
         }
+        // Stamp every machine instruction this VInsn expanded to.
+        spans.resize(out.len(), span);
     }
     if !matches!(out.last(), Some(Insn::Exit)) {
         out.push(Insn::Exit);
+        spans.resize(
+            out.len(),
+            spans.last().copied().unwrap_or(Pos { line: 0, col: 0 }),
+        );
     }
 
     for (at, label) in fixups {
@@ -396,10 +425,13 @@ fn lower(code: &[VInsn], assignment: &HashMap<VReg, Loc>) -> Result<BytecodeProg
         }
     }
 
-    Ok(BytecodeProgram {
-        code: out,
-        stack_slots: max_slot,
-    })
+    Ok((
+        BytecodeProgram {
+            code: out,
+            stack_slots: max_slot,
+        },
+        DebugTable { spans },
+    ))
 }
 
 #[cfg(test)]

@@ -37,6 +37,24 @@ pub enum Lint {
     PopWithoutPush,
     /// Scan nesting deeper than the admission threshold.
     ScanDepth,
+    /// Bytecode reads a register or stack slot on a path where it was
+    /// never written (bytecode verifier).
+    UninitRead,
+    /// Bytecode that no execution can reach (bytecode verifier).
+    UnreachableCode,
+    /// A helper call whose argument kinds or result use violate the typed
+    /// helper signature (bytecode verifier).
+    HelperSignature,
+    /// Arithmetic or ordered comparison on a subflow/packet handle
+    /// (bytecode verifier).
+    HandleArith,
+    /// A bytecode loop whose termination the verifier cannot establish
+    /// (bytecode verifier).
+    UnboundedLoop,
+    /// Translation validation failure: the compiled bytecode disagrees
+    /// with the HIR admission certificate (step bound or helper audit),
+    /// indicating a codegen/regalloc bug.
+    Miscompile,
 }
 
 impl Lint {
@@ -54,6 +72,12 @@ impl Lint {
             Lint::RegisterNeverRead => "register-never-read",
             Lint::PopWithoutPush => "pop-without-push",
             Lint::ScanDepth => "scan-depth",
+            Lint::UninitRead => "uninit-read",
+            Lint::UnreachableCode => "unreachable-code",
+            Lint::HelperSignature => "helper-signature",
+            Lint::HandleArith => "handle-arith",
+            Lint::UnboundedLoop => "unbounded-loop",
+            Lint::Miscompile => "miscompile",
         }
     }
 }

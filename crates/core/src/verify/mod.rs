@@ -21,6 +21,7 @@ mod dataflow;
 mod diag;
 mod domain;
 mod lints;
+pub mod vm;
 
 pub use diag::{Diagnostic, Lint, Severity, Verdict};
 

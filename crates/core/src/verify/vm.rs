@@ -1,0 +1,2331 @@
+//! eBPF-style dataflow verifier over compiled bytecode, with translation
+//! validation against the HIR admission certificate.
+//!
+//! The HIR verifier ([`crate::verify`]) certifies programs *before*
+//! codegen; nothing so far checked the artifact the VM actually executes.
+//! This module closes that gap the way the kernel eBPF verifier does:
+//! an independent worklist-based abstract interpretation over the
+//! [`BytecodeProgram`] itself, tracking per-register and per-slot
+//! abstract values (uninitialized / scalar interval / null-tagged
+//! subflow- and packet-handle kinds), enforcing the typed helper-call
+//! signatures (argument kinds, the `r1`–`r5` clobber set, result kind),
+//! flagging unreachable instructions, and deriving a closed-form
+//! bytecode-level step bound from recognized loop shapes.
+//!
+//! [`validate_translation`] then cross-checks the bytecode-level result
+//! against the HIR certificate: the bytecode bound must not exceed the
+//! certified HIR bound (modulo the fixed granularity slack below), and
+//! the helper calls the bytecode performs must match the HIR's static
+//! audit ([`crate::analysis`]) — same property/queue/register codes,
+//! same `PUSH`/`DROP`/`POP` site counts, same feature set. Any
+//! disagreement is a [`Lint::Miscompile`] diagnostic: the two verifiers
+//! form a translation-validation pair, so a codegen or register-allocator
+//! bug that changes observable behaviour is caught at load time instead
+//! of at runtime.
+//!
+//! # Bound model
+//!
+//! The bytecode bound mirrors the HIR cost model's charging discipline
+//! so the two are comparable: loops realizing O(1)-charged queue/list
+//! operations (unfiltered `COUNT`/`EMPTY`/`TOP`/`POP`, plain `GET` —
+//! recognized as filter-free loops whose body performs no helper work
+//! beyond the element fetch) are charged a single iteration, exactly as
+//! [`super::cost`] charges the construct they were compiled from. Scan
+//! realizations (filtered views, `MIN`/`MAX`/`SUM`, `FOREACH`, any
+//! call-bearing body) are charged their full inferred trip count. The
+//! bound is the longest path through the back-edge-free CFG (so `IF`
+//! branches contribute their maximum, matching the HIR model), with each
+//! instruction weighted by the trip counts of its enclosing loops.
+//!
+//! Because the two models count different atoms (machine instructions vs
+//! HIR cost units pre-multiplied by the safety factor), the translation
+//! check tolerates a [`TRANSLATION_SLACK`]× granularity gap. That is far
+//! below the smallest cardinality disagreement a miscompile can cause
+//! (wiring a loop to the wrong cap changes the bound by 64× or more), so
+//! the check still pins the compiled loop structure to the certificate.
+
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+use super::diag::{Diagnostic, Lint, Severity};
+use super::domain::{Interval, Nullability, Tri};
+use super::VerifyConfig;
+use crate::analysis;
+use crate::bytecode::{AluOp, MAX_STACK_SLOTS};
+use crate::bytecode::{BytecodeProgram, Cond, DebugTable, Helper, Insn, NUM_MACH_REGS};
+use crate::env::{PacketProp, QueueKind, SubflowProp};
+use crate::error::Pos;
+use crate::exec::NULL_HANDLE;
+use crate::hir::{ExprId, HExpr, HProgram, HStmt, StmtId};
+
+/// Granularity slack of the step-bound cross-check: the bytecode-level
+/// bound may exceed the certified HIR bound by at most this factor
+/// before the disagreement is reported as a miscompile.
+pub const TRANSLATION_SLACK: u64 = 2;
+
+/// Joins at one program point beyond which scalar intervals are widened.
+const WIDEN_AFTER: u32 = 8;
+
+/// The bytecode verifier's result: diagnostics, the model step bound
+/// (when every reachable loop was proved bounded), and the annotated
+/// listing surfaced by `progmp-lint --bytecode`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BytecodeVerdict {
+    /// All findings, sorted by pc then lint.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Bytecode-level model step bound; `None` when the verifier could
+    /// not establish termination of some reachable loop.
+    pub step_bound: Option<u64>,
+    /// Disassembly annotated with source spans and the abstract register
+    /// state each instruction executes under.
+    pub annotated: String,
+}
+
+impl BytecodeVerdict {
+    /// True iff no diagnostic has [`Severity::Error`].
+    pub fn admitted(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of diagnostics at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Multi-line human-readable report (header + findings).
+    pub fn render_human(&self, name: &str) -> String {
+        let mut out = String::new();
+        let bound = match self.step_bound {
+            Some(b) => b.to_string(),
+            None => "unbounded".to_string(),
+        };
+        out.push_str(&format!(
+            "{name}: bytecode {} (model step bound: {bound})\n",
+            if self.admitted() {
+                "ADMITTED"
+            } else {
+                "REJECTED"
+            },
+        ));
+        for d in &self.diagnostics {
+            out.push_str(&format!("  {d}\n"));
+        }
+        if self.diagnostics.is_empty() {
+            out.push_str("  no findings\n");
+        }
+        out
+    }
+}
+
+/// Runs the bytecode verifier alone (no HIR cross-check): structural
+/// checks, abstract interpretation, helper-signature enforcement,
+/// unreachable-code detection, and loop-bound inference.
+///
+/// Used directly for hand-built images and for re-verifying the output
+/// of [`crate::vm::specialize_subflow_count`]; the compile pipeline goes
+/// through [`validate_translation`] instead.
+pub fn verify_bytecode(
+    prog: &BytecodeProgram,
+    debug: Option<&DebugTable>,
+    cfg: &VerifyConfig,
+) -> BytecodeVerdict {
+    run(prog, debug, cfg).into_verdict()
+}
+
+/// Runs [`verify_bytecode`] and cross-checks the result against the HIR
+/// admission certificate (`hir` + its `certified_bound`): the
+/// translation-validation half of the pair. Every disagreement — a
+/// bytecode-level error on generated code, a helper call outside the
+/// HIR's static audit, or a step bound exceeding the certificate — is a
+/// [`Lint::Miscompile`] error anchored to the source span of the
+/// offending instruction.
+pub fn validate_translation(
+    prog: &BytecodeProgram,
+    debug: &DebugTable,
+    hir: &HProgram,
+    certified_bound: u64,
+    cfg: &VerifyConfig,
+) -> BytecodeVerdict {
+    let analyzer = run(prog, Some(debug), cfg);
+    let audit_diags = audit_helpers(&analyzer, prog, debug, hir);
+    let mut verdict = analyzer.into_verdict();
+
+    // Any error-severity bytecode finding on code that came out of our
+    // own compiler is by definition a compiler bug: pair it with a
+    // miscompile diagnostic at the same span.
+    let echoes: Vec<Diagnostic> = verdict
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error && d.lint != Lint::Miscompile)
+        .map(|d| Diagnostic {
+            lint: Lint::Miscompile,
+            severity: Severity::Error,
+            pos: d.pos,
+            message: format!(
+                "translation validation: generated bytecode failed verification: [{}] {}",
+                d.lint, d.message
+            ),
+        })
+        .collect();
+    verdict.diagnostics.extend(echoes);
+    verdict.diagnostics.extend(audit_diags);
+
+    if let Some(bc_bound) = verdict.step_bound {
+        if bc_bound > certified_bound.saturating_mul(TRANSLATION_SLACK) {
+            verdict.diagnostics.push(Diagnostic {
+                lint: Lint::Miscompile,
+                severity: Severity::Error,
+                pos: Pos { line: 0, col: 0 },
+                message: format!(
+                    "translation validation: bytecode step bound {bc_bound} exceeds the \
+                     certified HIR bound {certified_bound} (slack {TRANSLATION_SLACK}x): \
+                     the compiled loop structure disagrees with the certificate"
+                ),
+            });
+        }
+    }
+    verdict
+        .diagnostics
+        .sort_by_key(|d| (d.pos.line, d.pos.col, d.lint));
+    verdict
+}
+
+/// Which handle family an abstract reference belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HandleKind {
+    Subflow,
+    Packet,
+}
+
+impl HandleKind {
+    fn name(self) -> &'static str {
+        match self {
+            HandleKind::Subflow => "subflow",
+            HandleKind::Packet => "packet",
+        }
+    }
+}
+
+/// Abstract value of one register or stack slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    /// Never written on some path reaching here.
+    Uninit,
+    /// An integer in the interval.
+    Scalar(Interval),
+    /// Exactly `NULL_HANDLE`: the polymorphic NULL literal, usable as a
+    /// (null) handle of either kind or as the scalar `-1`.
+    Null,
+    /// A subflow/packet handle with the given nullability.
+    Handle(HandleKind, Nullability),
+}
+
+impl AbsVal {
+    /// Least upper bound. `Uninit` is absorbing: a location written on
+    /// only one incoming path must not be read after the merge.
+    fn join(self, other: AbsVal) -> AbsVal {
+        use AbsVal::{Handle, Null, Scalar, Uninit};
+        match (self, other) {
+            (Uninit, _) | (_, Uninit) => Uninit,
+            (Null, Null) => Null,
+            (Null, Handle(k, n)) | (Handle(k, n), Null) => Handle(k, n.join(Nullability::Null)),
+            (Null, Scalar(iv)) | (Scalar(iv), Null) => {
+                Scalar(iv.join(Interval::exact(NULL_HANDLE)))
+            }
+            (Handle(k1, n1), Handle(k2, n2)) if k1 == k2 => Handle(k1, n1.join(n2)),
+            // Kind confusion: degrade to an unknown scalar; any later use
+            // as a handle is then a signature violation.
+            (Handle(..), Handle(..)) | (Handle(..), Scalar(_)) | (Scalar(_), Handle(..)) => {
+                Scalar(Interval::TOP)
+            }
+            (Scalar(a), Scalar(b)) => Scalar(a.join(b)),
+        }
+    }
+
+    /// Join with widening on the scalar payload (called once a program
+    /// point has been joined more than [`WIDEN_AFTER`] times).
+    fn widen_join(self, other: AbsVal) -> AbsVal {
+        match (self, self.join(other)) {
+            (AbsVal::Scalar(old), AbsVal::Scalar(joined)) => AbsVal::Scalar(old.widen(joined)),
+            (_, joined) => joined,
+        }
+    }
+
+    fn render(self) -> String {
+        let endpoint = |v: i64| -> String {
+            if v == i64::MIN {
+                "-inf".to_string()
+            } else if v == i64::MAX {
+                "+inf".to_string()
+            } else {
+                v.to_string()
+            }
+        };
+        match self {
+            AbsVal::Uninit => "uninit".to_string(),
+            AbsVal::Scalar(iv) if iv == Interval::TOP => "i64".to_string(),
+            AbsVal::Scalar(iv) => match iv.as_exact() {
+                Some(v) => v.to_string(),
+                None => format!("[{},{}]", endpoint(iv.lo), endpoint(iv.hi)),
+            },
+            AbsVal::Null => "null".to_string(),
+            AbsVal::Handle(k, n) => {
+                let base = match k {
+                    HandleKind::Subflow => "sbf",
+                    HandleKind::Packet => "pkt",
+                };
+                match n {
+                    Nullability::NonNull => base.to_string(),
+                    Nullability::MaybeNull => format!("{base}?"),
+                    Nullability::Null => format!("{base}(null)"),
+                }
+            }
+        }
+    }
+}
+
+/// Abstract machine state at one program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    regs: [AbsVal; NUM_MACH_REGS],
+    slots: Vec<AbsVal>,
+}
+
+impl State {
+    fn entry(stack_slots: u16) -> State {
+        let mut regs = [AbsVal::Uninit; NUM_MACH_REGS];
+        // r10 is the (read-only) frame pointer; model it as the concrete
+        // zero the VM initializes registers to.
+        regs[10] = AbsVal::Scalar(Interval::exact(0));
+        State {
+            regs,
+            slots: vec![AbsVal::Uninit; usize::from(stack_slots).min(MAX_STACK_SLOTS)],
+        }
+    }
+
+    fn join_into(&mut self, other: &State, widen: bool) -> bool {
+        let mut changed = false;
+        for i in 0..NUM_MACH_REGS {
+            let merged = if widen {
+                self.regs[i].widen_join(other.regs[i])
+            } else {
+                self.regs[i].join(other.regs[i])
+            };
+            if merged != self.regs[i] {
+                self.regs[i] = merged;
+                changed = true;
+            }
+        }
+        for i in 0..self.slots.len() {
+            let o = other.slots.get(i).copied().unwrap_or(AbsVal::Uninit);
+            let merged = if widen {
+                self.slots[i].widen_join(o)
+            } else {
+                self.slots[i].join(o)
+            };
+            if merged != self.slots[i] {
+                self.slots[i] = merged;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// Argument kind of one helper parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArgKind {
+    Scalar,
+    Sbf,
+    Pkt,
+}
+
+/// Typed helper signatures: argument kinds for `r1..`.
+fn helper_sig(h: Helper) -> &'static [ArgKind] {
+    use ArgKind::{Pkt, Sbf, Scalar};
+    match h {
+        Helper::SubflowCount => &[],
+        Helper::GetReg => &[Scalar],
+        Helper::SetReg => &[Scalar, Scalar],
+        Helper::SubflowAt => &[Scalar],
+        Helper::SubflowProp => &[Sbf, Scalar],
+        Helper::QueueLen => &[Scalar],
+        Helper::QueueGet => &[Scalar, Scalar],
+        Helper::PacketProp => &[Pkt, Scalar],
+        Helper::SentOn => &[Pkt, Sbf],
+        Helper::HasWindowFor => &[Sbf, Pkt],
+        Helper::Pop => &[Pkt],
+        Helper::Push => &[Sbf, Pkt],
+        Helper::DropPkt => &[Pkt],
+    }
+}
+
+/// Abstract result of a helper, under the verifier's environment caps.
+fn helper_ret(h: Helper, cfg: &VerifyConfig) -> AbsVal {
+    let cap = |c: u64| i64::try_from(c).unwrap_or(i64::MAX);
+    match h {
+        Helper::SubflowCount => AbsVal::Scalar(Interval::new(0, cap(cfg.max_subflows))),
+        Helper::QueueLen => AbsVal::Scalar(Interval::new(0, cap(cfg.max_queue_len))),
+        Helper::SubflowAt => AbsVal::Handle(HandleKind::Subflow, Nullability::MaybeNull),
+        Helper::QueueGet => AbsVal::Handle(HandleKind::Packet, Nullability::MaybeNull),
+        Helper::SentOn | Helper::HasWindowFor => AbsVal::Scalar(Interval::BOOL),
+        Helper::GetReg | Helper::SubflowProp | Helper::PacketProp => AbsVal::Scalar(Interval::TOP),
+        // Void helpers leave no defined result; r0 is clobbered.
+        Helper::SetReg | Helper::Pop | Helper::Push | Helper::DropPkt => AbsVal::Uninit,
+    }
+}
+
+/// Registers an instruction reads (entry-state, for checks + annotation).
+fn insn_reads(insn: &Insn) -> Vec<u8> {
+    match insn {
+        Insn::MovImm { .. } | Insn::Ja { .. } | Insn::Ld { .. } | Insn::Exit => Vec::new(),
+        Insn::Mov { src, .. } | Insn::St { src, .. } => vec![*src],
+        Insn::Alu { dst, src, .. } => vec![*dst, *src],
+        Insn::AluImm { dst, .. } | Insn::Neg { dst } => vec![*dst],
+        Insn::Jmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+        Insn::JmpImm { lhs, .. } => vec![*lhs],
+        Insn::Call { helper } => (1..=helper.arg_count() as u8).collect(),
+    }
+}
+
+/// Jump target of `insn` at `pc`, if it is a (conditional or not) jump.
+fn jump_target(pc: usize, insn: &Insn) -> Option<usize> {
+    let off = match insn {
+        Insn::Ja { off } => *off,
+        Insn::Jmp { off, .. } => *off,
+        Insn::JmpImm { off, .. } => *off,
+        _ => return None,
+    };
+    usize::try_from(pc as i64 + 1 + i64::from(off)).ok()
+}
+
+/// One recognized natural loop: the interval `[head, back]`.
+#[derive(Debug, Clone)]
+struct LoopInfo {
+    head: usize,
+    back: usize,
+    /// Model trip count (see module docs); `None` = unbounded.
+    trip: Option<u64>,
+}
+
+/// Internal analysis output shared by both public entry points.
+struct Analyzer<'a> {
+    prog: &'a BytecodeProgram,
+    debug: Option<&'a DebugTable>,
+    cfg: &'a VerifyConfig,
+    /// Entry state per pc; `None` = not reachable.
+    states: Vec<Option<State>>,
+    /// Findings, keyed for dedup across fixpoint iterations.
+    findings: BTreeSet<(usize, Lint, String)>,
+    loops: Vec<LoopInfo>,
+    step_bound: Option<u64>,
+    /// Set when the structural pre-check already failed.
+    structural_error: Option<(Pos, String)>,
+}
+
+fn run<'a>(
+    prog: &'a BytecodeProgram,
+    debug: Option<&'a DebugTable>,
+    cfg: &'a VerifyConfig,
+) -> Analyzer<'a> {
+    let mut a = Analyzer {
+        prog,
+        debug,
+        cfg,
+        states: vec![None; prog.code.len()],
+        findings: BTreeSet::new(),
+        loops: Vec::new(),
+        step_bound: None,
+        structural_error: None,
+    };
+    // Structural verification first: the abstract interpreter relies on
+    // in-bounds branch targets, register/slot ranges, and a trailing
+    // exit. A failure here on generated code is itself a miscompile.
+    if let Err(e) = crate::vm::verify_with_debug(prog, debug) {
+        a.structural_error = Some((e.pos, e.message));
+        return a;
+    }
+    a.fixpoint();
+    a.analyze_loops();
+    a.report_unreachable();
+    a.compute_bound();
+    a
+}
+
+impl<'a> Analyzer<'a> {
+    fn pos_at(&self, pc: usize) -> Pos {
+        self.debug
+            .map(|d| d.pos(pc))
+            .unwrap_or(Pos { line: 0, col: 0 })
+    }
+
+    fn severity_of(lint: Lint) -> Severity {
+        match lint {
+            Lint::UnreachableCode => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    fn report(&mut self, pc: usize, lint: Lint, message: String) {
+        self.findings.insert((pc, lint, message));
+    }
+
+    // ---- abstract interpretation -------------------------------------
+
+    fn fixpoint(&mut self) {
+        let n = self.prog.code.len();
+        if n == 0 {
+            return;
+        }
+        let mut joins = vec![0u32; n];
+        let mut work = VecDeque::new();
+        self.states[0] = Some(State::entry(self.prog.stack_slots));
+        work.push_back(0usize);
+        // Far above any real fixpoint; a runaway here is a verifier bug.
+        let mut guard = (n + 1).saturating_mul(1024);
+        while let Some(pc) = work.pop_front() {
+            if guard == 0 {
+                self.report(
+                    pc,
+                    Lint::Miscompile,
+                    "abstract interpretation did not converge".to_string(),
+                );
+                return;
+            }
+            guard -= 1;
+            let st = match &self.states[pc] {
+                Some(s) => s.clone(),
+                None => continue,
+            };
+            for (succ, succ_state) in self.transfer(pc, &st) {
+                if succ >= n {
+                    continue; // structural verify makes this unreachable
+                }
+                match &mut self.states[succ] {
+                    slot @ None => {
+                        *slot = Some(succ_state);
+                        work.push_back(succ);
+                    }
+                    Some(existing) => {
+                        joins[succ] += 1;
+                        if existing.join_into(&succ_state, joins[succ] > WIDEN_AFTER) {
+                            work.push_back(succ);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads a register, flagging uninitialized reads.
+    fn read_reg(&mut self, pc: usize, st: &State, r: u8) -> AbsVal {
+        let v = st.regs[usize::from(r)];
+        if v == AbsVal::Uninit {
+            self.report(
+                pc,
+                Lint::UninitRead,
+                format!("read of uninitialized register r{r}"),
+            );
+            return AbsVal::Scalar(Interval::TOP);
+        }
+        v
+    }
+
+    /// Coerces a value into a scalar interval for arithmetic, flagging
+    /// handle arithmetic.
+    fn as_scalar(&mut self, pc: usize, v: AbsVal, what: &str) -> Interval {
+        match v {
+            AbsVal::Scalar(iv) => iv,
+            AbsVal::Null => Interval::exact(NULL_HANDLE),
+            AbsVal::Handle(k, _) => {
+                self.report(
+                    pc,
+                    Lint::HandleArith,
+                    format!("{what} on a {} handle", k.name()),
+                );
+                Interval::TOP
+            }
+            AbsVal::Uninit => Interval::TOP, // read_reg already flagged it
+        }
+    }
+
+    fn alu_result(op: AluOp, a: Interval, b: Interval) -> Interval {
+        let in_bool = |iv: Interval| iv.lo >= 0 && iv.hi <= 1;
+        match op {
+            AluOp::Add => a.add(b),
+            AluOp::Sub => a.sub(b),
+            AluOp::Mul => a.mul(b),
+            AluOp::Div => a.div(b),
+            AluOp::Rem => a.rem(b),
+            AluOp::And | AluOp::Or | AluOp::Xor => {
+                if let (Some(x), Some(y)) = (a.as_exact(), b.as_exact()) {
+                    Interval::exact(match op {
+                        AluOp::And => x & y,
+                        AluOp::Or => x | y,
+                        _ => x ^ y,
+                    })
+                } else if in_bool(a) && in_bool(b) {
+                    Interval::BOOL
+                } else {
+                    Interval::TOP
+                }
+            }
+        }
+    }
+
+    /// Abstract successors of `pc` executed under entry state `st`.
+    fn transfer(&mut self, pc: usize, st: &State) -> Vec<(usize, State)> {
+        let insn = self.prog.code[pc];
+        let mut next = st.clone();
+        match insn {
+            Insn::MovImm { dst, imm } => {
+                next.regs[usize::from(dst)] = if imm == NULL_HANDLE {
+                    AbsVal::Null
+                } else {
+                    AbsVal::Scalar(Interval::exact(imm))
+                };
+                vec![(pc + 1, next)]
+            }
+            Insn::Mov { dst, src } => {
+                next.regs[usize::from(dst)] = self.read_reg(pc, st, src);
+                vec![(pc + 1, next)]
+            }
+            Insn::Alu { op, dst, src } => {
+                let a = self.read_reg(pc, st, dst);
+                let b = self.read_reg(pc, st, src);
+                let a = self.as_scalar(pc, a, "arithmetic");
+                let b = self.as_scalar(pc, b, "arithmetic");
+                next.regs[usize::from(dst)] = AbsVal::Scalar(Self::alu_result(op, a, b));
+                vec![(pc + 1, next)]
+            }
+            Insn::AluImm { op, dst, imm } => {
+                let a = self.read_reg(pc, st, dst);
+                let a = self.as_scalar(pc, a, "arithmetic");
+                next.regs[usize::from(dst)] =
+                    AbsVal::Scalar(Self::alu_result(op, a, Interval::exact(imm)));
+                vec![(pc + 1, next)]
+            }
+            Insn::Neg { dst } => {
+                let a = self.read_reg(pc, st, dst);
+                let a = self.as_scalar(pc, a, "arithmetic");
+                next.regs[usize::from(dst)] = AbsVal::Scalar(a.neg());
+                vec![(pc + 1, next)]
+            }
+            Insn::Ja { .. } => {
+                let t = jump_target(pc, &insn).unwrap_or(pc + 1);
+                vec![(t, next)]
+            }
+            Insn::Jmp {
+                cond,
+                lhs,
+                rhs,
+                off: _,
+            } => {
+                let t = jump_target(pc, &insn).unwrap_or(pc + 1);
+                let rv = self.read_reg(pc, st, rhs);
+                self.branch(pc, st, cond, lhs, rv, Some(rhs), t)
+            }
+            Insn::JmpImm {
+                cond,
+                lhs,
+                imm,
+                off: _,
+            } => {
+                let t = jump_target(pc, &insn).unwrap_or(pc + 1);
+                let rv = if imm == NULL_HANDLE {
+                    AbsVal::Null
+                } else {
+                    AbsVal::Scalar(Interval::exact(imm))
+                };
+                self.branch(pc, st, cond, lhs, rv, None, t)
+            }
+            Insn::Call { helper } => {
+                self.check_call(pc, st, helper);
+                next.regs[0] = helper_ret(helper, self.cfg);
+                for r in 1..=5 {
+                    // Strict clobber discipline: stale argument registers
+                    // must never be read after a call.
+                    next.regs[r] = AbsVal::Uninit;
+                }
+                vec![(pc + 1, next)]
+            }
+            Insn::Ld { dst, slot } => {
+                let v = st
+                    .slots
+                    .get(usize::from(slot))
+                    .copied()
+                    .unwrap_or(AbsVal::Uninit);
+                if v == AbsVal::Uninit {
+                    self.report(
+                        pc,
+                        Lint::UninitRead,
+                        format!("read of uninitialized stack slot {slot}"),
+                    );
+                    next.regs[usize::from(dst)] = AbsVal::Scalar(Interval::TOP);
+                } else {
+                    next.regs[usize::from(dst)] = v;
+                }
+                vec![(pc + 1, next)]
+            }
+            Insn::St { slot, src } => {
+                let v = self.read_reg(pc, st, src);
+                if let Some(s) = next.slots.get_mut(usize::from(slot)) {
+                    *s = v;
+                }
+                vec![(pc + 1, next)]
+            }
+            Insn::Exit => Vec::new(),
+        }
+    }
+
+    /// Checks one helper call's arguments against its typed signature.
+    fn check_call(&mut self, pc: usize, st: &State, helper: Helper) {
+        for (i, kind) in helper_sig(helper).iter().enumerate() {
+            let reg = (i + 1) as u8;
+            let v = self.read_reg(pc, st, reg);
+            let bad = |expected: &str, got: String| {
+                format!("call {helper:?}: argument r{reg} expects {expected}, got {got}")
+            };
+            match (kind, v) {
+                (ArgKind::Scalar, AbsVal::Handle(k, _)) => {
+                    self.report(
+                        pc,
+                        Lint::HelperSignature,
+                        bad("a scalar", format!("a {} handle", k.name())),
+                    );
+                }
+                (ArgKind::Sbf, AbsVal::Scalar(_)) => {
+                    self.report(
+                        pc,
+                        Lint::HelperSignature,
+                        bad("a subflow handle", "a scalar".into()),
+                    );
+                }
+                (ArgKind::Sbf, AbsVal::Handle(HandleKind::Packet, _)) => {
+                    self.report(
+                        pc,
+                        Lint::HelperSignature,
+                        bad("a subflow handle", "a packet handle".into()),
+                    );
+                }
+                (ArgKind::Pkt, AbsVal::Scalar(_)) => {
+                    self.report(
+                        pc,
+                        Lint::HelperSignature,
+                        bad("a packet handle", "a scalar".into()),
+                    );
+                }
+                (ArgKind::Pkt, AbsVal::Handle(HandleKind::Subflow, _)) => {
+                    self.report(
+                        pc,
+                        Lint::HelperSignature,
+                        bad("a packet handle", "a subflow handle".into()),
+                    );
+                }
+                // NULL is a legal (graceful no-op) handle argument, and
+                // uninitialized reads were already flagged.
+                _ => {}
+            }
+        }
+    }
+
+    /// Conditional-branch transfer with path-sensitive refinement.
+    #[allow(clippy::too_many_arguments)]
+    fn branch(
+        &mut self,
+        pc: usize,
+        st: &State,
+        cond: Cond,
+        lhs: u8,
+        rhs_val: AbsVal,
+        rhs_reg: Option<u8>,
+        target: usize,
+    ) -> Vec<(usize, State)> {
+        let lhs_val = self.read_reg(pc, st, lhs);
+        let ordered = matches!(cond, Cond::Lt | Cond::Le | Cond::Gt | Cond::Ge);
+
+        // Handle-vs-NULL equality refines nullability; everything else
+        // involving a handle is either opaque (Eq/Ne) or flagged
+        // (ordered comparison).
+        let handle_side = |v: AbsVal| matches!(v, AbsVal::Handle(..));
+        if handle_side(lhs_val) || handle_side(rhs_val) {
+            if ordered {
+                self.report(
+                    pc,
+                    Lint::HandleArith,
+                    format!("ordered comparison ({cond:?}) on a handle"),
+                );
+                // Degrade: both edges feasible, no refinement.
+                return vec![(target, st.clone()), (pc + 1, st.clone())];
+            }
+            return self.branch_handle_eq(pc, st, cond, lhs, lhs_val, rhs_val, rhs_reg, target);
+        }
+
+        // Pure scalar comparison.
+        let a = self.as_scalar(pc, lhs_val, "comparison");
+        let b = self.as_scalar(pc, rhs_val, "comparison");
+        let tri = match cond {
+            Cond::Eq => a.eq_ab(b),
+            Cond::Ne => a.eq_ab(b).not(),
+            Cond::Lt => a.lt(b),
+            Cond::Le => a.le(b),
+            Cond::Gt => b.lt(a),
+            Cond::Ge => b.le(a),
+        };
+        let assume = |c: Cond| -> Option<(Interval, Interval)> {
+            match c {
+                Cond::Eq => a.assume_eq(b),
+                Cond::Ne => a.assume_ne(b),
+                Cond::Lt => a.assume_lt(b),
+                Cond::Le => a.assume_le(b),
+                Cond::Gt => b.assume_lt(a).map(|(y, x)| (x, y)),
+                Cond::Ge => b.assume_le(a).map(|(y, x)| (x, y)),
+            }
+        };
+        let negated = match cond {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        };
+        let mut out = Vec::new();
+        let mut push_edge = |to: usize, refined: Option<(Interval, Interval)>| {
+            if let Some((ra, rb)) = refined {
+                let mut s = st.clone();
+                // Only refine locations that were scalars to begin with;
+                // NULL stays the polymorphic literal.
+                if matches!(lhs_val, AbsVal::Scalar(_)) {
+                    s.regs[usize::from(lhs)] = AbsVal::Scalar(ra);
+                }
+                if let (Some(r), AbsVal::Scalar(_)) = (rhs_reg, rhs_val) {
+                    s.regs[usize::from(r)] = AbsVal::Scalar(rb);
+                }
+                out.push((to, s));
+            }
+        };
+        if tri != Tri::False {
+            push_edge(target, assume(cond));
+        }
+        if tri != Tri::True {
+            push_edge(pc + 1, assume(negated));
+        }
+        out
+    }
+
+    /// Eq/Ne branch where at least one side is a handle.
+    #[allow(clippy::too_many_arguments)]
+    fn branch_handle_eq(
+        &mut self,
+        pc: usize,
+        st: &State,
+        cond: Cond,
+        lhs: u8,
+        lhs_val: AbsVal,
+        rhs_val: AbsVal,
+        rhs_reg: Option<u8>,
+        target: usize,
+    ) -> Vec<(usize, State)> {
+        // Is one side the NULL literal (or the exact -1 scalar)?
+        let is_null_lit = |v: AbsVal| match v {
+            AbsVal::Null => true,
+            AbsVal::Scalar(iv) => iv.as_exact() == Some(NULL_HANDLE),
+            _ => false,
+        };
+        // (handle register, its kind+nullability) when testing vs NULL.
+        let vs_null = if let (AbsVal::Handle(k, n), true) = (lhs_val, is_null_lit(rhs_val)) {
+            Some((lhs, k, n))
+        } else if let (true, Some(r), AbsVal::Handle(k, n)) =
+            (is_null_lit(lhs_val), rhs_reg, rhs_val)
+        {
+            Some((r, k, n))
+        } else {
+            None
+        };
+        let eq_tri = match (lhs_val, rhs_val) {
+            (AbsVal::Handle(_, Nullability::Null), v)
+            | (v, AbsVal::Handle(_, Nullability::Null))
+                if is_null_lit(v) =>
+            {
+                Tri::True
+            }
+            (AbsVal::Handle(_, Nullability::NonNull), v)
+            | (v, AbsVal::Handle(_, Nullability::NonNull))
+                if is_null_lit(v) =>
+            {
+                Tri::False
+            }
+            _ => Tri::Unknown,
+        };
+        let tri = if cond == Cond::Eq {
+            eq_tri
+        } else {
+            eq_tri.not()
+        };
+        let refine = |s: &mut State, null_side: bool| {
+            if let Some((r, k, _)) = vs_null {
+                s.regs[usize::from(r)] = AbsVal::Handle(
+                    k,
+                    if null_side {
+                        Nullability::Null
+                    } else {
+                        Nullability::NonNull
+                    },
+                );
+            }
+        };
+        let mut out = Vec::new();
+        if tri != Tri::False {
+            let mut s = st.clone();
+            refine(&mut s, cond == Cond::Eq);
+            out.push((target, s));
+        }
+        if tri != Tri::True {
+            let mut s = st.clone();
+            refine(&mut s, cond == Cond::Ne);
+            out.push((pc + 1, s));
+        }
+        out
+    }
+
+    // ---- loop-bound inference ----------------------------------------
+
+    /// Block leaders for the whole program.
+    fn leaders(&self) -> Vec<usize> {
+        let mut set = BTreeSet::new();
+        set.insert(0usize);
+        for (pc, insn) in self.prog.code.iter().enumerate() {
+            if let Some(t) = jump_target(pc, insn) {
+                set.insert(t);
+                set.insert(pc + 1);
+            }
+        }
+        set.into_iter()
+            .filter(|&l| l < self.prog.code.len())
+            .collect()
+    }
+
+    fn analyze_loops(&mut self) {
+        if self.structural_error.is_some() {
+            return;
+        }
+        // Back edges: jumps whose target does not lie forward.
+        let mut loops = Vec::new();
+        for (pc, insn) in self.prog.code.iter().enumerate() {
+            if let Some(t) = jump_target(pc, insn) {
+                if t <= pc {
+                    loops.push((t, pc));
+                }
+            }
+        }
+        // Proper nesting: intervals must be disjoint or nested.
+        for (i, &(h1, b1)) in loops.iter().enumerate() {
+            for &(h2, b2) in &loops[i + 1..] {
+                let disjoint = b1 < h2 || b2 < h1;
+                let nested = (h1 <= h2 && b2 <= b1) || (h2 <= h1 && b1 <= b2);
+                if !disjoint && !nested {
+                    self.report(
+                        h1.max(h2),
+                        Lint::UnboundedLoop,
+                        format!(
+                            "irreducible loop structure: intervals [{h1},{b1}] and \
+                             [{h2},{b2}] overlap without nesting"
+                        ),
+                    );
+                }
+            }
+        }
+        let leaders = self.leaders();
+        let loop_list: Vec<(usize, usize)> = loops.clone();
+        for (head, back) in loops {
+            let trip = self.loop_trip(head, back, &leaders, &loop_list);
+            self.loops.push(LoopInfo { head, back, trip });
+        }
+    }
+
+    /// Model trip count for the loop `[head, back]`; `None` = unbounded
+    /// (a diagnostic has been emitted).
+    fn loop_trip(
+        &mut self,
+        head: usize,
+        back: usize,
+        leaders: &[usize],
+        all_loops: &[(usize, usize)],
+    ) -> Option<u64> {
+        // A loop the abstract interpretation proved unreachable can never
+        // run; charge it like the HIR model charges dead branches (full
+        // cap for the element fetch when it realizes a scan, one trip
+        // when it realizes an O(1)-charged construct) and skip the
+        // monotonicity obligations no state can discharge.
+        if self.states[head].is_none() {
+            let cap = self.prog.code[head..=back]
+                .iter()
+                .find_map(|i| match i {
+                    Insn::Call {
+                        helper: Helper::SubflowAt,
+                    } => Some(self.cfg.max_subflows),
+                    Insn::Call {
+                        helper: Helper::QueueGet,
+                    } => Some(self.cfg.max_queue_len),
+                    _ => None,
+                })
+                .unwrap_or(1);
+            let trip = if self.o1_equivalent(head, back, all_loops) {
+                cap.min(1)
+            } else {
+                cap
+            };
+            return Some(trip);
+        }
+
+        // Find the exit test: the first conditional jump in the interval
+        // whose taken edge leaves it.
+        let exit_test = (head..=back).find(|&p| {
+            matches!(self.prog.code[p], Insn::Jmp { .. } | Insn::JmpImm { .. })
+                && jump_target(p, &self.prog.code[p])
+                    .map(|t| t < head || t > back)
+                    .unwrap_or(false)
+        });
+
+        let unbounded = |me: &mut Self, msg: String| {
+            me.report(head, Lint::UnboundedLoop, msg);
+            None
+        };
+
+        let (test_pc, raw_trip, idx_reg, n_src) = if let Some(p) = exit_test {
+            // Top-test shape: `if idx >= n goto out` must execute on every
+            // iteration, so nothing between head and the test may branch
+            // or be branched into.
+            let head_block_ok = (head..p).all(|q| {
+                jump_target(q, &self.prog.code[q]).is_none() && (q == head || !leaders.contains(&q))
+            }) && (p == head || !leaders.contains(&p));
+            let head_block_ok = head_block_ok && !(head + 1..=p).any(|q| leaders.contains(&q));
+            if !head_block_ok {
+                return unbounded(
+                    self,
+                    "loop exit test is not executed on every iteration".to_string(),
+                );
+            }
+            match self.prog.code[p] {
+                Insn::Jmp {
+                    cond: cond @ (Cond::Ge | Cond::Gt),
+                    lhs,
+                    rhs,
+                    ..
+                } => {
+                    let st = self.states[p].clone();
+                    let n_iv = match st.as_ref().map(|s| s.regs[usize::from(rhs)]) {
+                        Some(AbsVal::Scalar(iv)) => iv,
+                        Some(AbsVal::Null) => Interval::exact(NULL_HANDLE),
+                        _ => {
+                            return unbounded(
+                                self,
+                                format!("loop bound register r{rhs} has no scalar value"),
+                            )
+                        }
+                    };
+                    let hi = n_iv.hi.max(0) as u64;
+                    let trip = if cond == Cond::Ge {
+                        hi
+                    } else {
+                        hi.saturating_add(1)
+                    };
+                    (p, trip, lhs, Some(LoopVar::from_reg(rhs)))
+                }
+                Insn::JmpImm {
+                    cond: cond @ (Cond::Ge | Cond::Gt),
+                    lhs,
+                    imm,
+                    ..
+                } => {
+                    let hi = imm.max(0) as u64;
+                    let trip = if cond == Cond::Ge {
+                        hi
+                    } else {
+                        hi.saturating_add(1)
+                    };
+                    (p, trip, lhs, None)
+                }
+                _ => {
+                    return unbounded(
+                        self,
+                        "loop exit test is not an upper-bound comparison".to_string(),
+                    )
+                }
+            }
+        } else {
+            // No exit inside the interval: accept the bottom-test shape
+            // where the back edge itself is `if idx < n goto head`.
+            match self.prog.code[back] {
+                Insn::Jmp {
+                    cond: cond @ (Cond::Lt | Cond::Le),
+                    lhs,
+                    rhs,
+                    ..
+                } => {
+                    let st = self.states[back].clone();
+                    let n_hi = match st.as_ref().map(|s| s.regs[usize::from(rhs)]) {
+                        Some(AbsVal::Scalar(iv)) => iv.hi,
+                        _ => {
+                            return unbounded(
+                                self,
+                                format!("loop bound register r{rhs} has no scalar value"),
+                            )
+                        }
+                    };
+                    let lo = self.loop_var_lo(head, lhs);
+                    let span = n_hi.saturating_sub(lo).max(0) as u64;
+                    let trip = if cond == Cond::Le {
+                        span.saturating_add(1)
+                    } else {
+                        span
+                    };
+                    (back, trip, lhs, Some(LoopVar::from_reg(rhs)))
+                }
+                Insn::JmpImm {
+                    cond: cond @ (Cond::Lt | Cond::Le),
+                    lhs,
+                    imm,
+                    ..
+                } => {
+                    let lo = self.loop_var_lo(head, lhs);
+                    let span = imm.saturating_sub(lo).max(0) as u64;
+                    let trip = if cond == Cond::Le {
+                        span.saturating_add(1)
+                    } else {
+                        span
+                    };
+                    (back, trip, lhs, None)
+                }
+                _ => return unbounded(self, "loop has no recognizable exit test".to_string()),
+            }
+        };
+
+        // Resolve the induction variable's home location: an allocatable
+        // register directly, or the spill slot a scratch register was
+        // loaded from just before the test.
+        let idx_loc = match self.resolve_loc(head, test_pc, idx_reg) {
+            Some(l) => l,
+            None => {
+                return unbounded(
+                    self,
+                    format!("cannot resolve loop induction variable r{idx_reg}"),
+                )
+            }
+        };
+        let n_loc = match n_src {
+            Some(LoopVar::Reg(r)) => self.resolve_loc(head, test_pc, r),
+            _ => None,
+        };
+
+        // The bound must be loop-invariant.
+        if let Some(nl) = n_loc {
+            if (head..=back).any(|q| q != test_pc && self.writes_loc(q, nl)) {
+                return unbounded(self, "loop bound is modified inside the loop".to_string());
+            }
+        }
+
+        // Monotonicity: every write to the induction variable inside the
+        // interval is a positive-constant increment (or an identity
+        // rewrite), and the block performing the back edge increments it.
+        if !self.check_monotone(head, back, idx_loc, leaders) {
+            return None; // diagnostic emitted inside
+        }
+
+        let trip = if self.o1_equivalent(head, back, all_loops) {
+            raw_trip.min(1)
+        } else {
+            raw_trip
+        };
+        Some(trip)
+    }
+
+    /// O(1)-equivalence (see module docs): filter-free, fetch-only loops
+    /// with no nested loop realize the HIR's constant-charged constructs
+    /// (unfiltered `COUNT`/`EMPTY`/`TOP`/`POP`, plain `GET`) and are
+    /// charged one trip, mirroring the certificate's charging discipline.
+    fn o1_equivalent(&self, head: usize, back: usize, all_loops: &[(usize, usize)]) -> bool {
+        let has_filter_skip = (head..=back).any(|q| {
+            matches!(
+                self.prog.code[q],
+                Insn::JmpImm {
+                    cond: Cond::Eq,
+                    imm: 0,
+                    ..
+                }
+            ) && jump_target(q, &self.prog.code[q])
+                .map(|t| t >= head && t <= back)
+                .unwrap_or(false)
+        });
+        let mut calls = (head..=back).filter_map(|q| match self.prog.code[q] {
+            Insn::Call { helper } => Some(helper),
+            _ => None,
+        });
+        let fetch_only = match (calls.next(), calls.next()) {
+            (None, _) => true,
+            (Some(h), None) => matches!(h, Helper::SubflowAt | Helper::QueueGet),
+            _ => false,
+        };
+        let has_nested = all_loops
+            .iter()
+            .any(|&(h, b)| (h, b) != (head, back) && h >= head && b <= back);
+        !has_filter_skip && fetch_only && !has_nested
+    }
+
+    /// Lower bound of the value at `reg`'s home location in the head
+    /// state (for bottom-test trip counting).
+    fn loop_var_lo(&self, head: usize, reg: u8) -> i64 {
+        match self.states[head].as_ref().map(|s| s.regs[usize::from(reg)]) {
+            Some(AbsVal::Scalar(iv)) => iv.lo,
+            _ => 0,
+        }
+    }
+
+    /// Home location of `reg` as observed at `test_pc`: allocatable
+    /// registers are their own home; scratch registers trace back to the
+    /// `Ld` that filled them within the head block.
+    fn resolve_loc(&self, head: usize, test_pc: usize, reg: u8) -> Option<Loc> {
+        if (6..=9).contains(&reg) {
+            return Some(Loc::Reg(reg));
+        }
+        for q in (head..test_pc).rev() {
+            match self.prog.code[q] {
+                Insn::Ld { dst, slot } if dst == reg => return Some(Loc::Slot(slot)),
+                insn if insn_writes_reg(&insn, reg) => return None,
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Whether the instruction at `pc` writes `loc`.
+    fn writes_loc(&self, pc: usize, loc: Loc) -> bool {
+        match (loc, self.prog.code[pc]) {
+            (Loc::Slot(s), Insn::St { slot, .. }) => slot == s,
+            (Loc::Slot(_), _) => false,
+            (Loc::Reg(r), insn) => insn_writes_reg(&insn, r),
+        }
+    }
+
+    /// Verifies that the induction variable only ever increases inside
+    /// `[head, back]` and that the back-edge block increments it.
+    fn check_monotone(&mut self, head: usize, back: usize, idx: Loc, leaders: &[usize]) -> bool {
+        let block_starts: Vec<usize> = leaders
+            .iter()
+            .copied()
+            .filter(|&l| l >= head && l <= back)
+            .collect();
+        let mut back_block_increments = false;
+        for (bi, &start) in block_starts.iter().enumerate() {
+            let end = block_starts
+                .get(bi + 1)
+                .map(|&n| n - 1)
+                .unwrap_or(back)
+                .min(back);
+            let mut sym = BlockSyms::new(idx);
+            let mut incremented = false;
+            for pc in start..=end {
+                match sym.step(self.prog.code[pc], idx) {
+                    StepClass::Ok => {}
+                    StepClass::Increment => incremented = true,
+                    StepClass::NonMonotone => {
+                        self.report(
+                            head,
+                            Lint::UnboundedLoop,
+                            format!(
+                                "loop induction variable is modified non-monotonically at pc {pc}"
+                            ),
+                        );
+                        return false;
+                    }
+                }
+            }
+            if end == back && incremented {
+                back_block_increments = true;
+            }
+        }
+        if !back_block_increments {
+            self.report(
+                head,
+                Lint::UnboundedLoop,
+                "back edge can be taken without incrementing the induction variable".to_string(),
+            );
+            return false;
+        }
+        true
+    }
+
+    // ---- unreachable code + bound ------------------------------------
+
+    fn report_unreachable(&mut self) {
+        if self.structural_error.is_some() {
+            return;
+        }
+        let n = self.prog.code.len();
+        let mut pc = 0;
+        while pc < n {
+            if self.states[pc].is_some() {
+                pc += 1;
+                continue;
+            }
+            let start = pc;
+            while pc < n && self.states[pc].is_none() {
+                pc += 1;
+            }
+            let end = pc - 1;
+            if self.suppress_unreachable(start, end) {
+                continue;
+            }
+            self.report(
+                start,
+                Lint::UnreachableCode,
+                if start == end {
+                    format!("instruction {start} can never execute")
+                } else {
+                    format!("instructions {start}..{end} can never execute")
+                },
+            );
+        }
+    }
+
+    /// Structurally expected unreachable runs that carry no information:
+    /// bare exits, and the continue block of loops whose every body path
+    /// breaks out early (codegen keeps the increment for shape
+    /// uniformity).
+    fn suppress_unreachable(&self, start: usize, end: usize) -> bool {
+        let run = &self.prog.code[start..=end];
+        if run.iter().all(|i| matches!(i, Insn::Exit)) {
+            return true;
+        }
+        let ends_in_back_ja = matches!(run.last(), Some(Insn::Ja { off }) if *off < 0)
+            && jump_target(end, &self.prog.code[end]).is_some_and(|t| t <= end);
+        ends_in_back_ja
+            && run[..run.len() - 1].iter().all(|i| {
+                matches!(
+                    i,
+                    Insn::Ld { .. }
+                        | Insn::Mov { .. }
+                        | Insn::St { .. }
+                        | Insn::AluImm { op: AluOp::Add, .. }
+                )
+            })
+    }
+
+    /// Longest path through the back-edge-free CFG, each instruction
+    /// weighted by the trip counts of its enclosing loops.
+    fn compute_bound(&mut self) {
+        if self.structural_error.is_some() {
+            return;
+        }
+        let n = self.prog.code.len();
+        if n == 0 {
+            return;
+        }
+        if self.loops.iter().any(|l| l.trip.is_none()) {
+            return; // unbounded; diagnostics already emitted
+        }
+        let mut weight = vec![1u64; n];
+        for l in &self.loops {
+            let mult = l.trip.unwrap_or(0).saturating_add(1);
+            for w in &mut weight[l.head..=l.back] {
+                *w = w.saturating_mul(mult);
+            }
+        }
+        let mut dist: Vec<Option<u64>> = vec![None; n];
+        dist[0] = Some(weight[0]);
+        let mut best = 0u64;
+        for pc in 0..n {
+            let d = match dist[pc] {
+                Some(d) => d,
+                None => continue,
+            };
+            let insn = self.prog.code[pc];
+            if matches!(insn, Insn::Exit) {
+                best = best.max(d);
+                continue;
+            }
+            let mut relax = |succ: usize| {
+                if succ > pc && succ < n {
+                    let nd = d.saturating_add(weight[succ]);
+                    if dist[succ].is_none_or(|old| nd > old) {
+                        dist[succ] = Some(nd);
+                    }
+                }
+            };
+            match insn {
+                Insn::Ja { .. } => {
+                    if let Some(t) = jump_target(pc, &insn) {
+                        relax(t);
+                    }
+                }
+                Insn::Jmp { .. } | Insn::JmpImm { .. } => {
+                    if let Some(t) = jump_target(pc, &insn) {
+                        relax(t);
+                    }
+                    relax(pc + 1);
+                }
+                _ => relax(pc + 1),
+            }
+        }
+        self.step_bound = Some(best);
+    }
+
+    // ---- rendering ----------------------------------------------------
+
+    fn annotate(&self) -> String {
+        let mut out = String::new();
+        for (pc, insn) in self.prog.code.iter().enumerate() {
+            let text = format!("{pc:4}: {insn}");
+            let mut notes = Vec::new();
+            if self.debug.is_some() {
+                let p = self.pos_at(pc);
+                notes.push(format!("{}:{}", p.line, p.col));
+            }
+            match &self.states[pc] {
+                None => notes.push("unreachable".to_string()),
+                Some(st) => {
+                    for r in insn_reads(insn) {
+                        notes.push(format!("r{r}={}", st.regs[usize::from(r)].render()));
+                    }
+                    if let Insn::Ld { slot, .. } = insn {
+                        let v = st
+                            .slots
+                            .get(usize::from(*slot))
+                            .copied()
+                            .unwrap_or(AbsVal::Uninit);
+                        notes.push(format!("s{slot}={}", v.render()));
+                    }
+                }
+            }
+            if notes.is_empty() {
+                out.push_str(&format!("{text}\n"));
+            } else {
+                out.push_str(&format!("{text:<40} ; {}\n", notes.join(" ")));
+            }
+        }
+        out
+    }
+
+    fn into_verdict(self) -> BytecodeVerdict {
+        if let Some((pos, msg)) = &self.structural_error {
+            return BytecodeVerdict {
+                diagnostics: vec![Diagnostic {
+                    lint: Lint::Miscompile,
+                    severity: Severity::Error,
+                    pos: *pos,
+                    message: format!("structural bytecode verification failed: {msg}"),
+                }],
+                step_bound: None,
+                annotated: self.prog.disassemble(),
+            };
+        }
+        let annotated = self.annotate();
+        let mut diagnostics: Vec<Diagnostic> = self
+            .findings
+            .iter()
+            .map(|(pc, lint, message)| Diagnostic {
+                lint: *lint,
+                severity: Self::severity_of(*lint),
+                pos: self.pos_at(*pc),
+                message: format!("pc {pc}: {message}"),
+            })
+            .collect();
+        diagnostics.sort_by(|a, b| {
+            (a.pos.line, a.pos.col, a.lint, &a.message)
+                .cmp(&(b.pos.line, b.pos.col, b.lint, &b.message))
+        });
+        BytecodeVerdict {
+            diagnostics,
+            step_bound: self.step_bound,
+            annotated,
+        }
+    }
+}
+
+/// Loop-variable source operand of an exit test.
+enum LoopVar {
+    Reg(u8),
+}
+
+impl LoopVar {
+    fn from_reg(r: u8) -> LoopVar {
+        LoopVar::Reg(r)
+    }
+}
+
+/// Home location of a loop variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    Reg(u8),
+    Slot(u16),
+}
+
+/// Whether `insn` writes register `r` (including the call clobber set).
+fn insn_writes_reg(insn: &Insn, r: u8) -> bool {
+    match insn {
+        Insn::MovImm { dst, .. }
+        | Insn::Mov { dst, .. }
+        | Insn::Alu { dst, .. }
+        | Insn::AluImm { dst, .. }
+        | Insn::Neg { dst }
+        | Insn::Ld { dst, .. } => *dst == r,
+        Insn::Call { .. } => r <= 5,
+        _ => false,
+    }
+}
+
+/// Per-block symbolic values for the monotonicity check: which registers
+/// currently hold `idx + c` for the tracked induction location.
+struct BlockSyms {
+    /// `Some(c)` = register holds the induction value plus `c`.
+    regs: [Option<i64>; NUM_MACH_REGS],
+}
+
+/// Classification of one instruction by the symbolic scan.
+enum StepClass {
+    Ok,
+    Increment,
+    NonMonotone,
+}
+
+impl BlockSyms {
+    fn new(idx: Loc) -> BlockSyms {
+        let mut regs = [None; NUM_MACH_REGS];
+        if let Loc::Reg(r) = idx {
+            regs[usize::from(r)] = Some(0);
+        }
+        BlockSyms { regs }
+    }
+
+    /// After the induction location was advanced, every symbolic copy is
+    /// stale; rebase the given register (if any) to the fresh value.
+    fn rebase(&mut self, keep: Option<u8>) {
+        self.regs = [None; NUM_MACH_REGS];
+        if let Some(r) = keep {
+            self.regs[usize::from(r)] = Some(0);
+        }
+    }
+
+    /// Classify a write of symbolic value `sym` into the induction
+    /// location itself.
+    fn classify_idx_write(sym: Option<i64>) -> StepClass {
+        match sym {
+            Some(c) if c > 0 => StepClass::Increment,
+            Some(0) => StepClass::Ok,
+            _ => StepClass::NonMonotone,
+        }
+    }
+
+    fn step(&mut self, insn: Insn, idx: Loc) -> StepClass {
+        let idx_reg = match idx {
+            Loc::Reg(r) => Some(r),
+            Loc::Slot(_) => None,
+        };
+        match insn {
+            Insn::Ld { dst, slot } => {
+                self.regs[usize::from(dst)] = match idx {
+                    Loc::Slot(s) if s == slot => Some(0),
+                    Loc::Reg(r) if r == dst => return StepClass::NonMonotone,
+                    _ => None,
+                };
+                StepClass::Ok
+            }
+            Insn::MovImm { dst, .. } => {
+                if idx_reg == Some(dst) {
+                    return StepClass::NonMonotone;
+                }
+                self.regs[usize::from(dst)] = None;
+                StepClass::Ok
+            }
+            Insn::Mov { dst, src } => {
+                let s = self.regs[usize::from(src)];
+                if idx_reg == Some(dst) {
+                    let class = Self::classify_idx_write(s);
+                    match class {
+                        StepClass::Increment => self.rebase(Some(dst)),
+                        StepClass::Ok => self.regs[usize::from(dst)] = Some(0),
+                        StepClass::NonMonotone => {}
+                    }
+                    return class;
+                }
+                self.regs[usize::from(dst)] = s;
+                StepClass::Ok
+            }
+            Insn::AluImm { op, dst, imm } => {
+                let new = match (op, self.regs[usize::from(dst)]) {
+                    (AluOp::Add, Some(c)) => c.checked_add(imm),
+                    _ => None,
+                };
+                if idx_reg == Some(dst) {
+                    let class = Self::classify_idx_write(new);
+                    match class {
+                        StepClass::Increment => self.rebase(Some(dst)),
+                        StepClass::Ok => self.regs[usize::from(dst)] = Some(0),
+                        StepClass::NonMonotone => {}
+                    }
+                    return class;
+                }
+                self.regs[usize::from(dst)] = new;
+                StepClass::Ok
+            }
+            Insn::Alu { dst, .. } | Insn::Neg { dst } => {
+                if idx_reg == Some(dst) {
+                    return StepClass::NonMonotone;
+                }
+                self.regs[usize::from(dst)] = None;
+                StepClass::Ok
+            }
+            Insn::Call { .. } => {
+                for r in 0..=5 {
+                    self.regs[r] = None;
+                }
+                StepClass::Ok
+            }
+            Insn::St { slot, src } => {
+                if let Loc::Slot(s) = idx {
+                    if s == slot {
+                        let class = Self::classify_idx_write(self.regs[usize::from(src)]);
+                        if !matches!(class, StepClass::NonMonotone) {
+                            // Every register copy now refers to the old
+                            // value; drop them all.
+                            self.rebase(None);
+                        }
+                        return class;
+                    }
+                }
+                StepClass::Ok
+            }
+            Insn::Ja { .. } | Insn::Jmp { .. } | Insn::JmpImm { .. } | Insn::Exit => StepClass::Ok,
+        }
+    }
+}
+
+// ---- HIR cross-check (helper audit) ----------------------------------
+
+/// Compares the helper calls the bytecode performs against the HIR's
+/// static audit ([`crate::analysis::analyze`]).
+fn audit_helpers(
+    analyzer: &Analyzer<'_>,
+    prog: &BytecodeProgram,
+    debug: &DebugTable,
+    hir: &HProgram,
+) -> Vec<Diagnostic> {
+    if analyzer.structural_error.is_some() {
+        return Vec::new();
+    }
+    let hir_audit = analysis::analyze(hir);
+    let mut diags = Vec::new();
+    let mut miscompile = |pc: usize, message: String| {
+        diags.push(Diagnostic {
+            lint: Lint::Miscompile,
+            severity: Severity::Error,
+            pos: debug.pos(pc),
+            message: format!("pc {pc}: translation validation: {message}"),
+        });
+    };
+
+    let mut push_calls = 0usize;
+    let mut drop_calls = 0usize;
+    let mut pop_calls = 0usize;
+    let mut first_site = [None::<usize>; 3]; // push, drop, pop
+    let mut uses_sent_on = false;
+    let mut uses_window = false;
+
+    for (pc, insn) in prog.code.iter().enumerate() {
+        let helper = match insn {
+            Insn::Call { helper } => *helper,
+            _ => continue,
+        };
+        match helper {
+            Helper::Push => {
+                push_calls += 1;
+                first_site[0].get_or_insert(pc);
+            }
+            Helper::DropPkt => {
+                drop_calls += 1;
+                first_site[1].get_or_insert(pc);
+            }
+            Helper::Pop => {
+                pop_calls += 1;
+                first_site[2].get_or_insert(pc);
+            }
+            Helper::SentOn => uses_sent_on = true,
+            Helper::HasWindowFor => uses_window = true,
+            _ => {}
+        }
+        // Enum-code arguments must be compile-time constants matching the
+        // audit sets. Statically unreachable call sites keep their static
+        // counts above but have no state to extract codes from.
+        let code_arg = match helper {
+            Helper::GetReg | Helper::SetReg | Helper::QueueLen | Helper::QueueGet => Some(1u8),
+            Helper::SubflowProp | Helper::PacketProp => Some(2u8),
+            _ => None,
+        };
+        let Some(arg_reg) = code_arg else { continue };
+        let Some(state) = analyzer.states.get(pc).and_then(|s| s.as_ref()) else {
+            continue;
+        };
+        let code = match state.regs[usize::from(arg_reg)] {
+            AbsVal::Scalar(iv) => iv.as_exact(),
+            AbsVal::Null => Some(NULL_HANDLE),
+            _ => None,
+        };
+        let Some(code) = code else {
+            miscompile(
+                pc,
+                format!(
+                    "call {helper:?}: enum-code argument r{arg_reg} is not a compile-time constant"
+                ),
+            );
+            continue;
+        };
+        match helper {
+            Helper::GetReg => {
+                let reg = code.checked_add(1).and_then(|c| u8::try_from(c).ok());
+                if !reg.is_some_and(|r| hir_audit.registers_read.contains(&r)) {
+                    miscompile(
+                        pc,
+                        format!("GetReg code {code} is outside the audited register-read set"),
+                    );
+                }
+            }
+            Helper::SetReg => {
+                let reg = code.checked_add(1).and_then(|c| u8::try_from(c).ok());
+                if !reg.is_some_and(|r| hir_audit.registers_written.contains(&r)) {
+                    miscompile(
+                        pc,
+                        format!("SetReg code {code} is outside the audited register-write set"),
+                    );
+                }
+            }
+            Helper::QueueLen | Helper::QueueGet => {
+                let name = QueueKind::from_code(code).map(QueueKind::name);
+                if !name.is_some_and(|n| hir_audit.queues_read.contains(n)) {
+                    miscompile(
+                        pc,
+                        format!("queue code {code} is outside the audited queue set"),
+                    );
+                }
+            }
+            Helper::SubflowProp => {
+                let name = SubflowProp::from_code(code).map(SubflowProp::name);
+                if !name.is_some_and(|n| hir_audit.subflow_props.contains(n)) {
+                    miscompile(
+                        pc,
+                        format!("subflow property code {code} is outside the audited property set"),
+                    );
+                }
+            }
+            Helper::PacketProp => {
+                let name = PacketProp::from_code(code).map(PacketProp::name);
+                if !name.is_some_and(|n| hir_audit.packet_props.contains(n)) {
+                    miscompile(
+                        pc,
+                        format!("packet property code {code} is outside the audited property set"),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let hir_pops = count_hir_pops(hir);
+    let counts = [
+        ("Push", push_calls, hir_audit.push_sites, first_site[0]),
+        ("DropPkt", drop_calls, hir_audit.drop_sites, first_site[1]),
+        ("Pop", pop_calls, hir_pops, first_site[2]),
+    ];
+    for (name, got, want, site) in counts {
+        if got != want {
+            miscompile(
+                site.unwrap_or(0),
+                format!("bytecode performs {got} {name} call(s) but the HIR certificate audits {want} site(s)"),
+            );
+        }
+    }
+    // Presence checks are one-directional: the bytecode must not call a
+    // capability the audit never granted. The converse (audited but not
+    // compiled) is legal — predicates of unused lazy views are audited
+    // by the HIR walk but never materialized by codegen.
+    if uses_sent_on && !hir_audit.uses_sent_on {
+        miscompile(
+            0,
+            "bytecode calls SENT_ON but the HIR certificate never audits it".to_string(),
+        );
+    }
+    if uses_window && !hir_audit.uses_window_check {
+        miscompile(
+            0,
+            "bytecode calls HAS_WINDOW_FOR but the HIR certificate never audits it".to_string(),
+        );
+    }
+    diags
+}
+
+/// Number of `QueuePop` nodes reachable from the program body: each one
+/// compiles to exactly one `Pop` helper call (side-effect isolation
+/// keeps predicates pop-free, so filter re-expansion never duplicates
+/// them).
+fn count_hir_pops(prog: &HProgram) -> usize {
+    let mut n = 0;
+    for &sid in &prog.body {
+        pops_in_stmt(prog, sid, &mut n);
+    }
+    n
+}
+
+fn pops_in_stmt(prog: &HProgram, sid: StmtId, n: &mut usize) {
+    match prog.stmt(sid) {
+        HStmt::VarDecl { init, .. } => pops_in_expr(prog, *init, n),
+        HStmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            pops_in_expr(prog, *cond, n);
+            for &s in then_body.iter().chain(else_body) {
+                pops_in_stmt(prog, s, n);
+            }
+        }
+        HStmt::Foreach { list, body, .. } => {
+            pops_in_expr(prog, *list, n);
+            for &s in body {
+                pops_in_stmt(prog, s, n);
+            }
+        }
+        HStmt::SetReg { value, .. } => pops_in_expr(prog, *value, n),
+        HStmt::Push { target, packet } => {
+            pops_in_expr(prog, *target, n);
+            pops_in_expr(prog, *packet, n);
+        }
+        HStmt::Drop { packet } => pops_in_expr(prog, *packet, n),
+        HStmt::Return => {}
+    }
+}
+
+fn pops_in_expr(prog: &HProgram, eid: ExprId, n: &mut usize) {
+    match prog.expr(eid) {
+        HExpr::QueuePop(e) => {
+            *n += 1;
+            pops_in_expr(prog, *e, n);
+        }
+        HExpr::Int(_)
+        | HExpr::Bool(_)
+        | HExpr::NullPacket
+        | HExpr::NullSubflow
+        | HExpr::ReadReg(_)
+        | HExpr::ReadVar(_)
+        | HExpr::Subflows
+        | HExpr::Queue(_) => {}
+        HExpr::SubflowProp { sbf: e, .. }
+        | HExpr::PacketProp { pkt: e, .. }
+        | HExpr::ListCount(e)
+        | HExpr::ListEmpty(e)
+        | HExpr::QueueCount(e)
+        | HExpr::QueueEmpty(e)
+        | HExpr::QueueTop(e)
+        | HExpr::Unary { expr: e, .. } => pops_in_expr(prog, *e, n),
+        HExpr::SentOn { pkt: a, sbf: b } | HExpr::HasWindowFor { sbf: a, pkt: b } => {
+            pops_in_expr(prog, *a, n);
+            pops_in_expr(prog, *b, n);
+        }
+        HExpr::ListFilter {
+            list: a, pred: b, ..
+        }
+        | HExpr::QueueFilter {
+            queue: a, pred: b, ..
+        }
+        | HExpr::ListMinMax {
+            list: a, key: b, ..
+        }
+        | HExpr::QueueMinMax {
+            queue: a, key: b, ..
+        }
+        | HExpr::ListSum {
+            list: a, key: b, ..
+        }
+        | HExpr::QueueSum {
+            queue: a, key: b, ..
+        }
+        | HExpr::ListGet { list: a, index: b }
+        | HExpr::Binary { lhs: a, rhs: b, .. } => {
+            pops_in_expr(prog, *a, n);
+            pops_in_expr(prog, *b, n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{AluOp, Cond};
+    use crate::optimizer;
+    use crate::parser;
+    use crate::regalloc;
+    use crate::sema;
+
+    fn compile_parts(src: &str) -> (HProgram, BytecodeProgram, DebugTable, u64) {
+        let ast = parser::parse(src).expect("parse");
+        let mut hir = sema::lower(&ast).expect("sema");
+        optimizer::optimize(&mut hir);
+        let verdict = super::super::verify(&hir);
+        let vcode = crate::codegen::generate(&hir).expect("codegen");
+        let (prog, debug) = regalloc::allocate_with_debug(&vcode).expect("regalloc");
+        (hir, prog, debug, verdict.certified_step_bound)
+    }
+
+    fn validated(src: &str) -> BytecodeVerdict {
+        let (hir, prog, debug, bound) = compile_parts(src);
+        validate_translation(&prog, &debug, &hir, bound, &VerifyConfig::default())
+    }
+
+    const MIN_RTT: &str =
+        "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) { SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }";
+
+    #[test]
+    fn min_rtt_bytecode_validates_against_certificate() {
+        let v = validated(MIN_RTT);
+        assert!(v.admitted(), "diags: {:?}", v.diagnostics);
+        let bound = v.step_bound.expect("all loops bounded");
+        assert!(bound > 0);
+        let (_, _, _, hir_bound) = compile_parts(MIN_RTT);
+        assert!(
+            bound <= hir_bound.saturating_mul(TRANSLATION_SLACK),
+            "{bound} vs {hir_bound}"
+        );
+        assert!(v.annotated.contains("call"));
+    }
+
+    #[test]
+    fn generated_schedulers_carry_spans_in_annotation() {
+        let v = validated("SET(R1, SUBFLOWS.COUNT);");
+        assert!(v.admitted(), "diags: {:?}", v.diagnostics);
+        // Every line carries a `line:col` annotation from the side table.
+        assert!(
+            v.annotated.lines().all(|l| l.contains("; 1:")),
+            "{}",
+            v.annotated
+        );
+    }
+
+    #[test]
+    fn uninitialized_register_read_is_rejected() {
+        let prog = BytecodeProgram {
+            code: vec![Insn::Mov { dst: 6, src: 7 }, Insn::Exit],
+            stack_slots: 0,
+        };
+        let v = verify_bytecode(&prog, None, &VerifyConfig::default());
+        assert!(!v.admitted());
+        assert!(v
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == Lint::UninitRead && d.message.contains("r7")));
+    }
+
+    #[test]
+    fn uninitialized_slot_read_is_rejected() {
+        let prog = BytecodeProgram {
+            code: vec![Insn::Ld { dst: 6, slot: 0 }, Insn::Exit],
+            stack_slots: 1,
+        };
+        let v = verify_bytecode(&prog, None, &VerifyConfig::default());
+        assert!(!v.admitted());
+        assert!(v
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == Lint::UninitRead && d.message.contains("slot 0")));
+    }
+
+    #[test]
+    fn conditionally_initialized_register_is_rejected_at_the_merge() {
+        // r6 is written only on the fall-through path; the read after the
+        // merge must be flagged (Uninit is absorbing under join). The
+        // branch condition is a helper result, so both edges are feasible.
+        let prog = BytecodeProgram {
+            code: vec![
+                Insn::MovImm { dst: 1, imm: 0 },
+                Insn::Call {
+                    helper: Helper::GetReg,
+                },
+                Insn::Mov { dst: 7, src: 0 },
+                Insn::JmpImm {
+                    cond: Cond::Eq,
+                    lhs: 7,
+                    imm: 1,
+                    off: 1,
+                },
+                Insn::MovImm { dst: 6, imm: 5 },
+                Insn::Mov { dst: 8, src: 6 },
+                Insn::Exit,
+            ],
+            stack_slots: 0,
+        };
+        let v = verify_bytecode(&prog, None, &VerifyConfig::default());
+        assert!(!v.admitted());
+        assert!(
+            v.diagnostics
+                .iter()
+                .any(|d| d.lint == Lint::UninitRead && d.message.contains("pc 5")),
+            "{:?}",
+            v.diagnostics
+        );
+    }
+
+    #[test]
+    fn stale_helper_argument_register_is_flagged() {
+        // r1 is dead after the call (clobber set): reading it is an error.
+        let prog = BytecodeProgram {
+            code: vec![
+                Insn::MovImm { dst: 1, imm: 0 },
+                Insn::Call {
+                    helper: Helper::GetReg,
+                },
+                Insn::Mov { dst: 6, src: 1 },
+                Insn::Exit,
+            ],
+            stack_slots: 0,
+        };
+        let v = verify_bytecode(&prog, None, &VerifyConfig::default());
+        assert!(!v.admitted());
+        assert!(v
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == Lint::UninitRead && d.message.contains("pc 2")));
+    }
+
+    #[test]
+    fn helper_signature_violations_are_rejected() {
+        // Push expects (subflow, packet); a scalar subflow argument and a
+        // subflow-typed packet argument are both violations.
+        let prog = BytecodeProgram {
+            code: vec![
+                Insn::MovImm { dst: 1, imm: 0 },
+                Insn::Call {
+                    helper: Helper::SubflowAt,
+                },
+                Insn::Mov { dst: 2, src: 0 },    // r2 = subflow handle
+                Insn::MovImm { dst: 1, imm: 7 }, // r1 = scalar
+                Insn::Call {
+                    helper: Helper::Push,
+                },
+                Insn::Exit,
+            ],
+            stack_slots: 0,
+        };
+        let v = verify_bytecode(&prog, None, &VerifyConfig::default());
+        assert!(!v.admitted());
+        let sigs: Vec<_> = v
+            .diagnostics
+            .iter()
+            .filter(|d| d.lint == Lint::HelperSignature)
+            .collect();
+        assert_eq!(sigs.len(), 2, "{sigs:?}");
+    }
+
+    #[test]
+    fn handle_arithmetic_is_rejected() {
+        let prog = BytecodeProgram {
+            code: vec![
+                Insn::MovImm { dst: 1, imm: 0 },
+                Insn::Call {
+                    helper: Helper::SubflowAt,
+                },
+                Insn::Mov { dst: 6, src: 0 },
+                Insn::AluImm {
+                    op: AluOp::Add,
+                    dst: 6,
+                    imm: 1,
+                },
+                Insn::Exit,
+            ],
+            stack_slots: 0,
+        };
+        let v = verify_bytecode(&prog, None, &VerifyConfig::default());
+        assert!(!v.admitted());
+        assert!(v.diagnostics.iter().any(|d| d.lint == Lint::HandleArith));
+    }
+
+    #[test]
+    fn unreachable_code_is_warned_not_rejected() {
+        let prog = BytecodeProgram {
+            code: vec![
+                Insn::MovImm { dst: 6, imm: 1 },
+                Insn::Ja { off: 1 },
+                Insn::MovImm { dst: 6, imm: 2 }, // skipped forever
+                Insn::Exit,
+            ],
+            stack_slots: 0,
+        };
+        let v = verify_bytecode(&prog, None, &VerifyConfig::default());
+        assert!(v.admitted(), "warnings do not block: {:?}", v.diagnostics);
+        assert!(v
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == Lint::UnreachableCode && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn counted_loop_is_bounded_and_admitted() {
+        // for r6 in 0..10 { two helper calls } — bottom-test shape. The
+        // two calls make this a "scan" loop, charged per trip.
+        let prog = BytecodeProgram {
+            code: vec![
+                Insn::MovImm { dst: 6, imm: 0 },
+                Insn::Call {
+                    helper: Helper::SubflowCount,
+                },
+                Insn::Call {
+                    helper: Helper::SubflowCount,
+                },
+                Insn::AluImm {
+                    op: AluOp::Add,
+                    dst: 6,
+                    imm: 1,
+                },
+                Insn::JmpImm {
+                    cond: Cond::Lt,
+                    lhs: 6,
+                    imm: 10,
+                    off: -4,
+                },
+                Insn::Exit,
+            ],
+            stack_slots: 0,
+        };
+        let v = verify_bytecode(&prog, None, &VerifyConfig::default());
+        assert!(v.admitted(), "diags: {:?}", v.diagnostics);
+        let bound = v.step_bound.expect("bounded");
+        assert!(bound >= 10, "loop body charged per trip: {bound}");
+    }
+
+    #[test]
+    fn pure_counted_loop_collapses_to_constant_charge() {
+        // A call-free loop realizes an O(1)-charged construct under the
+        // HIR cost model's charging discipline: one trip in the bound.
+        let prog = BytecodeProgram {
+            code: vec![
+                Insn::MovImm { dst: 6, imm: 0 },
+                Insn::AluImm {
+                    op: AluOp::Add,
+                    dst: 6,
+                    imm: 1,
+                },
+                Insn::JmpImm {
+                    cond: Cond::Lt,
+                    lhs: 6,
+                    imm: 1000,
+                    off: -2,
+                },
+                Insn::Exit,
+            ],
+            stack_slots: 0,
+        };
+        let v = verify_bytecode(&prog, None, &VerifyConfig::default());
+        assert!(v.admitted(), "diags: {:?}", v.diagnostics);
+        let bound = v.step_bound.expect("bounded");
+        assert!(bound < 100, "O(1)-equivalent loop charged once: {bound}");
+    }
+
+    #[test]
+    fn loop_without_increment_is_unbounded() {
+        let prog = BytecodeProgram {
+            code: vec![
+                Insn::MovImm { dst: 6, imm: 0 },
+                Insn::MovImm { dst: 7, imm: 0 },
+                Insn::JmpImm {
+                    cond: Cond::Lt,
+                    lhs: 6,
+                    imm: 10,
+                    off: -2,
+                },
+                Insn::Exit,
+            ],
+            stack_slots: 0,
+        };
+        let v = verify_bytecode(&prog, None, &VerifyConfig::default());
+        assert!(!v.admitted());
+        assert!(v.diagnostics.iter().any(|d| d.lint == Lint::UnboundedLoop));
+        assert_eq!(v.step_bound, None);
+    }
+
+    #[test]
+    fn decrementing_induction_variable_is_unbounded() {
+        let prog = BytecodeProgram {
+            code: vec![
+                Insn::MovImm { dst: 6, imm: 0 },
+                Insn::AluImm {
+                    op: AluOp::Add,
+                    dst: 6,
+                    imm: -1,
+                },
+                Insn::JmpImm {
+                    cond: Cond::Lt,
+                    lhs: 6,
+                    imm: 10,
+                    off: -2,
+                },
+                Insn::Exit,
+            ],
+            stack_slots: 0,
+        };
+        let v = verify_bytecode(&prog, None, &VerifyConfig::default());
+        assert!(!v.admitted());
+        assert!(v.diagnostics.iter().any(|d| d.lint == Lint::UnboundedLoop));
+    }
+
+    #[test]
+    fn all_generated_loop_shapes_validate() {
+        for src in [
+            "SET(R1, SUBFLOWS.COUNT);",
+            "SET(R1, Q.COUNT);",
+            "IF (!Q.EMPTY) { SET(R1, 1); }",
+            "SET(R1, SUBFLOWS.FILTER(s => s.RTT > 0).COUNT);",
+            "SET(R1, SUBFLOWS.SUM(s => s.CWND));",
+            "FOREACH (VAR s IN SUBFLOWS) { SET(R1, R1 + 1); }",
+            "VAR s = SUBFLOWS.GET(0); IF (s != NULL) { SET(R1, s.RTT); }",
+            "VAR best = SUBFLOWS.MIN(s => s.RTT); IF (best != NULL) { SET(R1, best.RTT); }",
+            "VAR t = Q.TOP; IF (t != NULL) { SET(R1, t.SIZE); }",
+            "FOREACH (VAR s IN SUBFLOWS.FILTER(x => x.CWND > 0)) { SET(R2, R2 + s.RTT); }",
+        ] {
+            let v = validated(src);
+            assert!(v.admitted(), "{src}: {:?}", v.diagnostics);
+            assert!(v.step_bound.is_some(), "{src}: loops not bounded");
+        }
+    }
+
+    #[test]
+    fn mutated_helper_code_is_a_miscompile() {
+        // Swap the subflow-property read for a packet-property read: the
+        // call site now violates both the typed signature (subflow handle
+        // in a packet slot) and the certificate's property audit.
+        let (hir, mut prog, debug, bound) = compile_parts(MIN_RTT);
+        let mut mutated = false;
+        for insn in &mut prog.code {
+            if matches!(
+                insn,
+                Insn::Call {
+                    helper: Helper::SubflowProp
+                }
+            ) {
+                *insn = Insn::Call {
+                    helper: Helper::PacketProp,
+                };
+                mutated = true;
+                break;
+            }
+        }
+        assert!(mutated, "min-rtt reads a subflow property");
+        let v = validate_translation(&prog, &debug, &hir, bound, &VerifyConfig::default());
+        assert!(!v.admitted());
+        assert!(
+            v.diagnostics
+                .iter()
+                .any(|d| d.lint == Lint::Miscompile && d.message.contains("property")),
+            "{:?}",
+            v.diagnostics
+        );
+    }
+
+    #[test]
+    fn mutated_loop_increment_is_a_miscompile_with_span() {
+        // Turn a loop increment into a no-op: the loop no longer
+        // terminates, which translation validation must catch, anchored
+        // to a real source span.
+        let (hir, prog, debug, bound) = compile_parts(MIN_RTT);
+        let mut found = false;
+        for pc in 0..prog.code.len() {
+            let mut mutated = prog.clone();
+            if let Insn::AluImm {
+                op: AluOp::Add,
+                imm: imm @ 1,
+                ..
+            } = &mut mutated.code[pc]
+            {
+                *imm = 0;
+            } else {
+                continue;
+            }
+            let v = validate_translation(&mutated, &debug, &hir, bound, &VerifyConfig::default());
+            if !v.admitted() {
+                let mis = v
+                    .diagnostics
+                    .iter()
+                    .find(|d| d.lint == Lint::Miscompile)
+                    .expect("rejection is paired with a miscompile diagnostic");
+                assert!(
+                    mis.pos.line > 0,
+                    "miscompile carries a source span: {mis:?}"
+                );
+                found = true;
+            }
+        }
+        assert!(found, "at least one increment nop is caught");
+    }
+
+    #[test]
+    fn extra_pop_call_is_a_miscompile() {
+        let (hir, prog, debug, bound) = compile_parts("SET(R1, SUBFLOWS.COUNT);");
+        let mut mutated = prog.clone();
+        // Replace the trailing exit's predecessor chain: inject a Pop on
+        // a fresh packet-producing call sequence at the end by rewriting
+        // the final Exit into Call Pop is invalid (arity); instead swap a
+        // SubflowCount call for Pop-like DropPkt to disturb counts.
+        for insn in &mut mutated.code {
+            if matches!(
+                insn,
+                Insn::Call {
+                    helper: Helper::SubflowCount
+                }
+            ) {
+                *insn = Insn::Call {
+                    helper: Helper::DropPkt,
+                };
+                break;
+            }
+        }
+        let v = validate_translation(&mutated, &debug, &hir, bound, &VerifyConfig::default());
+        assert!(!v.admitted());
+        assert!(
+            v.diagnostics
+                .iter()
+                .any(|d| d.lint == Lint::Miscompile && d.message.contains("DropPkt")),
+            "{:?}",
+            v.diagnostics
+        );
+    }
+
+    #[test]
+    fn structural_failure_surfaces_as_miscompile() {
+        let prog = BytecodeProgram {
+            code: vec![Insn::Ja { off: 99 }, Insn::Exit],
+            stack_slots: 0,
+        };
+        let v = verify_bytecode(&prog, None, &VerifyConfig::default());
+        assert!(!v.admitted());
+        assert!(v
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == Lint::Miscompile && d.message.contains("structural")));
+        assert_eq!(v.step_bound, None);
+    }
+
+    #[test]
+    fn null_refinement_tracks_handle_nullability() {
+        // `VAR s = SUBFLOWS.GET(0); IF (s != NULL) { s.PUSH(Q.POP()); }`
+        // The push target is NonNull on the guarded path: no signature
+        // issues, admitted.
+        let v = validated(
+            "VAR s = SUBFLOWS.GET(0);
+             IF (s != NULL AND !Q.EMPTY) { s.PUSH(Q.POP()); }",
+        );
+        assert!(v.admitted(), "diags: {:?}", v.diagnostics);
+        assert!(v.annotated.contains("sbf"), "{}", v.annotated);
+    }
+}

@@ -10,54 +10,72 @@
 //! calls to an immediate load for the common case that the number of
 //! subflows has not changed, with the generic image kept as fallback.
 
-use crate::bytecode::{AluOp, BytecodeProgram, Helper, Insn, MAX_STACK_SLOTS, NUM_MACH_REGS};
+use crate::bytecode::{
+    AluOp, BytecodeProgram, DebugTable, Helper, Insn, MAX_STACK_SLOTS, NUM_MACH_REGS,
+};
 use crate::env::{PacketProp, QueueKind, RegId, SubflowProp};
 use crate::error::{CompileError, ExecError, Pos, Stage};
 use crate::exec::{ExecCtx, NULL_HANDLE};
 
-/// Statically verifies a bytecode program.
+/// Statically verifies a bytecode program (structural checks only; the
+/// dataflow verifier lives in [`crate::verify::vm`]).
 ///
 /// Rejects out-of-range registers, writes to the frame pointer `r10`,
 /// branches outside the instruction stream, stack accesses beyond the
 /// declared slot count, and a missing terminal `Exit`.
 pub fn verify(prog: &BytecodeProgram) -> Result<(), CompileError> {
-    let err = |msg: String| CompileError::new(Stage::Codegen, Pos::new(0, 0), msg);
+    verify_with_debug(prog, None)
+}
+
+/// Like [`verify`], but routes rejection positions through the
+/// instruction → source-span side table, so structural failures point at
+/// the scheduler source construct whose code is malformed.
+pub fn verify_with_debug(
+    prog: &BytecodeProgram,
+    debug: Option<&DebugTable>,
+) -> Result<(), CompileError> {
+    let pos_at = |pc: usize| debug.map(|d| d.pos(pc)).unwrap_or(Pos::new(0, 0));
+    let err_at = |pc: usize, msg: String| CompileError::new(Stage::VmVerify, pos_at(pc), msg);
     let n = prog.code.len();
     if n == 0 {
-        return Err(err("empty program".into()));
+        return Err(err_at(0, "empty program".into()));
     }
     if !matches!(prog.code[n - 1], Insn::Exit) {
-        return Err(err("program does not end with exit".into()));
+        return Err(err_at(n - 1, "program does not end with exit".into()));
     }
     if usize::from(prog.stack_slots) > MAX_STACK_SLOTS {
-        return Err(err(format!(
-            "stack requirement {} exceeds {MAX_STACK_SLOTS} slots",
-            prog.stack_slots
-        )));
-    }
-    let check_reg = |r: u8, writable: bool| -> Result<(), CompileError> {
-        if usize::from(r) >= NUM_MACH_REGS {
-            return Err(err(format!("register r{r} out of range")));
-        }
-        if writable && r == 10 {
-            return Err(err("r10 (frame pointer) is read-only".into()));
-        }
-        Ok(())
-    };
-    let check_slot = |s: u16| -> Result<(), CompileError> {
-        if s >= prog.stack_slots {
-            return Err(err(format!(
-                "stack slot {s} outside declared range {}",
+        return Err(err_at(
+            0,
+            format!(
+                "stack requirement {} exceeds {MAX_STACK_SLOTS} slots",
                 prog.stack_slots
-            )));
-        }
-        Ok(())
-    };
+            ),
+        ));
+    }
     for (i, insn) in prog.code.iter().enumerate() {
+        let err = |msg: String| err_at(i, format!("pc {i}: {msg}"));
+        let check_reg = |r: u8, writable: bool| -> Result<(), CompileError> {
+            if usize::from(r) >= NUM_MACH_REGS {
+                return Err(err(format!("register r{r} out of range")));
+            }
+            if writable && r == 10 {
+                return Err(err("r10 (frame pointer) is read-only".into()));
+            }
+            Ok(())
+        };
+        let check_slot = |s: u16| -> Result<(), CompileError> {
+            if s >= prog.stack_slots {
+                return Err(err(format!(
+                    "stack slot {s} outside declared range {}",
+                    prog.stack_slots
+                )));
+            }
+            Ok(())
+        };
         let check_jump = |off: i32| -> Result<(), CompileError> {
             let target = i as i64 + 1 + i64::from(off);
             if target < 0 || target >= n as i64 {
-                return Err(err(format!("branch at {i} jumps outside program")));
+                return Err(err("branch jumps outside program".into()));
             }
             Ok(())
         };
@@ -100,6 +118,10 @@ pub fn verify(prog: &BytecodeProgram) -> Result<(), CompileError> {
 /// Produces a copy of `prog` specialized for a constant subflow count:
 /// every `call SubflowCount` becomes `r0 = n`. The caller must fall back
 /// to the generic image when the live subflow count differs.
+///
+/// In debug builds the patched image is re-verified — structurally and
+/// through the dataflow verifier — so specialized code can never skip
+/// verification.
 pub fn specialize_subflow_count(prog: &BytecodeProgram, n: i64) -> BytecodeProgram {
     let code = prog
         .code
@@ -111,10 +133,28 @@ pub fn specialize_subflow_count(prog: &BytecodeProgram, n: i64) -> BytecodeProgr
             other => *other,
         })
         .collect();
-    BytecodeProgram {
+    let specialized = BytecodeProgram {
         code,
         stack_slots: prog.stack_slots,
+    };
+    debug_assert!(
+        verify(&specialized).is_ok(),
+        "specialized image fails structural verification"
+    );
+    #[cfg(debug_assertions)]
+    {
+        let verdict = crate::verify::vm::verify_bytecode(
+            &specialized,
+            None,
+            &crate::verify::VerifyConfig::default(),
+        );
+        debug_assert!(
+            verdict.admitted(),
+            "specialized image fails bytecode verification: {:?}",
+            verdict.diagnostics
+        );
     }
+    specialized
 }
 
 /// Executes a verified program against `ctx`, recording per-instruction
@@ -315,7 +355,7 @@ mod tests {
     fn compile_vm(src: &str) -> BytecodeProgram {
         let hir = lower(&parse(src).unwrap()).unwrap();
         let vcode = generate(&hir).unwrap();
-        let prog = allocate(&vcode).unwrap();
+        let prog = allocate(&vcode.insns).unwrap();
         verify(&prog).expect("generated code verifies");
         prog
     }
@@ -401,6 +441,54 @@ mod tests {
             stack_slots: 2,
         };
         assert!(verify(&prog).is_err());
+    }
+
+    #[test]
+    fn verifier_reports_vm_verify_stage_and_debug_spans() {
+        // Structural rejections report the dedicated stage, and when a
+        // debug side table is available the position of the faulty pc.
+        let prog = BytecodeProgram {
+            code: vec![
+                Insn::MovImm { dst: 0, imm: 1 },
+                Insn::Ja { off: 5 },
+                Insn::Exit,
+            ],
+            stack_slots: 0,
+        };
+        let err = verify(&prog).unwrap_err();
+        assert_eq!(err.stage, Stage::VmVerify);
+        assert!(err.message.contains("pc 1"), "{}", err.message);
+        assert_eq!(err.pos, Pos::new(0, 0), "no table -> placeholder span");
+
+        let debug = DebugTable {
+            spans: vec![Pos::new(1, 1), Pos::new(2, 5), Pos::new(2, 5)],
+        };
+        let err = verify_with_debug(&prog, Some(&debug)).unwrap_err();
+        assert_eq!(err.pos, Pos::new(2, 5), "span of the faulty instruction");
+    }
+
+    #[test]
+    fn specialized_images_are_reverified() {
+        // The specialization path re-runs both verifiers in debug builds;
+        // this exercises it over a program with real loops and checks the
+        // patched image still admits.
+        let prog = compile_vm(
+            "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) { SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }",
+        );
+        for n in [0, 1, 3, 64] {
+            let spec = specialize_subflow_count(&prog, n);
+            verify(&spec).expect("specialized image verifies structurally");
+            let verdict = crate::verify::vm::verify_bytecode(
+                &spec,
+                None,
+                &crate::verify::VerifyConfig::default(),
+            );
+            assert!(
+                verdict.admitted(),
+                "specialized image (n={n}) rejected: {:?}",
+                verdict.diagnostics
+            );
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Admission-verifier lint driver.
 //!
 //! ```text
-//! progmp-lint [--json] [--inspect] <file.progmp | scheduler-name>...
-//! progmp-lint [--json] [--inspect] --all
+//! progmp-lint [--json] [--inspect] [--bytecode] <file.progmp | scheduler-name>...
+//! progmp-lint [--json] [--inspect] [--bytecode] --all
 //! ```
 //!
 //! Each argument is either a path to a scheduler source file or the name
@@ -15,7 +15,12 @@
 //!   certified step bound);
 //! * `--json`: one JSON object per program, machine-readable;
 //! * `--inspect`: additionally print the static audit report
-//!   (`progmp_core::analysis`) next to each verdict.
+//!   (`progmp_core::analysis`) next to each verdict;
+//! * `--bytecode`: additionally print the bytecode verifier's verdict
+//!   and annotated register-state listing — each instruction with its
+//!   source span and the abstract values (intervals, handle kinds,
+//!   nullability) the dataflow verifier inferred on entry. The bytecode
+//!   verdict participates in the exit status like the admission verdict.
 //!
 //! Exit status: `0` when every program is admitted, `1` when any program
 //! has error-severity findings or fails to compile, `2` on usage errors.
@@ -27,13 +32,14 @@ use progmp_core::{compile_with_options, CompileOptions};
 struct Options {
     json: bool,
     inspect: bool,
+    bytecode: bool,
     targets: Vec<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: progmp-lint [--json] [--inspect] <file.progmp | scheduler-name>...\n\
-         \x20      progmp-lint [--json] [--inspect] --all\n\
+        "usage: progmp-lint [--json] [--inspect] [--bytecode] <file.progmp | scheduler-name>...\n\
+         \x20      progmp-lint [--json] [--inspect] [--bytecode] --all\n\
          \n\
          bundled scheduler names:"
     );
@@ -47,6 +53,7 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut opts = Options {
         json: false,
         inspect: false,
+        bytecode: false,
         targets: Vec::new(),
     };
     let mut all = false;
@@ -54,6 +61,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--inspect" => opts.inspect = true,
+            "--bytecode" => opts.bytecode = true,
             "--all" => all = true,
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with("--") => return Err(usage()),
@@ -161,6 +169,15 @@ fn main() -> ExitCode {
                     println!("--- static audit: {name} ---");
                     println!("{}", program.analyze());
                     println!();
+                }
+                if opts.bytecode {
+                    if !program.bytecode_verdict().admitted() {
+                        failed = true;
+                    }
+                    if !opts.json {
+                        println!("--- bytecode verification: {name} ---");
+                        println!("{}", program.bytecode_report());
+                    }
                 }
             }
             Err(e) => {
