@@ -1,7 +1,7 @@
 //! Seed-sweeping differential and soundness fuzzer.
 //!
 //! ```text
-//! conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness]
+//! conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness | --chaos]
 //! ```
 //!
 //! Explores seeds `[S, S+N)` (default `[0, 500)`).
@@ -26,7 +26,17 @@
 //! run finishes with the seeded codegen-mutation check, which must catch
 //! every simulated miscompile statically with a spanned `miscompile`
 //! diagnostic.
+//!
+//! With `--chaos`, each seed generates a whole simulated transfer under
+//! a random fault plan (blackouts, burst loss, jitter, rwnd stalls,
+//! subflow churn) and runs one of the paper's schedulers across all
+//! three backends with the runtime invariant oracle enabled. Divergent
+//! traces, oracle violations, and stalled transfers are shrunk to
+//! minimal fault plans and reported. The run finishes with a mutation
+//! check: a deliberately injected double-delivery defect must be caught
+//! by the conservation oracle with a shrunk, seed-replayable repro.
 
+use progmp_conformance::chaos;
 use progmp_conformance::differ::{check_seed, run_differential, Divergence};
 use progmp_conformance::gen::Generator;
 use progmp_conformance::shrink::shrink;
@@ -38,6 +48,7 @@ struct Args {
     seeds: u64,
     soundness: bool,
     vm_soundness: bool,
+    chaos: bool,
 }
 
 fn parse_args() -> Args {
@@ -46,9 +57,12 @@ fn parse_args() -> Args {
         seeds: 500,
         soundness: false,
         vm_soundness: false,
+        chaos: false,
     };
     fn usage() -> ! {
-        eprintln!("usage: conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness]");
+        eprintln!(
+            "usage: conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness | --chaos]"
+        );
         std::process::exit(2);
     }
     let mut args = std::env::args().skip(1);
@@ -56,6 +70,7 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--soundness" => parsed.soundness = true,
             "--vm-soundness" => parsed.vm_soundness = true,
+            "--chaos" => parsed.chaos = true,
             "--start" | "--seeds" => {
                 let value = match args.next().and_then(|v| v.parse().ok()) {
                     Some(v) => v,
@@ -150,8 +165,49 @@ fn run_vm_soundness(start: u64, seeds: u64) {
     }
 }
 
+fn run_chaos(start: u64, seeds: u64) {
+    println!(
+        "conformance-fuzz --chaos: seeds [{start}, {})",
+        start + seeds
+    );
+    let mut done = 0u64;
+    let report = chaos::sweep(start, seeds, &mut |_, _| {
+        done += 1;
+        if done.is_multiple_of(50) {
+            println!("  {done} fault plans swept");
+        }
+    });
+    println!(
+        "{} cases: {} divergence(s)/violation(s)",
+        report.cases,
+        report.failures.len()
+    );
+    let mut failed = false;
+    for (seed, shrunk, failure) in &report.failures {
+        eprintln!("seed {seed}: {failure}\n  shrunk repro: {shrunk}");
+        failed = true;
+    }
+    match chaos::mutation_check(start.wrapping_add(1)) {
+        Some(repro) => {
+            println!("  [caught] injected double-delivery defect — shrunk repro: {repro}");
+        }
+        None => {
+            eprintln!("  [MISSED] injected double-delivery defect escaped the oracle (BAD)");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("all {seeds} fault plans agree across interpreter, aot, and vm with a silent oracle");
+}
+
 fn main() {
     let args = parse_args();
+    if args.chaos {
+        run_chaos(args.start, args.seeds);
+        return;
+    }
     if args.vm_soundness {
         run_vm_soundness(args.start, args.seeds);
         return;

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod differ;
 pub mod gen;
 pub mod rng;

@@ -96,6 +96,12 @@ pub struct Connection {
     /// Default packet property for newly enqueued data (set through the
     /// extended API).
     pub default_prop: u32,
+    /// Whether the scheduler can pop the reinjection queue (from the
+    /// compiled program's static analysis). Schedulers that provably
+    /// never read `RQ` — like the paper's Fig. 3 minimal example —
+    /// cannot recover reinjected segments, so the liveness oracle must
+    /// not hold them to that standard.
+    pub pops_rq: bool,
 }
 
 impl Connection {
@@ -139,6 +145,7 @@ impl Connection {
             record_timelines: false,
             next_pkt_id: 1,
             default_prop: 0,
+            pops_rq: true,
         }
     }
 
@@ -339,7 +346,39 @@ impl Connection {
             return false;
         }
         self.rq.push(pkt);
+        self.stats.reinjections += 1;
         true
+    }
+
+    /// Structural queue invariants, checked by the chaos oracle after
+    /// every event: the queues hold only known, unacknowledged segments,
+    /// without duplicates, and a segment is never simultaneously
+    /// schedulable (`Q`/`RQ`) twice. Returns the first violation found.
+    pub fn queue_invariants(&self) -> Result<(), String> {
+        for (name, queue) in [("Q", &self.q), ("QU", &self.qu), ("RQ", &self.rq)] {
+            for pkt in queue {
+                let Some(seg) = self.segments.get(pkt) else {
+                    return Err(format!("{name} holds unknown segment {pkt:?}"));
+                };
+                if seg.end_seq() <= self.data_acked {
+                    return Err(format!(
+                        "{name} holds fully acked segment {pkt:?} (end_seq {} <= data_acked {})",
+                        seg.end_seq(),
+                        self.data_acked
+                    ));
+                }
+            }
+            let mut seen = queue.iter().collect::<Vec<_>>();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() != queue.len() {
+                return Err(format!("{name} contains a duplicate packet handle"));
+            }
+        }
+        if let Some(pkt) = self.q.iter().find(|p| self.rq.contains(p)) {
+            return Err(format!("segment {pkt:?} in both Q and RQ"));
+        }
+        Ok(())
     }
 
     /// Marks a subflow established/closed. In-flight segments of a closing

@@ -1,13 +1,18 @@
 //! The discrete-event simulation engine.
 //!
-//! Owns the virtual clock, the event queue, the connections, and the
-//! randomness (a single seeded generator, so every simulation is
-//! deterministic and reproducible per seed — the simulator's substitute
-//! for the paper's repeated real-world measurement runs).
+//! Owns the virtual clock, the event queue, and the connections. All
+//! randomness lives in per-path xorshift64* streams derived from the
+//! simulation seed and the `(connection, subflow)` pair (see
+//! [`crate::faults`]), so every simulation is deterministic and
+//! reproducible per seed — the simulator's substitute for the paper's
+//! repeated real-world measurement runs — and one path's loss/jitter
+//! trace never depends on how other paths' events interleave.
 
 use crate::app::BulkState;
 use crate::config::{ConnectionConfig, SchedulerSpec};
 use crate::connection::{Connection, SchedulerHandle};
+use crate::faults::{ChaosRng, FaultClause, FaultPlan, LossModel};
+use crate::oracle::{InvariantOracle, OracleViolation};
 use crate::path::{Path, PathProfileEntry};
 use crate::pathman::{PathManager, PmAction};
 use crate::receiver::Receiver;
@@ -16,8 +21,6 @@ use crate::time::SimTime;
 use progmp_core::env::{PacketRef, RegId, SchedulerEnv, SubflowId, Trigger};
 use progmp_core::exec::ExecCtx;
 use progmp_core::{compile, CompileError, SchedulerProgram};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -86,6 +89,20 @@ enum EventKind {
         conn: ConnId,
         trigger: Trigger,
     },
+    FaultLoss {
+        conn: ConnId,
+        sbf: u32,
+        model: Option<LossModel>,
+    },
+    FaultJitter {
+        conn: ConnId,
+        sbf: u32,
+        amplitude: Option<SimTime>,
+    },
+    RwndStall {
+        conn: ConnId,
+        stalled: bool,
+    },
 }
 
 #[derive(Debug)]
@@ -118,13 +135,14 @@ pub struct Sim {
     pub now: SimTime,
     heap: BinaryHeap<Reverse<Ev>>,
     seq: u64,
-    rng: StdRng,
+    seed: u64,
     /// All connections, indexed by [`ConnId`].
     pub connections: Vec<Connection>,
     bulk_sources: Vec<BulkState>,
     path_managers: Vec<(ConnId, PathManager)>,
     /// Total events processed (engine health metric).
     pub events_processed: u64,
+    oracle: Option<InvariantOracle>,
 }
 
 impl Sim {
@@ -134,12 +152,30 @@ impl Sim {
             now: 0,
             heap: BinaryHeap::new(),
             seq: 0,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
             connections: Vec::new(),
             bulk_sources: Vec::new(),
             path_managers: Vec::new(),
             events_processed: 0,
+            oracle: None,
         }
+    }
+
+    /// Attaches the runtime invariant oracle (see [`crate::oracle`]).
+    /// With `panic_on_violation` the first violation aborts with `label`
+    /// (the replay seed) and the trailing event log; otherwise violations
+    /// collect and are readable via [`Sim::oracle_violations`].
+    pub fn enable_oracle(&mut self, label: impl Into<String>, panic_on_violation: bool) {
+        self.oracle = Some(InvariantOracle::new(label, panic_on_violation));
+    }
+
+    /// Violations collected so far (empty when the oracle is off or
+    /// everything held).
+    pub fn oracle_violations(&self) -> &[OracleViolation] {
+        self.oracle
+            .as_ref()
+            .map(|o| o.violations.as_slice())
+            .unwrap_or(&[])
     }
 
     fn schedule(&mut self, time: SimTime, kind: EventKind) {
@@ -153,9 +189,13 @@ impl Sim {
     pub fn add_connection(&mut self, cfg: ConnectionConfig) -> Result<ConnId, CompileError> {
         let id = self.connections.len();
         let mut step_budget = cfg.step_budget;
+        // Native schedulers are opaque, so assume full capability (the
+        // strict liveness standard); DSL programs are analyzed below.
+        let mut pops_rq = true;
         let scheduler = match cfg.scheduler {
             SchedulerSpec::Dsl { source, backend } => {
                 let program: SchedulerProgram = compile(&source)?;
+                pops_rq = program.analyze().queues_popped.contains("RQ");
                 // The config default is a sentinel meaning "let the
                 // admission verifier pick": admitted programs carry a
                 // per-program certified worst-case bound, which is much
@@ -170,6 +210,11 @@ impl Sim {
         let mut subflows = Vec::new();
         for (i, sc) in cfg.subflows.iter().enumerate() {
             let mut sbf = Subflow::new(SubflowId(i as u32), Path::new(&sc.path), cfg.mss);
+            // Every path gets its own random stream, derived from the
+            // simulation seed and its identity — loss/jitter draws never
+            // cross paths (chaos-trace reproducibility).
+            sbf.path
+                .reseed(ChaosRng::for_path(self.seed, id as u64, i as u64));
             sbf.is_backup = sc.backup;
             sbf.cost = sc.cost;
             sbf.established = sc.start_at == 0;
@@ -211,6 +256,7 @@ impl Sim {
         conn.step_budget = step_budget;
         conn.max_sched_rounds = cfg.max_sched_rounds;
         conn.record_timelines = cfg.record_timelines;
+        conn.pops_rq = pops_rq;
         self.connections.push(conn);
         Ok(id)
     }
@@ -238,6 +284,113 @@ impl Sim {
     /// (Re-)establishes a subflow at `at`.
     pub fn subflow_up_at(&mut self, conn: ConnId, sbf: u32, at: SimTime) {
         self.schedule(at, EventKind::SubflowUp { conn, sbf });
+    }
+
+    /// Expands a [`FaultPlan`] into scheduled events against `conn`:
+    /// each clause installs its fault at the window start and restores
+    /// the path's baseline behaviour at the window end. Composable —
+    /// plans and manual event scheduling mix freely.
+    pub fn apply_fault_plan(&mut self, conn: ConnId, plan: &FaultPlan) {
+        for clause in &plan.clauses {
+            match *clause {
+                FaultClause::Blackout { sbf, from, until } => {
+                    self.schedule(
+                        from,
+                        EventKind::FaultLoss {
+                            conn,
+                            sbf,
+                            model: Some(LossModel::blackout()),
+                        },
+                    );
+                    self.schedule(
+                        until,
+                        EventKind::FaultLoss {
+                            conn,
+                            sbf,
+                            model: None,
+                        },
+                    );
+                }
+                FaultClause::BurstLoss {
+                    sbf,
+                    from,
+                    until,
+                    p_enter_bad,
+                    p_exit_bad,
+                    loss_bad,
+                } => {
+                    self.schedule(
+                        from,
+                        EventKind::FaultLoss {
+                            conn,
+                            sbf,
+                            model: Some(LossModel::GilbertElliott {
+                                p_enter_bad,
+                                p_exit_bad,
+                                loss_good: 0,
+                                loss_bad,
+                                bad: false,
+                            }),
+                        },
+                    );
+                    self.schedule(
+                        until,
+                        EventKind::FaultLoss {
+                            conn,
+                            sbf,
+                            model: None,
+                        },
+                    );
+                }
+                FaultClause::DelayJitter {
+                    sbf,
+                    from,
+                    until,
+                    amplitude,
+                } => {
+                    self.schedule(
+                        from,
+                        EventKind::FaultJitter {
+                            conn,
+                            sbf,
+                            amplitude: Some(amplitude),
+                        },
+                    );
+                    self.schedule(
+                        until,
+                        EventKind::FaultJitter {
+                            conn,
+                            sbf,
+                            amplitude: None,
+                        },
+                    );
+                }
+                FaultClause::RwndStall { from, until } => {
+                    self.schedule(
+                        from,
+                        EventKind::RwndStall {
+                            conn,
+                            stalled: true,
+                        },
+                    );
+                    self.schedule(
+                        until,
+                        EventKind::RwndStall {
+                            conn,
+                            stalled: false,
+                        },
+                    );
+                }
+                FaultClause::Churn {
+                    sbf,
+                    down_at,
+                    up_at,
+                } => {
+                    self.subflow_down_at(conn, sbf, down_at);
+                    self.subflow_up_at(conn, sbf, up_at);
+                }
+            }
+        }
     }
 
     /// Attaches a path manager to `conn`; its policy is evaluated every
@@ -291,12 +444,18 @@ impl Sim {
             let Reverse(ev) = self.heap.pop().expect("peeked");
             self.now = ev.time;
             self.events_processed += 1;
+            if let Some(o) = &mut self.oracle {
+                o.log_event(format!("t={} {:?}", ev.time, ev.kind));
+            }
             self.dispatch(ev.kind);
+            self.oracle_check();
         }
         self.now = until;
     }
 
-    /// Runs until the event queue drains or `max_time` is reached.
+    /// Runs until the event queue drains or `max_time` is reached. When
+    /// the queue fully drains with the oracle attached, the quiescent
+    /// eventual-progress invariant is checked as well.
     pub fn run_to_completion(&mut self, max_time: SimTime) {
         while let Some(Reverse(ev)) = self.heap.peek() {
             if ev.time > max_time {
@@ -305,7 +464,28 @@ impl Sim {
             let Reverse(ev) = self.heap.pop().expect("peeked");
             self.now = ev.time;
             self.events_processed += 1;
+            if let Some(o) = &mut self.oracle {
+                o.log_event(format!("t={} {:?}", ev.time, ev.kind));
+            }
             self.dispatch(ev.kind);
+            self.oracle_check();
+        }
+        if self.heap.is_empty() {
+            if let Some(oracle) = self.oracle.as_mut() {
+                for conn in &self.connections {
+                    oracle.check_quiescent(self.now, conn);
+                }
+            }
+        }
+    }
+
+    /// Runs the per-event oracle checks over every connection.
+    fn oracle_check(&mut self) {
+        let Some(oracle) = self.oracle.as_mut() else {
+            return;
+        };
+        for conn in &self.connections {
+            oracle.check(self.now, conn);
         }
     }
 
@@ -506,6 +686,34 @@ impl Sim {
             EventKind::Trigger { conn, trigger } => {
                 self.run_scheduler(conn, trigger);
             }
+            EventKind::FaultLoss { conn, sbf, model } => {
+                if let Some(s) = self.connections[conn].subflows.get_mut(sbf as usize) {
+                    s.path.set_fault_loss(model);
+                }
+            }
+            EventKind::FaultJitter {
+                conn,
+                sbf,
+                amplitude,
+            } => {
+                if let Some(s) = self.connections[conn].subflows.get_mut(sbf as usize) {
+                    s.path.set_jitter(amplitude);
+                }
+            }
+            EventKind::RwndStall { conn, stalled } => {
+                // The stall models the receiving application pausing its
+                // reads only as far as the *sender* sees it: the
+                // advertised window collapses to zero immediately (the
+                // zero-window advertisement) and reopens with a window
+                // update when the stall clears, at which point the
+                // scheduler gets a chance to resume.
+                let c = &mut self.connections[conn];
+                c.receiver.set_stalled(stalled);
+                c.adv_rwnd = c.receiver.rwnd();
+                if !stalled {
+                    self.run_scheduler(conn, Trigger::Timer);
+                }
+            }
         }
     }
 
@@ -593,13 +801,13 @@ impl Sim {
                 return;
             };
             let (size, data_seq) = (seg.size, seg.seq);
-            let loss_p = c.subflows[sbf_idx].path.loss;
-            let lost = loss_p > 0.0 && self.rng.random::<f64>() < loss_p;
             if !c.subflows[sbf_idx].established {
                 return;
             }
             let is_rtx = reuse_seq.is_some();
-            let outcome = c.subflows[sbf_idx].path.transmit(now, size, lost);
+            // Loss and jitter draws happen inside the path, from its own
+            // per-path stream.
+            let outcome = c.subflows[sbf_idx].path.transmit(now, size);
             let sbf_seq = c.record_tx(sbf_idx, pkt, size, now, reuse_seq);
             c.subflows[sbf_idx].last_activity = now;
             // Statistics.

@@ -1,0 +1,417 @@
+//! Deterministic fault injection: seeded, composable schedules of the
+//! hostile network conditions the paper's schedulers exist to survive
+//! (§5–6): path blackouts, Gilbert–Elliott burst loss, delay jitter /
+//! RTT spikes, receive-window stalls, and subflow add/remove churn.
+//!
+//! A [`FaultPlan`] is a list of [`FaultClause`]s, each a time-windowed
+//! fault on one path (or the connection, for window stalls). Plans are
+//! generated deterministically from a seed ([`FaultPlan::generate`]) and
+//! rendered to a stable integer-only text form ([`FaultPlan::render`])
+//! so a failing chaos case replays from its seed and reads in a report.
+//!
+//! Every random draw in the fault layer — loss decisions, burst-state
+//! transitions, per-packet jitter — comes from a **per-path**
+//! [`ChaosRng`] (xorshift64*) stream seeded from `(simulation seed,
+//! connection id, subflow index)`. Paths never share a stream, so a
+//! path's loss/jitter trace depends only on its own transmission
+//! sequence, not on how unrelated events interleave in the global event
+//! queue. This is what makes chaos traces reproducible and shrinkable:
+//! removing one connection (or one fault clause) does not perturb the
+//! draws of the others.
+
+use crate::time::{SimTime, MILLIS, SECONDS};
+
+/// xorshift64* generator (Vigna). The fault layer's only randomness
+/// source; deliberately the same frozen algorithm as the conformance
+/// harness's seed streams so recorded chaos seeds stay valid forever.
+#[derive(Debug, Clone)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// Creates a generator from `seed` (0 is remapped: xorshift has an
+    /// all-zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        ChaosRng {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Derives an independent stream for `(conn, sbf)` from a base seed
+    /// by mixing through splitmix64 — adjacent inputs yield uncorrelated
+    /// streams.
+    pub fn for_path(base_seed: u64, conn: u64, sbf: u64) -> Self {
+        let mut z = base_seed
+            .wrapping_add(conn.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(sbf.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ChaosRng::new(z ^ (z >> 31))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// True with probability `ppm / 1_000_000`.
+    pub fn chance_ppm(&mut self, ppm: u32) -> bool {
+        if ppm == 0 {
+            return false;
+        }
+        if ppm >= 1_000_000 {
+            return true;
+        }
+        self.below(1_000_000) < u64::from(ppm)
+    }
+}
+
+/// Packet-loss process of a path. Probabilities are parts-per-million so
+/// plans render and replay with integers only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossModel {
+    /// Independent per-packet loss with probability `ppm / 1e6`.
+    Bernoulli {
+        /// Loss probability in parts-per-million.
+        ppm: u32,
+    },
+    /// Two-state Gilbert–Elliott burst-loss process: per packet, first a
+    /// state transition is drawn, then a loss with the state's rate.
+    GilbertElliott {
+        /// P(good → bad) per packet, ppm.
+        p_enter_bad: u32,
+        /// P(bad → good) per packet, ppm.
+        p_exit_bad: u32,
+        /// Loss probability in the good state, ppm.
+        loss_good: u32,
+        /// Loss probability in the bad state, ppm.
+        loss_bad: u32,
+        /// Current state (part of the model so traces replay).
+        bad: bool,
+    },
+}
+
+impl LossModel {
+    /// Bernoulli model from a float probability (clamped to `[0, 1]`).
+    pub fn bernoulli(p: f64) -> Self {
+        LossModel::Bernoulli {
+            ppm: (p.clamp(0.0, 1.0) * 1e6) as u32,
+        }
+    }
+
+    /// A total blackout: every packet is lost.
+    pub fn blackout() -> Self {
+        LossModel::Bernoulli { ppm: 1_000_000 }
+    }
+
+    /// Draws the loss decision for one packet, advancing burst state.
+    /// Degenerate probabilities (0, 1) do not consume random draws, so a
+    /// loss-free path never touches its stream.
+    pub fn draw(&mut self, rng: &mut ChaosRng) -> bool {
+        match self {
+            LossModel::Bernoulli { ppm } => rng.chance_ppm(*ppm),
+            LossModel::GilbertElliott {
+                p_enter_bad,
+                p_exit_bad,
+                loss_good,
+                loss_bad,
+                bad,
+            } => {
+                let flip = rng.chance_ppm(if *bad { *p_exit_bad } else { *p_enter_bad });
+                if flip {
+                    *bad = !*bad;
+                }
+                rng.chance_ppm(if *bad { *loss_bad } else { *loss_good })
+            }
+        }
+    }
+}
+
+/// One time-windowed fault. All windows are half-open `[from, until)`;
+/// the engine installs the fault at `from` and restores the baseline at
+/// `until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClause {
+    /// Total loss on one path (the link is up but delivers nothing —
+    /// e.g. walking out of WiFi range before the association drops).
+    Blackout {
+        /// Affected subflow index.
+        sbf: u32,
+        /// Window start.
+        from: SimTime,
+        /// Window end (baseline restored).
+        until: SimTime,
+    },
+    /// Gilbert–Elliott bursty loss on one path.
+    BurstLoss {
+        /// Affected subflow index.
+        sbf: u32,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+        /// P(good → bad) per packet, ppm.
+        p_enter_bad: u32,
+        /// P(bad → good) per packet, ppm.
+        p_exit_bad: u32,
+        /// Loss probability while bad, ppm.
+        loss_bad: u32,
+    },
+    /// Per-packet one-way delay jitter in `[0, amplitude)` — RTT spikes
+    /// and reordering on the wire.
+    DelayJitter {
+        /// Affected subflow index.
+        sbf: u32,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+        /// Maximum extra one-way delay (ns).
+        amplitude: SimTime,
+    },
+    /// The receiving application stops reading: the advertised receive
+    /// window collapses to zero for the duration, then a window update
+    /// reopens it.
+    RwndStall {
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+    },
+    /// Subflow churn: the subflow is torn down at `down_at` and
+    /// re-established at `up_at` (handover, interface flap).
+    Churn {
+        /// Affected subflow index.
+        sbf: u32,
+        /// Teardown time.
+        down_at: SimTime,
+        /// Re-establishment time.
+        up_at: SimTime,
+    },
+}
+
+/// A seeded, composable schedule of faults for one connection.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The clauses, in generation order.
+    pub clauses: Vec<FaultClause>,
+}
+
+impl FaultPlan {
+    /// Generates a plan for a connection with `n_subflows`, with every
+    /// fault window contained in `[horizon/8, horizon)`. Deterministic
+    /// per seed; 1–4 clauses.
+    pub fn generate(seed: u64, n_subflows: u32, horizon: SimTime) -> Self {
+        let mut rng = ChaosRng::new(seed ^ 0xC4A0_5C4A_05C4_A05C);
+        let n_clauses = 1 + rng.below(4);
+        let mut clauses = Vec::new();
+        let lo = horizon / 8;
+        let span = horizon.saturating_sub(lo).max(1);
+        for _ in 0..n_clauses {
+            let sbf = rng.below(u64::from(n_subflows.max(1))) as u32;
+            let from = lo + rng.below(span / 2).max(1);
+            let len = (50 * MILLIS + rng.below(2 * SECONDS)).min(horizon - from);
+            let until = from + len.max(MILLIS);
+            clauses.push(match rng.below(5) {
+                0 => FaultClause::Blackout { sbf, from, until },
+                1 => FaultClause::BurstLoss {
+                    sbf,
+                    from,
+                    until,
+                    p_enter_bad: 20_000 + rng.below(180_000) as u32,
+                    p_exit_bad: 50_000 + rng.below(400_000) as u32,
+                    loss_bad: 300_000 + rng.below(700_000) as u32,
+                },
+                2 => FaultClause::DelayJitter {
+                    sbf,
+                    from,
+                    until,
+                    amplitude: 2 * MILLIS + rng.below(80 * MILLIS),
+                },
+                3 => FaultClause::RwndStall {
+                    from,
+                    until: from + len.clamp(MILLIS, 800 * MILLIS),
+                },
+                _ => FaultClause::Churn {
+                    sbf,
+                    down_at: from,
+                    up_at: until,
+                },
+            });
+        }
+        FaultPlan { clauses }
+    }
+
+    /// Stable, integer-only text form for reports and golden replays.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.clauses {
+            out.push_str(&match *c {
+                FaultClause::Blackout { sbf, from, until } => {
+                    format!("blackout sbf={sbf} from={from} until={until}\n")
+                }
+                FaultClause::BurstLoss {
+                    sbf,
+                    from,
+                    until,
+                    p_enter_bad,
+                    p_exit_bad,
+                    loss_bad,
+                } => format!(
+                    "burst-loss sbf={sbf} from={from} until={until} \
+                     enter={p_enter_bad} exit={p_exit_bad} bad={loss_bad}\n"
+                ),
+                FaultClause::DelayJitter {
+                    sbf,
+                    from,
+                    until,
+                    amplitude,
+                } => format!("jitter sbf={sbf} from={from} until={until} amp={amplitude}\n"),
+                FaultClause::RwndStall { from, until } => {
+                    format!("rwnd-stall from={from} until={until}\n")
+                }
+                FaultClause::Churn {
+                    sbf,
+                    down_at,
+                    up_at,
+                } => {
+                    format!("churn sbf={sbf} down={down_at} up={up_at}\n")
+                }
+            });
+        }
+        out
+    }
+
+    /// Highest subflow index any clause touches, if any clause targets a
+    /// subflow (used by shrinkers to keep plans well-formed).
+    pub fn max_subflow(&self) -> Option<u32> {
+        self.clauses
+            .iter()
+            .filter_map(|c| match *c {
+                FaultClause::Blackout { sbf, .. }
+                | FaultClause::BurstLoss { sbf, .. }
+                | FaultClause::DelayJitter { sbf, .. }
+                | FaultClause::Churn { sbf, .. } => Some(sbf),
+                FaultClause::RwndStall { .. } => None,
+            })
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_rng_is_frozen_xorshift64star() {
+        // Same pinned first output as the conformance harness's stream:
+        // changing the algorithm invalidates every recorded chaos seed.
+        let mut r = ChaosRng::new(1);
+        assert_eq!(r.next_u64(), 0x47E4_CE4B_896C_DD1D);
+    }
+
+    #[test]
+    fn per_path_streams_are_independent() {
+        let mut a = ChaosRng::for_path(7, 0, 0);
+        let mut b = ChaosRng::for_path(7, 0, 1);
+        let mut c = ChaosRng::for_path(7, 1, 0);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_ne!(xs, ys);
+        assert_ne!(xs, zs);
+        assert_ne!(ys, zs);
+    }
+
+    #[test]
+    fn degenerate_bernoulli_consumes_no_draws() {
+        let mut rng = ChaosRng::new(3);
+        let before = rng.clone().next_u64();
+        let mut never = LossModel::Bernoulli { ppm: 0 };
+        let mut always = LossModel::blackout();
+        assert!(!never.draw(&mut rng));
+        assert!(always.draw(&mut rng));
+        assert_eq!(rng.next_u64(), before, "stream untouched");
+    }
+
+    #[test]
+    fn gilbert_elliott_bursts() {
+        let mut model = LossModel::GilbertElliott {
+            p_enter_bad: 100_000,
+            p_exit_bad: 300_000,
+            loss_good: 0,
+            loss_bad: 1_000_000,
+            bad: false,
+        };
+        let mut rng = ChaosRng::new(11);
+        let outcomes: Vec<bool> = (0..2000).map(|_| model.draw(&mut rng)).collect();
+        let losses = outcomes.iter().filter(|l| **l).count();
+        assert!(losses > 100, "bad state produces losses: {losses}");
+        assert!(losses < 1500, "good state passes packets: {losses}");
+        // Burstiness: a loss is followed by another loss far more often
+        // than the marginal loss rate alone would predict.
+        let pairs = outcomes.windows(2).filter(|w| w[0]).count();
+        let runs = outcomes.windows(2).filter(|w| w[0] && w[1]).count();
+        assert!(runs * 2 > pairs, "losses cluster: {runs}/{pairs}");
+    }
+
+    #[test]
+    fn generated_plans_are_deterministic_and_bounded() {
+        let a = FaultPlan::generate(42, 2, 10 * SECONDS);
+        let b = FaultPlan::generate(42, 2, 10 * SECONDS);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::generate(43, 2, 10 * SECONDS));
+        assert!(!a.clauses.is_empty() && a.clauses.len() <= 4);
+        for seed in 0..200 {
+            let plan = FaultPlan::generate(seed, 3, 10 * SECONDS);
+            for c in &plan.clauses {
+                let (from, until) = match *c {
+                    FaultClause::Blackout { from, until, .. }
+                    | FaultClause::BurstLoss { from, until, .. }
+                    | FaultClause::DelayJitter { from, until, .. }
+                    | FaultClause::RwndStall { from, until }
+                    | FaultClause::Churn {
+                        down_at: from,
+                        up_at: until,
+                        ..
+                    } => (from, until),
+                };
+                assert!(from < until, "windows are non-empty");
+                assert!(until <= 10 * SECONDS, "windows end within the horizon");
+                if let Some(sbf) = plan.max_subflow() {
+                    assert!(sbf < 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_is_integer_only_and_stable() {
+        let plan = FaultPlan::generate(9, 2, 10 * SECONDS);
+        let text = plan.render();
+        assert_eq!(text, plan.render());
+        assert!(!text.contains('.'), "render must be integer-only: {text}");
+        assert_eq!(text.lines().count(), plan.clauses.len());
+    }
+}

@@ -53,7 +53,9 @@ pub mod cc;
 pub mod config;
 pub mod connection;
 pub mod engine;
+pub mod faults;
 pub mod native;
+pub mod oracle;
 pub mod packet;
 pub mod path;
 pub mod pathman;
@@ -67,7 +69,9 @@ pub use cc::CcAlgo;
 pub use config::{ConnectionConfig, SchedulerSpec, SubflowConfig};
 pub use connection::{Connection, SchedulerHandle};
 pub use engine::{ConnId, Sim};
+pub use faults::{ChaosRng, FaultClause, FaultPlan, LossModel};
 pub use native::{NativeMinRtt, NativeRoundRobin, NativeScheduler};
+pub use oracle::{InvariantOracle, OracleViolation};
 pub use path::{PathConfig, PathProfileEntry};
 pub use pathman::{PathManager, PathManagerPolicy, PmAction};
 pub use receiver::ReceiverMode;

@@ -1,0 +1,445 @@
+//! Runtime invariant oracle: checks conservation-of-data, acknowledgement
+//! monotonicity, reorder-queue accounting, and eventual progress after
+//! every simulated event.
+//!
+//! The oracle exists for the chaos tier (TESTING.md): fault plans drive
+//! the simulator through blackouts, burst loss, jitter, window stalls and
+//! churn, and the oracle asserts that the transport machinery never
+//! corrupts data in the process. In panicking mode a violation aborts
+//! with the replay label (seed) and the tail of the event log, so a
+//! failing chaos run reproduces from its report alone; in collecting
+//! mode violations accumulate for the conformance harness to diff and
+//! shrink.
+//!
+//! ## Invariant catalogue
+//!
+//! * **conservation-delivery** — bytes delivered to the application
+//!   exactly equal the in-order prefix (`delivered_total == expected`):
+//!   no byte is delivered twice (duplicates from explicit reinjection are
+//!   detected and discarded at the receiver), none is skipped.
+//! * **conservation-stats** — the engine's delivery counter agrees with
+//!   the receiver's ground truth.
+//! * **conservation-bound** — the receiver never delivers bytes the
+//!   application never enqueued.
+//! * **ack-monotone** — the meta cumulative ack, the receiver's expected
+//!   pointer, and every subflow cumulative ack only move forward.
+//! * **ack-bound** — the sender's cumulative ack never runs ahead of
+//!   what the receiver delivered, and subflow acks never pass the
+//!   subflow's send counter.
+//! * **reorder-accounting** — the incremental out-of-order byte counter
+//!   equals a from-scratch recount of the reorder queues, and occupancy
+//!   stays within the receive buffer (bounded reorder-queue occupancy).
+//! * **queue-structure** — `Q`/`QU`/`RQ` hold only known, unacked,
+//!   non-duplicate segments ([`Connection::queue_invariants`]).
+//! * **step-bound** — no scheduler execution aborted on its certified
+//!   step budget (admitted programs carry a verified worst-case bound;
+//!   exceeding it would starve the connection).
+//! * **eventual-progress** — checked at quiescence: if the event queue
+//!   drains while unacknowledged data remains, a live (established)
+//!   subflow exists, and the scheduler never dropped a packet, the
+//!   machinery lost data forever — a liveness violation. Exception:
+//!   data stranded *only* in the reinjection queue under a scheduler
+//!   whose static analysis shows it never pops `RQ` is an expected
+//!   stall (the program simply has no reinjection logic), not a bug.
+
+use crate::connection::Connection;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// How many trailing events the oracle keeps for violation reports.
+const EVENT_LOG_CAP: usize = 48;
+
+/// One detected invariant violation.
+#[derive(Debug, Clone)]
+pub struct OracleViolation {
+    /// Simulation time of the violating event.
+    pub at: SimTime,
+    /// Connection the violation occurred on.
+    pub conn: usize,
+    /// Which invariant failed (catalogue name).
+    pub invariant: &'static str,
+    /// Human-readable detail with the offending values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invariant `{}` violated on conn {} at t={}: {}",
+            self.invariant, self.conn, self.at, self.detail
+        )
+    }
+}
+
+/// Per-connection high-water marks for monotonicity checks.
+#[derive(Debug, Default, Clone)]
+struct Marks {
+    data_acked: u64,
+    expected: u64,
+    sbf_acked: Vec<u64>,
+}
+
+/// The oracle itself; owned by the engine and consulted after each event.
+#[derive(Debug)]
+pub struct InvariantOracle {
+    /// Replay label baked into panic messages (typically `seed N ...`).
+    label: String,
+    /// Panic on the first violation (true) or collect (false).
+    panic_on_violation: bool,
+    /// Violations found so far (collecting mode).
+    pub violations: Vec<OracleViolation>,
+    log: VecDeque<String>,
+    marks: Vec<Marks>,
+}
+
+impl InvariantOracle {
+    /// Creates an oracle. `label` should identify the replay (seed,
+    /// scenario); `panic_on_violation` selects abort-vs-collect.
+    pub fn new(label: impl Into<String>, panic_on_violation: bool) -> Self {
+        InvariantOracle {
+            label: label.into(),
+            panic_on_violation,
+            violations: Vec::new(),
+            log: VecDeque::new(),
+            marks: Vec::new(),
+        }
+    }
+
+    /// Appends one event description to the bounded replay log.
+    pub fn log_event(&mut self, desc: String) {
+        if self.log.len() == EVENT_LOG_CAP {
+            self.log.pop_front();
+        }
+        self.log.push_back(desc);
+    }
+
+    /// The trailing event log, oldest first.
+    pub fn event_log(&self) -> impl Iterator<Item = &str> {
+        self.log.iter().map(String::as_str)
+    }
+
+    fn report(&mut self, v: OracleViolation) {
+        if self.panic_on_violation {
+            let mut msg = format!(
+                "[invariant oracle] {v}\nreplay: {}\nevent log (oldest first):\n",
+                self.label
+            );
+            for line in &self.log {
+                msg.push_str("  ");
+                msg.push_str(line);
+                msg.push('\n');
+            }
+            panic!("{msg}");
+        }
+        self.violations.push(v);
+    }
+
+    /// Checks every per-event invariant on `conn` at time `now`.
+    pub fn check(&mut self, now: SimTime, conn: &Connection) {
+        if self.marks.len() <= conn.id {
+            self.marks.resize(conn.id + 1, Marks::default());
+        }
+        let marks = &mut self.marks[conn.id];
+        marks.sbf_acked.resize(conn.subflows.len(), 0);
+
+        let mut bad: Vec<(&'static str, String)> = Vec::new();
+        let delivered = conn.receiver.delivered_total;
+        let expected = conn.receiver.expected();
+
+        if delivered != expected {
+            bad.push((
+                "conservation-delivery",
+                format!("delivered_total {delivered} != expected {expected} (a byte was delivered twice or skipped)"),
+            ));
+        }
+        if conn.stats.delivered_bytes != delivered {
+            bad.push((
+                "conservation-stats",
+                format!(
+                    "stats.delivered_bytes {} != receiver.delivered_total {delivered}",
+                    conn.stats.delivered_bytes
+                ),
+            ));
+        }
+        if expected > conn.enqueued_bytes() {
+            bad.push((
+                "conservation-bound",
+                format!(
+                    "receiver expected {expected} > enqueued {} (bytes invented)",
+                    conn.enqueued_bytes()
+                ),
+            ));
+        }
+        if conn.data_acked < marks.data_acked {
+            bad.push((
+                "ack-monotone",
+                format!(
+                    "meta data_acked moved backwards: {} -> {}",
+                    marks.data_acked, conn.data_acked
+                ),
+            ));
+        }
+        if expected < marks.expected {
+            bad.push((
+                "ack-monotone",
+                format!(
+                    "receiver expected moved backwards: {} -> {expected}",
+                    marks.expected
+                ),
+            ));
+        }
+        if conn.data_acked > expected {
+            bad.push((
+                "ack-bound",
+                format!(
+                    "data_acked {} > receiver expected {expected}",
+                    conn.data_acked
+                ),
+            ));
+        }
+        for (i, sbf) in conn.subflows.iter().enumerate() {
+            if sbf.acked_seq < marks.sbf_acked[i] {
+                bad.push((
+                    "ack-monotone",
+                    format!(
+                        "subflow {i} acked_seq moved backwards: {} -> {}",
+                        marks.sbf_acked[i], sbf.acked_seq
+                    ),
+                ));
+            }
+            if sbf.acked_seq > sbf.next_seq {
+                bad.push((
+                    "ack-bound",
+                    format!(
+                        "subflow {i} acked_seq {} > next_seq {} (acked the unsent)",
+                        sbf.acked_seq, sbf.next_seq
+                    ),
+                ));
+            }
+        }
+        let ooo = conn.receiver.ooo_bytes();
+        let recount = conn.receiver.ooo_recount();
+        if ooo != recount {
+            bad.push((
+                "reorder-accounting",
+                format!("incremental ooo_bytes {ooo} != recount {recount}"),
+            ));
+        }
+        if ooo > conn.receiver.buf_cap() {
+            bad.push((
+                "reorder-accounting",
+                format!(
+                    "reorder occupancy {ooo} exceeds receive buffer {}",
+                    conn.receiver.buf_cap()
+                ),
+            ));
+        }
+        if let Err(detail) = conn.queue_invariants() {
+            bad.push(("queue-structure", detail));
+        }
+        if conn.stats.scheduler_errors > 0 {
+            bad.push((
+                "step-bound",
+                format!(
+                    "{} scheduler execution(s) aborted on the certified step budget",
+                    conn.stats.scheduler_errors
+                ),
+            ));
+        }
+
+        marks.data_acked = conn.data_acked;
+        marks.expected = expected;
+        for (i, sbf) in conn.subflows.iter().enumerate() {
+            marks.sbf_acked[i] = sbf.acked_seq;
+        }
+
+        for (invariant, detail) in bad {
+            self.report(OracleViolation {
+                at: now,
+                conn: conn.id,
+                invariant,
+                detail,
+            });
+        }
+    }
+
+    /// Liveness check run when the event queue drains: with unacked data,
+    /// at least one live subflow, and no scheduler-sanctioned drops, the
+    /// simulation must not be quiescent.
+    pub fn check_quiescent(&mut self, now: SimTime, conn: &Connection) {
+        use progmp_core::env::{QueueKind, SchedulerEnv};
+        let live = conn.subflows.iter().any(|s| s.established);
+        if !conn.all_acked() && live && conn.stats.scheduler_drops == 0 {
+            // Data stranded exclusively in the reinjection queue is
+            // reachable only through `RQ.POP()`; a scheduler that
+            // provably never pops RQ (Fig. 3's minimal example) stalls
+            // there by design, not by an engine bug.
+            let rq_only_strand = conn.queue(QueueKind::SendQueue).is_empty()
+                && !conn.queue(QueueKind::Reinject).is_empty();
+            if rq_only_strand && !conn.pops_rq {
+                return;
+            }
+            let detail = format!(
+                "event queue drained with {} of {} bytes unacked, {} live subflow(s), no DROPs",
+                conn.enqueued_bytes() - conn.data_acked,
+                conn.enqueued_bytes(),
+                conn.subflows.iter().filter(|s| s.established).count()
+            );
+            self.report(OracleViolation {
+                at: now,
+                conn: conn.id,
+                invariant: "eventual-progress",
+                detail,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::CcAlgo;
+    use crate::connection::SchedulerHandle;
+    use crate::path::{Path, PathConfig};
+    use crate::receiver::{Receiver, ReceiverMode};
+    use crate::subflow::Subflow;
+    use crate::time::from_millis;
+    use progmp_core::env::SubflowId;
+
+    fn conn() -> Connection {
+        let subflows = vec![Subflow::new(
+            SubflowId(0),
+            Path::new(&PathConfig::symmetric(from_millis(10), 1_250_000)),
+            1400,
+        )];
+        let receiver = Receiver::new(ReceiverMode::Improved, 1, 1 << 20);
+        Connection::new(
+            0,
+            subflows,
+            receiver,
+            SchedulerHandle::Native(Box::new(crate::native::NativeMinRtt)),
+            CcAlgo::Reno,
+            1400,
+            1 << 20,
+        )
+    }
+
+    #[test]
+    fn clean_connection_passes_all_checks() {
+        let mut oracle = InvariantOracle::new("unit", true);
+        let c = conn();
+        oracle.check(0, &c);
+    }
+
+    #[test]
+    fn double_delivery_is_caught() {
+        let mut oracle = InvariantOracle::new("unit", false);
+        let mut c = conn();
+        c.enqueue_data(1400, 0, 0);
+        c.receiver.inject_double_delivery_bug();
+        let p = progmp_core::env::PacketRef(1);
+        c.receiver.on_arrival(0, 0, 0, p, 1400);
+        c.stats.delivered_bytes = c.receiver.delivered_total;
+        oracle.check(1, &c);
+        assert!(oracle.violations.is_empty(), "first copy is legitimate");
+        c.receiver.on_arrival(0, 1, 0, p, 1400);
+        c.stats.delivered_bytes = c.receiver.delivered_total;
+        oracle.check(2, &c);
+        assert!(
+            oracle
+                .violations
+                .iter()
+                .any(|v| v.invariant == "conservation-delivery"),
+            "duplicate delivery must violate conservation: {:?}",
+            oracle.violations
+        );
+    }
+
+    #[test]
+    fn backwards_ack_is_caught() {
+        let mut oracle = InvariantOracle::new("unit", false);
+        let mut c = conn();
+        c.enqueue_data(2800, 0, 0);
+        c.receiver
+            .on_arrival(0, 0, 0, progmp_core::env::PacketRef(1), 1400);
+        c.stats.delivered_bytes = 1400;
+        c.meta_ack(1400);
+        oracle.check(0, &c);
+        assert!(oracle.violations.is_empty());
+        c.data_acked = 0; // corrupt: cumulative ack regresses
+        oracle.check(1, &c);
+        assert!(oracle
+            .violations
+            .iter()
+            .any(|v| v.invariant == "ack-monotone"));
+    }
+
+    #[test]
+    fn quiescent_stall_is_caught_and_drop_exempts() {
+        let mut oracle = InvariantOracle::new("unit", false);
+        let mut c = conn();
+        c.enqueue_data(1400, 0, 0);
+        c.subflows[0].established = true;
+        oracle.check_quiescent(5, &c);
+        assert!(
+            oracle
+                .violations
+                .iter()
+                .any(|v| v.invariant == "eventual-progress"),
+            "stranded data with a live subflow is a liveness violation"
+        );
+        // An explicit scheduler DROP makes the loss sanctioned.
+        oracle.violations.clear();
+        c.stats.scheduler_drops = 1;
+        oracle.check_quiescent(6, &c);
+        assert!(oracle.violations.is_empty());
+    }
+
+    #[test]
+    fn rq_only_strand_is_exempt_for_non_reinjecting_schedulers() {
+        use progmp_core::env::{Action, SchedulerEnv, NUM_REGISTERS};
+        let mut oracle = InvariantOracle::new("unit", false);
+        let mut c = conn();
+        let pkts = c.enqueue_data(1400, 0, 0);
+        // Move the segment Q -> QU (a scheduler PUSH), then into RQ
+        // (suspected lost) — the post-fault state of a non-reinjecting
+        // scheduler.
+        c.apply(
+            &[0i64; NUM_REGISTERS],
+            &[Action::Push {
+                subflow: SubflowId(0),
+                packet: pkts[0],
+            }],
+        );
+        c.reinject(pkts[0]);
+        c.pops_rq = false;
+        oracle.check_quiescent(5, &c);
+        assert!(
+            oracle.violations.is_empty(),
+            "a scheduler with no RQ logic cannot be blamed for an RQ strand: {:?}",
+            oracle.violations
+        );
+        // The same strand under an RQ-capable scheduler is a violation.
+        c.pops_rq = true;
+        oracle.check_quiescent(6, &c);
+        assert!(oracle
+            .violations
+            .iter()
+            .any(|v| v.invariant == "eventual-progress"));
+    }
+
+    #[test]
+    #[should_panic(expected = "conservation-delivery")]
+    fn panicking_mode_aborts_with_replay_label() {
+        let mut oracle = InvariantOracle::new("seed 42", true);
+        let mut c = conn();
+        c.receiver.inject_double_delivery_bug();
+        let p = progmp_core::env::PacketRef(1);
+        c.enqueue_data(1400, 0, 0);
+        c.receiver.on_arrival(0, 0, 0, p, 1400);
+        c.receiver.on_arrival(0, 1, 0, p, 1400);
+        c.stats.delivered_bytes = c.receiver.delivered_total;
+        oracle.check(0, &c);
+    }
+}

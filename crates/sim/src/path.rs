@@ -7,6 +7,7 @@
 //! Rates and delays may change over time through [`PathProfileEntry`] entries
 //! (WiFi throughput fluctuation, handover degradation).
 
+use crate::faults::{ChaosRng, LossModel};
 use crate::time::{serialize_time, SimTime};
 
 /// Static configuration of one path (one subflow's network substrate).
@@ -89,6 +90,16 @@ pub struct Path {
     /// Departure times of packets currently in the egress queue (still
     /// queued or being serialized). Pruned lazily.
     departures: Vec<SimTime>,
+    /// Per-path random stream for loss and jitter draws. Paths never
+    /// share a stream, so one path's loss trace is independent of how
+    /// other paths' events interleave (chaos-trace reproducibility).
+    rng: ChaosRng,
+    /// Fault-injected loss process overriding the baseline [`Path::loss`]
+    /// while active (blackouts, Gilbert–Elliott bursts).
+    fault_loss: Option<LossModel>,
+    /// Fault-injected per-packet extra one-way delay, drawn uniformly
+    /// from `[0, amplitude)` while active.
+    jitter: Option<SimTime>,
 }
 
 /// Outcome of handing a packet to the path at the sender.
@@ -121,7 +132,30 @@ impl Path {
             queue_cap: cfg.queue_cap,
             next_free: 0,
             departures: Vec::new(),
+            rng: ChaosRng::new(0),
+            fault_loss: None,
+            jitter: None,
         }
+    }
+
+    /// Replaces the path's random stream. The engine calls this when a
+    /// connection is added, deriving the stream from `(simulation seed,
+    /// connection id, subflow index)` so every path draws from its own
+    /// reproducible sequence.
+    pub fn reseed(&mut self, rng: ChaosRng) {
+        self.rng = rng;
+    }
+
+    /// Installs (or, with `None`, removes) a fault-injected loss process
+    /// overriding the baseline Bernoulli loss.
+    pub fn set_fault_loss(&mut self, model: Option<LossModel>) {
+        self.fault_loss = model;
+    }
+
+    /// Installs (or removes) fault-injected per-packet delay jitter with
+    /// the given amplitude.
+    pub fn set_jitter(&mut self, amplitude: Option<SimTime>) {
+        self.jitter = amplitude;
     }
 
     /// Removes departed packets from the egress accounting.
@@ -142,10 +176,24 @@ impl Path {
         self.departures.iter().filter(|&&d| d > now).count()
     }
 
-    /// Attempts to transmit a packet of `size` bytes at `now`.
-    /// `lost` is the externally drawn Bernoulli loss decision (the caller
-    /// owns the RNG so simulations stay deterministic per seed).
-    pub fn transmit(&mut self, now: SimTime, size: u32, lost: bool) -> TxOutcome {
+    /// Attempts to transmit a packet of `size` bytes at `now`, drawing
+    /// the loss decision (and jitter, when a fault clause is active) from
+    /// this path's own random stream.
+    pub fn transmit(&mut self, now: SimTime, size: u32) -> TxOutcome {
+        let lost = match &mut self.fault_loss {
+            Some(model) => model.draw(&mut self.rng),
+            None => {
+                let mut base = LossModel::bernoulli(self.loss);
+                base.draw(&mut self.rng)
+            }
+        };
+        self.transmit_forced(now, size, lost)
+    }
+
+    /// Like [`Path::transmit`] but with an externally forced loss
+    /// decision — no random draw. Used by unit tests that need exact
+    /// outcomes; the engine always uses [`Path::transmit`].
+    pub fn transmit_forced(&mut self, now: SimTime, size: u32, lost: bool) -> TxOutcome {
         self.prune(now);
         if self.departures.len() >= self.queue_cap {
             return TxOutcome::QueueDrop;
@@ -157,8 +205,12 @@ impl Path {
         if lost {
             TxOutcome::LostOnWire { departs }
         } else {
+            let extra = match self.jitter {
+                Some(amp) if amp > 0 => self.rng.below(amp),
+                _ => 0,
+            };
             TxOutcome::Arrives {
-                at: departs + self.fwd_delay,
+                at: departs + self.fwd_delay + extra,
                 departs,
             }
         }
@@ -191,7 +243,7 @@ mod tests {
     #[test]
     fn first_packet_arrives_after_serialization_plus_delay() {
         let mut p = path_10ms_10mbps();
-        let out = p.transmit(0, 1250, false);
+        let out = p.transmit_forced(0, 1250, false);
         // 1250 B at 1.25 MB/s = 1 ms serialization + 5 ms one-way delay.
         assert_eq!(
             out,
@@ -205,10 +257,10 @@ mod tests {
     #[test]
     fn serialization_queues_back_to_back_packets() {
         let mut p = path_10ms_10mbps();
-        let TxOutcome::Arrives { at: a1, .. } = p.transmit(0, 1250, false) else {
+        let TxOutcome::Arrives { at: a1, .. } = p.transmit_forced(0, 1250, false) else {
             panic!()
         };
-        let TxOutcome::Arrives { at: a2, .. } = p.transmit(0, 1250, false) else {
+        let TxOutcome::Arrives { at: a2, .. } = p.transmit_forced(0, 1250, false) else {
             panic!()
         };
         assert_eq!(a2 - a1, MILLIS, "second packet waits for the first");
@@ -218,7 +270,7 @@ mod tests {
     fn queued_counts_pending_packets() {
         let mut p = path_10ms_10mbps();
         for _ in 0..5 {
-            p.transmit(0, 1250, false);
+            p.transmit_forced(0, 1250, false);
         }
         assert_eq!(p.queued(0), 5);
         // After 3.5 ms, three packets have departed.
@@ -230,18 +282,21 @@ mod tests {
     fn queue_cap_tail_drops() {
         let mut p = Path::new(&PathConfig::symmetric(from_millis(10), 1_250_000).with_queue_cap(3));
         for _ in 0..3 {
-            assert!(!matches!(p.transmit(0, 1250, false), TxOutcome::QueueDrop));
+            assert!(!matches!(
+                p.transmit_forced(0, 1250, false),
+                TxOutcome::QueueDrop
+            ));
         }
-        assert_eq!(p.transmit(0, 1250, false), TxOutcome::QueueDrop);
+        assert_eq!(p.transmit_forced(0, 1250, false), TxOutcome::QueueDrop);
     }
 
     #[test]
     fn lost_packet_departs_but_never_arrives() {
         let mut p = path_10ms_10mbps();
-        let out = p.transmit(0, 1250, true);
+        let out = p.transmit_forced(0, 1250, true);
         assert_eq!(out, TxOutcome::LostOnWire { departs: MILLIS });
         // It still occupied the link.
-        let TxOutcome::Arrives { at, .. } = p.transmit(0, 1250, false) else {
+        let TxOutcome::Arrives { at, .. } = p.transmit_forced(0, 1250, false) else {
             panic!()
         };
         assert_eq!(at, 7 * MILLIS);
@@ -256,9 +311,135 @@ mod tests {
             loss: None,
             fwd_delay: None,
         });
-        let TxOutcome::Arrives { departs, .. } = p.transmit(0, 1250, false) else {
+        let TxOutcome::Arrives { departs, .. } = p.transmit_forced(0, 1250, false) else {
             panic!()
         };
         assert_eq!(departs, MILLIS / 2, "doubled rate halves serialization");
+    }
+
+    #[test]
+    fn rate_step_mid_flight_only_affects_later_serialization() {
+        // Two packets queued at the old rate, then the profile halves the
+        // rate: the queued packets keep their departure times (they are
+        // already committed to the egress queue), while a packet handed
+        // over after the step serializes at the new rate.
+        let mut p = path_10ms_10mbps();
+        let TxOutcome::Arrives { departs: d1, .. } = p.transmit_forced(0, 1250, false) else {
+            panic!()
+        };
+        let TxOutcome::Arrives { departs: d2, .. } = p.transmit_forced(0, 1250, false) else {
+            panic!()
+        };
+        assert_eq!((d1, d2), (MILLIS, 2 * MILLIS));
+        p.apply_profile(&PathProfileEntry {
+            at: MILLIS / 2,
+            rate: Some(625_000),
+            loss: None,
+            fwd_delay: None,
+        });
+        assert_eq!(p.queued(MILLIS / 2), 2, "committed packets unaffected");
+        let TxOutcome::Arrives { departs: d3, .. } = p.transmit_forced(MILLIS / 2, 1250, false)
+        else {
+            panic!()
+        };
+        // Starts when the link frees at 2 ms; 1250 B at 625 kB/s = 2 ms.
+        assert_eq!(d3, 4 * MILLIS, "post-step packet serializes at new rate");
+    }
+
+    #[test]
+    fn loss_step_mid_flight_switches_drawn_outcomes() {
+        let mut p = path_10ms_10mbps();
+        p.reseed(ChaosRng::new(7));
+        // Baseline loss is 0.0: internal draws never lose (and consume no
+        // randomness, so the stream is untouched for the lossy phase).
+        for _ in 0..20 {
+            assert!(matches!(p.transmit(0, 1250), TxOutcome::Arrives { .. }));
+        }
+        p.apply_profile(&PathProfileEntry {
+            at: 25 * MILLIS,
+            rate: None,
+            loss: Some(1.0),
+            fwd_delay: None,
+        });
+        for _ in 0..20 {
+            assert!(matches!(
+                p.transmit(25 * MILLIS, 1250),
+                TxOutcome::LostOnWire { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn tail_drop_boundary_at_exactly_full_queue() {
+        // queue_cap = 2. Fill it; the first packet departs at exactly
+        // 1 ms. One nanosecond before that instant the queue is still
+        // full (tail drop); at exactly the departure instant the slot is
+        // free again (departures are pruned with `d > now`).
+        let mut p = Path::new(&PathConfig::symmetric(from_millis(10), 1_250_000).with_queue_cap(2));
+        assert!(!matches!(
+            p.transmit_forced(0, 1250, false),
+            TxOutcome::QueueDrop
+        ));
+        assert!(!matches!(
+            p.transmit_forced(0, 1250, false),
+            TxOutcome::QueueDrop
+        ));
+        assert_eq!(
+            p.transmit_forced(MILLIS - 1, 1250, false),
+            TxOutcome::QueueDrop,
+            "one ns before first departure the queue is still full"
+        );
+        assert!(
+            matches!(
+                p.transmit_forced(MILLIS, 1250, false),
+                TxOutcome::Arrives { .. }
+            ),
+            "at the departure instant exactly one slot frees"
+        );
+    }
+
+    #[test]
+    fn jitter_draws_from_path_stream_and_only_delays_arrival() {
+        let mut p = path_10ms_10mbps();
+        p.reseed(ChaosRng::new(5));
+        p.set_jitter(Some(4 * MILLIS));
+        let mut extras = Vec::new();
+        for i in 0..32u64 {
+            let now = i * 10 * MILLIS;
+            let TxOutcome::Arrives { at, departs } = p.transmit(now, 1250) else {
+                panic!()
+            };
+            assert_eq!(departs, now + MILLIS, "jitter never affects departure");
+            let extra = at - departs - 5 * MILLIS;
+            assert!(extra < 4 * MILLIS, "jitter bounded by amplitude");
+            extras.push(extra);
+        }
+        assert!(
+            extras.iter().any(|&e| e > 0),
+            "jitter actually perturbs arrivals"
+        );
+        p.set_jitter(None);
+        let TxOutcome::Arrives { at, departs } = p.transmit(320 * 10 * MILLIS, 1250) else {
+            panic!()
+        };
+        assert_eq!(at - departs, 5 * MILLIS, "cleared jitter restores baseline");
+    }
+
+    #[test]
+    fn fault_loss_overrides_baseline_and_restores() {
+        let mut p = Path::new(&PathConfig::symmetric(from_millis(10), 1_250_000).with_loss(0.0));
+        p.reseed(ChaosRng::new(9));
+        p.set_fault_loss(Some(LossModel::blackout()));
+        for i in 0..10u64 {
+            assert!(matches!(
+                p.transmit(i * MILLIS * 10, 1250),
+                TxOutcome::LostOnWire { .. }
+            ));
+        }
+        p.set_fault_loss(None);
+        assert!(matches!(
+            p.transmit(200 * MILLIS, 1250),
+            TxOutcome::Arrives { .. }
+        ));
     }
 }

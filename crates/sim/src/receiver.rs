@@ -60,6 +60,12 @@ pub struct Receiver {
     ooo_bytes: u64,
     /// Total bytes delivered to the application.
     pub delivered_total: u64,
+    /// Receive-window stall (fault injection): while set, the advertised
+    /// window is zero — the receiving application has stopped reading.
+    stalled: bool,
+    /// Deliberate conservation bug for oracle validation (chaos mutation
+    /// check): deliver already-delivered duplicate ranges a second time.
+    double_delivery_bug: bool,
 }
 
 impl Receiver {
@@ -74,6 +80,8 @@ impl Receiver {
             buf_cap,
             ooo_bytes: 0,
             delivered_total: 0,
+            stalled: false,
+            double_delivery_bug: false,
         }
     }
 
@@ -88,9 +96,51 @@ impl Receiver {
         self.expected
     }
 
-    /// Free receive-buffer space (the advertised window).
+    /// Free receive-buffer space (the advertised window). Zero while a
+    /// fault-injected receive-window stall is active.
     pub fn rwnd(&self) -> u64 {
+        if self.stalled {
+            return 0;
+        }
         self.buf_cap.saturating_sub(self.ooo_bytes)
+    }
+
+    /// Sets or clears a fault-injected receive-window stall.
+    pub fn set_stalled(&mut self, stalled: bool) {
+        self.stalled = stalled;
+    }
+
+    /// Bytes currently held in out-of-order buffers (invariant oracle).
+    pub fn ooo_bytes(&self) -> u64 {
+        self.ooo_bytes
+    }
+
+    /// Receive buffer capacity (invariant oracle).
+    pub fn buf_cap(&self) -> u64 {
+        self.buf_cap
+    }
+
+    /// Recomputes the out-of-order byte count from the queues themselves,
+    /// independent of the incremental [`Receiver::ooo_bytes`] accounting.
+    /// The invariant oracle cross-checks the two.
+    pub fn ooo_recount(&self) -> u64 {
+        let meta: u64 = self.meta_ooo.values().map(|&(_, sz)| u64::from(sz)).sum();
+        let sbf: u64 = self
+            .sbf_ooo
+            .iter()
+            .flat_map(|m| m.values())
+            .map(|&(_, _, sz)| u64::from(sz))
+            .sum();
+        meta + sbf
+    }
+
+    /// Enables the deliberate double-delivery conservation bug. Exists
+    /// only so the chaos harness can prove the invariant oracle catches a
+    /// real conservation violation (TESTING.md "chaos tier"); never set
+    /// outside that mutation check.
+    #[doc(hidden)]
+    pub fn inject_double_delivery_bug(&mut self) {
+        self.double_delivery_bug = true;
     }
 
     /// Subflow-level cumulative ack for `sbf`.
@@ -172,6 +222,11 @@ impl Receiver {
     /// range is a duplicate (already delivered or already buffered).
     fn meta_insert(&mut self, data_seq: u64, pkt: PacketRef, size: u32) -> bool {
         if data_seq + u64::from(size) <= self.expected {
+            if self.double_delivery_bug {
+                // Simulated conservation bug: the duplicate range is
+                // handed to the application again.
+                self.delivered_total += u64::from(size);
+            }
             return false;
         }
         if data_seq <= self.expected {

@@ -142,4 +142,53 @@ mod tests {
         e.backoff();
         assert!(e.rto() >= before);
     }
+
+    #[test]
+    fn repeated_backoff_grows_exponentially_and_clamps_at_max() {
+        let mut e = RttEstimator::new(from_millis(200), from_millis(60_000));
+        for _ in 0..10 {
+            e.sample(from_millis(100));
+        }
+        let mut prev = e.rto();
+        let mut doublings = 0;
+        for _ in 0..24 {
+            e.backoff();
+            let rto = e.rto();
+            assert!(rto >= prev, "backoff never shrinks the RTO");
+            if rto >= prev * 3 / 2 {
+                doublings += 1;
+            }
+            prev = rto;
+        }
+        assert_eq!(prev, from_millis(60_000), "eventually clamped at max");
+        assert!(
+            doublings >= 5,
+            "several near-doublings before the clamp: {doublings}"
+        );
+    }
+
+    #[test]
+    fn fresh_samples_after_backoff_deflate_rto_again() {
+        // A spurious RTO inflates the variance term; once genuine
+        // (non-retransmitted, Karn-valid) samples resume, the estimator
+        // must converge back instead of staying stuck at the inflated RTO.
+        let mut e = RttEstimator::default();
+        for _ in 0..10 {
+            e.sample(from_millis(300));
+        }
+        let baseline = e.rto();
+        for _ in 0..4 {
+            e.backoff();
+        }
+        let inflated = e.rto();
+        assert!(inflated > baseline, "{inflated} vs {baseline}");
+        for _ in 0..30 {
+            e.sample(from_millis(300));
+        }
+        assert!(
+            e.rto() <= baseline,
+            "post-recovery rto {} must return to the stable value {baseline}",
+            e.rto()
+        );
+    }
 }

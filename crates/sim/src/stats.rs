@@ -38,6 +38,13 @@ pub struct ConnStats {
     pub enqueued_bytes: u64,
     /// Bytes delivered in order to the receiving application.
     pub delivered_bytes: u64,
+    /// Segments added to the reinjection queue `RQ` (loss suspicion,
+    /// subflow teardown, tail-loss probes). Explicit reinjection is the
+    /// one sanctioned way a byte reaches the receiver twice, so the
+    /// invariant oracle reads this counter when judging duplicates.
+    /// Deliberately absent from [`ConnStats::snapshot_text`]: the golden
+    /// snapshot format predates it and stays frozen.
+    pub reinjections: u64,
     /// Packets discarded by scheduler `DROP` actions.
     pub scheduler_drops: u64,
     /// Completed scheduler executions.

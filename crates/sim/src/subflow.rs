@@ -243,9 +243,9 @@ mod tests {
     fn tsq_throttles_when_queue_builds() {
         let mut s = subflow();
         assert!(!s.tsq_throttled(0));
-        s.path.transmit(0, 1400, false);
-        s.path.transmit(0, 1400, false);
-        s.path.transmit(0, 1400, false);
+        s.path.transmit_forced(0, 1400, false);
+        s.path.transmit_forced(0, 1400, false);
+        s.path.transmit_forced(0, 1400, false);
         assert!(s.tsq_throttled(0));
         assert!(!s.tsq_throttled(from_millis(100)), "queue drains over time");
     }
@@ -259,5 +259,93 @@ mod tests {
         let drained = s.drain_in_flight();
         assert_eq!(drained.len(), 4);
         assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn cumulative_ack_over_mixed_rtx_samples_only_unambiguous_record() {
+        // Karn's rule under retransmission ambiguity: a cumulative ack
+        // covering both a retransmitted record and a fresh one must take
+        // its RTT sample exclusively from the fresh transmission.
+        let mut s = subflow();
+        s.sent.push_back(TxRec {
+            is_rtx: true,
+            ..tx(0, 0)
+        });
+        s.sent.push_back(tx(1, from_millis(50)));
+        let (pkts, _, sample) = s.take_acked(2, from_millis(80));
+        assert_eq!(pkts, 2);
+        assert_eq!(
+            sample,
+            Some(from_millis(30)),
+            "sample comes from the unambiguous record only"
+        );
+    }
+
+    #[test]
+    fn ack_of_only_ambiguous_records_yields_no_sample() {
+        let mut s = subflow();
+        for i in 0..3 {
+            s.sent.push_back(TxRec {
+                is_rtx: true,
+                ..tx(i, from_millis(10 * i))
+            });
+        }
+        let (pkts, bytes, sample) = s.take_acked(3, from_millis(200));
+        assert_eq!((pkts, bytes), (3, 3 * 1400));
+        assert_eq!(sample, None, "every covered record is ambiguous");
+    }
+
+    #[test]
+    fn spurious_rto_retransmits_but_keeps_rtt_estimate_clean() {
+        // End-to-end Karn check at the connection level: an RTO fires
+        // spuriously (the original packet was merely delayed), the
+        // segment is retransmitted, and then the ORIGINAL ack arrives.
+        // The ambiguous RTT must not be sampled, so the pre-RTO estimate
+        // survives; the data still completes.
+        use crate::cc::CcAlgo;
+        use crate::connection::{Connection, SchedulerHandle};
+        use crate::receiver::{Receiver, ReceiverMode};
+        use progmp_core::env::SchedulerEnv;
+
+        let subflows = vec![Subflow::new(
+            SubflowId(0),
+            Path::new(&PathConfig::symmetric(from_millis(20), 1_250_000)),
+            1400,
+        )];
+        let receiver = Receiver::new(ReceiverMode::Improved, 1, 1 << 20);
+        let mut c = Connection::new(
+            0,
+            subflows,
+            receiver,
+            SchedulerHandle::Native(Box::new(crate::native::NativeMinRtt)),
+            CcAlgo::Reno,
+            1400,
+            1 << 20,
+        );
+        c.subflows[0].rtt.sample(from_millis(20));
+        let srtt_before = c.subflows[0].rtt.srtt();
+        let pkts = c.enqueue_data(1400, 0, 0);
+        c.record_tx(0, pkts[0], 1400, 0, None);
+
+        // Spurious timeout at 1 s: retransmit + reinjection queued.
+        let out = c.handle_rto(0, from_millis(1000));
+        assert_eq!(out.auto_retransmit.len(), 1);
+        assert!(out.loss_suspected, "segment entered RQ");
+        c.record_tx(0, pkts[0], 1400, from_millis(1000), Some(0));
+        assert!(c.subflows[0].sent[0].is_rtx, "record marked ambiguous");
+        assert_eq!(c.stats.subflows[0].timeouts, 1);
+
+        // The original ack finally lands.
+        c.handle_ack(0, 1, 1400, 1 << 20, from_millis(1100));
+        assert_eq!(
+            c.subflows[0].rtt.srtt(),
+            srtt_before,
+            "no RTT sample from the ambiguous retransmission (Karn)"
+        );
+        assert!(c.all_acked());
+        assert!(
+            c.queue(progmp_core::env::QueueKind::Reinject).is_empty(),
+            "meta ack cleared the reinjection queue"
+        );
     }
 }

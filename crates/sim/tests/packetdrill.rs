@@ -257,6 +257,121 @@ fn drill_legacy_holds_chain_until_gap_fills() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Scripted fault scenarios: packetdrill-style crafted *network* traces
+// (scheduler + engine level), complementing the receiver scripts above.
+// ---------------------------------------------------------------------------
+
+mod blackout {
+    use mptcp_sim::time::{from_millis, SECONDS};
+    use mptcp_sim::{
+        ConnectionConfig, FaultClause, FaultPlan, PathConfig, SchedulerSpec, Sim, SubflowConfig,
+    };
+
+    const FLOW: u64 = 500_000;
+
+    fn two_path_sim(seed: u64, source: &str) -> (Sim, usize) {
+        let mut sim = Sim::new(seed);
+        sim.enable_oracle("packetdrill-blackout", true);
+        let cfg = ConnectionConfig::new(
+            vec![
+                // Subflow 0 is the best (lowest-RTT) subflow.
+                SubflowConfig::new(PathConfig::symmetric(from_millis(10), 1_250_000)),
+                SubflowConfig::new(PathConfig::symmetric(from_millis(40), 1_250_000)),
+            ],
+            SchedulerSpec::dsl(source),
+        );
+        let conn = sim.add_connection(cfg).expect("compiles");
+        // A backlogged bulk source (not a one-shot enqueue) so pushes —
+        // and therefore the per-path loss draws — spread over the
+        // transfer instead of clustering at t=0.
+        sim.add_bulk_source(conn, FLOW, 0);
+        (sim, conn)
+    }
+
+    fn scheduler_src(name: &str) -> &'static str {
+        progmp_schedulers::sources::ALL
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| *s)
+            .expect("known scheduler")
+    }
+
+    /// Full blackout of the best subflow for the remainder of the run:
+    /// the redundant scheduler sends every packet on every subflow, so
+    /// delivery must still complete over the surviving slow subflow.
+    #[test]
+    fn redundant_survives_permanent_blackout_of_best_subflow() {
+        let (mut sim, conn) = two_path_sim(7, scheduler_src("redundant"));
+        sim.apply_fault_plan(
+            conn,
+            &FaultPlan {
+                clauses: vec![FaultClause::Blackout {
+                    sbf: 0,
+                    from: from_millis(120),
+                    until: 600 * SECONDS,
+                }],
+            },
+        );
+        sim.run_to_completion(600 * SECONDS);
+
+        let c = &sim.connections[conn];
+        assert!(
+            c.all_acked(),
+            "redundant must deliver despite the blackout: {} of {FLOW}",
+            c.stats.delivered_bytes
+        );
+        assert_eq!(c.stats.delivered_bytes, FLOW);
+        assert!(
+            c.stats.subflows[0].wire_losses > 0,
+            "the blackout actually ate traffic on the best subflow"
+        );
+        assert!(sim.oracle_violations().is_empty());
+    }
+
+    /// Transient full blackout of the only subflow minRttSimple uses:
+    /// in-flight segments are lost, RTOs fire, segments enter the
+    /// reinjection queue, and once the path heals the transfer recovers
+    /// and completes exactly.
+    #[test]
+    fn min_rtt_reinjects_and_recovers_from_blackout() {
+        let source = include_str!("../../../examples/schedulers/min_rtt.progmp");
+        let (mut sim, conn) = two_path_sim(11, source);
+        // minRttSimple has no congestion-window gate, so even the bulk
+        // source's pushes cluster in the transfer's first milliseconds;
+        // the window starts at 2 ms to cover them.
+        sim.apply_fault_plan(
+            conn,
+            &FaultPlan {
+                clauses: vec![FaultClause::Blackout {
+                    sbf: 0,
+                    from: from_millis(2),
+                    until: from_millis(2_000),
+                }],
+            },
+        );
+        sim.run_to_completion(600 * SECONDS);
+
+        let c = &sim.connections[conn];
+        assert!(
+            c.all_acked(),
+            "min_rtt must recover after the blackout clears: {} of {FLOW}",
+            c.stats.delivered_bytes
+        );
+        assert_eq!(c.stats.delivered_bytes, FLOW);
+        assert_eq!(c.receiver.delivered_total, FLOW);
+        assert!(
+            c.stats.subflows[0].timeouts >= 1,
+            "the blackout must force at least one RTO"
+        );
+        assert!(
+            c.stats.reinjections > 0,
+            "lost segments must pass through the reinjection queue"
+        );
+        assert!(sim.oracle_violations().is_empty());
+    }
+}
+
 #[test]
 fn drill_old_duplicates_do_not_regress_state() {
     run_script(
