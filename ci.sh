@@ -32,4 +32,18 @@ cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --vm-soun
 echo "==> chaos sweep: fault plans x schedulers x backends + oracle mutation check (200 plans)"
 cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --chaos --seeds 200
 
+echo "==> bench smoke: every experiment binary in --smoke mode"
+cargo build -q --release -p progmp-bench --bins
+for bin in crates/bench/src/bin/*.rs; do
+  name="$(basename "$bin" .rs)"
+  echo "    -> $name --smoke"
+  "./target/release/$name" --smoke > /dev/null
+done
+
+echo "==> scale tier: scale_fleet --smoke emits schema-valid BENCH_scale.json"
+./target/release/scale_fleet --smoke --json /tmp/BENCH_scale.smoke.json | tail -n 1
+
+echo "==> fleet soak: 1k connections, oracle armed, zero violations"
+cargo test -q --release -p progmp-conformance --test fleet_soak -- --ignored
+
 echo "CI green"

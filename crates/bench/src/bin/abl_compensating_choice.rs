@@ -29,7 +29,7 @@ fn compensating_with(selector: &str) -> String {
 }
 
 fn mean_fct(selector: &str, ratio: u64) -> f64 {
-    let runs = 15;
+    let runs = if progmp_bench::report::smoke() { 3 } else { 15 };
     let mut total = 0.0;
     let src = compensating_with(selector);
     for seed in 0..runs {

@@ -10,7 +10,7 @@ use progmp_core::env::RegId;
 use progmp_schedulers as sched;
 
 fn mean_fct(scheduler: &'static str, flow_pkts: u64, signal_tail: bool) -> f64 {
-    let runs = 10;
+    let runs = if progmp_bench::report::smoke() { 2 } else { 10 };
     let mut total = 0.0;
     for seed in 0..runs {
         let mut sim = Sim::new(3100 + seed);

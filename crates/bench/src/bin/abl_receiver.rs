@@ -16,7 +16,7 @@ use progmp_core::env::RegId;
 use progmp_schedulers as sched;
 
 fn fcts(scheduler: &'static str, mode: ReceiverMode, loss: f64, signal: bool) -> Vec<f64> {
-    let runs = 60;
+    let runs = if progmp_bench::report::smoke() { 5 } else { 60 };
     let mut out = Vec::new();
     for seed in 0..runs {
         let mut sim = Sim::new(1300 + seed);

@@ -70,7 +70,11 @@ fn measure(inst: &mut progmp_core::SchedulerInstance, env: &MockEnv, iters: u32)
 }
 
 fn main() {
-    let iters = 30_000;
+    let iters = if progmp_bench::report::smoke() {
+        2_000
+    } else {
+        30_000
+    };
     let env = bench_env();
     println!("=== Ablation §4.1: runtime optimizations (VM backend) ===\n");
 

@@ -92,7 +92,8 @@ fn main() {
         let mut w: SimTime = 0;
         let mut r = 0;
         let mut d = true;
-        for seed in 0..10 {
+        let seeds = if progmp_bench::report::smoke() { 2 } else { 10 };
+        for seed in 0..seeds {
             let out = run(src, 70 + seed);
             w = w.max(out.max_stall);
             r += out.reinjections;

@@ -11,7 +11,14 @@ use mptcp_sim::{
 use progmp_core::env::RegId;
 use progmp_schedulers as sched;
 
-const CHUNKS: u64 = 12;
+/// Chunk count: 12 for the full run, 3 under `--smoke`.
+fn chunks() -> u64 {
+    if progmp_bench::report::smoke() {
+        3
+    } else {
+        12
+    }
+}
 const CHUNK_BYTES: u64 = 800_000; // 0.8 MB every 2 s = 3.2 Mbit/s video
 const CHUNK_PERIOD: SimTime = 2 * SECONDS;
 
@@ -55,7 +62,7 @@ fn run(scheduler: &'static str, signal: bool, wifi_only: bool, seed: u64) -> Out
     }
     let cfg = ConnectionConfig::new(subflows, SchedulerSpec::dsl(scheduler)).with_timelines();
     let conn = sim.add_connection(cfg).unwrap();
-    for i in 0..CHUNKS {
+    for i in 0..chunks() {
         let start = i * CHUNK_PERIOD;
         sim.app_send_at(conn, start, CHUNK_BYTES, 0);
         if signal {
@@ -72,7 +79,7 @@ fn run(scheduler: &'static str, signal: bool, wifi_only: bool, seed: u64) -> Out
     sim.run_to_completion(120 * SECONDS);
     let c = &sim.connections[conn];
     let mut hits = 0;
-    for i in 0..CHUNKS {
+    for i in 0..chunks() {
         let deadline = (i + 1) * CHUNK_PERIOD;
         if let Some(t) = c.stats.delivery_time_of((i + 1) * CHUNK_BYTES) {
             if t <= deadline {
@@ -90,7 +97,7 @@ fn main() {
     println!("=== §5.4 target-deadline scheduler (MP-DASH scenario) ===");
     println!(
         "{} chunks of {} KB every {} s; WiFi 0.5 MB/s dipping to 0.15 MB/s; LTE metered\n",
-        CHUNKS,
+        chunks(),
         CHUNK_BYTES / 1000,
         CHUNK_PERIOD / SECONDS
     );
@@ -111,7 +118,7 @@ fn main() {
             "{:<28} {:>9}/{:<4} {:>12}",
             name,
             o.deadline_hits,
-            CHUNKS,
+            chunks(),
             o.lte_bytes / 1000
         );
     }
@@ -119,23 +126,23 @@ fn main() {
     println!("\npaper shape checks:");
     println!(
         "  [{}] WiFi alone misses deadlines ({}/{})",
-        if wifi_only.deadline_hits < CHUNKS {
+        if wifi_only.deadline_hits < chunks() {
             "ok"
         } else {
             "??"
         },
         wifi_only.deadline_hits,
-        CHUNKS
+        chunks()
     );
     println!(
         "  [{}] the deadline-aware scheduler meets (nearly) all deadlines ({}/{})",
-        if deadline.deadline_hits >= CHUNKS - 1 {
+        if deadline.deadline_hits >= chunks() - 1 {
             "ok"
         } else {
             "??"
         },
         deadline.deadline_hits,
-        CHUNKS
+        chunks()
     );
     println!(
         "  [{}] while using much less metered LTE than the default scheduler ({} KB vs {} KB)",

@@ -75,7 +75,8 @@ fn main() {
     ] {
         let mut worst: SimTime = 0;
         let mut all_done = true;
-        for seed in 0..10 {
+        let seeds = if progmp_bench::report::smoke() { 2 } else { 10 };
+        for seed in 0..seeds {
             let (gap, done) = run(src, signal, 40 + seed);
             worst = worst.max(gap);
             all_done &= done;

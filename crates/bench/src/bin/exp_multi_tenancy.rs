@@ -11,15 +11,22 @@ use progmp_core::env::RegId;
 use progmp_core::Backend;
 use progmp_schedulers as sched;
 
-const TENANTS: usize = 40;
+/// Tenant count: 40 for the full run, 8 under `--smoke`.
+fn tenants() -> usize {
+    if progmp_bench::report::smoke() {
+        8
+    } else {
+        40
+    }
+}
 const BYTES_PER_TENANT: u64 = 100_000;
 
 fn main() {
-    println!("=== §4.3/§6: {TENANTS} tenants, mixed schedulers and backends ===\n");
+    println!("=== §4.3/§6: {} tenants, mixed schedulers and backends ===\n", tenants());
     let names = sched::names();
     let mut sim = Sim::new(2024);
     let mut expected_r6 = Vec::new();
-    for i in 0..TENANTS {
+    for i in 0..tenants() {
         let name = names[i % names.len()];
         let source = sched::sources::ALL
             .iter()
@@ -77,7 +84,7 @@ fn main() {
         .map(|n| sched::load(n).unwrap().size_bytes())
         .sum();
 
-    println!("tenants completed:       {completed}/{TENANTS}");
+    println!("tenants completed:       {completed}/{}", tenants());
     println!("register leaks:          {leaked}");
     println!("scheduler executions:    {total_exec}");
     println!(
@@ -89,7 +96,7 @@ fn main() {
     println!("\npaper shape checks:");
     println!(
         "  [{}] every tenant's transfer completes under its own scheduler",
-        ok(completed == TENANTS)
+        ok(completed == tenants())
     );
     println!(
         "  [{}] per-connection register state is isolated (0 leaks)",

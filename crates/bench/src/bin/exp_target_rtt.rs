@@ -16,7 +16,14 @@ use progmp_bench::{mean, percentile};
 use progmp_core::env::RegId;
 use progmp_schedulers as sched;
 
-const REQUESTS: u64 = 150;
+/// Request count: 150 for the full run, 6 under `--smoke`.
+fn requests() -> u64 {
+    if progmp_bench::report::smoke() {
+        6
+    } else {
+        150
+    }
+}
 const REQ_INTERVAL: SimTime = 100 * MILLIS;
 const REQ_BYTES: u64 = 3 * 1400;
 
@@ -57,14 +64,14 @@ fn run(scheduler: &'static str, target_rtt_us: Option<i64>, seed: u64) -> (Vec<f
     if let Some(t) = target_rtt_us {
         sim.set_register_at(conn, 0, RegId::R1, t);
     }
-    for i in 0..REQUESTS {
+    for i in 0..requests() {
         sim.app_send_at(conn, i * REQ_INTERVAL, REQ_BYTES, 0);
     }
     sim.run_to_completion(60 * SECONDS);
     let c = &sim.connections[conn];
     // Response latency of request i: delivery of its last byte minus send time.
     let mut latencies = Vec::new();
-    for i in 0..REQUESTS {
+    for i in 0..requests() {
         let end_bytes = (i + 1) * REQ_BYTES;
         if let Some(t) = c.stats.delivery_time_of(end_bytes) {
             let sent_at = i * REQ_INTERVAL;
@@ -78,7 +85,7 @@ fn main() {
     println!("=== §5.4 target-RTT scheduler: request/response under WiFi RTT spikes ===");
     println!(
         "{} requests of {} B every {} ms; WiFi 30 ms spiking to 150 ms 2s-in-8s; LTE 20 ms, metered\n",
-        REQUESTS,
+        requests(),
         REQ_BYTES,
         REQ_INTERVAL / MILLIS
     );

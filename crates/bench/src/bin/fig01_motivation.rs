@@ -78,6 +78,11 @@ fn run(lte_backup: bool) -> Outcome {
 }
 
 fn main() {
+    if progmp_bench::report::smoke() {
+        // The 12-simulated-second timeline is already CI-sized; smoke
+        // mode runs the full experiment.
+        println!("(smoke: full timeline, already CI-sized)");
+    }
     println!("=== Fig. 1: interactive stream over WiFi(10ms)+LTE(40ms), default MinRTT ===");
     println!("stream: 1 MB/s for 0-6 s (sustainable on WiFi), 4 MB/s for 6-12 s\n");
     println!(

@@ -51,7 +51,11 @@ fn measure<F: FnMut(&mut ExecCtx<'_>)>(env: &MockEnv, iters: u32, mut f: F) -> f
 }
 
 fn main() {
-    let iters = 20_000;
+    let iters = if progmp_bench::report::smoke() {
+        2_000
+    } else {
+        20_000
+    };
     println!("=== Fig. 9 (top): per-execution cost relative to the native scheduler ===\n");
     println!(
         "{:>10} {:>12} {:>12} {:>12} {:>12}",

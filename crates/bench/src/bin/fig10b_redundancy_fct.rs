@@ -30,7 +30,12 @@ fn main() {
         ("oppRedundant", sched::OPPORTUNISTIC_REDUNDANT),
         ("redundantIfNoQ", sched::REDUNDANT_IF_NO_Q),
     ];
-    let sizes_pkts = [2u64, 4, 8, 16, 32, 64, 128, 256];
+    let sizes_pkts: &[u64] = if progmp_bench::report::smoke() {
+        &[2, 16, 64]
+    } else {
+        &[2, 4, 8, 16, 32, 64, 128, 256]
+    };
+    let runs = if progmp_bench::report::smoke() { 4 } else { 30 };
 
     println!("=== Fig. 10b: mean FCT (ms) vs flow size; 2 subflows, 2% loss, 30 runs ===\n");
     print!("{:>12}", "flow (pkts)");
@@ -40,11 +45,11 @@ fn main() {
     println!();
 
     let mut results = vec![Vec::new(); schedulers.len()];
-    for pkts in sizes_pkts {
+    for &pkts in sizes_pkts {
         print!("{pkts:>12}");
         for (i, (_, src)) in schedulers.iter().enumerate() {
             let batch = FlowExperiment::new(src, pkts * 1400, subflows())
-                .with_runs(30)
+                .with_runs(runs)
                 .with_seed(4200 + pkts)
                 .run();
             print!(" {:>15.1}", batch.mean_fct_ms);

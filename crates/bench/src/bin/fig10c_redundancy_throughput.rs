@@ -14,7 +14,14 @@ use progmp_bench::bulk_goodput;
 use progmp_schedulers as sched;
 
 const RATE: u64 = 1_250_000;
-const BULK_BYTES: u64 = 8_000_000;
+/// Bulk size: 8 MB for the full run, 1 MB under `--smoke`.
+fn bulk_bytes() -> u64 {
+    if progmp_bench::report::smoke() {
+        1_000_000
+    } else {
+        8_000_000
+    }
+}
 
 fn subflows() -> Vec<SubflowConfig> {
     vec![
@@ -56,7 +63,7 @@ fn main() {
     let sp_bulk = bulk_goodput(
         SchedulerSpec::dsl(sched::DEFAULT_MIN_RTT),
         single_path(),
-        BULK_BYTES,
+        bulk_bytes(),
         5,
     );
     let sp_bursty = bursty_goodput(sched::DEFAULT_MIN_RTT, 5); // single path irrelevant for bursty norm; use default 2-path? paper normalizes to single-path TCP
@@ -79,7 +86,7 @@ fn main() {
     ];
     let mut normalized = Vec::new();
     for (name, src) in schedulers {
-        let bulk = bulk_goodput(SchedulerSpec::dsl(src), subflows(), BULK_BYTES, 5);
+        let bulk = bulk_goodput(SchedulerSpec::dsl(src), subflows(), bulk_bytes(), 5);
         let bursty = bursty_goodput(src, 5);
         let norm = bulk / sp_bulk;
         normalized.push((name, norm));

@@ -89,6 +89,11 @@ fn run(scheduler: &'static str, lte_backup: bool, signal_target: bool) -> Outcom
 }
 
 fn main() {
+    if progmp_bench::report::smoke() {
+        // The 12-simulated-second timeline is already CI-sized; smoke
+        // mode runs the full experiment.
+        println!("(smoke: full timeline, already CI-sized)");
+    }
     println!("=== Fig. 13: throughput- and preference-aware (TAP) scheduler ===");
     println!("stream 1 MB/s (0-6s) then 4 MB/s (6-12s); WiFi preferred ~3 MB/s, LTE metered\n");
     println!(

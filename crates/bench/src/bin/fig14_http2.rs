@@ -33,8 +33,12 @@ fn main() {
 
     let mut lte_savings = Vec::new();
     let mut dep_ok = 0;
-    let wifi_rtts = [10u64, 20, 40, 80, 120];
-    for wifi_ms in wifi_rtts {
+    let wifi_rtts: &[u64] = if progmp_bench::report::smoke() {
+        &[10, 80]
+    } else {
+        &[10, 20, 40, 80, 120]
+    };
+    for &wifi_ms in wifi_rtts {
         let profile = WifiLteProfile {
             wifi_rtt: from_millis(wifi_ms),
             ..Default::default()

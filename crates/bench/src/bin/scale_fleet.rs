@@ -1,0 +1,37 @@
+//! The scale-benchmark tier: sharded fleet sweeps over
+//! `{1,10,100,1k,10k}` connections × worker counts × all seven paper
+//! schedulers, with the invariant oracle armed in collect mode.
+//!
+//! Output is the machine-readable `BENCH_scale.json` (validated by
+//! `progmp_bench::scale` unit tests and re-checked here after every
+//! run); the committed copy at the repo root is the performance
+//! trajectory baseline that future engine changes diff against.
+//!
+//! Flags: `--smoke` runs the reduced CI sweep; `--json PATH` chooses
+//! the output file (default `BENCH_scale.json`).
+
+use progmp_bench::report::{json_out, smoke, Json};
+use progmp_bench::scale::{run_scale, validate_scale_report, ScaleConfig};
+
+fn main() {
+    let cfg = if smoke() {
+        ScaleConfig::smoke()
+    } else {
+        ScaleConfig::full()
+    };
+    println!(
+        "=== scale tier: fleet sweep {:?} connections x {:?} workers ({} mode) ===\n",
+        cfg.sizes,
+        cfg.workers,
+        if smoke() { "smoke" } else { "full" },
+    );
+    let report = run_scale(&cfg, &mut |line| println!("{line}"));
+
+    let text = report.render();
+    let doc = Json::parse(&text).expect("own report parses");
+    validate_scale_report(&doc).expect("schema-valid scale report");
+
+    let path = json_out().unwrap_or_else(|| "BENCH_scale.json".into());
+    std::fs::write(&path, &text).expect("write scale report");
+    println!("\nwrote {} (schema-valid)", path.display());
+}

@@ -107,6 +107,10 @@ fn smoke_run(name: &str) -> bool {
 }
 
 fn main() {
+    if progmp_bench::report::smoke() {
+        // One bounded run per catalogue entry; already CI-sized.
+        println!("(smoke: full catalogue, already CI-sized)");
+    }
     println!("=== Table 2: the executable scheduler design-space catalogue ===\n");
     println!(
         "{:<18} {:<42} {:<22} {:>5} {:>6} {:>10} {:>6}",

@@ -4,7 +4,12 @@
 //! Paper numbers: the round-robin scheduler requires 3048 bytes, each
 //! instantiation an additional 328 bytes; "the memory overhead of our
 //! runtime environment does not restrict the adoption".
+//!
+//! Reports through the shared JSON emitter: `--json PATH` writes the
+//! table as a machine-readable report. `--smoke` is accepted (the
+//! audit is a fixed, already CI-sized pass over the bundled programs).
 
+use progmp_bench::report::{Json, Report};
 use progmp_core::Backend;
 use progmp_schedulers as sched;
 
@@ -14,6 +19,9 @@ fn main() {
         "{:<24} {:>8} {:>12} {:>14} {:>14}",
         "scheduler", "LOC", "program B", "instance(vm)", "instance(aot)"
     );
+    let mut report = Report::new("tab_memory_footprint");
+    report.meta("paper_program_bytes", 3048u64);
+    report.meta("paper_instance_bytes", 328u64);
     let mut max_program = 0usize;
     for name in sched::names() {
         let program = sched::load(name).expect("bundled schedulers compile");
@@ -32,6 +40,13 @@ fn main() {
             vm_inst.size_bytes(),
             aot_inst.size_bytes()
         );
+        report.row(vec![
+            ("scheduler", Json::from(name)),
+            ("loc", Json::from(loc)),
+            ("program_bytes", Json::from(program.size_bytes())),
+            ("instance_vm_bytes", Json::from(vm_inst.size_bytes())),
+            ("instance_aot_bytes", Json::from(aot_inst.size_bytes())),
+        ]);
         max_program = max_program.max(program.size_bytes());
     }
 
@@ -57,4 +72,5 @@ fn main() {
         "  note: instances share the loaded program through Arc, exactly like the\n\
          \u{20}       paper's reuse of previously loaded schedulers across connections."
     );
+    report.write_if_requested().expect("write JSON report");
 }

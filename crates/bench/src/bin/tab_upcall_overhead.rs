@@ -7,6 +7,7 @@
 //! to another thread over channels (context switch + wakeup, like a
 //! netlink round trip) versus executing the scheduler in-process.
 
+use progmp_bench::report::{Json, Report};
 use progmp_core::env::{QueueKind, SubflowProp};
 use progmp_core::exec::ExecCtx;
 use progmp_core::testenv::MockEnv;
@@ -29,7 +30,11 @@ fn env() -> MockEnv {
 }
 
 fn main() {
-    let iters = 50_000u32;
+    let iters: u32 = if progmp_bench::report::smoke() {
+        5_000
+    } else {
+        50_000
+    };
     let program = compile(DEFAULT_MIN_RTT).unwrap();
     let mut inst = program.instantiate(Backend::Vm);
     let e = env();
@@ -97,4 +102,18 @@ fn main() {
         "  [{}] the up-call model is many times more expensive — the reason the runtime lives in the kernel",
         if upcall_ns > 3.0 * in_process_ns { "ok" } else { "??" }
     );
+    let mut report = Report::new("tab_upcall_overhead");
+    report
+        .meta("iters", u64::from(iters))
+        .meta("paper_upcall_us", 2.4)
+        .meta("paper_in_kernel_us", 0.2);
+    report.row(vec![
+        ("model", Json::from("in_process")),
+        ("ns_per_decision", Json::from(in_process_ns)),
+    ]);
+    report.row(vec![
+        ("model", Json::from("thread_round_trip")),
+        ("ns_per_decision", Json::from(upcall_ns)),
+    ]);
+    report.write_if_requested().expect("write JSON report");
 }

@@ -11,6 +11,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod report;
+pub mod scale;
+
 use mptcp_sim::time::{from_millis, SimTime, SECONDS};
 use mptcp_sim::{ConnectionConfig, PathConfig, SchedulerSpec, Sim, SubflowConfig};
 use progmp_core::env::RegId;

@@ -1,0 +1,279 @@
+//! The scale-benchmark tier: fleet sweeps over
+//! `{connections} × {workers}` with all seven paper schedulers mixed
+//! through the fleet, reported as the machine-readable
+//! `BENCH_scale.json` (schema in [`crate::report`], validated by
+//! [`validate_scale_report`]).
+//!
+//! This is the performance-trajectory fixture: each commit that touches
+//! the engine hot path (event queue, segment arena, dispatch) re-runs
+//! `scale_fleet` and diffs events/second against the committed
+//! baseline. Worker-count rows share identical event counts and fleet
+//! digests — the determinism tier guarantees the sweep measures *speed*,
+//! never behavior.
+
+use crate::report::{validate_report, Json, Report};
+use mptcp_sim::fleet::{run_fleet, ConnScenario, FleetConfig, OracleMode, Workload};
+use mptcp_sim::time::{from_millis, SimTime, SECONDS};
+use mptcp_sim::{ConnectionConfig, PathConfig, SchedulerSpec, SubflowConfig};
+use progmp_core::env::RegId;
+
+/// The seven paper schedulers the sweep cycles through (§3.4/§5).
+pub const PAPER_SCHEDULERS: [&str; 7] = [
+    "minRttSimple",
+    "default",
+    "roundRobin",
+    "redundant",
+    "opportunisticRedundant",
+    "tap",
+    "targetRtt",
+];
+
+/// Parameters of one scale sweep.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Fleet sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// Worker counts to sweep.
+    pub workers: Vec<usize>,
+    /// Fleet seed.
+    pub seed: u64,
+    /// Bytes each connection transfers.
+    pub flow_bytes: u64,
+    /// Simulated-time horizon per shard.
+    pub horizon: SimTime,
+}
+
+impl ScaleConfig {
+    /// The full sweep: `{1,10,100,1k,10k}` connections across 1/2/4
+    /// workers, ~20 KB per connection.
+    pub fn full() -> ScaleConfig {
+        ScaleConfig {
+            sizes: vec![1, 10, 100, 1_000, 10_000],
+            workers: vec![1, 2, 4],
+            seed: 0x5CA1_E,
+            flow_bytes: 20_000,
+            horizon: 120 * SECONDS,
+        }
+    }
+
+    /// The `--smoke` sweep: seconds, not minutes, but the same code
+    /// paths and the same output schema.
+    pub fn smoke() -> ScaleConfig {
+        ScaleConfig {
+            sizes: vec![1, 8],
+            workers: vec![1, 2],
+            seed: 0x5CA1_E,
+            flow_bytes: 6_000,
+            horizon: 60 * SECONDS,
+        }
+    }
+}
+
+/// Scenario of fleet connection `global`: scheduler cycles through
+/// [`PAPER_SCHEDULERS`], the two-path mix varies with the frozen
+/// per-connection seed. No fault plans — the scale tier measures the
+/// clean hot path; chaos lives in the soak tier.
+pub fn scale_scenario(global: usize, seed: u64, flow_bytes: u64) -> ConnScenario {
+    let scheduler = PAPER_SCHEDULERS[global % PAPER_SCHEDULERS.len()];
+    let source = progmp_schedulers::sources::ALL
+        .iter()
+        .find(|(n, _)| *n == scheduler)
+        .map(|(_, s)| *s)
+        .expect("known scheduler");
+    let subflows = vec![
+        SubflowConfig::new(PathConfig::symmetric(
+            from_millis(5 + seed % 40),
+            1_250_000,
+        )),
+        SubflowConfig::new(PathConfig::symmetric(
+            from_millis(20 + (seed >> 8) % 60),
+            1_250_000,
+        )),
+    ];
+    let cfg = ConnectionConfig::new(subflows, SchedulerSpec::dsl(source));
+    let mut sc = ConnScenario::new(
+        cfg,
+        Workload::Bulk {
+            bytes: flow_bytes,
+            prop: 0,
+        },
+    );
+    match scheduler {
+        "tap" => sc.registers.push((0, RegId::R1, 1_000_000)),
+        "targetRtt" => sc
+            .registers
+            .push((0, RegId::R1, 40_000 + (seed % 80_000) as i64)),
+        _ => {}
+    }
+    sc
+}
+
+/// Runs the sweep and builds the `BENCH_scale.json` report.
+pub fn run_scale(cfg: &ScaleConfig, progress: &mut dyn FnMut(&str)) -> Report {
+    let mut report = Report::new("scale_fleet");
+    report
+        .meta("seed", cfg.seed)
+        .meta("flow_bytes", cfg.flow_bytes)
+        .meta("horizon_s", (cfg.horizon / SECONDS) as u64)
+        .meta(
+            "cpus",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+        .meta(
+            "schedulers",
+            Json::Arr(PAPER_SCHEDULERS.iter().map(|s| Json::from(*s)).collect()),
+        );
+    for &size in &cfg.sizes {
+        for &workers in &cfg.workers {
+            let fleet = FleetConfig::new(size, cfg.seed)
+                .with_workers(workers)
+                .with_horizon(cfg.horizon)
+                .with_oracle(OracleMode::Collect);
+            let flow = cfg.flow_bytes;
+            let run = run_fleet(&fleet, |global, seed| scale_scenario(global, seed, flow));
+            // Per-scheduler interpreter cost, from the host-time counters
+            // the snapshot digest deliberately excludes.
+            let mut sched_ns = Vec::new();
+            for (i, name) in PAPER_SCHEDULERS.iter().enumerate() {
+                let (mut ns, mut execs) = (0u64, 0u64);
+                for c in run.per_conn.iter().skip(i).step_by(PAPER_SCHEDULERS.len()) {
+                    ns += c.scheduler_host_ns;
+                    execs += c.scheduler_executions;
+                }
+                let per_exec = if execs > 0 { ns as f64 / execs as f64 } else { 0.0 };
+                sched_ns.push((name.to_string(), Json::from(per_exec)));
+            }
+            report.row(vec![
+                ("connections", Json::from(size)),
+                ("workers", Json::from(run.workers)),
+                ("events", Json::from(run.events_processed)),
+                ("wall_ms", Json::from(run.wall.as_secs_f64() * 1e3)),
+                ("events_per_sec", Json::from(run.events_per_sec())),
+                ("completion_rate", Json::from(run.completion_rate())),
+                ("violations", Json::from(run.violations.len())),
+                ("fleet_digest", Json::from(format!("{:016x}", run.digest()))),
+                (
+                    "peak_rss_bytes",
+                    crate::report::peak_rss_bytes()
+                        .map(Json::from)
+                        .unwrap_or(Json::Null),
+                ),
+                ("sched_exec_ns", Json::Obj(sched_ns)),
+            ]);
+            progress(&format!(
+                "conns={size:>6} workers={} events={:>9} {:>12.0} ev/s completion={:.2}",
+                run.workers,
+                run.events_processed,
+                run.events_per_sec(),
+                run.completion_rate(),
+            ));
+            if !run.violations.is_empty() {
+                progress(&format!(
+                    "  !! {} oracle violations, first: {}",
+                    run.violations.len(),
+                    run.violations[0]
+                ));
+            }
+        }
+    }
+    report
+}
+
+/// Validates a parsed `BENCH_scale.json`: the common report envelope
+/// plus the scale tier's required columns, a row per swept
+/// configuration, zero violations, and identical event counts across
+/// worker counts at each size (the determinism witness).
+pub fn validate_scale_report(doc: &Json) -> Result<(), String> {
+    validate_report(doc)?;
+    if doc.get("name").and_then(Json::as_str) != Some("scale_fleet") {
+        return Err("report name is not 'scale_fleet'".into());
+    }
+    let rows = doc.get("rows").and_then(Json::as_arr).ok_or("no rows")?;
+    if rows.is_empty() {
+        return Err("empty sweep".into());
+    }
+    let mut events_by_size: Vec<(u64, u64, String)> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        for col in [
+            "connections",
+            "workers",
+            "events",
+            "wall_ms",
+            "events_per_sec",
+            "completion_rate",
+            "violations",
+        ] {
+            row.get(col)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("row {i}: missing numeric column {col:?}"))?;
+        }
+        let digest = row
+            .get("fleet_digest")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("row {i}: missing 'fleet_digest'"))?;
+        match row.get("sched_exec_ns") {
+            Some(Json::Obj(pairs)) if pairs.len() == PAPER_SCHEDULERS.len() => {}
+            _ => return Err(format!("row {i}: bad 'sched_exec_ns'")),
+        }
+        if row.get("violations").and_then(Json::as_f64) != Some(0.0) {
+            return Err(format!("row {i}: oracle violations recorded"));
+        }
+        let size = row.get("connections").and_then(Json::as_f64).unwrap() as u64;
+        let events = row.get("events").and_then(Json::as_f64).unwrap() as u64;
+        if let Some((_, e0, d0)) = events_by_size.iter().find(|(s, _, _)| *s == size) {
+            if *e0 != events || d0 != digest {
+                return Err(format!(
+                    "row {i}: size {size} is not bit-identical across worker counts"
+                ));
+            }
+        } else {
+            events_by_size.push((size, events, digest.to_string()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The smoke sweep end to end: run, render, parse, validate — the
+    /// same path `ci.sh` takes through `scale_fleet --smoke`.
+    #[test]
+    fn smoke_sweep_emits_schema_valid_report() {
+        let cfg = ScaleConfig::smoke();
+        let report = run_scale(&cfg, &mut |_line| {});
+        let text = report.render();
+        let doc = Json::parse(&text).expect("rendered report parses");
+        validate_scale_report(&doc).expect("schema-valid BENCH_scale.json");
+        let rows = doc.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), cfg.sizes.len() * cfg.workers.len());
+    }
+
+    #[test]
+    fn validator_rejects_drift() {
+        let cfg = ScaleConfig {
+            sizes: vec![2],
+            workers: vec![1],
+            ..ScaleConfig::smoke()
+        };
+        let report = run_scale(&cfg, &mut |_| {});
+        let mut doc = Json::parse(&report.render()).unwrap();
+        // Corrupt the event count of the only row.
+        if let Json::Obj(pairs) = &mut doc {
+            let rows = pairs.iter_mut().find(|(k, _)| k == "rows").unwrap();
+            if let Json::Arr(rows) = &mut rows.1 {
+                if let Json::Obj(row) = &mut rows[0] {
+                    for (k, v) in row.iter_mut() {
+                        if k == "violations" {
+                            *v = Json::from(3u64);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(validate_scale_report(&doc).is_err());
+    }
+}

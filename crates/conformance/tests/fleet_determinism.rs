@@ -1,0 +1,132 @@
+//! Determinism-under-parallelism tier: the sharded fleet runtime must
+//! produce bit-identical per-connection results no matter how many
+//! worker threads carve up the fleet.
+//!
+//! The same 100-connection fleet — all seven paper schedulers, chaotic
+//! path mixes, per-connection fault plans — runs at 1, 2, and 8
+//! workers. Every connection's [`ConnStats::snapshot_text`] digest must
+//! match byte-for-byte across the three partitions, as must the derived
+//! counters. This is the contract that makes the scale-benchmark tier
+//! trustworthy: worker count is a pure performance knob, never a
+//! behavioral one.
+//!
+//! [`ConnStats::snapshot_text`]: mptcp_sim::stats::ConnStats::snapshot_text
+
+use progmp_conformance::chaos::SCHEDULERS;
+use mptcp_sim::fleet::{
+    run_fleet, ConnScenario, FleetConfig, FleetReport, OracleMode, Workload,
+};
+use mptcp_sim::time::{from_millis, SECONDS};
+use mptcp_sim::{ConnectionConfig, FaultPlan, PathConfig, SchedulerSpec, SubflowConfig};
+use progmp_core::env::RegId;
+
+const FLEET_SIZE: usize = 100;
+const FLEET_SEED: u64 = 0xF1EE_7u64;
+
+/// Builds connection `global`'s scenario from its frozen per-connection
+/// seed: scheduler round-robins through all seven paper programs, the
+/// path mix / flow size / fault plan all derive from the seed alone.
+fn scenario(global: usize, seed: u64) -> ConnScenario {
+    let scheduler = SCHEDULERS[global % SCHEDULERS.len()];
+    let source = progmp_schedulers::sources::ALL
+        .iter()
+        .find(|(n, _)| *n == scheduler)
+        .map(|(_, s)| *s)
+        .expect("known scheduler");
+    let n_paths = 2 + (seed % 2) as usize;
+    let subflows = (0..n_paths)
+        .map(|p| {
+            let rtt_ms = 5 + (seed >> (8 * p)) % 75;
+            let loss = ((seed >> 16) % 15) as f64 / 1000.0;
+            SubflowConfig::new(
+                PathConfig::symmetric(from_millis(rtt_ms), 1_250_000).with_loss(loss),
+            )
+        })
+        .collect();
+    let cfg = ConnectionConfig::new(subflows, SchedulerSpec::dsl(source));
+    let mut sc = ConnScenario::new(
+        cfg,
+        Workload::Bulk {
+            bytes: 20_000 + seed % 40_000,
+            prop: 0,
+        },
+    );
+    match scheduler {
+        "tap" => sc.registers.push((0, RegId::R1, 1_000_000)),
+        "targetRtt" => sc
+            .registers
+            .push((0, RegId::R1, 40_000 + (seed % 80_000) as i64)),
+        _ => {}
+    }
+    sc.fault_plan = Some(FaultPlan::generate(
+        seed ^ 0xC4A0_5C4A,
+        n_paths as u32,
+        2 * SECONDS,
+    ));
+    sc
+}
+
+fn run_with(workers: usize) -> FleetReport {
+    let cfg = FleetConfig::new(FLEET_SIZE, FLEET_SEED)
+        .with_workers(workers)
+        .with_horizon(300 * SECONDS)
+        .with_oracle(OracleMode::Collect);
+    run_fleet(&cfg, scenario)
+}
+
+#[test]
+fn fleet_is_bit_identical_at_1_2_and_8_workers() {
+    let base = run_with(1);
+    assert_eq!(base.workers, 1);
+    assert_eq!(base.per_conn.len(), FLEET_SIZE);
+    assert!(
+        base.violations.is_empty(),
+        "oracle violations at 1 worker: {:?}",
+        base.violations
+    );
+
+    for workers in [2usize, 8] {
+        let run = run_with(workers);
+        assert_eq!(run.workers, workers);
+        assert_eq!(run.per_conn.len(), FLEET_SIZE);
+        assert!(
+            run.violations.is_empty(),
+            "oracle violations at {workers} workers: {:?}",
+            run.violations
+        );
+        assert_eq!(
+            base.events_processed, run.events_processed,
+            "total event count drifted at {workers} workers"
+        );
+        for (a, b) in base.per_conn.iter().zip(&run.per_conn) {
+            assert_eq!(a.conn, b.conn);
+            assert_eq!(
+                a.digest, b.digest,
+                "snapshot digest of conn {} differs between 1 and {workers} workers",
+                a.conn
+            );
+            assert_eq!(a.delivered_bytes, b.delivered_bytes, "conn {}", a.conn);
+            assert_eq!(a.tx_packets, b.tx_packets, "conn {}", a.conn);
+            assert_eq!(
+                a.scheduler_executions, b.scheduler_executions,
+                "conn {}",
+                a.conn
+            );
+            assert_eq!(a.scheduler_steps, b.scheduler_steps, "conn {}", a.conn);
+            assert_eq!(a.all_acked, b.all_acked, "conn {}", a.conn);
+        }
+        assert_eq!(base.digest(), run.digest());
+    }
+}
+
+#[test]
+fn fleet_digest_tracks_the_seed() {
+    let small = |seed| {
+        let cfg = FleetConfig::new(10, seed)
+            .with_workers(2)
+            .with_horizon(120 * SECONDS);
+        run_fleet(&cfg, scenario).digest()
+    };
+    assert_eq!(small(1), small(1), "replays are stable");
+    assert_ne!(small(1), small(2), "the seed actually feeds the fleet");
+}

@@ -3,7 +3,7 @@
 //! scheduler programming model executes against.
 
 use crate::cc::{lia_alpha_x1024, CcAlgo};
-use crate::packet::Segment;
+use crate::packet::SegmentSlab;
 use crate::receiver::Receiver;
 use crate::stats::ConnStats;
 use crate::subflow::{Subflow, TxRec};
@@ -14,7 +14,6 @@ use progmp_core::env::{
 };
 use progmp_core::exec::ExecCtx;
 use progmp_core::{ExecError, SchedulerInstance};
-use std::collections::HashMap;
 
 /// The scheduler bound to a connection: a compiled ProgMP program or a
 /// native Rust scheduler.
@@ -60,8 +59,8 @@ pub struct Connection {
     pub subflows: Vec<Subflow>,
     /// Cache of established subflow ids, in establishment order.
     active: Vec<SubflowId>,
-    /// All segments ever created, by handle.
-    pub segments: HashMap<PacketRef, Segment>,
+    /// All segments ever created, in the connection's segment arena.
+    pub segments: SegmentSlab,
     q: Vec<PacketRef>,
     qu: Vec<PacketRef>,
     rq: Vec<PacketRef>,
@@ -92,7 +91,6 @@ pub struct Connection {
     pub max_sched_rounds: u32,
     /// Whether timelines are recorded.
     pub record_timelines: bool,
-    next_pkt_id: u64,
     /// Default packet property for newly enqueued data (set through the
     /// extended API).
     pub default_prop: u32,
@@ -125,7 +123,7 @@ impl Connection {
             id,
             subflows,
             active,
-            segments: HashMap::new(),
+            segments: SegmentSlab::new(),
             q: Vec::new(),
             qu: Vec::new(),
             rq: Vec::new(),
@@ -143,7 +141,6 @@ impl Connection {
             step_budget: progmp_core::DEFAULT_STEP_BUDGET,
             max_sched_rounds: 256,
             record_timelines: false,
-            next_pkt_id: 1,
             default_prop: 0,
             pops_rq: true,
         }
@@ -163,7 +160,7 @@ impl Connection {
     pub fn q_bytes(&self) -> u64 {
         self.q
             .iter()
-            .filter_map(|p| self.segments.get(p))
+            .filter_map(|p| self.segments.get(*p))
             .map(|s| u64::from(s.size))
             .sum()
     }
@@ -179,8 +176,8 @@ impl Connection {
     }
 
     /// Segment lookup (read-only).
-    pub fn segment(&self, pkt: PacketRef) -> Option<&Segment> {
-        self.segments.get(&pkt)
+    pub fn segment(&self, pkt: PacketRef) -> Option<&crate::packet::Segment> {
+        self.segments.get(pkt)
     }
 
     /// Splits `bytes` of application data into MSS segments with property
@@ -190,19 +187,8 @@ impl Connection {
         let mut remaining = bytes;
         while remaining > 0 {
             let size = remaining.min(u64::from(self.mss)) as u32;
-            let id = PacketRef(self.next_pkt_id);
-            self.next_pkt_id += 1;
-            let seg = Segment {
-                id,
-                seq: self.next_data_seq,
-                size,
-                prop,
-                enqueued_at: now,
-                sent_count: 0,
-                sent_on: Vec::new(),
-            };
+            let id = self.segments.alloc(self.next_data_seq, size, prop, now);
             self.next_data_seq += u64::from(size);
-            self.segments.insert(id, seg);
             self.q.push(id);
             out.push(id);
             remaining -= u64::from(size);
@@ -220,7 +206,8 @@ impl Connection {
         }
         self.data_acked = data_ack;
         let segs = &self.segments;
-        let covered = |p: &PacketRef| segs.get(p).map(|s| s.end_seq() <= data_ack).unwrap_or(true);
+        let covered =
+            |p: &PacketRef| segs.get(*p).map(|s| s.end_seq() <= data_ack).unwrap_or(true);
         self.q.retain(|p| !covered(p));
         self.qu.retain(|p| !covered(p));
         self.rq.retain(|p| !covered(p));
@@ -336,7 +323,7 @@ impl Connection {
     /// Adds a segment to the reinjection queue if it is still
     /// unacknowledged and not already queued. Returns true if added.
     pub fn reinject(&mut self, pkt: PacketRef) -> bool {
-        let Some(seg) = self.segments.get(&pkt) else {
+        let Some(seg) = self.segments.get(pkt) else {
             return false;
         };
         if seg.end_seq() <= self.data_acked {
@@ -357,7 +344,7 @@ impl Connection {
     pub fn queue_invariants(&self) -> Result<(), String> {
         for (name, queue) in [("Q", &self.q), ("QU", &self.qu), ("RQ", &self.rq)] {
             for pkt in queue {
-                let Some(seg) = self.segments.get(pkt) else {
+                let Some(seg) = self.segments.get(*pkt) else {
                     return Err(format!("{name} holds unknown segment {pkt:?}"));
                 };
                 if seg.end_seq() <= self.data_acked {
@@ -489,7 +476,7 @@ impl SchedulerEnv for Connection {
     }
 
     fn packet_prop(&self, packet: PacketRef, prop: PacketProp) -> i64 {
-        let Some(seg) = self.segments.get(&packet) else {
+        let Some(seg) = self.segments.get(packet) else {
             return 0;
         };
         match prop {
@@ -503,13 +490,13 @@ impl SchedulerEnv for Connection {
 
     fn sent_on(&self, packet: PacketRef, subflow: SubflowId) -> bool {
         self.segments
-            .get(&packet)
+            .get(packet)
             .map(|s| s.sent_on(subflow))
             .unwrap_or(false)
     }
 
     fn has_window_for(&self, _subflow: SubflowId, packet: PacketRef) -> bool {
-        let Some(seg) = self.segments.get(&packet) else {
+        let Some(seg) = self.segments.get(packet) else {
             return false;
         };
         seg.end_seq() <= self.data_acked + self.adv_rwnd
@@ -533,7 +520,7 @@ impl SchedulerEnv for Connection {
                     {
                         continue; // vanished subflow: packet stays schedulable
                     }
-                    if !self.segments.contains_key(&packet) {
+                    if !self.segments.contains(packet) {
                         continue;
                     }
                     let was_queued = {
@@ -545,7 +532,7 @@ impl SchedulerEnv for Connection {
                     if was_queued && !self.qu.contains(&packet) {
                         self.qu.push(packet);
                     }
-                    if let Some(seg) = self.segments.get_mut(&packet) {
+                    if let Some(seg) = self.segments.get_mut(packet) {
                         seg.record_tx(subflow);
                         if seg.sent_count == 1 {
                             self.stats.unique_tx_bytes += u64::from(seg.size);

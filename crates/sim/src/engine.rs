@@ -9,6 +9,7 @@
 //! trace never depends on how other paths' events interleave.
 
 use crate::app::BulkState;
+use crate::calendar::CalendarQueue;
 use crate::config::{ConnectionConfig, SchedulerSpec};
 use crate::connection::{Connection, SchedulerHandle};
 use crate::faults::{ChaosRng, FaultClause, FaultPlan, LossModel};
@@ -21,8 +22,6 @@ use crate::time::SimTime;
 use progmp_core::env::{PacketRef, RegId, SchedulerEnv, SubflowId, Trigger};
 use progmp_core::exec::ExecCtx;
 use progmp_core::{compile, CompileError, SchedulerProgram};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::time::Instant;
 
 /// Identifier of a connection within a [`Sim`].
@@ -105,36 +104,11 @@ enum EventKind {
     },
 }
 
-#[derive(Debug)]
-struct Ev {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Ev {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 /// The discrete-event MPTCP simulator.
 pub struct Sim {
     /// Current simulation time (ns).
     pub now: SimTime,
-    heap: BinaryHeap<Reverse<Ev>>,
-    seq: u64,
+    queue: CalendarQueue<EventKind>,
     seed: u64,
     /// All connections, indexed by [`ConnId`].
     pub connections: Vec<Connection>,
@@ -150,8 +124,7 @@ impl Sim {
     pub fn new(seed: u64) -> Self {
         Sim {
             now: 0,
-            heap: BinaryHeap::new(),
-            seq: 0,
+            queue: CalendarQueue::new(),
             seed,
             connections: Vec::new(),
             bulk_sources: Vec::new(),
@@ -178,15 +151,39 @@ impl Sim {
             .unwrap_or(&[])
     }
 
+    /// Mutable access to the attached oracle (e.g. to disable the
+    /// per-event replay log on throughput-critical fleet runs).
+    pub fn oracle_mut(&mut self) -> Option<&mut InvariantOracle> {
+        self.oracle.as_mut()
+    }
+
     fn schedule(&mut self, time: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Ev { time, seq, kind }));
+        self.queue.push(time, kind);
     }
 
     /// Creates a connection from `cfg`. Fails if a DSL scheduler does not
     /// compile.
+    ///
+    /// The connection's per-path chaos streams are keyed by its local
+    /// [`ConnId`]; use [`Sim::add_connection_with_identity`] when the
+    /// connection is one shard's slice of a larger fleet and its random
+    /// streams must not depend on how the fleet was partitioned.
     pub fn add_connection(&mut self, cfg: ConnectionConfig) -> Result<ConnId, CompileError> {
+        let identity = self.connections.len() as u64;
+        self.add_connection_with_identity(cfg, identity)
+    }
+
+    /// Creates a connection whose per-path random streams are keyed by
+    /// `identity` instead of the local connection index. A fleet shard
+    /// passes the *global* connection index here, which makes every
+    /// loss/jitter draw a pure function of `(sim seed, identity,
+    /// subflow)` — bit-identical no matter how many shards the fleet is
+    /// split into.
+    pub fn add_connection_with_identity(
+        &mut self,
+        cfg: ConnectionConfig,
+        identity: u64,
+    ) -> Result<ConnId, CompileError> {
         let id = self.connections.len();
         let mut step_budget = cfg.step_budget;
         // Native schedulers are opaque, so assume full capability (the
@@ -214,7 +211,7 @@ impl Sim {
             // simulation seed and its identity — loss/jitter draws never
             // cross paths (chaos-trace reproducibility).
             sbf.path
-                .reseed(ChaosRng::for_path(self.seed, id as u64, i as u64));
+                .reseed(ChaosRng::for_path(self.seed, identity, i as u64));
             sbf.is_backup = sc.backup;
             sbf.cost = sc.cost;
             sbf.established = sc.start_at == 0;
@@ -437,17 +434,19 @@ impl Sim {
     /// Runs all events up to and including `until`, then sets the clock
     /// to `until`.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(Reverse(ev)) = self.heap.peek() {
-            if ev.time > until {
+        while let Some(t) = self.queue.next_time() {
+            if t > until {
                 break;
             }
-            let Reverse(ev) = self.heap.pop().expect("peeked");
-            self.now = ev.time;
+            let (time, kind) = self.queue.pop().expect("peeked");
+            self.now = time;
             self.events_processed += 1;
             if let Some(o) = &mut self.oracle {
-                o.log_event(format!("t={} {:?}", ev.time, ev.kind));
+                if o.log_events {
+                    o.log_event(format!("t={time} {kind:?}"));
+                }
             }
-            self.dispatch(ev.kind);
+            self.dispatch(kind);
             self.oracle_check();
         }
         self.now = until;
@@ -457,20 +456,22 @@ impl Sim {
     /// the queue fully drains with the oracle attached, the quiescent
     /// eventual-progress invariant is checked as well.
     pub fn run_to_completion(&mut self, max_time: SimTime) {
-        while let Some(Reverse(ev)) = self.heap.peek() {
-            if ev.time > max_time {
+        while let Some(t) = self.queue.next_time() {
+            if t > max_time {
                 break;
             }
-            let Reverse(ev) = self.heap.pop().expect("peeked");
-            self.now = ev.time;
+            let (time, kind) = self.queue.pop().expect("peeked");
+            self.now = time;
             self.events_processed += 1;
             if let Some(o) = &mut self.oracle {
-                o.log_event(format!("t={} {:?}", ev.time, ev.kind));
+                if o.log_events {
+                    o.log_event(format!("t={time} {kind:?}"));
+                }
             }
-            self.dispatch(ev.kind);
+            self.dispatch(kind);
             self.oracle_check();
         }
-        if self.heap.is_empty() {
+        if self.queue.is_empty() {
             if let Some(oracle) = self.oracle.as_mut() {
                 for conn in &self.connections {
                     oracle.check_quiescent(self.now, conn);
@@ -797,7 +798,7 @@ impl Sim {
         let mut departure = None;
         {
             let c = &mut self.connections[conn];
-            let Some(seg) = c.segments.get(&pkt) else {
+            let Some(seg) = c.segments.get(pkt) else {
                 return;
             };
             let (size, data_seq) = (seg.size, seg.seq);
@@ -898,7 +899,7 @@ impl Sim {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::config::{ConnectionConfig, SchedulerSpec, SubflowConfig};
     use crate::path::PathConfig;

@@ -1,0 +1,485 @@
+//! Sharded multi-connection simulation: the fleet runner.
+//!
+//! A [`run_fleet`] call simulates `N` independent MPTCP connections,
+//! partitioned into contiguous shards across worker threads. Each shard
+//! owns a private [`Sim`] (no shared mutable state, no locks on the
+//! event hot path), and **results are bit-identical regardless of the
+//! worker count**:
+//!
+//! * every connection's scenario is built from a per-connection seed
+//!   drawn from the frozen xorshift64\* stream
+//!   ([`conn_seeds`]) — a pure function of `(fleet seed, global index)`;
+//! * every shard `Sim` uses the fleet seed, and registers each
+//!   connection under its *global* index
+//!   ([`Sim::add_connection_with_identity`]), so per-path loss/jitter
+//!   streams never depend on the partition;
+//! * connections in one shard share an event queue but no state, so
+//!   their interleaving cannot influence each other's counters.
+//!
+//! The determinism conformance test
+//! (`crates/conformance/tests/fleet_determinism.rs`) pins this by
+//! running the same fleet at 1, 2, and 8 workers and comparing
+//! per-connection [`ConnStats::snapshot_text`] digests byte-for-byte.
+//!
+//! [`ConnStats::snapshot_text`]: crate::stats::ConnStats::snapshot_text
+
+use crate::config::ConnectionConfig;
+use crate::engine::Sim;
+use crate::faults::{ChaosRng, FaultPlan};
+use crate::oracle::OracleViolation;
+use crate::time::SimTime;
+use progmp_core::env::RegId;
+use std::time::{Duration, Instant};
+
+/// Application workload of one fleet connection.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// Backlogged bulk source that keeps `Q` topped up until `bytes`
+    /// have been enqueued (iPerf-style).
+    Bulk {
+        /// Total transfer size.
+        bytes: u64,
+        /// Packet property of the data.
+        prop: u32,
+    },
+    /// Discrete application sends: `(time, bytes, prop)`.
+    SendAt(Vec<(SimTime, u64, u32)>),
+    /// Constant-bitrate source.
+    Cbr {
+        /// First chunk time.
+        start: SimTime,
+        /// End of the stream.
+        end: SimTime,
+        /// Rate in bytes/second.
+        rate: u64,
+        /// Chunk interval.
+        chunk: SimTime,
+        /// Packet property of the data.
+        prop: u32,
+    },
+}
+
+/// Everything one connection of the fleet runs: its configuration, its
+/// application workload, optional register signalling, and an optional
+/// chaos fault plan.
+pub struct ConnScenario {
+    /// Connection configuration (paths, scheduler, knobs).
+    pub config: ConnectionConfig,
+    /// Application traffic.
+    pub workload: Workload,
+    /// Scheduled register writes `(time, register, value)` — the
+    /// extended API's application signals.
+    pub registers: Vec<(SimTime, RegId, i64)>,
+    /// Fault plan to apply, if any.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl ConnScenario {
+    /// A scenario with no register signals and no faults.
+    pub fn new(config: ConnectionConfig, workload: Workload) -> Self {
+        ConnScenario {
+            config,
+            workload,
+            registers: Vec::new(),
+            fault_plan: None,
+        }
+    }
+}
+
+/// How fleet shards arm the runtime invariant oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleMode {
+    /// No oracle (fastest).
+    Off,
+    /// Collect violations into the [`FleetReport`], with the per-event
+    /// replay log disabled (the scale-bench configuration).
+    Collect,
+    /// Panic on the first violation, with full replay log.
+    Panic,
+}
+
+/// Parameters of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of connections.
+    pub connections: usize,
+    /// Worker threads; 0 means one per available CPU.
+    pub workers: usize,
+    /// Fleet seed: the root of every derived stream.
+    pub seed: u64,
+    /// Simulated-time bound per shard.
+    pub horizon: SimTime,
+    /// Oracle arming mode.
+    pub oracle: OracleMode,
+}
+
+impl FleetConfig {
+    /// A fleet of `connections` with `seed`, one worker per CPU, a
+    /// 300-simulated-second horizon and the oracle off.
+    pub fn new(connections: usize, seed: u64) -> Self {
+        FleetConfig {
+            connections,
+            workers: 0,
+            seed,
+            horizon: 300 * crate::time::SECONDS,
+            oracle: OracleMode::Off,
+        }
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the simulated-time horizon.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the oracle mode.
+    pub fn with_oracle(mut self, oracle: OracleMode) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// The effective worker count (resolves `0` to the CPU count).
+    pub fn effective_workers(&self) -> usize {
+        let w = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        };
+        w.max(1)
+    }
+}
+
+/// Outcome of one fleet connection, in global-index order.
+#[derive(Debug, Clone)]
+pub struct ConnReport {
+    /// Global connection index.
+    pub conn: usize,
+    /// FNV-1a digest of [`ConnStats::snapshot_text`] — the
+    /// bit-identity witness compared across worker counts.
+    ///
+    /// [`ConnStats::snapshot_text`]: crate::stats::ConnStats::snapshot_text
+    pub digest: u64,
+    /// Bytes delivered in order to the application.
+    pub delivered_bytes: u64,
+    /// Bytes the application enqueued.
+    pub enqueued_bytes: u64,
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Completed scheduler executions.
+    pub scheduler_executions: u64,
+    /// Total scheduler steps.
+    pub scheduler_steps: u64,
+    /// Host nanoseconds spent inside scheduler executions.
+    pub scheduler_host_ns: u64,
+    /// Whether every enqueued byte was acknowledged in time.
+    pub all_acked: bool,
+}
+
+/// Aggregate outcome of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-connection outcomes, ordered by global index.
+    pub per_conn: Vec<ConnReport>,
+    /// Total events processed across all shards (invariant under the
+    /// worker count: each connection's event count is its own).
+    pub events_processed: u64,
+    /// Oracle violations across all shards (empty unless armed).
+    pub violations: Vec<OracleViolation>,
+    /// Wall-clock time of the parallel section.
+    pub wall: Duration,
+    /// Worker threads actually used.
+    pub workers: usize,
+}
+
+impl FleetReport {
+    /// Simulation throughput in events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.events_processed as f64 / secs
+    }
+
+    /// Order-sensitive fold of all per-connection digests: one number
+    /// that witnesses the whole fleet's bit-identity.
+    pub fn digest(&self) -> u64 {
+        let mut acc = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for c in &self.per_conn {
+            for b in c.digest.to_le_bytes() {
+                acc ^= u64::from(b);
+                acc = acc.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        acc
+    }
+
+    /// Total host nanoseconds spent inside scheduler executions.
+    pub fn scheduler_host_ns(&self) -> u64 {
+        self.per_conn.iter().map(|c| c.scheduler_host_ns).sum()
+    }
+
+    /// Fraction of connections that acknowledged all enqueued data.
+    pub fn completion_rate(&self) -> f64 {
+        if self.per_conn.is_empty() {
+            return 1.0;
+        }
+        self.per_conn.iter().filter(|c| c.all_acked).count() as f64 / self.per_conn.len() as f64
+    }
+}
+
+/// FNV-1a 64-bit hash (the digest primitive; stable forever).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        acc ^= u64::from(b);
+        acc = acc.wrapping_mul(0x100_0000_01b3);
+    }
+    acc
+}
+
+/// The per-connection seed stream: `n` draws from a fresh frozen
+/// xorshift64\* generator over the fleet seed. Seed `i` depends only on
+/// `(seed, i)`, never on the partition.
+pub fn conn_seeds(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = ChaosRng::new(seed ^ 0xF1EE_7F1E_E7F1_EE7F);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+/// Runs the fleet: builds each connection's scenario from
+/// `scenario(global_index, conn_seed)`, partitions the connections into
+/// contiguous shards across worker threads, simulates every shard to
+/// its horizon, and collects per-connection reports in global order.
+///
+/// # Panics
+///
+/// Panics if a scenario's scheduler fails to compile, or (in
+/// [`OracleMode::Panic`]) on the first invariant violation.
+pub fn run_fleet<F>(cfg: &FleetConfig, scenario: F) -> FleetReport
+where
+    F: Fn(usize, u64) -> ConnScenario + Sync,
+{
+    let n = cfg.connections;
+    let workers = cfg.effective_workers().min(n.max(1));
+    let seeds = conn_seeds(cfg.seed, n);
+    // Contiguous shards, sizes differing by at most one.
+    let mut bounds = Vec::with_capacity(workers + 1);
+    for w in 0..=workers {
+        bounds.push(w * n / workers);
+    }
+
+    let scenario = &scenario;
+    let seeds = &seeds;
+    let t0 = Instant::now();
+    let mut shard_results: Vec<Option<ShardResult>> = (0..workers).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (lo, hi) = (bounds[w], bounds[w + 1]);
+            handles.push(scope.spawn(move || run_shard(cfg, scenario, seeds, w, lo, hi)));
+        }
+        for (w, h) in handles.into_iter().enumerate() {
+            shard_results[w] = Some(h.join().expect("fleet shard panicked"));
+        }
+    });
+    let wall = t0.elapsed();
+
+    let mut report = FleetReport {
+        per_conn: Vec::with_capacity(n),
+        events_processed: 0,
+        violations: Vec::new(),
+        wall,
+        workers,
+    };
+    for shard in shard_results.into_iter().flatten() {
+        report.per_conn.extend(shard.per_conn);
+        report.events_processed += shard.events_processed;
+        report.violations.extend(shard.violations);
+    }
+    debug_assert!(report.per_conn.windows(2).all(|w| w[0].conn < w[1].conn));
+    report
+}
+
+struct ShardResult {
+    per_conn: Vec<ConnReport>,
+    events_processed: u64,
+    violations: Vec<OracleViolation>,
+}
+
+fn run_shard<F>(
+    cfg: &FleetConfig,
+    scenario: &F,
+    seeds: &[u64],
+    shard: usize,
+    lo: usize,
+    hi: usize,
+) -> ShardResult
+where
+    F: Fn(usize, u64) -> ConnScenario + Sync,
+{
+    let mut sim = Sim::new(cfg.seed);
+    match cfg.oracle {
+        OracleMode::Off => {}
+        OracleMode::Collect => {
+            sim.enable_oracle(format!("fleet seed={} shard={shard}", cfg.seed), false);
+            // Formatting a replay log for every event would dominate
+            // fleet-scale runs; violations still carry full detail.
+            sim.oracle_mut().expect("oracle enabled").log_events = false;
+        }
+        OracleMode::Panic => {
+            sim.enable_oracle(format!("fleet seed={} shard={shard}", cfg.seed), true);
+        }
+    }
+    for global in lo..hi {
+        let sc = scenario(global, seeds[global]);
+        let conn = sim
+            .add_connection_with_identity(sc.config, global as u64)
+            .expect("fleet scheduler compiles");
+        match sc.workload {
+            Workload::Bulk { bytes, prop } => {
+                sim.add_bulk_source(conn, bytes, prop);
+            }
+            Workload::SendAt(sends) => {
+                for (at, bytes, prop) in sends {
+                    sim.app_send_at(conn, at, bytes, prop);
+                }
+            }
+            Workload::Cbr {
+                start,
+                end,
+                rate,
+                chunk,
+                prop,
+            } => {
+                sim.add_cbr_source(conn, start, end, rate, chunk, prop);
+            }
+        }
+        for (at, reg, value) in sc.registers {
+            sim.set_register_at(conn, at, reg, value);
+        }
+        if let Some(plan) = &sc.fault_plan {
+            sim.apply_fault_plan(conn, plan);
+        }
+    }
+    sim.run_to_completion(cfg.horizon);
+    let per_conn = (lo..hi)
+        .map(|global| {
+            let c = &sim.connections[global - lo];
+            ConnReport {
+                conn: global,
+                digest: fnv1a64(c.stats.snapshot_text().as_bytes()),
+                delivered_bytes: c.stats.delivered_bytes,
+                enqueued_bytes: c.stats.enqueued_bytes,
+                tx_packets: c.stats.tx_packets,
+                scheduler_executions: c.stats.scheduler_executions,
+                scheduler_steps: c.stats.scheduler_steps,
+                scheduler_host_ns: c.stats.scheduler_host_ns,
+                all_acked: c.all_acked(),
+            }
+        })
+        .collect();
+    ShardResult {
+        per_conn,
+        events_processed: sim.events_processed,
+        violations: sim.oracle_violations().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ConnectionConfig, SchedulerSpec, SubflowConfig};
+    use crate::path::PathConfig;
+    use crate::time::{from_millis, SECONDS};
+
+    fn scenario(_global: usize, seed: u64) -> ConnScenario {
+        let loss = (seed % 3) as f64 * 0.01;
+        let cfg = ConnectionConfig::new(
+            vec![
+                SubflowConfig::new(
+                    PathConfig::symmetric(from_millis(10), 1_250_000).with_loss(loss),
+                ),
+                SubflowConfig::new(PathConfig::symmetric(from_millis(40), 1_250_000)),
+            ],
+            SchedulerSpec::dsl(crate::engine::tests::MIN_RTT_DSL),
+        );
+        ConnScenario::new(
+            cfg,
+            Workload::Bulk {
+                bytes: 30_000 + (seed % 5) * 1400,
+                prop: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn fleet_runs_and_reports_in_global_order() {
+        let cfg = FleetConfig::new(6, 42)
+            .with_workers(2)
+            .with_horizon(60 * SECONDS)
+            .with_oracle(OracleMode::Collect);
+        let report = run_fleet(&cfg, scenario);
+        assert_eq!(report.per_conn.len(), 6);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        for (i, c) in report.per_conn.iter().enumerate() {
+            assert_eq!(c.conn, i);
+            assert!(c.all_acked, "conn {i} completed");
+            assert!(c.delivered_bytes >= 30_000);
+        }
+        assert!(report.events_processed > 0);
+        assert!(report.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn digests_are_identical_across_worker_counts() {
+        let run = |workers| {
+            let cfg = FleetConfig::new(5, 7)
+                .with_workers(workers)
+                .with_horizon(60 * SECONDS);
+            run_fleet(&cfg, scenario)
+        };
+        let one = run(1);
+        let three = run(3);
+        assert_eq!(one.workers, 1);
+        assert_eq!(three.workers, 3);
+        assert_eq!(one.events_processed, three.events_processed);
+        assert_eq!(one.digest(), three.digest());
+        for (a, b) in one.per_conn.iter().zip(&three.per_conn) {
+            assert_eq!(a.digest, b.digest, "conn {}", a.conn);
+            assert_eq!(a.tx_packets, b.tx_packets);
+        }
+    }
+
+    #[test]
+    fn conn_seeds_are_frozen() {
+        let a = conn_seeds(1, 4);
+        assert_eq!(a, conn_seeds(1, 4));
+        assert_ne!(a, conn_seeds(2, 4));
+        // Prefix property: growing the fleet never changes earlier seeds.
+        assert_eq!(a[..], conn_seeds(1, 8)[..4]);
+    }
+
+    #[test]
+    fn workers_never_exceed_connections() {
+        let cfg = FleetConfig::new(2, 9)
+            .with_workers(8)
+            .with_horizon(30 * SECONDS);
+        let report = run_fleet(&cfg, scenario);
+        assert_eq!(report.workers, 2);
+        assert_eq!(report.per_conn.len(), 2);
+    }
+
+    #[test]
+    fn fnv_digest_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -49,11 +49,13 @@
 #![forbid(unsafe_code)]
 
 pub mod app;
+pub mod calendar;
 pub mod cc;
 pub mod config;
 pub mod connection;
 pub mod engine;
 pub mod faults;
+pub mod fleet;
 pub mod native;
 pub mod oracle;
 pub mod packet;
@@ -68,7 +70,11 @@ pub mod time;
 pub use cc::CcAlgo;
 pub use config::{ConnectionConfig, SchedulerSpec, SubflowConfig};
 pub use connection::{Connection, SchedulerHandle};
+pub use calendar::CalendarQueue;
 pub use engine::{ConnId, Sim};
+pub use fleet::{
+    run_fleet, ConnReport, ConnScenario, FleetConfig, FleetReport, OracleMode, Workload,
+};
 pub use faults::{ChaosRng, FaultClause, FaultPlan, LossModel};
 pub use native::{NativeMinRtt, NativeRoundRobin, NativeScheduler};
 pub use oracle::{InvariantOracle, OracleViolation};

@@ -87,6 +87,10 @@ pub struct InvariantOracle {
     label: String,
     /// Panic on the first violation (true) or collect (false).
     panic_on_violation: bool,
+    /// Whether the engine should feed the per-event replay log. On by
+    /// default; fleet-scale runs in collect mode turn it off because
+    /// formatting every event dominates the simulation itself.
+    pub log_events: bool,
     /// Violations found so far (collecting mode).
     pub violations: Vec<OracleViolation>,
     log: VecDeque<String>,
@@ -100,6 +104,7 @@ impl InvariantOracle {
         InvariantOracle {
             label: label.into(),
             panic_on_violation,
+            log_events: true,
             violations: Vec::new(),
             log: VecDeque::new(),
             marks: Vec::new(),

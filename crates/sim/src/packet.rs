@@ -1,4 +1,5 @@
-//! Meta-level data segments (the simulator's `sk_buff`s).
+//! Meta-level data segments (the simulator's `sk_buff`s) and the
+//! per-connection segment arena they live in.
 
 use crate::time::SimTime;
 use progmp_core::env::{PacketRef, SubflowId};
@@ -19,27 +20,119 @@ pub struct Segment {
     pub enqueued_at: SimTime,
     /// Number of transmissions (any subflow), the `SENT_COUNT` property.
     pub sent_count: u32,
-    /// Subflows this segment was transmitted on, the `SENT_ON` predicate.
-    pub sent_on: Vec<SubflowId>,
+    /// Subflows 0..63 this segment was transmitted on, as a bitmask —
+    /// the common case of the `SENT_ON` predicate without a per-packet
+    /// heap allocation.
+    sent_mask: u64,
+    /// Subflows ≥ 64 this segment was transmitted on. Allocated only
+    /// for connections wide enough to need it (essentially never).
+    sent_high: Vec<SubflowId>,
 }
 
 impl Segment {
+    /// A fresh, never-transmitted segment.
+    pub fn new(id: PacketRef, seq: u64, size: u32, prop: u32, enqueued_at: SimTime) -> Self {
+        Segment {
+            id,
+            seq,
+            size,
+            prop,
+            enqueued_at,
+            sent_count: 0,
+            sent_mask: 0,
+            sent_high: Vec::new(),
+        }
+    }
+
     /// Whether the segment was ever sent on `sbf`.
     pub fn sent_on(&self, sbf: SubflowId) -> bool {
-        self.sent_on.contains(&sbf)
+        if sbf.0 < 64 {
+            self.sent_mask & (1 << sbf.0) != 0
+        } else {
+            self.sent_high.contains(&sbf)
+        }
     }
 
     /// Records a transmission on `sbf`.
     pub fn record_tx(&mut self, sbf: SubflowId) {
         self.sent_count += 1;
-        if !self.sent_on.contains(&sbf) {
-            self.sent_on.push(sbf);
+        if sbf.0 < 64 {
+            self.sent_mask |= 1 << sbf.0;
+        } else if !self.sent_high.contains(&sbf) {
+            self.sent_high.push(sbf);
         }
+    }
+
+    /// Number of distinct subflows the segment was sent on.
+    pub fn sent_on_count(&self) -> u32 {
+        self.sent_mask.count_ones() + self.sent_high.len() as u32
     }
 
     /// Exclusive end of the segment's byte range.
     pub fn end_seq(&self) -> u64 {
         self.seq + u64::from(self.size)
+    }
+}
+
+/// Arena of every segment a connection ever created, indexed directly
+/// by the [`PacketRef`] handle.
+///
+/// The connection hands out dense handles (`PacketRef(1)`,
+/// `PacketRef(2)`, …), so the arena is a plain `Vec` and a lookup is
+/// one bounds check — no hashing on the per-packet hot path, and all
+/// segment state sits contiguously in memory. Slots are never reused:
+/// a stale handle (e.g. held by a scheduler after the data was acked)
+/// keeps resolving to its original, fully-acked segment, exactly as it
+/// did under the old `HashMap` — which is what keeps retransmission
+/// no-ops and the queue invariants semantics-identical.
+#[derive(Debug, Default, Clone)]
+pub struct SegmentSlab {
+    segs: Vec<Segment>,
+}
+
+impl SegmentSlab {
+    /// An empty arena.
+    pub fn new() -> Self {
+        SegmentSlab::default()
+    }
+
+    /// Allocates the next handle and stores `seg` built from it.
+    /// Returns the handle.
+    pub fn alloc(
+        &mut self,
+        seq: u64,
+        size: u32,
+        prop: u32,
+        enqueued_at: SimTime,
+    ) -> PacketRef {
+        let id = PacketRef(self.segs.len() as u64 + 1);
+        self.segs.push(Segment::new(id, seq, size, prop, enqueued_at));
+        id
+    }
+
+    /// Segment lookup.
+    pub fn get(&self, pkt: PacketRef) -> Option<&Segment> {
+        self.segs.get((pkt.0 as usize).checked_sub(1)?)
+    }
+
+    /// Mutable segment lookup.
+    pub fn get_mut(&mut self, pkt: PacketRef) -> Option<&mut Segment> {
+        self.segs.get_mut((pkt.0 as usize).checked_sub(1)?)
+    }
+
+    /// Whether `pkt` resolves to a segment.
+    pub fn contains(&self, pkt: PacketRef) -> bool {
+        pkt.0 >= 1 && (pkt.0 as usize) <= self.segs.len()
+    }
+
+    /// Number of segments ever created.
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Whether no segment was ever created.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
     }
 }
 
@@ -49,15 +142,7 @@ mod tests {
 
     #[test]
     fn record_tx_tracks_subflows_and_count() {
-        let mut s = Segment {
-            id: PacketRef(1),
-            seq: 0,
-            size: 1400,
-            prop: 0,
-            enqueued_at: 0,
-            sent_count: 0,
-            sent_on: Vec::new(),
-        };
+        let mut s = Segment::new(PacketRef(1), 0, 1400, 0, 0);
         s.record_tx(SubflowId(0));
         s.record_tx(SubflowId(0));
         s.record_tx(SubflowId(1));
@@ -65,7 +150,39 @@ mod tests {
         assert!(s.sent_on(SubflowId(0)));
         assert!(s.sent_on(SubflowId(1)));
         assert!(!s.sent_on(SubflowId(2)));
-        assert_eq!(s.sent_on.len(), 2, "subflow set is deduplicated");
+        assert_eq!(s.sent_on_count(), 2, "subflow set is deduplicated");
         assert_eq!(s.end_seq(), 1400);
+    }
+
+    #[test]
+    fn wide_connections_track_high_subflows() {
+        let mut s = Segment::new(PacketRef(1), 0, 1400, 0, 0);
+        s.record_tx(SubflowId(63));
+        s.record_tx(SubflowId(64));
+        s.record_tx(SubflowId(200));
+        s.record_tx(SubflowId(200));
+        assert!(s.sent_on(SubflowId(63)));
+        assert!(s.sent_on(SubflowId(64)));
+        assert!(s.sent_on(SubflowId(200)));
+        assert!(!s.sent_on(SubflowId(65)));
+        assert_eq!(s.sent_on_count(), 3);
+    }
+
+    #[test]
+    fn slab_hands_out_dense_handles() {
+        let mut slab = SegmentSlab::new();
+        let a = slab.alloc(0, 1400, 0, 0);
+        let b = slab.alloc(1400, 200, 7, 5);
+        assert_eq!(a, PacketRef(1));
+        assert_eq!(b, PacketRef(2));
+        assert_eq!(slab.len(), 2);
+        assert!(slab.contains(a) && slab.contains(b));
+        assert!(!slab.contains(PacketRef(0)));
+        assert!(!slab.contains(PacketRef(3)));
+        assert_eq!(slab.get(b).unwrap().prop, 7);
+        assert_eq!(slab.get(b).unwrap().seq, 1400);
+        slab.get_mut(a).unwrap().record_tx(SubflowId(1));
+        assert!(slab.get(a).unwrap().sent_on(SubflowId(1)));
+        assert!(slab.get(PacketRef(99)).is_none());
     }
 }
