@@ -29,6 +29,9 @@ cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --soundne
 echo "==> bytecode-verifier soundness sweep + codegen-mutation check (500 seeds)"
 cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --vm-soundness --seeds 500
 
+echo "==> optimizer-soundness sweep + per-pass sabotage check (1000 seeds)"
+cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --opt-soundness --seeds 1000
+
 echo "==> chaos sweep: fault plans x schedulers x backends + oracle mutation check (200 plans)"
 cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --chaos --seeds 200
 

@@ -22,7 +22,10 @@ fn tenants() -> usize {
 const BYTES_PER_TENANT: u64 = 100_000;
 
 fn main() {
-    println!("=== §4.3/§6: {} tenants, mixed schedulers and backends ===\n", tenants());
+    println!(
+        "=== §4.3/§6: {} tenants, mixed schedulers and backends ===\n",
+        tenants()
+    );
     let names = sched::names();
     let mut sim = Sim::new(2024);
     let mut expected_r6 = Vec::new();

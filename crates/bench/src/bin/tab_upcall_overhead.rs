@@ -6,7 +6,14 @@
 //! The architectural analogue here: dispatching each scheduling decision
 //! to another thread over channels (context switch + wakeup, like a
 //! netlink round trip) versus executing the scheduler in-process.
+//!
+//! The second half of the upcall story is how much work each upcall
+//! does: the verified bytecode optimizer trims the per-decision dynamic
+//! instruction count without touching the certified step bound, and
+//! this bench pins the before/after numbers for all seven paper
+//! schedulers (the `optimizer` meta object in the JSON report).
 
+use progmp_bench::optimizer;
 use progmp_bench::report::{Json, Report};
 use progmp_core::env::{QueueKind, SubflowProp};
 use progmp_core::exec::ExecCtx;
@@ -102,11 +109,43 @@ fn main() {
         "  [{}] the up-call model is many times more expensive — the reason the runtime lives in the kernel",
         if upcall_ns > 3.0 * in_process_ns { "ok" } else { "??" }
     );
+    // Per-upcall work: the verified bytecode optimizer's effect on the
+    // dynamic instruction count of one scheduling decision.
+    let measurements = optimizer::measure_all();
+    println!("\n=== verified bytecode optimizer: per-upcall instruction count ===\n");
+    println!(
+        "{:<24} {:>14} {:>14} {:>8}   {:>17} {:>11}",
+        "scheduler", "insns before", "insns after", "change", "model bound", "certified"
+    );
+    let mut reduced = 0usize;
+    for m in &measurements {
+        if m.upcall_insns_after < m.upcall_insns_before {
+            reduced += 1;
+        }
+        println!(
+            "{:<24} {:>14} {:>14} {:>7.1}%   {:>8} -> {:>5} {:>11}",
+            m.scheduler,
+            m.upcall_insns_before,
+            m.upcall_insns_after,
+            100.0 * (m.upcall_insns_after as f64 - m.upcall_insns_before as f64)
+                / m.upcall_insns_before as f64,
+            m.model_bound_before,
+            m.model_bound_after,
+            m.certified_bound,
+        );
+    }
+    println!(
+        "\n  [{}] {reduced}/{} paper schedulers retire fewer instructions per upcall; no model bound grew",
+        if reduced >= 5 { "ok" } else { "??" },
+        measurements.len()
+    );
+
     let mut report = Report::new("tab_upcall_overhead");
     report
         .meta("iters", u64::from(iters))
         .meta("paper_upcall_us", 2.4)
-        .meta("paper_in_kernel_us", 0.2);
+        .meta("paper_in_kernel_us", 0.2)
+        .meta("optimizer", optimizer::meta_json(&measurements));
     report.row(vec![
         ("model", Json::from("in_process")),
         ("ns_per_decision", Json::from(in_process_ns)),

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod optimizer;
 pub mod report;
 pub mod scale;
 

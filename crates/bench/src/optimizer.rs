@@ -1,0 +1,193 @@
+//! Before/after measurement of the verified bytecode optimizer
+//! ([`progmp_core::opt`]) over the seven paper schedulers.
+//!
+//! Two benches share these numbers: `tab_upcall_overhead` reports the
+//! per-upcall executed-instruction reduction next to the §4.1
+//! calling-model comparison, and `scale_fleet` pins them into the
+//! `BENCH_scale.json` meta so the performance-trajectory baseline
+//! records which image generation it was measured against.
+//!
+//! The VM charges exactly one step per retired instruction, so
+//! [`progmp_core::exec::ExecStats::steps`] from a VM execution *is* the
+//! per-upcall dynamic instruction count — the measurement is
+//! deterministic, not a timing.
+
+use crate::report::Json;
+use crate::scale::PAPER_SCHEDULERS;
+use progmp_core::env::{QueueKind, RegId, SubflowProp};
+use progmp_core::exec::ExecCtx;
+use progmp_core::testenv::MockEnv;
+use progmp_core::{Backend, CompileOptions};
+
+/// Optimizer before/after numbers for one bundled scheduler.
+#[derive(Debug, Clone)]
+pub struct OptMeasurement {
+    /// Bundled scheduler name.
+    pub scheduler: &'static str,
+    /// Instructions retired by one upcall on the unoptimized image.
+    pub upcall_insns_before: u64,
+    /// Instructions retired by one upcall on the optimized image.
+    pub upcall_insns_after: u64,
+    /// Static image size before optimization.
+    pub image_insns_before: usize,
+    /// Static image size after optimization.
+    pub image_insns_after: usize,
+    /// Bytecode-model step bound before optimization.
+    pub model_bound_before: u64,
+    /// Bytecode-model step bound after optimization (never larger).
+    pub model_bound_after: u64,
+    /// HIR-certified step bound (unchanged by bytecode optimization).
+    pub certified_bound: u64,
+}
+
+/// The same two-subflow, eight-packet decision point every scheduler is
+/// measured on; `tap`/`targetRtt` get their tuning register set the way
+/// the scale scenarios set it.
+fn bench_env(scheduler: &str) -> MockEnv {
+    let mut env = MockEnv::new();
+    for i in 0..2 {
+        env.add_subflow(i);
+        env.set_subflow_prop(i, SubflowProp::Rtt, 10_000 + i64::from(i) * 5_000);
+        env.set_subflow_prop(i, SubflowProp::Cwnd, 100);
+    }
+    for p in 0..8u64 {
+        env.push_packet(QueueKind::SendQueue, 100 + p, 1400 * p as i64, 1400);
+    }
+    match scheduler {
+        "tap" => env.set_register(RegId::R1, 1_000_000),
+        "targetRtt" => env.set_register(RegId::R1, 40_000),
+        _ => {}
+    }
+    env
+}
+
+fn executed_insns(program: &progmp_core::SchedulerProgram, scheduler: &str) -> u64 {
+    let env = bench_env(scheduler);
+    let mut inst = program.instantiate(Backend::Vm);
+    let mut ctx = ExecCtx::new(&env, 1_000_000);
+    inst.execute_raw(&mut ctx)
+        .unwrap_or_else(|e| panic!("bundled scheduler {scheduler} executes: {e}"));
+    let (_, _, stats) = ctx.finish();
+    stats.steps
+}
+
+/// Compiles `scheduler` with and without the bytecode optimizer and runs
+/// one upcall of each image on the shared decision point.
+pub fn measure(scheduler: &'static str) -> OptMeasurement {
+    let source = progmp_schedulers::sources::ALL
+        .iter()
+        .find(|(n, _)| *n == scheduler)
+        .map(|(_, s)| *s)
+        .unwrap_or_else(|| panic!("bundled scheduler {scheduler} not found"));
+    let compile = |optimize: bool| {
+        progmp_core::compile_with_options(
+            Some(scheduler),
+            source,
+            CompileOptions {
+                optimize_bytecode: optimize,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("bundled scheduler {scheduler} compiles: {e}"))
+    };
+    let unopt = compile(false);
+    let opt = compile(true);
+    let report = opt
+        .opt_report()
+        .expect("optimized compile records an OptReport");
+    OptMeasurement {
+        scheduler,
+        upcall_insns_before: executed_insns(&unopt, scheduler),
+        upcall_insns_after: executed_insns(&opt, scheduler),
+        image_insns_before: report.insns_before,
+        image_insns_after: report.insns_after,
+        model_bound_before: report.bound_before,
+        model_bound_after: report.bound_after,
+        certified_bound: opt.certified_step_bound(),
+    }
+}
+
+/// [`measure`] over all seven paper schedulers.
+pub fn measure_all() -> Vec<OptMeasurement> {
+    PAPER_SCHEDULERS.iter().map(|s| measure(s)).collect()
+}
+
+/// Renders measurements as the `optimizer` meta object shared by the
+/// bench reports: one entry per scheduler, keyed by name.
+pub fn meta_json(measurements: &[OptMeasurement]) -> Json {
+    Json::Obj(
+        measurements
+            .iter()
+            .map(|m| {
+                (
+                    m.scheduler.to_string(),
+                    Json::Obj(vec![
+                        (
+                            "upcall_insns_before".to_string(),
+                            Json::from(m.upcall_insns_before),
+                        ),
+                        (
+                            "upcall_insns_after".to_string(),
+                            Json::from(m.upcall_insns_after),
+                        ),
+                        (
+                            "image_insns_before".to_string(),
+                            Json::from(m.image_insns_before),
+                        ),
+                        (
+                            "image_insns_after".to_string(),
+                            Json::from(m.image_insns_after),
+                        ),
+                        (
+                            "model_bound_before".to_string(),
+                            Json::from(m.model_bound_before),
+                        ),
+                        (
+                            "model_bound_after".to_string(),
+                            Json::from(m.model_bound_after),
+                        ),
+                        ("certified_bound".to_string(), Json::from(m.certified_bound)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline payoff the optimizer tier promises: a majority of
+    /// the paper schedulers retire fewer instructions per upcall, and the
+    /// model bound never grows for any of them.
+    #[test]
+    fn optimizer_reduces_upcall_insns_for_most_paper_schedulers() {
+        let measurements = measure_all();
+        assert_eq!(measurements.len(), PAPER_SCHEDULERS.len());
+        let mut reduced = 0;
+        for m in &measurements {
+            assert!(
+                m.model_bound_after <= m.model_bound_before,
+                "{}: model bound grew {} -> {}",
+                m.scheduler,
+                m.model_bound_before,
+                m.model_bound_after
+            );
+            assert!(
+                m.upcall_insns_after <= m.upcall_insns_before,
+                "{}: upcall got slower {} -> {} insns",
+                m.scheduler,
+                m.upcall_insns_before,
+                m.upcall_insns_after
+            );
+            if m.upcall_insns_after < m.upcall_insns_before {
+                reduced += 1;
+            }
+        }
+        assert!(
+            reduced >= 5,
+            "expected >= 5/7 schedulers to reduce, got {reduced}"
+        );
+    }
+}

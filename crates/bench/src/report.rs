@@ -348,9 +348,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
                     *pos += 1;
                 }
-                out.push_str(
-                    std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?,
-                );
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
             }
         }
     }

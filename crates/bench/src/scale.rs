@@ -50,7 +50,7 @@ impl ScaleConfig {
         ScaleConfig {
             sizes: vec![1, 10, 100, 1_000, 10_000],
             workers: vec![1, 2, 4],
-            seed: 0x5CA1_E,
+            seed: 0x5CA1E,
             flow_bytes: 20_000,
             horizon: 120 * SECONDS,
         }
@@ -62,7 +62,7 @@ impl ScaleConfig {
         ScaleConfig {
             sizes: vec![1, 8],
             workers: vec![1, 2],
-            seed: 0x5CA1_E,
+            seed: 0x5CA1E,
             flow_bytes: 6_000,
             horizon: 60 * SECONDS,
         }
@@ -81,10 +81,7 @@ pub fn scale_scenario(global: usize, seed: u64, flow_bytes: u64) -> ConnScenario
         .map(|(_, s)| *s)
         .expect("known scheduler");
     let subflows = vec![
-        SubflowConfig::new(PathConfig::symmetric(
-            from_millis(5 + seed % 40),
-            1_250_000,
-        )),
+        SubflowConfig::new(PathConfig::symmetric(from_millis(5 + seed % 40), 1_250_000)),
         SubflowConfig::new(PathConfig::symmetric(
             from_millis(20 + (seed >> 8) % 60),
             1_250_000,
@@ -114,7 +111,7 @@ pub fn run_scale(cfg: &ScaleConfig, progress: &mut dyn FnMut(&str)) -> Report {
     report
         .meta("seed", cfg.seed)
         .meta("flow_bytes", cfg.flow_bytes)
-        .meta("horizon_s", (cfg.horizon / SECONDS) as u64)
+        .meta("horizon_s", cfg.horizon / SECONDS)
         .meta(
             "cpus",
             std::thread::available_parallelism()
@@ -124,6 +121,13 @@ pub fn run_scale(cfg: &ScaleConfig, progress: &mut dyn FnMut(&str)) -> Report {
         .meta(
             "schedulers",
             Json::Arr(PAPER_SCHEDULERS.iter().map(|s| Json::from(*s)).collect()),
+        )
+        // The image generation this trajectory point was measured
+        // against: per-scheduler dynamic/static instruction counts and
+        // step bounds before and after the verified bytecode optimizer.
+        .meta(
+            "optimizer",
+            crate::optimizer::meta_json(&crate::optimizer::measure_all()),
         );
     for &size in &cfg.sizes {
         for &workers in &cfg.workers {
@@ -142,7 +146,11 @@ pub fn run_scale(cfg: &ScaleConfig, progress: &mut dyn FnMut(&str)) -> Report {
                     ns += c.scheduler_host_ns;
                     execs += c.scheduler_executions;
                 }
-                let per_exec = if execs > 0 { ns as f64 / execs as f64 } else { 0.0 };
+                let per_exec = if execs > 0 {
+                    ns as f64 / execs as f64
+                } else {
+                    0.0
+                };
                 sched_ns.push((name.to_string(), Json::from(per_exec)));
             }
             report.row(vec![
@@ -189,6 +197,29 @@ pub fn validate_scale_report(doc: &Json) -> Result<(), String> {
     validate_report(doc)?;
     if doc.get("name").and_then(Json::as_str) != Some("scale_fleet") {
         return Err("report name is not 'scale_fleet'".into());
+    }
+    let optimizer = doc
+        .get("meta")
+        .and_then(|m| m.get("optimizer"))
+        .ok_or("meta is missing the 'optimizer' before/after object")?;
+    for name in PAPER_SCHEDULERS {
+        let entry = optimizer
+            .get(name)
+            .ok_or_else(|| format!("optimizer meta is missing scheduler {name:?}"))?;
+        let field = |key: &str| {
+            entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("optimizer meta for {name:?}: missing numeric {key:?}"))
+        };
+        if field("model_bound_after")? > field("model_bound_before")? {
+            return Err(format!("optimizer meta for {name:?}: model bound grew"));
+        }
+        if field("upcall_insns_after")? > field("upcall_insns_before")? {
+            return Err(format!(
+                "optimizer meta for {name:?}: per-upcall instruction count grew"
+            ));
+        }
     }
     let rows = doc.get("rows").and_then(Json::as_arr).ok_or("no rows")?;
     if rows.is_empty() {

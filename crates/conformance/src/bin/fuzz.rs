@@ -1,7 +1,7 @@
 //! Seed-sweeping differential and soundness fuzzer.
 //!
 //! ```text
-//! conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness | --chaos]
+//! conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness | --opt-soundness | --chaos]
 //! ```
 //!
 //! Explores seeds `[S, S+N)` (default `[0, 500)`).
@@ -27,6 +27,16 @@
 //! every simulated miscompile statically with a spanned `miscompile`
 //! diagnostic.
 //!
+//! With `--opt-soundness`, each seed checks the verified bytecode
+//! optimizer differentially: the VM running the optimized image must be
+//! bit-identical — execution result, effect trace, environment
+//! fingerprint — to the VM running the unoptimized image on the same
+//! random environment, the model step bound must never grow, and a
+//! clean compile must keep no `misoptimization` rollbacks. The run
+//! finishes with the per-pass sabotage check: every deliberately
+//! unsound rewrite (one per pass class) must be rolled back by
+//! translation validation with a spanned `misoptimization` diagnostic.
+//!
 //! With `--chaos`, each seed generates a whole simulated transfer under
 //! a random fault plan (blackouts, burst loss, jitter, rwnd stalls,
 //! subflow churn) and runs one of the paper's schedulers across all
@@ -39,6 +49,7 @@
 use progmp_conformance::chaos;
 use progmp_conformance::differ::{check_seed, run_differential, Divergence};
 use progmp_conformance::gen::Generator;
+use progmp_conformance::opt_soundness;
 use progmp_conformance::shrink::shrink;
 use progmp_conformance::soundness;
 use progmp_conformance::vm_soundness;
@@ -48,6 +59,7 @@ struct Args {
     seeds: u64,
     soundness: bool,
     vm_soundness: bool,
+    opt_soundness: bool,
     chaos: bool,
 }
 
@@ -57,11 +69,12 @@ fn parse_args() -> Args {
         seeds: 500,
         soundness: false,
         vm_soundness: false,
+        opt_soundness: false,
         chaos: false,
     };
     fn usage() -> ! {
         eprintln!(
-            "usage: conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness | --chaos]"
+            "usage: conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness | --opt-soundness | --chaos]"
         );
         std::process::exit(2);
     }
@@ -70,6 +83,7 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--soundness" => parsed.soundness = true,
             "--vm-soundness" => parsed.vm_soundness = true,
+            "--opt-soundness" => parsed.opt_soundness = true,
             "--chaos" => parsed.chaos = true,
             "--start" | "--seeds" => {
                 let value = match args.next().and_then(|v| v.parse().ok()) {
@@ -165,6 +179,47 @@ fn run_vm_soundness(start: u64, seeds: u64) {
     }
 }
 
+fn run_opt_soundness(start: u64, seeds: u64) {
+    println!(
+        "conformance-fuzz --opt-soundness: seeds [{start}, {})",
+        start + seeds
+    );
+    let report = opt_soundness::sweep(start, seeds);
+    println!("{}", report.summary());
+    let mut failed = false;
+    if !report.violations.is_empty() {
+        for violation in &report.violations {
+            eprintln!("{violation}");
+        }
+        failed = true;
+    }
+    let sabotages = opt_soundness::mutation_check();
+    println!("{}", sabotages.summary());
+    for outcome in &sabotages.outcomes {
+        println!(
+            "  [{}] {} on {} — {}",
+            if outcome.caught && outcome.has_span {
+                "caught"
+            } else {
+                "MISSED"
+            },
+            outcome.sabotage,
+            outcome.scheduler,
+            if outcome.detail.is_empty() {
+                "kept (BAD)"
+            } else {
+                &outcome.detail
+            }
+        );
+    }
+    if !sabotages.all_caught() {
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn run_chaos(start: u64, seeds: u64) {
     println!(
         "conformance-fuzz --chaos: seeds [{start}, {})",
@@ -210,6 +265,10 @@ fn main() {
     }
     if args.vm_soundness {
         run_vm_soundness(args.start, args.seeds);
+        return;
+    }
+    if args.opt_soundness {
+        run_opt_soundness(args.start, args.seeds);
         return;
     }
     if args.soundness {

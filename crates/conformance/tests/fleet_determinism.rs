@@ -12,16 +12,14 @@
 //!
 //! [`ConnStats::snapshot_text`]: mptcp_sim::stats::ConnStats::snapshot_text
 
-use progmp_conformance::chaos::SCHEDULERS;
-use mptcp_sim::fleet::{
-    run_fleet, ConnScenario, FleetConfig, FleetReport, OracleMode, Workload,
-};
+use mptcp_sim::fleet::{run_fleet, ConnScenario, FleetConfig, FleetReport, OracleMode, Workload};
 use mptcp_sim::time::{from_millis, SECONDS};
 use mptcp_sim::{ConnectionConfig, FaultPlan, PathConfig, SchedulerSpec, SubflowConfig};
+use progmp_conformance::chaos::SCHEDULERS;
 use progmp_core::env::RegId;
 
 const FLEET_SIZE: usize = 100;
-const FLEET_SEED: u64 = 0xF1EE_7u64;
+const FLEET_SEED: u64 = 0xF1EE7u64;
 
 /// Builds connection `global`'s scenario from its frozen per-connection
 /// seed: scheduler round-robins through all seven paper programs, the

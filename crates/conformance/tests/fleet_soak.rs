@@ -9,10 +9,10 @@
 //! sweep; the full 1k-connection soak is `#[ignore]`d here and driven
 //! explicitly (release-built) by `ci.sh` and the scale-benchmark tier.
 
-use progmp_conformance::chaos::SCHEDULERS;
 use mptcp_sim::fleet::{run_fleet, ConnScenario, FleetConfig, OracleMode, Workload};
 use mptcp_sim::time::{from_millis, SECONDS};
 use mptcp_sim::{ConnectionConfig, FaultPlan, PathConfig, SchedulerSpec, SubflowConfig};
+use progmp_conformance::chaos::SCHEDULERS;
 use progmp_core::env::RegId;
 
 /// Chaotic scenario for connection `global`: everything derives from

@@ -1,0 +1,94 @@
+//! Golden optimizer snapshots for the bundled paper schedulers.
+//!
+//! Each of the seven headline schedulers compiles through the verified
+//! bytecode optimizer *clean* — every kept rewrite re-verified, no
+//! fail-open rollbacks — and the pass statistics, instruction counts,
+//! and step bounds (HIR-certified and bytecode-model, before and after)
+//! are pinned as `optimized_<name>.snap` so any change to a pass's
+//! effectiveness or the verifier's precision shows up as a reviewable
+//! diff. The bytecode-model bound must never increase; the certified
+//! bound is a property of the HIR and is unchanged by construction.
+//! Regenerate with `UPDATE_SNAPSHOTS=1 cargo test -p progmp-conformance
+//! --test optimizer_snapshots`.
+
+use progmp_conformance::snapshot::assert_snapshot;
+use progmp_core::CompileOptions;
+
+/// The seven schedulers highlighted in the paper's evaluation.
+const SNAPSHOT_SCHEDULERS: &[&str] = &[
+    "minRttSimple",
+    "default",
+    "roundRobin",
+    "redundant",
+    "opportunisticRedundant",
+    "tap",
+    "targetRtt",
+];
+
+fn source_of(name: &str) -> &'static str {
+    progmp_schedulers::sources::ALL
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("bundled scheduler {name} not found"))
+        .1
+}
+
+#[test]
+fn bundled_schedulers_optimize_clean_with_pinned_stats() {
+    for &name in SNAPSHOT_SCHEDULERS {
+        let program = progmp_core::compile_with_options(
+            Some(name),
+            source_of(name),
+            CompileOptions {
+                optimize_bytecode: true,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("bundled scheduler {name} must compile optimized: {e}"));
+        let report = program
+            .opt_report()
+            .unwrap_or_else(|| panic!("{name}: optimized compile records an OptReport"));
+        assert!(
+            report.diagnostics.is_empty() && report.passes.iter().all(|p| !p.rolled_back),
+            "bundled scheduler {name} must optimize without rollbacks:\n{}",
+            report.render_human()
+        );
+        assert!(
+            report.bound_after <= report.bound_before,
+            "{name}: model step bound must never increase ({} -> {})",
+            report.bound_before,
+            report.bound_after
+        );
+        let mut out = format!("{name}: optimized clean\n");
+        out.push_str(&format!(
+            "certified step bound: {} (unchanged by bytecode optimization)\n",
+            program.certified_step_bound()
+        ));
+        out.push_str(&report.render_human());
+        assert_snapshot(&format!("optimized_{name}"), &out);
+    }
+}
+
+/// The committed `optimized_*.snap` set is exactly the seven paper
+/// schedulers — a golden left behind after a scheduler rename would
+/// otherwise silently stop being checked.
+#[test]
+fn optimizer_goldens_cover_exactly_the_paper_schedulers() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("snapshots");
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .expect("snapshots directory exists")
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .filter_map(|f| {
+            f.strip_prefix("optimized_")?
+                .strip_suffix(".snap")
+                .map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    let mut expected: Vec<String> = SNAPSHOT_SCHEDULERS.iter().map(|s| s.to_string()).collect();
+    expected.sort();
+    assert_eq!(
+        on_disk, expected,
+        "optimized_*.snap goldens out of sync with SNAPSHOT_SCHEDULERS"
+    );
+}

@@ -35,7 +35,7 @@ pub const NUM_ALLOCATABLE: usize = 4;
 pub const MAX_STACK_SLOTS: usize = 64;
 
 /// Arithmetic-logic operations (two-address: `dst = dst op src`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AluOp {
     /// Wrapping addition.
     Add,
@@ -90,7 +90,7 @@ impl Cond {
 ///
 /// Arguments are passed in `r1`..`r5`; the result (if any) is returned in
 /// `r0`. This mirrors the eBPF helper-call convention.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Helper {
     /// `r0 = registers[r1]`
     GetReg,

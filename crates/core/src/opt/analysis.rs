@@ -1,0 +1,490 @@
+//! Shared dataflow analyses for the bytecode optimizer: CFG successors,
+//! register/slot liveness, dominators, and a conservative forward
+//! interval analysis that feeds sparse conditional constant propagation.
+//!
+//! All analyses are sound with respect to the *runtime* semantics of
+//! [`crate::vm`], not just the verifier's model: registers `r1`..`r5`
+//! after a helper call and the initial register file are treated as
+//! unknown (even though the VM zeroes them) so that rewrites stay valid
+//! under [`crate::vm::specialize_subflow_count`], which patches
+//! `Call SubflowCount` into a plain `MovImm` without the call's
+//! clobbering behaviour.
+
+use crate::bytecode::{AluOp, Cond, Helper, Insn, NUM_MACH_REGS};
+use crate::opt::edit::jump_target;
+use crate::verify::domain::{Interval, Tri};
+
+/// A set of machine registers plus stack slots (slots fit one `u64`
+/// because [`crate::bytecode::MAX_STACK_SLOTS`] is 64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct LiveSet {
+    pub regs: u16,
+    pub slots: u64,
+}
+
+impl LiveSet {
+    pub fn has_reg(self, r: u8) -> bool {
+        self.regs & (1 << r) != 0
+    }
+
+    pub fn has_slot(self, s: u16) -> bool {
+        self.slots & (1 << s) != 0
+    }
+
+    fn union(self, other: LiveSet) -> LiveSet {
+        LiveSet {
+            regs: self.regs | other.regs,
+            slots: self.slots | other.slots,
+        }
+    }
+}
+
+/// Registers/slots read by `insn` (helper calls read their argument
+/// registers).
+pub(crate) fn reads(insn: &Insn) -> LiveSet {
+    let mut s = LiveSet::default();
+    let mut reg = |r: u8| s.regs |= 1 << r;
+    match insn {
+        Insn::MovImm { .. } | Insn::Ja { .. } | Insn::Exit => {}
+        Insn::Mov { src, .. } => reg(*src),
+        Insn::Alu { dst, src, .. } => {
+            reg(*dst);
+            reg(*src);
+        }
+        Insn::AluImm { dst, .. } | Insn::Neg { dst } => reg(*dst),
+        Insn::Jmp { lhs, rhs, .. } => {
+            reg(*lhs);
+            reg(*rhs);
+        }
+        Insn::JmpImm { lhs, .. } => reg(*lhs),
+        Insn::Call { helper } => {
+            for r in 1..=helper.arg_count() as u8 {
+                reg(r);
+            }
+        }
+        Insn::Ld { slot, .. } => s.slots |= 1 << slot,
+        Insn::St { src, .. } => reg(*src),
+    }
+    s
+}
+
+/// Registers/slots written by `insn` (helper calls clobber `r0`..`r5`).
+pub(crate) fn writes(insn: &Insn) -> LiveSet {
+    let mut s = LiveSet::default();
+    match insn {
+        Insn::MovImm { dst, .. }
+        | Insn::Mov { dst, .. }
+        | Insn::Alu { dst, .. }
+        | Insn::AluImm { dst, .. }
+        | Insn::Neg { dst }
+        | Insn::Ld { dst, .. } => s.regs = 1 << dst,
+        Insn::Call { .. } => s.regs = 0b11_1111,
+        Insn::St { slot, .. } => s.slots = 1 << slot,
+        Insn::Ja { .. } | Insn::Jmp { .. } | Insn::JmpImm { .. } | Insn::Exit => {}
+    }
+    s
+}
+
+/// CFG successors of `pc` (fallthrough first, then branch target).
+pub(crate) fn successors(code: &[Insn], pc: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(2);
+    match &code[pc] {
+        Insn::Exit => {}
+        Insn::Ja { .. } => {
+            if let Some(t) = jump_target(pc, &code[pc]) {
+                out.push(t);
+            }
+        }
+        insn @ (Insn::Jmp { .. } | Insn::JmpImm { .. }) => {
+            out.push(pc + 1);
+            if let Some(t) = jump_target(pc, insn) {
+                if t != pc + 1 {
+                    out.push(t);
+                }
+            }
+        }
+        _ => out.push(pc + 1),
+    }
+    out.retain(|t| *t < code.len());
+    out
+}
+
+/// Pcs reachable from entry.
+pub(crate) fn reachable(code: &[Insn]) -> Vec<bool> {
+    let mut seen = vec![false; code.len()];
+    let mut work = vec![0usize];
+    while let Some(pc) = work.pop() {
+        if pc >= code.len() || seen[pc] {
+            continue;
+        }
+        seen[pc] = true;
+        work.extend(successors(code, pc));
+    }
+    seen
+}
+
+/// Backward register/slot liveness. `live_in[pc]` / `live_out[pc]` hold
+/// the registers and slots whose current value may still be read.
+pub(crate) struct Liveness {
+    pub live_in: Vec<LiveSet>,
+    pub live_out: Vec<LiveSet>,
+}
+
+pub(crate) fn liveness(code: &[Insn]) -> Liveness {
+    let n = code.len();
+    let mut live_in = vec![LiveSet::default(); n];
+    let mut live_out = vec![LiveSet::default(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for pc in (0..n).rev() {
+            let mut out = LiveSet::default();
+            for succ in successors(code, pc) {
+                out = out.union(live_in[succ]);
+            }
+            let w = writes(&code[pc]);
+            let inn = reads(&code[pc]).union(LiveSet {
+                regs: out.regs & !w.regs,
+                slots: out.slots & !w.slots,
+            });
+            if out != live_out[pc] || inn != live_in[pc] {
+                live_out[pc] = out;
+                live_in[pc] = inn;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+/// Dominator sets as per-pc bitsets. `dominates(d, u)` is true when every
+/// path from entry to `u` passes through `d`.
+pub(crate) struct Dominators {
+    sets: Vec<Vec<u64>>,
+}
+
+impl Dominators {
+    pub fn dominates(&self, d: usize, u: usize) -> bool {
+        self.sets[u][d / 64] & (1 << (d % 64)) != 0
+    }
+}
+
+pub(crate) fn dominators(code: &[Insn]) -> Dominators {
+    let n = code.len();
+    let words = n.div_ceil(64);
+    let reach = reachable(code);
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (pc, &reachable_pc) in reach.iter().enumerate() {
+        if reachable_pc {
+            for s in successors(code, pc) {
+                preds[s].push(pc);
+            }
+        }
+    }
+    let full = vec![u64::MAX; words];
+    let mut sets: Vec<Vec<u64>> = vec![full; n];
+    sets[0] = vec![0; words];
+    sets[0][0] = 1;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for pc in 1..n {
+            if !reach[pc] {
+                continue;
+            }
+            let mut acc = vec![u64::MAX; words];
+            for p in &preds[pc] {
+                for (a, b) in acc.iter_mut().zip(&sets[*p]) {
+                    *a &= b;
+                }
+            }
+            acc[pc / 64] |= 1 << (pc % 64);
+            if acc != sets[pc] {
+                sets[pc] = acc;
+                changed = true;
+            }
+        }
+    }
+    Dominators { sets }
+}
+
+/// Joins at one program point beyond which intervals are widened, keeping
+/// the forward analysis finite (mirrors the dataflow verifier).
+const WIDEN_AFTER: u32 = 8;
+
+/// Abstract machine state before one instruction.
+#[derive(Clone, PartialEq, Eq)]
+pub(crate) struct FactState {
+    pub regs: [Interval; NUM_MACH_REGS],
+    pub slots: Vec<Interval>,
+}
+
+impl FactState {
+    fn join(&self, other: &FactState) -> FactState {
+        let mut regs = self.regs;
+        for (a, b) in regs.iter_mut().zip(&other.regs) {
+            *a = a.join(*b);
+        }
+        FactState {
+            regs,
+            slots: self
+                .slots
+                .iter()
+                .zip(&other.slots)
+                .map(|(a, b)| a.join(*b))
+                .collect(),
+        }
+    }
+
+    fn widen(&self, next: &FactState) -> FactState {
+        let mut regs = self.regs;
+        for (a, b) in regs.iter_mut().zip(&next.regs) {
+            *a = a.widen(*b);
+        }
+        FactState {
+            regs,
+            slots: self
+                .slots
+                .iter()
+                .zip(&next.slots)
+                .map(|(a, b)| a.widen(*b))
+                .collect(),
+        }
+    }
+}
+
+/// Result of the forward interval analysis: the abstract state *before*
+/// each pc (`None` = unreachable), plus per-branch feasibility.
+pub(crate) struct Facts {
+    pub before: Vec<Option<FactState>>,
+}
+
+/// Evaluates `cond` between two intervals as three-valued truth.
+pub(crate) fn eval_cond(cond: Cond, lhs: Interval, rhs: Interval) -> Tri {
+    match cond {
+        Cond::Eq => lhs.eq_ab(rhs),
+        Cond::Ne => lhs.eq_ab(rhs).not(),
+        Cond::Lt => lhs.lt(rhs),
+        Cond::Le => lhs.le(rhs),
+        Cond::Gt => rhs.lt(lhs),
+        Cond::Ge => rhs.le(lhs),
+    }
+}
+
+fn alu(op: AluOp, a: Interval, b: Interval) -> Interval {
+    match op {
+        AluOp::Add => a.add(b),
+        AluOp::Sub => a.sub(b),
+        AluOp::Mul => a.mul(b),
+        AluOp::Div => a.div(b),
+        AluOp::Rem => a.rem(b),
+        AluOp::And => match (a.as_exact(), b.as_exact()) {
+            (Some(x), Some(y)) => Interval::exact(x & y),
+            (Some(0), _) | (_, Some(0)) => Interval::exact(0),
+            _ if bool_range(a) && bool_range(b) => Interval::BOOL,
+            _ => Interval::TOP,
+        },
+        AluOp::Or | AluOp::Xor => match (a.as_exact(), b.as_exact()) {
+            (Some(x), Some(y)) => Interval::exact(if op == AluOp::Or { x | y } else { x ^ y }),
+            _ if bool_range(a) && bool_range(b) => Interval::BOOL,
+            _ => Interval::TOP,
+        },
+    }
+}
+
+fn bool_range(iv: Interval) -> bool {
+    iv.lo >= 0 && iv.hi <= 1
+}
+
+/// Refines `(lhs, rhs)` under the assumption that `cond` holds.
+/// `None` = infeasible.
+fn assume(cond: Cond, lhs: Interval, rhs: Interval) -> Option<(Interval, Interval)> {
+    match cond {
+        Cond::Eq => lhs.assume_eq(rhs),
+        Cond::Ne => lhs.assume_ne(rhs),
+        Cond::Lt => lhs.assume_lt(rhs),
+        Cond::Le => lhs.assume_le(rhs),
+        Cond::Gt => rhs.assume_lt(lhs).map(|(b, a)| (a, b)),
+        Cond::Ge => rhs.assume_le(lhs).map(|(b, a)| (a, b)),
+    }
+}
+
+/// Runs the forward interval analysis over `code`.
+pub(crate) fn facts(code: &[Insn], stack_slots: u16) -> Facts {
+    let n = code.len();
+    let mut before: Vec<Option<FactState>> = vec![None; n];
+    let mut joins = vec![0u32; n];
+    // Initial registers are unknown (see module docs); the read-only
+    // frame pointer r10 is exactly 0 for the whole execution.
+    let mut init = FactState {
+        regs: [Interval::TOP; NUM_MACH_REGS],
+        slots: vec![Interval::TOP; usize::from(stack_slots)],
+    };
+    init.regs[10] = Interval::exact(0);
+    before[0] = Some(init);
+    let mut work = vec![0usize];
+
+    while let Some(pc) = work.pop() {
+        let Some(state) = before[pc].clone() else {
+            continue;
+        };
+        let flow = |target: usize,
+                    next: FactState,
+                    before: &mut Vec<Option<FactState>>,
+                    joins: &mut Vec<u32>,
+                    work: &mut Vec<usize>| {
+            if target >= n {
+                return;
+            }
+            let merged = match &before[target] {
+                None => next,
+                Some(old) => {
+                    let joined = old.join(&next);
+                    if joined == *old {
+                        return;
+                    }
+                    joins[target] += 1;
+                    if joins[target] > WIDEN_AFTER {
+                        old.widen(&joined)
+                    } else {
+                        joined
+                    }
+                }
+            };
+            before[target] = Some(merged);
+            work.push(target);
+        };
+
+        match &code[pc] {
+            Insn::Exit => {}
+            Insn::Ja { .. } => {
+                if let Some(t) = jump_target(pc, &code[pc]) {
+                    flow(t, state, &mut before, &mut joins, &mut work);
+                }
+            }
+            Insn::Jmp { cond, lhs, rhs, .. } => {
+                let (a, b) = (state.regs[usize::from(*lhs)], state.regs[usize::from(*rhs)]);
+                let t = jump_target(pc, &code[pc]);
+                if let Some((ra, rb)) = assume(*cond, a, b) {
+                    if let Some(t) = t {
+                        let mut s = state.clone();
+                        s.regs[usize::from(*lhs)] = ra;
+                        s.regs[usize::from(*rhs)] = rb;
+                        flow(t, s, &mut before, &mut joins, &mut work);
+                    }
+                }
+                if let Some((ra, rb)) = assume(negate(*cond), a, b) {
+                    let mut s = state;
+                    s.regs[usize::from(*lhs)] = ra;
+                    s.regs[usize::from(*rhs)] = rb;
+                    flow(pc + 1, s, &mut before, &mut joins, &mut work);
+                }
+            }
+            Insn::JmpImm { cond, lhs, imm, .. } => {
+                let a = state.regs[usize::from(*lhs)];
+                let b = Interval::exact(*imm);
+                let t = jump_target(pc, &code[pc]);
+                if let Some((ra, _)) = assume(*cond, a, b) {
+                    if let Some(t) = t {
+                        let mut s = state.clone();
+                        s.regs[usize::from(*lhs)] = ra;
+                        flow(t, s, &mut before, &mut joins, &mut work);
+                    }
+                }
+                if let Some((ra, _)) = assume(negate(*cond), a, b) {
+                    let mut s = state;
+                    s.regs[usize::from(*lhs)] = ra;
+                    flow(pc + 1, s, &mut before, &mut joins, &mut work);
+                }
+            }
+            insn => {
+                let mut s = state;
+                match insn {
+                    Insn::MovImm { dst, imm } => {
+                        s.regs[usize::from(*dst)] = Interval::exact(*imm);
+                    }
+                    Insn::Mov { dst, src } => {
+                        s.regs[usize::from(*dst)] = s.regs[usize::from(*src)];
+                    }
+                    Insn::Alu { op, dst, src } => {
+                        let d = usize::from(*dst);
+                        s.regs[d] = alu(*op, s.regs[d], s.regs[usize::from(*src)]);
+                    }
+                    Insn::AluImm { op, dst, imm } => {
+                        let d = usize::from(*dst);
+                        s.regs[d] = alu(*op, s.regs[d], Interval::exact(*imm));
+                    }
+                    Insn::Neg { dst } => {
+                        let d = usize::from(*dst);
+                        s.regs[d] = s.regs[d].neg();
+                    }
+                    Insn::Call { helper } => {
+                        s.regs[0] = match helper {
+                            Helper::SentOn | Helper::HasWindowFor => Interval::BOOL,
+                            _ => Interval::TOP,
+                        };
+                        // The VM zeroes r1..r5, but specialization can
+                        // replace this call with a MovImm that does not:
+                        // model them as unknown.
+                        for r in 1..=5 {
+                            s.regs[r] = Interval::TOP;
+                        }
+                    }
+                    Insn::Ld { dst, slot } => {
+                        s.regs[usize::from(*dst)] = s
+                            .slots
+                            .get(usize::from(*slot))
+                            .copied()
+                            .unwrap_or(Interval::TOP);
+                    }
+                    Insn::St { slot, src } => {
+                        let v = s.regs[usize::from(*src)];
+                        if let Some(slot) = s.slots.get_mut(usize::from(*slot)) {
+                            *slot = v;
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+                flow(pc + 1, s, &mut before, &mut joins, &mut work);
+            }
+        }
+    }
+    Facts { before }
+}
+
+fn negate(cond: Cond) -> Cond {
+    match cond {
+        Cond::Eq => Cond::Ne,
+        Cond::Ne => Cond::Eq,
+        Cond::Lt => Cond::Ge,
+        Cond::Le => Cond::Gt,
+        Cond::Gt => Cond::Le,
+        Cond::Ge => Cond::Lt,
+    }
+}
+
+/// A natural loop discovered from a back edge: `head..=back` inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Loop {
+    pub head: usize,
+    pub back: usize,
+}
+
+/// All loops, from back edges (a reachable branch whose target is not
+/// after it). Matches the codegen's loop shapes, where the body is the
+/// contiguous interval `[head, back]`.
+pub(crate) fn loops(code: &[Insn]) -> Vec<Loop> {
+    let reach = reachable(code);
+    let mut out = Vec::new();
+    for pc in 0..code.len() {
+        if !reach[pc] {
+            continue;
+        }
+        if let Some(t) = jump_target(pc, &code[pc]) {
+            if t <= pc {
+                out.push(Loop { head: t, back: pc });
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,120 @@
+//! Dead-code and dead-store elimination.
+//!
+//! Two deletion sources, iterated to a local fixpoint: instructions the
+//! CFG proves unreachable, and definitions (register writes, stack
+//! stores, pure helper calls) whose result liveness proves is never read.
+//! Effectful helper calls (`Pop`/`Push`/`DropPkt`/`SetReg`) are never
+//! deleted — even unreachable ones — because the translation validator
+//! audits their exact call-site counts against the HIR admission
+//! certificate, and `Exit` instructions are kept so every fallthrough
+//! chain still terminates.
+
+use crate::bytecode::{AluOp, BytecodeProgram, DebugTable, Helper, Insn};
+use crate::opt::analysis::{liveness, loops, reachable};
+use crate::opt::edit::Editor;
+use crate::opt::Sabotage;
+
+/// True when deleting this instruction can never change observable
+/// behaviour regardless of context.
+fn deletable_unreachable(insn: &Insn) -> bool {
+    !matches!(
+        insn,
+        Insn::Exit
+            | Insn::Call {
+                helper: Helper::Pop | Helper::Push | Helper::DropPkt | Helper::SetReg,
+            }
+    )
+}
+
+fn round(prog: &BytecodeProgram, debug: &DebugTable) -> (BytecodeProgram, DebugTable, u64) {
+    let code = &prog.code;
+    let n = code.len();
+    let mut ed = Editor::new(prog, debug);
+    let reach = reachable(code);
+    let live = liveness(code);
+
+    for pc in 0..n {
+        if !reach[pc] {
+            if deletable_unreachable(&code[pc]) {
+                ed.delete(pc);
+            }
+            continue;
+        }
+        let out = live.live_out[pc];
+        match code[pc] {
+            Insn::MovImm { dst, .. }
+            | Insn::Mov { dst, .. }
+            | Insn::Alu { dst, .. }
+            | Insn::AluImm { dst, .. }
+            | Insn::Neg { dst }
+            | Insn::Ld { dst, .. }
+                // Division traps are not a concern: the VM defines x/0 and
+                // x%0 as 0, so every ALU op is side-effect free.
+                if !out.has_reg(dst) =>
+            {
+                ed.delete(pc);
+            }
+            Insn::St { slot, .. } if !out.has_slot(slot) => {
+                ed.delete(pc);
+            }
+            Insn::Call { helper } => {
+                let pure = !matches!(
+                    helper,
+                    Helper::Pop | Helper::Push | Helper::DropPkt | Helper::SetReg
+                );
+                // A call clobbers r0..r5; it is dead only when none of
+                // those post-call values are ever read. (The VM zeroes
+                // r1..r5 on calls — a read relying on that zero keeps the
+                // call alive through liveness.)
+                if pure && (0..=5u8).all(|r| !out.has_reg(r)) {
+                    ed.delete(pc);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let changes = ed.changes();
+    if changes == 0 {
+        return (prog.clone(), debug.clone(), 0);
+    }
+    let (p, d) = ed.finish();
+    (p, d, changes)
+}
+
+pub(crate) fn run(
+    prog: &BytecodeProgram,
+    debug: &DebugTable,
+    sabotage: Option<Sabotage>,
+) -> (BytecodeProgram, DebugTable, u64) {
+    if sabotage == Some(Sabotage::DeleteLiveIncrement) {
+        // Deliberately unsound: treat the loop counter increment as dead
+        // and delete it, so the induction variable never advances.
+        let mut ed = Editor::new(prog, debug);
+        for lp in loops(&prog.code) {
+            for pc in lp.head..=lp.back.min(prog.code.len() - 1) {
+                if matches!(prog.code[pc], Insn::AluImm { op: AluOp::Add, .. }) {
+                    ed.delete(pc);
+                    let changes = ed.changes();
+                    let (p, d) = ed.finish();
+                    return (p, d, changes);
+                }
+            }
+        }
+        return (prog.clone(), debug.clone(), 0);
+    }
+
+    let mut cur = prog.clone();
+    let mut dbg = debug.clone();
+    let mut total = 0u64;
+    for _ in 0..16 {
+        let (p, d, c) = round(&cur, &dbg);
+        if c == 0 {
+            break;
+        }
+        total += c;
+        cur = p;
+        dbg = d;
+    }
+    (cur, dbg, total)
+}

@@ -1,0 +1,460 @@
+//! Verified bytecode optimizer: dataflow-driven rewrites with per-pass
+//! translation validation.
+//!
+//! Four pass classes run over the emitted bytecode image, consuming the
+//! same abstract facts the admission verifier computes: sparse
+//! conditional constant propagation with constant-guard elimination
+//! ([`sccp`]), local value numbering with pure-helper CSE ([`cse`]),
+//! loop-invariant hoisting out of counted FOREACH loops ([`licm`]),
+//! jump-threading/peephole cleanup ([`peephole`]), and dead-code/
+//! dead-store elimination ([`dce`]).
+//!
+//! Every pass is *verified*: after each rewrite batch the dataflow
+//! verifier re-runs on the candidate image, the translation-validation
+//! machinery cross-checks it against the HIR admission certificate, and
+//! the certified step bound is required never to increase. Any
+//! disagreement rolls the pass back and surfaces a spanned
+//! `misoptimization` diagnostic — fail-open to the last good image by
+//! default, fail-closed (a compile error) under strict mode. The
+//! [`Sabotage`] hooks deliberately break one rewrite per pass class so
+//! the conformance suite can prove the validation actually fires.
+
+pub(crate) mod analysis;
+pub(crate) mod cse;
+pub(crate) mod dce;
+pub(crate) mod edit;
+pub(crate) mod licm;
+pub(crate) mod peephole;
+pub(crate) mod sccp;
+
+use crate::bytecode::{BytecodeProgram, DebugTable};
+use crate::error::{CompileError, Pos, Stage};
+use crate::hir::HProgram;
+use crate::verify::vm::{validate_translation, verify_bytecode};
+use crate::verify::{Diagnostic, Lint, Severity, VerifyConfig};
+
+/// Test-only hook injecting one deliberately unsound rewrite into a pass,
+/// used by the conformance mutation check to prove per-pass translation
+/// validation catches real optimizer bugs with source spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sabotage {
+    /// SCCP deletes a loop's live exit guard as if proven never-taken.
+    DropLiveGuard,
+    /// DCE deletes a loop counter increment as if it were dead.
+    DeleteLiveIncrement,
+    /// CSE replaces an effectful `POP` call like a pure repeat.
+    ImpureCse,
+    /// LICM hoists the loop-variant induction update to the preheader.
+    LoopVariantHoist,
+    /// Peephole threads a back edge one instruction past the exit test.
+    BadJumpThread,
+}
+
+impl Sabotage {
+    /// All sabotage hooks, one per pass class.
+    pub const ALL: [Sabotage; 5] = [
+        Sabotage::DropLiveGuard,
+        Sabotage::DeleteLiveIncrement,
+        Sabotage::ImpureCse,
+        Sabotage::LoopVariantHoist,
+        Sabotage::BadJumpThread,
+    ];
+
+    /// Stable name, for harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sabotage::DropLiveGuard => "sccp-drop-live-guard",
+            Sabotage::DeleteLiveIncrement => "dce-delete-live-increment",
+            Sabotage::ImpureCse => "cse-impure-pop",
+            Sabotage::LoopVariantHoist => "licm-loop-variant-hoist",
+            Sabotage::BadJumpThread => "peephole-bad-jump-thread",
+        }
+    }
+
+    /// The pass the hook is wired into.
+    fn pass(self) -> &'static str {
+        match self {
+            Sabotage::DropLiveGuard => "sccp",
+            Sabotage::DeleteLiveIncrement => "dce",
+            Sabotage::ImpureCse => "cse",
+            Sabotage::LoopVariantHoist => "licm",
+            Sabotage::BadJumpThread => "peephole",
+        }
+    }
+}
+
+/// Knobs for [`optimize_bytecode`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptOptions {
+    /// Fail-closed: a rolled-back pass becomes a compile error instead of
+    /// a warning diagnostic on the report.
+    pub strict: bool,
+    /// Inject one unsound rewrite (testing only; see [`Sabotage`]).
+    pub sabotage: Option<Sabotage>,
+}
+
+/// Per-pass rewrite accounting, aggregated across pipeline rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassStats {
+    /// Pass name (`sccp`, `cse`, `licm`, `peephole`, `dce`).
+    pub name: &'static str,
+    /// Rewrites that survived validation and were kept.
+    pub rewrites: u64,
+    /// True when at least one batch from this pass failed validation and
+    /// was rolled back.
+    pub rolled_back: bool,
+}
+
+/// What the optimizer did to one program.
+#[derive(Debug, Clone, Default)]
+pub struct OptReport {
+    /// Accounting per pass, in pipeline order.
+    pub passes: Vec<PassStats>,
+    /// Pipeline rounds executed.
+    pub rounds: u32,
+    /// Instruction count of the input image.
+    pub insns_before: usize,
+    /// Instruction count of the optimized image.
+    pub insns_after: usize,
+    /// Bytecode-model step bound of the input image.
+    pub bound_before: u64,
+    /// Bytecode-model step bound of the optimized image (never larger).
+    pub bound_after: u64,
+    /// `misoptimization` warnings for rolled-back passes (empty on a
+    /// clean run).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl OptReport {
+    /// Total kept rewrites across all passes.
+    pub fn total_rewrites(&self) -> u64 {
+        self.passes.iter().map(|p| p.rewrites).sum()
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn render_human(&self) -> String {
+        let mut out = format!(
+            "optimizer: {} rewrites in {} rounds, {} -> {} insns, step bound {} -> {}\n",
+            self.total_rewrites(),
+            self.rounds,
+            self.insns_before,
+            self.insns_after,
+            self.bound_before,
+            self.bound_after,
+        );
+        for p in &self.passes {
+            out.push_str(&format!(
+                "  {:<8} {:>4} rewrites{}\n",
+                p.name,
+                p.rewrites,
+                if p.rolled_back { "  [rolled back]" } else { "" }
+            ));
+        }
+        for d in &self.diagnostics {
+            out.push_str(&format!("  {d}\n"));
+        }
+        out
+    }
+
+    /// Single-object JSON report (hand-rolled; the crate has no serde).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"rewrites\":{},\"rounds\":{},\"insns_before\":{},\"insns_after\":{},\
+             \"bound_before\":{},\"bound_after\":{},\"passes\":[",
+            self.total_rewrites(),
+            self.rounds,
+            self.insns_before,
+            self.insns_after,
+            self.bound_before,
+            self.bound_after,
+        ));
+        for (i, p) in self.passes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"rewrites\":{},\"rolled_back\":{}}}",
+                p.name, p.rewrites, p.rolled_back
+            ));
+        }
+        out.push_str("],\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"lint\":\"{}\",\"severity\":\"{}\",\"line\":{},\"col\":{},\"message\":",
+                d.lint, d.severity, d.pos.line, d.pos.col
+            ));
+            crate::verify::diag::json_string(&mut out, &d.message);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+type PassFn =
+    fn(&BytecodeProgram, &DebugTable, Option<Sabotage>) -> (BytecodeProgram, DebugTable, u64);
+
+const PASSES: [(&str, PassFn); 5] = [
+    ("sccp", sccp::run),
+    ("cse", cse::run),
+    ("licm", licm::run),
+    ("peephole", peephole::run),
+    ("dce", dce::run),
+];
+
+/// Upper bound on pipeline rounds; each round runs every pass once and
+/// the pipeline stops early when a round keeps no rewrite.
+const MAX_ROUNDS: u32 = 4;
+
+/// Validates a candidate image against the previous one. Returns the new
+/// bytecode-model step bound, or the span + reason of the first failure.
+fn check_candidate(
+    cand: &BytecodeProgram,
+    cand_debug: &DebugTable,
+    hir: &HProgram,
+    certified_bound: u64,
+    cfg: &VerifyConfig,
+    prev_bound: u64,
+) -> Result<u64, (Pos, String)> {
+    if let Err(e) = crate::vm::verify(cand) {
+        return Err((e.pos, format!("structural verify failed: {}", e.message)));
+    }
+    let v = verify_bytecode(cand, Some(cand_debug), cfg);
+    if let Some(first) = v.diagnostics.iter().find(|d| d.severity == Severity::Error) {
+        return Err((
+            first.pos,
+            format!("re-verification failed: [{}] {}", first.lint, first.message),
+        ));
+    }
+    let Some(bound) = v.step_bound else {
+        return Err((
+            Pos::new(0, 0),
+            "re-verification lost the step bound (loop no longer provably terminates)".to_string(),
+        ));
+    };
+    if bound > prev_bound {
+        return Err((
+            Pos::new(0, 0),
+            format!("step bound increased: {prev_bound} -> {bound}"),
+        ));
+    }
+    let tv = validate_translation(cand, cand_debug, hir, certified_bound, cfg);
+    if let Some(first) = tv
+        .diagnostics
+        .iter()
+        .find(|d| d.severity == Severity::Error)
+    {
+        return Err((
+            first.pos,
+            format!(
+                "translation validation failed: [{}] {}",
+                first.lint, first.message
+            ),
+        ));
+    }
+    Ok(bound)
+}
+
+/// Runs the verified optimizing pipeline over `prog`.
+///
+/// The input image must already have passed bytecode verification; if it
+/// has not (observe-mode compiles of rejected programs), the image is
+/// returned unchanged with an empty report. Each pass's output is
+/// re-verified and cross-checked against the HIR admission certificate
+/// (`hir`, `certified_bound`); a failing pass is rolled back and recorded
+/// as a [`Lint::Misoptimization`] warning, or — under
+/// [`OptOptions::strict`] — becomes the returned [`CompileError`].
+///
+/// # Errors
+///
+/// Only in strict mode, and only when a pass fails validation.
+pub fn optimize_bytecode(
+    prog: &BytecodeProgram,
+    debug: &DebugTable,
+    hir: &HProgram,
+    certified_bound: u64,
+    cfg: &VerifyConfig,
+    options: &OptOptions,
+) -> Result<(BytecodeProgram, DebugTable, OptReport), CompileError> {
+    let mut report = OptReport {
+        passes: PASSES
+            .iter()
+            .map(|(name, _)| PassStats {
+                name,
+                rewrites: 0,
+                rolled_back: false,
+            })
+            .collect(),
+        insns_before: prog.code.len(),
+        insns_after: prog.code.len(),
+        ..OptReport::default()
+    };
+
+    // Optimize only images the verifier already admits with a finite
+    // bound: anything else (observe-mode compiles of rejected programs)
+    // passes through untouched.
+    let initial = verify_bytecode(prog, Some(debug), cfg);
+    let admitted = !initial
+        .diagnostics
+        .iter()
+        .any(|d| d.severity == Severity::Error);
+    let Some(initial_bound) = initial.step_bound.filter(|_| admitted) else {
+        return Ok((prog.clone(), debug.clone(), report));
+    };
+    report.bound_before = initial_bound;
+    report.bound_after = initial_bound;
+
+    let mut cur = prog.clone();
+    let mut dbg = debug.clone();
+    let mut bound = initial_bound;
+    let mut sabotage = options.sabotage;
+    // A rolled-back pass is disabled for the rest of the pipeline: passes
+    // are deterministic, so re-running one against the same image would
+    // reproduce the same rejected candidate (and duplicate diagnostics).
+    let mut disabled = [false; PASSES.len()];
+
+    while report.rounds < MAX_ROUNDS {
+        report.rounds += 1;
+        let mut kept_this_round = 0u64;
+        for (i, (name, pass)) in PASSES.iter().enumerate() {
+            if disabled[i] {
+                continue;
+            }
+            let sab = sabotage.filter(|s| s.pass() == *name);
+            let (cand, cand_dbg, rewrites) = pass(&cur, &dbg, sab);
+            if sab.is_some() {
+                sabotage = None; // one-shot: do not re-inject after rollback
+            }
+            if rewrites == 0 {
+                continue;
+            }
+            match check_candidate(&cand, &cand_dbg, hir, certified_bound, cfg, bound) {
+                Ok(new_bound) => {
+                    cur = cand;
+                    dbg = cand_dbg;
+                    bound = new_bound;
+                    report.passes[i].rewrites += rewrites;
+                    kept_this_round += rewrites;
+                }
+                Err((pos, why)) => {
+                    report.passes[i].rolled_back = true;
+                    // Keep sabotaged passes enabled: the injection was
+                    // one-shot, so later rounds run the clean pass.
+                    if sab.is_none() {
+                        disabled[i] = true;
+                    }
+                    let message = format!("{name} pass rolled back: {why}");
+                    if options.strict {
+                        return Err(CompileError::new(
+                            Stage::VmVerify,
+                            pos,
+                            format!("[misoptimization] {message}"),
+                        ));
+                    }
+                    report.diagnostics.push(Diagnostic {
+                        lint: Lint::Misoptimization,
+                        severity: Severity::Warning,
+                        pos,
+                        message,
+                    });
+                }
+            }
+        }
+        if kept_this_round == 0 {
+            break;
+        }
+    }
+
+    report.insns_after = cur.code.len();
+    report.bound_after = bound;
+    Ok((cur, dbg, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile_parts(src: &str) -> (BytecodeProgram, DebugTable, HProgram, u64) {
+        let ast = crate::parser::parse(src).unwrap();
+        let hir = crate::sema::lower(&ast).unwrap();
+        let verdict = crate::verify::verify(&hir);
+        assert!(verdict.admitted(), "{src}");
+        let vcode = crate::codegen::generate(&hir).unwrap();
+        let (bytecode, debug) = crate::regalloc::allocate_with_debug(&vcode).unwrap();
+        (bytecode, debug, hir, verdict.certified_step_bound)
+    }
+
+    const MIN_RTT: &str =
+        "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) { SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }";
+
+    #[test]
+    fn clean_run_shrinks_and_never_raises_bound() {
+        let (prog, debug, hir, cert) = compile_parts(MIN_RTT);
+        let cfg = VerifyConfig::default();
+        let (opt, opt_dbg, report) =
+            optimize_bytecode(&prog, &debug, &hir, cert, &cfg, &OptOptions::default()).unwrap();
+        assert!(report.total_rewrites() > 0, "{}", report.render_human());
+        assert!(
+            opt.code.len() < prog.code.len(),
+            "{}",
+            report.render_human()
+        );
+        assert!(report.bound_after <= report.bound_before);
+        assert!(report.diagnostics.is_empty(), "{}", report.render_human());
+        assert_eq!(opt_dbg.spans.len(), opt.code.len());
+        // The optimized image still passes full translation validation.
+        let tv = validate_translation(&opt, &opt_dbg, &hir, cert, &cfg);
+        assert!(tv.admitted());
+    }
+
+    #[test]
+    fn every_sabotage_is_caught_and_rolled_back() {
+        let (prog, debug, hir, cert) = compile_parts(MIN_RTT);
+        let cfg = VerifyConfig::default();
+        for sab in Sabotage::ALL {
+            let (opt, opt_dbg, report) = optimize_bytecode(
+                &prog,
+                &debug,
+                &hir,
+                cert,
+                &cfg,
+                &OptOptions {
+                    strict: false,
+                    sabotage: Some(sab),
+                },
+            )
+            .unwrap();
+            let hit = report
+                .diagnostics
+                .iter()
+                .any(|d| d.lint == Lint::Misoptimization);
+            assert!(hit, "{}: sabotage survived validation", sab.name());
+            // Fail-open: the surviving image is still valid.
+            let tv = validate_translation(&opt, &opt_dbg, &hir, cert, &cfg);
+            assert!(tv.admitted(), "{}", sab.name());
+        }
+    }
+
+    #[test]
+    fn strict_mode_turns_rollback_into_error() {
+        let (prog, debug, hir, cert) = compile_parts(MIN_RTT);
+        let cfg = VerifyConfig::default();
+        let err = optimize_bytecode(
+            &prog,
+            &debug,
+            &hir,
+            cert,
+            &cfg,
+            &OptOptions {
+                strict: true,
+                sabotage: Some(Sabotage::DropLiveGuard),
+            },
+        )
+        .unwrap_err();
+        assert!(err.message.contains("misoptimization"), "{}", err.message);
+    }
+}

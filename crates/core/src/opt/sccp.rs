@@ -1,0 +1,154 @@
+//! Sparse conditional constant propagation + constant-guard elimination.
+//!
+//! Consumes the forward interval facts ([`super::analysis::facts`]) the
+//! same way the admission verifier does, but to *rewrite* instead of
+//! reject: ALU ops whose operands are proven exact fold to `MovImm`,
+//! register operands proven constant fold into immediates, and guards the
+//! interval domain proves always/never taken become unconditional jumps
+//! or disappear. Dead fallthrough/branch code left behind is swept by the
+//! dead-code pass.
+
+use crate::bytecode::{AluOp, BytecodeProgram, DebugTable, Insn};
+use crate::opt::analysis::{eval_cond, facts, reachable};
+use crate::opt::edit::{jump_target, Editor};
+use crate::opt::Sabotage;
+use crate::verify::domain::{Interval, Tri};
+
+fn fold(op: AluOp, a: i64, b: i64) -> i64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+    }
+}
+
+pub(crate) fn run(
+    prog: &BytecodeProgram,
+    debug: &DebugTable,
+    sabotage: Option<Sabotage>,
+) -> (BytecodeProgram, DebugTable, u64) {
+    let mut ed = Editor::new(prog, debug);
+    let f = facts(&prog.code, prog.stack_slots);
+    let reach = reachable(&prog.code);
+
+    for pc in 0..prog.code.len() {
+        let Some(state) = &f.before[pc] else { continue };
+        let exact = |r: u8| state.regs[usize::from(r)].as_exact();
+        match prog.code[pc] {
+            Insn::Mov { dst, src } => {
+                if let Some(v) = exact(src) {
+                    ed.set(pc, Insn::MovImm { dst, imm: v });
+                }
+            }
+            Insn::Alu { op, dst, src } => match (exact(dst), exact(src)) {
+                (Some(a), Some(b)) => ed.set(
+                    pc,
+                    Insn::MovImm {
+                        dst,
+                        imm: fold(op, a, b),
+                    },
+                ),
+                (None, Some(b)) => ed.set(pc, Insn::AluImm { op, dst, imm: b }),
+                _ => {}
+            },
+            Insn::AluImm { op, dst, imm } => {
+                if let Some(a) = exact(dst) {
+                    ed.set(
+                        pc,
+                        Insn::MovImm {
+                            dst,
+                            imm: fold(op, a, imm),
+                        },
+                    );
+                }
+            }
+            Insn::Neg { dst } => {
+                if let Some(a) = exact(dst) {
+                    ed.set(
+                        pc,
+                        Insn::MovImm {
+                            dst,
+                            imm: a.wrapping_neg(),
+                        },
+                    );
+                }
+            }
+            Insn::Ld { dst, slot } => {
+                if let Some(v) = state
+                    .slots
+                    .get(usize::from(slot))
+                    .and_then(|iv| iv.as_exact())
+                {
+                    ed.set(pc, Insn::MovImm { dst, imm: v });
+                }
+            }
+            Insn::Jmp { cond, lhs, rhs, .. } => {
+                let a = state.regs[usize::from(lhs)];
+                let b = state.regs[usize::from(rhs)];
+                fold_guard(&mut ed, pc, eval_cond(cond, a, b));
+            }
+            Insn::JmpImm { cond, lhs, imm, .. } => {
+                let a = state.regs[usize::from(lhs)];
+                fold_guard(&mut ed, pc, eval_cond(cond, a, Interval::exact(imm)));
+            }
+            _ => {}
+        }
+    }
+
+    if sabotage == Some(Sabotage::DropLiveGuard) {
+        // Deliberately unsound: claim the first conditional guard inside a
+        // loop body is never taken and delete it, leaving the loop without
+        // its exit test.
+        'outer: for back in 0..prog.code.len() {
+            let Some(head) = jump_target(back, &prog.code[back]).filter(|t| *t <= back) else {
+                continue;
+            };
+            for (pc, &reachable_pc) in reach.iter().enumerate().take(back + 1).skip(head) {
+                if reachable_pc && matches!(prog.code[pc], Insn::Jmp { .. } | Insn::JmpImm { .. }) {
+                    ed.delete(pc);
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    let changes = ed.changes();
+    if changes == 0 {
+        return (prog.clone(), debug.clone(), 0);
+    }
+    let (p, d) = ed.finish();
+    (p, d, changes)
+}
+
+/// Rewrites the guard at `pc` when its outcome is proven.
+fn fold_guard(ed: &mut Editor, pc: usize, tri: Tri) {
+    match tri {
+        Tri::True => {
+            let target = ed.target(pc).expect("conditional branch has a target");
+            if target == pc + 1 {
+                ed.delete(pc);
+            } else {
+                ed.set_branch(pc, Insn::Ja { off: 0 }, target);
+            }
+        }
+        Tri::False => ed.delete(pc),
+        Tri::Unknown => {}
+    }
+}

@@ -21,12 +21,16 @@
 
 use crate::ast::{BinOp, UnOp};
 use crate::hir::{ExprId, HExpr, HProgram, HStmt, StmtId};
+use crate::types::Type;
 
 /// Optimizes `prog`, returning the number of rewrites applied.
 pub fn optimize(prog: &mut HProgram) -> usize {
     let mut rewrites = 0;
-    // Fold expressions bottom-up until fixpoint (bounded).
-    for _ in 0..8 {
+    // Fold expressions bottom-up until no sweep changes anything. Every
+    // rewrite strictly shrinks the referenced expression tree or replaces
+    // a node with a literal, so the fixpoint is reached without an
+    // arbitrary iteration cap.
+    loop {
         let before = rewrites;
         for i in 0..prog.exprs.len() {
             rewrites += fold_expr(prog, ExprId(i as u32));
@@ -54,10 +58,101 @@ fn const_bool(prog: &HProgram, e: ExprId) -> Option<bool> {
     }
 }
 
+/// True when evaluating `e` cannot change observable state. Only
+/// `Q.POP()` is effectful at expression level (it consumes a packet from
+/// the queue view); everything else in the declarative core is a pure
+/// read.
+fn effect_free(prog: &HProgram, e: ExprId) -> bool {
+    match prog.expr(e) {
+        HExpr::QueuePop(_) => false,
+        HExpr::Int(_)
+        | HExpr::Bool(_)
+        | HExpr::NullPacket
+        | HExpr::NullSubflow
+        | HExpr::ReadReg(_)
+        | HExpr::ReadVar(_)
+        | HExpr::Subflows
+        | HExpr::Queue(_) => true,
+        HExpr::SubflowProp { sbf: op, .. }
+        | HExpr::PacketProp { pkt: op, .. }
+        | HExpr::ListCount(op)
+        | HExpr::QueueCount(op)
+        | HExpr::ListEmpty(op)
+        | HExpr::QueueEmpty(op)
+        | HExpr::QueueTop(op)
+        | HExpr::Unary { expr: op, .. } => effect_free(prog, *op),
+        HExpr::SentOn { pkt: a, sbf: b }
+        | HExpr::HasWindowFor { sbf: a, pkt: b }
+        | HExpr::ListFilter {
+            list: a, pred: b, ..
+        }
+        | HExpr::QueueFilter {
+            queue: a, pred: b, ..
+        }
+        | HExpr::ListMinMax {
+            list: a, key: b, ..
+        }
+        | HExpr::QueueMinMax {
+            queue: a, key: b, ..
+        }
+        | HExpr::ListSum {
+            list: a, key: b, ..
+        }
+        | HExpr::QueueSum {
+            queue: a, key: b, ..
+        }
+        | HExpr::ListGet { list: a, index: b }
+        | HExpr::Binary { lhs: a, rhs: b, .. } => effect_free(prog, *a) && effect_free(prog, *b),
+    }
+}
+
+/// Structural equality of two expression trees (conservative: aggregate
+/// operators compare as unequal unless they are the same node).
+fn same_expr(prog: &HProgram, a: ExprId, b: ExprId) -> bool {
+    if a == b {
+        return true;
+    }
+    match (prog.expr(a), prog.expr(b)) {
+        (HExpr::Int(x), HExpr::Int(y)) => x == y,
+        (HExpr::Bool(x), HExpr::Bool(y)) => x == y,
+        (HExpr::ReadReg(x), HExpr::ReadReg(y)) => x == y,
+        (HExpr::ReadVar(x), HExpr::ReadVar(y)) => x == y,
+        (HExpr::SubflowProp { sbf: s1, prop: p1 }, HExpr::SubflowProp { sbf: s2, prop: p2 }) => {
+            p1 == p2 && same_expr(prog, *s1, *s2)
+        }
+        (HExpr::PacketProp { pkt: k1, prop: p1 }, HExpr::PacketProp { pkt: k2, prop: p2 }) => {
+            p1 == p2 && same_expr(prog, *k1, *k2)
+        }
+        (HExpr::Unary { op: o1, expr: e1 }, HExpr::Unary { op: o2, expr: e2 }) => {
+            o1 == o2 && same_expr(prog, *e1, *e2)
+        }
+        (
+            HExpr::Binary {
+                op: o1,
+                lhs: l1,
+                rhs: r1,
+                ..
+            },
+            HExpr::Binary {
+                op: o2,
+                lhs: l2,
+                rhs: r2,
+                ..
+            },
+        ) => o1 == o2 && same_expr(prog, *l1, *l2) && same_expr(prog, *r1, *r2),
+        _ => false,
+    }
+}
+
 fn fold_expr(prog: &mut HProgram, id: ExprId) -> usize {
     let node = prog.expr(id).clone();
     let replacement = match node {
-        HExpr::Binary { op, lhs, rhs, .. } => match op {
+        HExpr::Binary {
+            op,
+            lhs,
+            rhs,
+            operand_ty,
+        } => match op {
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
                 match (const_int(prog, lhs), const_int(prog, rhs)) {
                     (Some(a), Some(b)) => Some(HExpr::Int(match op {
@@ -89,6 +184,15 @@ fn fold_expr(prog: &mut HProgram, id: ExprId) -> usize {
                     }
                     (Some(0), None) if op == BinOp::Add => Some(prog.expr(rhs).clone()),
                     (Some(1), None) if op == BinOp::Mul => Some(prog.expr(rhs).clone()),
+                    // Annihilator: x * 0 == 0 * x == 0, provided the
+                    // discarded operand has no effect (it could be a
+                    // `Q.POP()` property read).
+                    (None, Some(0)) if op == BinOp::Mul && effect_free(prog, lhs) => {
+                        Some(HExpr::Int(0))
+                    }
+                    (Some(0), None) if op == BinOp::Mul && effect_free(prog, rhs) => {
+                        Some(HExpr::Int(0))
+                    }
                     _ => None,
                 }
             }
@@ -106,6 +210,15 @@ fn fold_expr(prog: &mut HProgram, id: ExprId) -> usize {
                     _ => match (const_bool(prog, lhs), const_bool(prog, rhs)) {
                         (Some(a), Some(b)) if op == BinOp::Eq => Some(HExpr::Bool(a == b)),
                         (Some(a), Some(b)) if op == BinOp::Ne => Some(HExpr::Bool(a != b)),
+                        // Identical pure integer operands compare equal:
+                        // x == x, x <= x, x >= x hold; x != x, x < x,
+                        // x > x never do.
+                        _ if operand_ty == Type::Int
+                            && same_expr(prog, lhs, rhs)
+                            && effect_free(prog, lhs) =>
+                        {
+                            Some(HExpr::Bool(matches!(op, BinOp::Eq | BinOp::Le | BinOp::Ge)))
+                        }
                         _ => None,
                     },
                 }
@@ -297,6 +410,74 @@ mod tests {
             };
             assert!(matches!(p.expr(*value), HExpr::ReadReg(_)));
         }
+    }
+
+    #[test]
+    fn multiplication_by_zero_annihilates() {
+        // Both operand orders, with a pure non-constant operand.
+        let p = optimized("SET(R1, R2 * 0); SET(R3, 0 * (R2 + R4));");
+        for &sid in &p.body {
+            let HStmt::SetReg { value, .. } = p.stmt(sid) else {
+                panic!()
+            };
+            assert_eq!(p.expr(*value), &HExpr::Int(0));
+        }
+    }
+
+    #[test]
+    fn multiplication_by_zero_keeps_effectful_operand() {
+        // Sema already confines POP() to VAR initializers and PUSH
+        // arguments, so the annihilator's purity guard is defense in
+        // depth — check the classifier directly.
+        let src = "VAR pk = Q.POP(); SET(R1, pk.SIZE * 0);";
+        let p = lower(&parse(src).unwrap()).unwrap();
+        let HStmt::VarDecl { init, .. } = p.stmt(p.body[0]) else {
+            panic!()
+        };
+        assert!(!effect_free(&p, *init), "Q.POP() is effectful");
+        // Reading the popped packet through the var is pure, so the
+        // annihilator still applies to `pk.SIZE * 0`.
+        let p = optimized(src);
+        let HStmt::SetReg { value, .. } = p.stmt(p.body[1]) else {
+            panic!()
+        };
+        assert_eq!(p.expr(*value), &HExpr::Int(0));
+    }
+
+    #[test]
+    fn identical_operand_comparisons_fold() {
+        let p = optimized(
+            "IF (R1 == R1) { SET(R2, 1); } ELSE { SET(R2, 2); }
+             IF (R1 + R3 < R1 + R3) { SET(R4, 1); } ELSE { SET(R4, 2); }",
+        );
+        // Both IFs flatten: x == x is true, x < x is false.
+        assert_eq!(p.body.len(), 2);
+        let mut env = MockEnv::new();
+        run(&p, &mut env);
+        assert_eq!(env.register(RegId::R2), 1);
+        assert_eq!(env.register(RegId::R4), 2);
+    }
+
+    #[test]
+    fn identical_effectful_operands_do_not_fold() {
+        // Each Q.POP() consumes a different packet; == must evaluate.
+        let src = "VAR a = Q.POP(); VAR b = Q.POP();
+                   IF (a.SIZE == b.SIZE) { SET(R1, 1); } ELSE { SET(R1, 2); }";
+        let p = optimized(src);
+        let HStmt::If { .. } = p.stmt(p.body[2]) else {
+            panic!("IF must survive — operands are reads of distinct pops")
+        };
+    }
+
+    #[test]
+    fn fixpoint_folds_deep_chains() {
+        // Needs several sweeps: each sweep folds one layer bottom-up.
+        let expr = (0..20).fold("1".to_string(), |acc, _| format!("({acc} + 1)"));
+        let p = optimized(&format!("SET(R1, {expr});"));
+        let HStmt::SetReg { value, .. } = p.stmt(p.body[0]) else {
+            panic!()
+        };
+        assert_eq!(p.expr(*value), &HExpr::Int(21));
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub struct SchedulerProgram {
     bytecode: BytecodeProgram,
     debug: DebugTable,
     optimizer_rewrites: usize,
+    opt_report: Option<crate::opt::OptReport>,
     verdict: crate::verify::Verdict,
     vm_verdict: crate::verify::vm::BytecodeVerdict,
 }
@@ -99,6 +100,20 @@ pub struct CompileOptions {
     /// [`crate::verify::Verdict`] on the program, but admits everything —
     /// used by the fuzzing harnesses to measure verifier precision.
     pub enforce_admission: bool,
+    /// Run the verified bytecode optimizer (see [`crate::opt`]) between
+    /// codegen and the final bytecode verification. Off by default: the
+    /// unoptimized image is the reference the conformance differ runs
+    /// against.
+    pub optimize_bytecode: bool,
+    /// Fail-closed bytecode optimization: a rolled-back pass becomes a
+    /// compile error instead of a `misoptimization` warning on the
+    /// [`crate::opt::OptReport`]. Only meaningful with
+    /// [`CompileOptions::optimize_bytecode`].
+    pub strict_optimize: bool,
+    /// Inject one deliberately unsound rewrite into the bytecode
+    /// optimizer (testing only; see [`crate::opt::Sabotage`]).
+    #[doc(hidden)]
+    pub opt_sabotage: Option<crate::opt::Sabotage>,
 }
 
 impl Default for CompileOptions {
@@ -106,6 +121,9 @@ impl Default for CompileOptions {
         CompileOptions {
             optimize: true,
             enforce_admission: true,
+            optimize_bytecode: false,
+            strict_optimize: false,
+            opt_sabotage: None,
         }
     }
 }
@@ -141,6 +159,27 @@ pub fn compile_with_options(
     }
     let vcode = codegen::generate(&hir)?;
     let (bytecode, debug) = regalloc::allocate_with_debug(&vcode)?;
+    // Optional verified bytecode optimization: each pass's output is
+    // re-verified and cross-checked against the HIR admission certificate
+    // before it replaces the image (see [`crate::opt`]); on any
+    // disagreement the pass is rolled back, so what reaches the final
+    // verification below is always a validated image.
+    let (bytecode, debug, opt_report) = if options.optimize_bytecode {
+        let (b, d, r) = crate::opt::optimize_bytecode(
+            &bytecode,
+            &debug,
+            &hir,
+            verdict.certified_step_bound,
+            &crate::verify::VerifyConfig::default(),
+            &crate::opt::OptOptions {
+                strict: options.strict_optimize,
+                sabotage: options.opt_sabotage,
+            },
+        )?;
+        (b, d, Some(r))
+    } else {
+        (bytecode, debug, None)
+    };
     vm::verify_with_debug(&bytecode, Some(&debug))?;
     // Translation validation: an independent abstract interpretation over
     // the generated bytecode, cross-checked against the HIR admission
@@ -172,6 +211,7 @@ pub fn compile_with_options(
         bytecode,
         debug,
         optimizer_rewrites,
+        opt_report,
         verdict,
         vm_verdict,
     })
@@ -191,6 +231,12 @@ impl SchedulerProgram {
     /// Number of rewrites the HIR optimizer applied.
     pub fn optimizer_rewrites(&self) -> usize {
         self.optimizer_rewrites
+    }
+
+    /// What the verified bytecode optimizer did, when it ran
+    /// ([`CompileOptions::optimize_bytecode`]); `None` otherwise.
+    pub fn opt_report(&self) -> Option<&crate::opt::OptReport> {
+        self.opt_report.as_ref()
     }
 
     /// The admission verifier's verdict for this program (always computed,

@@ -55,6 +55,10 @@ pub enum Lint {
     /// with the HIR admission certificate (step bound or helper audit),
     /// indicating a codegen/regalloc bug.
     Miscompile,
+    /// An optimizer pass produced an image the re-run verifier or the
+    /// translation validator rejects (or one whose certified step bound
+    /// increased); the pass was rolled back (bytecode optimizer).
+    Misoptimization,
 }
 
 impl Lint {
@@ -78,6 +82,7 @@ impl Lint {
             Lint::HandleArith => "handle-arith",
             Lint::UnboundedLoop => "unbounded-loop",
             Lint::Miscompile => "miscompile",
+            Lint::Misoptimization => "misoptimization",
         }
     }
 }
@@ -216,7 +221,7 @@ impl Verdict {
 }
 
 /// Appends `s` as a JSON string literal (quotes, escapes).
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -18,8 +18,8 @@
 
 mod cost;
 mod dataflow;
-mod diag;
-mod domain;
+pub(crate) mod diag;
+pub(crate) mod domain;
 mod lints;
 pub mod vm;
 

@@ -259,7 +259,11 @@ proptest! {
             let program = compile_with_options(
                 None,
                 &src,
-                CompileOptions { optimize, enforce_admission: false },
+                CompileOptions {
+                    optimize,
+                    enforce_admission: false,
+                    ..CompileOptions::default()
+                },
             )
             .expect("generated programs compile");
             let mut inst = program.instantiate(Backend::Vm);

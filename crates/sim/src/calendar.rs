@@ -219,7 +219,7 @@ impl<T> CalendarQueue<T> {
                 let mut batch = std::mem::take(&mut self.levels[0][s]);
                 self.occ[0][s / 64] &= !(1 << (s % 64));
                 // All entries share the tick; order the full keys.
-                batch.sort_unstable_by(|a, b| b.key().cmp(&a.key()));
+                batch.sort_unstable_by_key(|e| Reverse(e.key()));
                 self.due = batch;
                 return;
             }
@@ -231,8 +231,8 @@ impl<T> CalendarQueue<T> {
                 let cur_slot = ((self.cur >> (SLOT_BITS * l as u32)) & (SLOTS as u64 - 1)) as usize;
                 if let Some(s) = self.next_slot(l, cur_slot) {
                     let shift = SLOT_BITS * l as u32;
-                    let base = (self.cur & !((1u64 << (shift + SLOT_BITS)) - 1))
-                        | ((s as u64) << shift);
+                    let base =
+                        (self.cur & !((1u64 << (shift + SLOT_BITS)) - 1)) | ((s as u64) << shift);
                     self.cur = base;
                     let batch = std::mem::take(&mut self.levels[l][s]);
                     self.occ[l][s / 64] &= !(1 << (s % 64));
@@ -259,7 +259,7 @@ impl<T> CalendarQueue<T> {
             let horizon = self.cur >> (SLOT_BITS * LEVELS as u32);
             self.insert(min);
             while let Some(Reverse(ByKey(e))) = self.overflow.peek() {
-                if e.time / TICK_NS >> (SLOT_BITS * LEVELS as u32) != horizon {
+                if (e.time / TICK_NS) >> (SLOT_BITS * LEVELS as u32) != horizon {
                     break;
                 }
                 let Reverse(ByKey(e)) = self.overflow.pop().expect("peeked");
@@ -309,12 +309,12 @@ mod tests {
         let mut q = CalendarQueue::new();
         // One event per level plus an overflow-range event.
         let times = [
-            200 * TICK_NS,                 // L0
-            70_000 * TICK_NS,              // L1
-            10_000_000 * TICK_NS,          // L2
-            3_000_000_000 * TICK_NS,       // L3
-            8_000_000_000_000 * TICK_NS,   // overflow (> 2^32 ticks)
-            8_000_000_000_001 * TICK_NS,   // overflow, later
+            200 * TICK_NS,               // L0
+            70_000 * TICK_NS,            // L1
+            10_000_000 * TICK_NS,        // L2
+            3_000_000_000 * TICK_NS,     // L3
+            8_000_000_000_000 * TICK_NS, // overflow (> 2^32 ticks)
+            8_000_000_000_001 * TICK_NS, // overflow, later
         ];
         for (i, &t) in times.iter().enumerate() {
             q.push(t, i);

@@ -206,8 +206,11 @@ impl Connection {
         }
         self.data_acked = data_ack;
         let segs = &self.segments;
-        let covered =
-            |p: &PacketRef| segs.get(*p).map(|s| s.end_seq() <= data_ack).unwrap_or(true);
+        let covered = |p: &PacketRef| {
+            segs.get(*p)
+                .map(|s| s.end_seq() <= data_ack)
+                .unwrap_or(true)
+        };
         self.q.retain(|p| !covered(p));
         self.qu.retain(|p| !covered(p));
         self.rq.retain(|p| !covered(p));

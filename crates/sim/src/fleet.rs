@@ -338,8 +338,8 @@ where
             sim.enable_oracle(format!("fleet seed={} shard={shard}", cfg.seed), true);
         }
     }
-    for global in lo..hi {
-        let sc = scenario(global, seeds[global]);
+    for (global, &seed) in seeds.iter().enumerate().take(hi).skip(lo) {
+        let sc = scenario(global, seed);
         let conn = sim
             .add_connection_with_identity(sc.config, global as u64)
             .expect("fleet scheduler compiles");

@@ -67,15 +67,15 @@ pub mod stats;
 pub mod subflow;
 pub mod time;
 
+pub use calendar::CalendarQueue;
 pub use cc::CcAlgo;
 pub use config::{ConnectionConfig, SchedulerSpec, SubflowConfig};
 pub use connection::{Connection, SchedulerHandle};
-pub use calendar::CalendarQueue;
 pub use engine::{ConnId, Sim};
+pub use faults::{ChaosRng, FaultClause, FaultPlan, LossModel};
 pub use fleet::{
     run_fleet, ConnReport, ConnScenario, FleetConfig, FleetReport, OracleMode, Workload,
 };
-pub use faults::{ChaosRng, FaultClause, FaultPlan, LossModel};
 pub use native::{NativeMinRtt, NativeRoundRobin, NativeScheduler};
 pub use oracle::{InvariantOracle, OracleViolation};
 pub use path::{PathConfig, PathProfileEntry};

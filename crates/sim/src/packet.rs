@@ -98,15 +98,10 @@ impl SegmentSlab {
 
     /// Allocates the next handle and stores `seg` built from it.
     /// Returns the handle.
-    pub fn alloc(
-        &mut self,
-        seq: u64,
-        size: u32,
-        prop: u32,
-        enqueued_at: SimTime,
-    ) -> PacketRef {
+    pub fn alloc(&mut self, seq: u64, size: u32, prop: u32, enqueued_at: SimTime) -> PacketRef {
         let id = PacketRef(self.segs.len() as u64 + 1);
-        self.segs.push(Segment::new(id, seq, size, prop, enqueued_at));
+        self.segs
+            .push(Segment::new(id, seq, size, prop, enqueued_at));
         id
     }
 

@@ -21,6 +21,15 @@
 //!   source span and the abstract values (intervals, handle kinds,
 //!   nullability) the dataflow verifier inferred on entry. The bytecode
 //!   verdict participates in the exit status like the admission verdict.
+//! * `--optimize`: run the verified bytecode optimizer and print the
+//!   per-pass rewrite counts, instruction count before/after, step bound
+//!   before/after, any `misoptimization` rollback diagnostics, and the
+//!   annotated disassembly of the *optimized* image. With `--json`, the
+//!   report appears as an `"optimizer"` object on each program entry.
+//! * `--strict` (with `--optimize`): escalate any fail-open optimizer
+//!   rollback to a hard compile error — the CI posture, where a pass
+//!   that cannot be re-certified on a first-party scheduler is a
+//!   compiler regression, not a shrug.
 //!
 //! Exit status: `0` when every program is admitted, `1` when any program
 //! has error-severity findings or fails to compile, `2` on usage errors.
@@ -33,13 +42,15 @@ struct Options {
     json: bool,
     inspect: bool,
     bytecode: bool,
+    optimize: bool,
+    strict: bool,
     targets: Vec<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: progmp-lint [--json] [--inspect] [--bytecode] <file.progmp | scheduler-name>...\n\
-         \x20      progmp-lint [--json] [--inspect] [--bytecode] --all\n\
+        "usage: progmp-lint [--json] [--inspect] [--bytecode] [--optimize [--strict]] <file.progmp | scheduler-name>...\n\
+         \x20      progmp-lint [--json] [--inspect] [--bytecode] [--optimize [--strict]] --all\n\
          \n\
          bundled scheduler names:"
     );
@@ -54,6 +65,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         json: false,
         inspect: false,
         bytecode: false,
+        optimize: false,
+        strict: false,
         targets: Vec::new(),
     };
     let mut all = false;
@@ -62,6 +75,8 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--json" => opts.json = true,
             "--inspect" => opts.inspect = true,
             "--bytecode" => opts.bytecode = true,
+            "--optimize" => opts.optimize = true,
+            "--strict" => opts.strict = true,
             "--all" => all = true,
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with("--") => return Err(usage()),
@@ -151,6 +166,8 @@ fn main() -> ExitCode {
             &source,
             CompileOptions {
                 enforce_admission: false,
+                optimize_bytecode: opts.optimize,
+                strict_optimize: opts.strict,
                 ..CompileOptions::default()
             },
         );
@@ -161,9 +178,24 @@ fn main() -> ExitCode {
                     failed = true;
                 }
                 if opts.json {
-                    print!("{}", verdict.render_json(&name));
+                    let mut obj = verdict.render_json(&name);
+                    if let Some(report) = program.opt_report() {
+                        // Splice the optimizer report into the verdict
+                        // object as an "optimizer" key.
+                        let trimmed = obj.trim_end().strip_suffix('}').unwrap().to_string();
+                        obj = format!("{trimmed},\"optimizer\":{}}}", report.render_json());
+                    }
+                    print!("{obj}");
                 } else {
                     println!("{}", verdict.render_human(&name));
+                }
+                if opts.optimize && !opts.json {
+                    if let Some(report) = program.opt_report() {
+                        println!("--- optimizer: {name} ---");
+                        print!("{}", report.render_human());
+                        println!("--- optimized disassembly: {name} ---");
+                        println!("{}", program.bytecode_report());
+                    }
                 }
                 if opts.inspect && !opts.json {
                     println!("--- static audit: {name} ---");
