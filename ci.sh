@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps
+
 echo "==> cargo test"
 cargo test -q --workspace
 
@@ -19,6 +22,9 @@ cargo run -q --release -p progmp --bin progmp-lint -- --all
 
 echo "==> bytecode verification lint (all bundled schedulers; output elided)"
 cargo run -q --release -p progmp --bin progmp-lint -- --bytecode --all > /dev/null
+
+echo "==> property certificates (all bundled schedulers; output elided)"
+cargo run -q --release -p progmp --bin progmp-lint -- --properties --all > /dev/null
 
 echo "==> conformance sweep (500 seeds, all backends)"
 cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --seeds 500
@@ -31,6 +37,9 @@ cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --vm-soun
 
 echo "==> optimizer-soundness sweep + per-pass sabotage check (1000 seeds)"
 cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --opt-soundness --seeds 1000
+
+echo "==> property-soundness sweep + analysis-weakening check (500 seeds)"
+cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --prop-soundness --seeds 500
 
 echo "==> chaos sweep: fault plans x schedulers x backends + oracle mutation check (200 plans)"
 cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --chaos --seeds 200

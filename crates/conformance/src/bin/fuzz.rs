@@ -1,7 +1,7 @@
 //! Seed-sweeping differential and soundness fuzzer.
 //!
 //! ```text
-//! conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness | --opt-soundness | --chaos]
+//! conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness | --opt-soundness | --prop-soundness | --chaos]
 //! ```
 //!
 //! Explores seeds `[S, S+N)` (default `[0, 500)`).
@@ -37,6 +37,16 @@
 //! unsound rewrite (one per pass class) must be rolled back by
 //! translation validation with a spanned `misoptimization` diagnostic.
 //!
+//! With `--prop-soundness`, each seed derives the scheduler-property
+//! certificate (work-conservation, per-subflow starvation, redundancy
+//! bound, reinjection safety) for a generated program and validates it
+//! against the observed execution on all three backends, using the
+//! simulator oracle's own dynamic property checks. The run finishes
+//! with the analysis-weakening sensitivity check: every deliberately
+//! weakened analysis step must produce a false claim that the dynamic
+//! check catches, while the honest certificate stays silent on the same
+//! execution.
+//!
 //! With `--chaos`, each seed generates a whole simulated transfer under
 //! a random fault plan (blackouts, burst loss, jitter, rwnd stalls,
 //! subflow churn) and runs one of the paper's schedulers across all
@@ -50,6 +60,7 @@ use progmp_conformance::chaos;
 use progmp_conformance::differ::{check_seed, run_differential, Divergence};
 use progmp_conformance::gen::Generator;
 use progmp_conformance::opt_soundness;
+use progmp_conformance::prop_soundness;
 use progmp_conformance::shrink::shrink;
 use progmp_conformance::soundness;
 use progmp_conformance::vm_soundness;
@@ -60,6 +71,7 @@ struct Args {
     soundness: bool,
     vm_soundness: bool,
     opt_soundness: bool,
+    prop_soundness: bool,
     chaos: bool,
 }
 
@@ -70,11 +82,12 @@ fn parse_args() -> Args {
         soundness: false,
         vm_soundness: false,
         opt_soundness: false,
+        prop_soundness: false,
         chaos: false,
     };
     fn usage() -> ! {
         eprintln!(
-            "usage: conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness | --opt-soundness | --chaos]"
+            "usage: conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness | --opt-soundness | --prop-soundness | --chaos]"
         );
         std::process::exit(2);
     }
@@ -84,6 +97,7 @@ fn parse_args() -> Args {
             "--soundness" => parsed.soundness = true,
             "--vm-soundness" => parsed.vm_soundness = true,
             "--opt-soundness" => parsed.opt_soundness = true,
+            "--prop-soundness" => parsed.prop_soundness = true,
             "--chaos" => parsed.chaos = true,
             "--start" | "--seeds" => {
                 let value = match args.next().and_then(|v| v.parse().ok()) {
@@ -220,6 +234,46 @@ fn run_opt_soundness(start: u64, seeds: u64) {
     }
 }
 
+fn run_prop_soundness(start: u64, seeds: u64) {
+    println!(
+        "conformance-fuzz --prop-soundness: seeds [{start}, {})",
+        start + seeds
+    );
+    let report = prop_soundness::sweep(start, seeds);
+    println!("{}", report.summary());
+    let mut failed = false;
+    if !report.violations.is_empty() {
+        for violation in &report.violations {
+            eprintln!("{violation}");
+        }
+        failed = true;
+    }
+    let weakenings = prop_soundness::mutation_check();
+    println!("{}", weakenings.summary());
+    for outcome in &weakenings.outcomes {
+        println!(
+            "  [{}] {} — {}",
+            if outcome.caught && outcome.sound_baseline {
+                "caught"
+            } else {
+                "MISSED"
+            },
+            outcome.weakening,
+            if outcome.detail.is_empty() {
+                "no dynamic violation (BAD)"
+            } else {
+                &outcome.detail
+            }
+        );
+    }
+    if !weakenings.all_caught() {
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn run_chaos(start: u64, seeds: u64) {
     println!(
         "conformance-fuzz --chaos: seeds [{start}, {})",
@@ -269,6 +323,10 @@ fn main() {
     }
     if args.opt_soundness {
         run_opt_soundness(args.start, args.seeds);
+        return;
+    }
+    if args.prop_soundness {
+        run_prop_soundness(args.start, args.seeds);
         return;
     }
     if args.soundness {

@@ -22,6 +22,7 @@ pub mod chaos;
 pub mod differ;
 pub mod gen;
 pub mod opt_soundness;
+pub mod prop_soundness;
 pub mod rng;
 pub mod shrink;
 pub mod snapshot;

@@ -55,6 +55,30 @@ pub fn assert_snapshot(name: &str, actual: &str) {
     }
 }
 
+/// Stale-golden guard: asserts the committed `<prefix><name>.snap` files
+/// are *exactly* `expected` — no more, no fewer. A golden left behind
+/// after a scheduler rename (or a test that silently stopped covering a
+/// name) would otherwise keep passing while pinning nothing.
+pub fn assert_family_covers(prefix: &str, expected: &[&str]) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("snapshots");
+    let mut on_disk: Vec<String> = fs::read_dir(&dir)
+        .expect("snapshots directory exists")
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .filter_map(|f| {
+            f.strip_prefix(prefix)?
+                .strip_suffix(".snap")
+                .map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    let mut want: Vec<String> = expected.iter().map(|s| s.to_string()).collect();
+    want.sort();
+    assert_eq!(
+        on_disk, want,
+        "{prefix}*.snap goldens out of sync with the test's scheduler list"
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +87,27 @@ mod tests {
     fn paths_are_stable() {
         let p = snapshot_path("x");
         assert!(p.ends_with("snapshots/x.snap"));
+    }
+
+    #[test]
+    fn family_guard_accepts_the_committed_optimizer_set() {
+        assert_family_covers(
+            "optimized_",
+            &[
+                "minRttSimple",
+                "default",
+                "roundRobin",
+                "redundant",
+                "opportunisticRedundant",
+                "tap",
+                "targetRtt",
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of sync")]
+    fn family_guard_rejects_a_missing_golden() {
+        assert_family_covers("optimized_", &["minRttSimple", "noSuchScheduler"]);
     }
 }

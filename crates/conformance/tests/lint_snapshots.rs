@@ -49,6 +49,13 @@ fn bundled_schedulers_verify_clean_with_pinned_bounds() {
     }
 }
 
+/// Stale-golden guard: the committed `lint_*.snap` set is exactly the
+/// seven paper schedulers.
+#[test]
+fn lint_goldens_cover_exactly_the_paper_schedulers() {
+    progmp_conformance::snapshot::assert_family_covers("lint_", SNAPSHOT_SCHEDULERS);
+}
+
 /// Every bundled scheduler — not just the seven snapshot targets — must
 /// pass the enforcing admission gate, since the registry compiles them
 /// with default options.

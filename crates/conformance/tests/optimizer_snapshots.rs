@@ -74,21 +74,5 @@ fn bundled_schedulers_optimize_clean_with_pinned_stats() {
 /// otherwise silently stop being checked.
 #[test]
 fn optimizer_goldens_cover_exactly_the_paper_schedulers() {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("snapshots");
-    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
-        .expect("snapshots directory exists")
-        .filter_map(|e| e.ok()?.file_name().into_string().ok())
-        .filter_map(|f| {
-            f.strip_prefix("optimized_")?
-                .strip_suffix(".snap")
-                .map(str::to_string)
-        })
-        .collect();
-    on_disk.sort();
-    let mut expected: Vec<String> = SNAPSHOT_SCHEDULERS.iter().map(|s| s.to_string()).collect();
-    expected.sort();
-    assert_eq!(
-        on_disk, expected,
-        "optimized_*.snap goldens out of sync with SNAPSHOT_SCHEDULERS"
-    );
+    progmp_conformance::snapshot::assert_family_covers("optimized_", SNAPSHOT_SCHEDULERS);
 }

@@ -42,6 +42,13 @@ fn paper_schedulers_match_golden_bytecode_verdicts() {
     }
 }
 
+/// Stale-golden guard: the committed `bytecode_*.snap` set is exactly
+/// the seven paper schedulers.
+#[test]
+fn bytecode_goldens_cover_exactly_the_paper_schedulers() {
+    progmp_conformance::snapshot::assert_family_covers("bytecode_", &SNAPSHOT_SCHEDULERS);
+}
+
 #[test]
 fn bytecode_report_is_deterministic() {
     let src = source_of("redundant");

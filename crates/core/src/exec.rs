@@ -54,6 +54,11 @@ pub struct ExecStats {
     pub drops: u32,
     /// Number of `POP`s performed.
     pub pops: u32,
+    /// Number of `POP`s that evaluated on an empty view and yielded
+    /// `NULL`. Zero whenever every pop site was guarded by an emptiness
+    /// check — the dynamic shadow of the reinjection-safety property
+    /// certificate (see `crate::verify::props`).
+    pub null_pops: u32,
     /// Number of register writes performed.
     pub reg_writes: u32,
 }
@@ -188,6 +193,7 @@ impl<'e> ExecCtx<'e> {
     #[inline]
     pub fn pop(&mut self, pkt: i64) {
         if pkt < 0 {
+            self.stats.null_pops += 1;
             return;
         }
         let r = PacketRef(pkt as u64);
@@ -276,6 +282,7 @@ mod tests {
         assert_eq!(stats.pushes, 0);
         assert_eq!(stats.drops, 0);
         assert_eq!(stats.pops, 0);
+        assert_eq!(stats.null_pops, 1, "the NULL pop is counted separately");
     }
 
     #[test]

@@ -79,4 +79,6 @@ pub use program::{
     SchedulerInstance, SchedulerProgram,
 };
 pub use types::Type;
-pub use verify::{Diagnostic, Lint, Severity, Verdict, VerifyConfig};
+pub use verify::{
+    Diagnostic, IdSet, Lint, PropStatus, PropertyCertificate, Severity, Verdict, VerifyConfig,
+};

@@ -4,10 +4,10 @@
 //! Four pass classes run over the emitted bytecode image, consuming the
 //! same abstract facts the admission verifier computes: sparse
 //! conditional constant propagation with constant-guard elimination
-//! ([`sccp`]), local value numbering with pure-helper CSE ([`cse`]),
-//! loop-invariant hoisting out of counted FOREACH loops ([`licm`]),
-//! jump-threading/peephole cleanup ([`peephole`]), and dead-code/
-//! dead-store elimination ([`dce`]).
+//! (`sccp`), local value numbering with pure-helper CSE (`cse`),
+//! loop-invariant hoisting out of counted FOREACH loops (`licm`),
+//! jump-threading/peephole cleanup (`peephole`), and dead-code/
+//! dead-store elimination (`dce`).
 //!
 //! Every pass is *verified*: after each rewrite batch the dataflow
 //! verifier re-runs on the candidate image, the translation-validation

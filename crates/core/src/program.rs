@@ -67,6 +67,7 @@ pub struct SchedulerProgram {
     opt_report: Option<crate::opt::OptReport>,
     verdict: crate::verify::Verdict,
     vm_verdict: crate::verify::vm::BytecodeVerdict,
+    props: crate::verify::props::PropertyCertificate,
 }
 
 /// Compiles scheduler source text.
@@ -114,6 +115,10 @@ pub struct CompileOptions {
     /// optimizer (testing only; see [`crate::opt::Sabotage`]).
     #[doc(hidden)]
     pub opt_sabotage: Option<crate::opt::Sabotage>,
+    /// Weaken one property analysis (testing only; see
+    /// [`crate::verify::props::PropWeakening`]).
+    #[doc(hidden)]
+    pub prop_weakening: Option<crate::verify::props::PropWeakening>,
 }
 
 impl Default for CompileOptions {
@@ -124,6 +129,7 @@ impl Default for CompileOptions {
             optimize_bytecode: false,
             strict_optimize: false,
             opt_sabotage: None,
+            prop_weakening: None,
         }
     }
 }
@@ -157,6 +163,11 @@ pub fn compile_with_options(
             message: format!("[{}] {}", first.lint, first.message),
         });
     }
+    // Semantic property certificate (work-conservation, starvation,
+    // redundancy bound, reinjection safety) over the same HIR. Findings
+    // never gate admission: they are recorded on the program for the lint
+    // CLI and armed as dynamic invariants by the simulator's oracle.
+    let props = crate::verify::props::verify_properties_weakened(&hir, options.prop_weakening);
     let vcode = codegen::generate(&hir)?;
     let (bytecode, debug) = regalloc::allocate_with_debug(&vcode)?;
     // Optional verified bytecode optimization: each pass's output is
@@ -214,6 +225,7 @@ pub fn compile_with_options(
         opt_report,
         verdict,
         vm_verdict,
+        props,
     })
 }
 
@@ -249,6 +261,13 @@ impl SchedulerProgram {
     /// their per-execution budget instead of a blanket default.
     pub fn certified_step_bound(&self) -> u64 {
         self.verdict.certified_step_bound
+    }
+
+    /// The semantic property certificate (work-conservation, starvation,
+    /// redundancy bound, reinjection safety); always computed, never
+    /// gates admission. See [`crate::verify::props`].
+    pub fn property_certificate(&self) -> &crate::verify::props::PropertyCertificate {
+        &self.props
     }
 
     /// Bytecode disassembly (the proc-style debug listing of §4.1).
@@ -535,6 +554,7 @@ impl SchedulerInstance {
             total.pushes += stats.pushes;
             total.drops += stats.drops;
             total.pops += stats.pops;
+            total.null_pops += stats.null_pops;
             total.reg_writes += stats.reg_writes;
             if stats.pushes == 0 && stats.drops == 0 {
                 break;

@@ -26,7 +26,7 @@ use super::domain::{Emptiness, Interval, Nullability, Tri};
 
 /// Where a reference value was drawn from, for guard back-propagation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Origin {
+pub(super) struct Origin {
     /// The aggregate expression the reference came out of.
     agg: ExprId,
     /// True when `NULL`-ness is equivalent to view emptiness
@@ -37,7 +37,7 @@ struct Origin {
 
 /// Abstract value of one expression.
 #[derive(Debug, Clone, Copy)]
-enum AbsVal {
+pub(super) enum AbsVal {
     Int(Interval),
     Ref {
         null: Nullability,
@@ -47,14 +47,14 @@ enum AbsVal {
 }
 
 impl AbsVal {
-    fn interval(self) -> Interval {
+    pub(super) fn interval(self) -> Interval {
         match self {
             AbsVal::Int(iv) => iv,
             _ => Interval::TOP,
         }
     }
 
-    fn nullability(self) -> Nullability {
+    pub(super) fn nullability(self) -> Nullability {
         match self {
             AbsVal::Ref { null, .. } => null,
             _ => Nullability::MaybeNull,
@@ -72,7 +72,7 @@ impl AbsVal {
 /// Per-slot abstract facts; which fields are meaningful depends on the
 /// slot's static type.
 #[derive(Debug, Clone, PartialEq)]
-struct SlotAbs {
+pub(super) struct SlotAbs {
     /// Int/bool slots: value range (bools as `[0, 1]`).
     int: Interval,
     /// Reference slots: nullability.
@@ -111,18 +111,18 @@ impl SlotAbs {
 
 /// The abstract machine state at one program point.
 #[derive(Debug, Clone, PartialEq)]
-struct AbsState {
+pub(super) struct AbsState {
     /// False once every path to this point has returned.
-    reachable: bool,
-    regs: [Interval; NUM_REGISTERS],
-    slots: Vec<SlotAbs>,
-    queues: [Emptiness; 3],
+    pub(super) reachable: bool,
+    pub(super) regs: [Interval; NUM_REGISTERS],
+    pub(super) slots: Vec<SlotAbs>,
+    pub(super) queues: [Emptiness; 3],
     /// Range of `SUBFLOWS.COUNT` (constant during one execution).
-    subflow_count: Interval,
+    pub(super) subflow_count: Interval,
 }
 
 impl AbsState {
-    fn initial(prog: &HProgram) -> AbsState {
+    pub(super) fn initial(prog: &HProgram) -> AbsState {
         AbsState {
             reachable: true,
             regs: [Interval::TOP; NUM_REGISTERS],
@@ -132,7 +132,7 @@ impl AbsState {
         }
     }
 
-    fn join(&self, other: &AbsState) -> AbsState {
+    pub(super) fn join(&self, other: &AbsState) -> AbsState {
         if !self.reachable {
             return other.clone();
         }
@@ -182,7 +182,7 @@ impl AbsState {
     /// `Empty` persists (views never gain packets); `NonEmpty` facts and
     /// reference origins are no longer trustworthy. Subflow facts survive
     /// (the subflow set is constant during an execution).
-    fn invalidate_removal(&mut self, prog: &HProgram) {
+    pub(super) fn invalidate_removal(&mut self, prog: &HProgram) {
         for q in &mut self.queues {
             if *q == Emptiness::NonEmpty {
                 *q = Emptiness::Unknown;
@@ -212,13 +212,24 @@ pub(super) fn run(prog: &HProgram) -> Vec<Diagnostic> {
     a.diags
 }
 
-struct Analyzer<'a> {
+pub(super) struct Analyzer<'a> {
     prog: &'a HProgram,
     diags: Vec<Diagnostic>,
     collect: bool,
 }
 
 impl<'a> Analyzer<'a> {
+    /// A muted analyzer for the property verifier (`super::props`): it
+    /// reuses the transfer functions and guard refinement but never
+    /// collects diagnostics of its own.
+    pub(super) fn quiet(prog: &'a HProgram) -> Analyzer<'a> {
+        Analyzer {
+            prog,
+            diags: Vec::new(),
+            collect: false,
+        }
+    }
+
     fn emit(&mut self, lint: Lint, severity: Severity, at: ExprId, message: String) {
         if self.collect {
             self.diags.push(Diagnostic {
@@ -241,7 +252,7 @@ impl<'a> Analyzer<'a> {
         }
     }
 
-    fn exec_block(&mut self, st: &mut AbsState, body: &[StmtId]) {
+    pub(super) fn exec_block(&mut self, st: &mut AbsState, body: &[StmtId]) {
         for &sid in body {
             if !st.reachable {
                 return;
@@ -250,7 +261,7 @@ impl<'a> Analyzer<'a> {
         }
     }
 
-    fn exec_stmt(&mut self, st: &mut AbsState, sid: StmtId) {
+    pub(super) fn exec_stmt(&mut self, st: &mut AbsState, sid: StmtId) {
         match self.prog.stmt(sid).clone() {
             HStmt::VarDecl { slot, init } => {
                 let v = self.eval(st, init);
@@ -679,7 +690,7 @@ impl<'a> Analyzer<'a> {
 
     /// Evaluates without collecting lints (used inside refinements so the
     /// same source construct is not reported twice).
-    fn eval_quiet(&mut self, st: &mut AbsState, id: ExprId) -> AbsVal {
+    pub(super) fn eval_quiet(&mut self, st: &mut AbsState, id: ExprId) -> AbsVal {
         let was = self.collect;
         self.collect = false;
         let v = self.eval(st, id);
@@ -690,7 +701,7 @@ impl<'a> Analyzer<'a> {
     /// Emptiness of a queue- or list-view expression, combining tracked
     /// per-queue and per-slot facts through `FILTER` chains and aggregate
     /// variable reads.
-    fn view_emptiness(&self, st: &AbsState, e: ExprId) -> Emptiness {
+    pub(super) fn view_emptiness(&self, st: &AbsState, e: ExprId) -> Emptiness {
         match self.prog.expr(e) {
             HExpr::Queue(k) => st.queues[queue_index(*k)],
             HExpr::Subflows => {
@@ -815,7 +826,7 @@ impl<'a> Analyzer<'a> {
 
     /// Assumes the boolean expression `id` evaluates to `truth`, tightening
     /// `st` (or marking it unreachable on contradiction).
-    fn refine(&mut self, st: &mut AbsState, id: ExprId, truth: bool) {
+    pub(super) fn refine(&mut self, st: &mut AbsState, id: ExprId, truth: bool) {
         if !st.reachable {
             return;
         }
@@ -1008,7 +1019,16 @@ impl<'a> Analyzer<'a> {
     }
 }
 
-fn queue_index(k: QueueKind) -> usize {
+/// Binds `slot` the way `FOREACH` binds its loop variable: a fresh
+/// non-`NULL` element with no other facts (for `super::props`).
+pub(super) fn bind_loop_slot(st: &mut AbsState, slot: VarSlot) {
+    st.slots[slot.0 as usize] = SlotAbs {
+        null: Nullability::NonNull,
+        ..SlotAbs::default()
+    };
+}
+
+pub(super) fn queue_index(k: QueueKind) -> usize {
     match k {
         QueueKind::SendQueue => 0,
         QueueKind::Unacked => 1,

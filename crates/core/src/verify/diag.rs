@@ -59,6 +59,19 @@ pub enum Lint {
     /// translation validator rejects (or one whose certified step bound
     /// increased); the pass was rolled back (bytecode optimizer).
     Misoptimization,
+    /// Work-conservation property: whether every path through the program
+    /// reaches a definite `PUSH` when the send queue is non-empty and a
+    /// subflow exists (property verifier; see `crate::verify::props`).
+    WorkConservation,
+    /// Per-subflow starvation property: some subflow identity can never be
+    /// the target of any `PUSH` under any environment (property verifier).
+    SubflowStarvation,
+    /// Redundancy-bound property: the closed-form maximum number of times
+    /// one packet can be pushed during a single upcall (property verifier).
+    RedundancyBound,
+    /// Reinjection-safety property: whether every reinjection-queue `POP`
+    /// is guarded by an emptiness check (property verifier).
+    ReinjectionSafety,
 }
 
 impl Lint {
@@ -83,6 +96,10 @@ impl Lint {
             Lint::UnboundedLoop => "unbounded-loop",
             Lint::Miscompile => "miscompile",
             Lint::Misoptimization => "misoptimization",
+            Lint::WorkConservation => "work-conservation",
+            Lint::SubflowStarvation => "subflow-starvation",
+            Lint::RedundancyBound => "redundancy-bound",
+            Lint::ReinjectionSafety => "reinjection-safety",
         }
     }
 }

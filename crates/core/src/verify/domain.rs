@@ -276,6 +276,159 @@ impl Interval {
     }
 }
 
+/// A set of `i64` values represented as normalized disjoint inclusive
+/// ranges — the relational extension of the plain interval domain used by
+/// the property verifier (`super::props`) to solve guard satisfiability
+/// over subflow identities.
+///
+/// Unlike `Interval`, an `IdSet` can have *holes* (`sbf.ID != 2`
+/// excludes exactly one value), can be empty (an infeasible guard), and
+/// supports exact complement/union/intersection, so conjunctions and
+/// disjunctions of identity predicates solve precisely instead of
+/// collapsing to `TOP`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdSet {
+    /// Sorted, disjoint, non-adjacent inclusive ranges.
+    ranges: Vec<(i64, i64)>,
+}
+
+impl IdSet {
+    /// The empty set (no identity satisfies the guard).
+    pub fn none() -> IdSet {
+        IdSet { ranges: Vec::new() }
+    }
+
+    /// The universal set (every identity satisfies the guard).
+    pub fn any() -> IdSet {
+        IdSet {
+            ranges: vec![(i64::MIN, i64::MAX)],
+        }
+    }
+
+    /// The single identity `v`.
+    pub fn singleton(v: i64) -> IdSet {
+        IdSet {
+            ranges: vec![(v, v)],
+        }
+    }
+
+    /// The inclusive range `[lo, hi]`; empty when `lo > hi`.
+    pub fn range(lo: i64, hi: i64) -> IdSet {
+        if lo > hi {
+            IdSet::none()
+        } else {
+            IdSet {
+                ranges: vec![(lo, hi)],
+            }
+        }
+    }
+
+    /// True when no identity is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// True when every identity is in the set.
+    pub fn is_any(&self) -> bool {
+        self.ranges == [(i64::MIN, i64::MAX)]
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: i64) -> bool {
+        self.ranges.iter().any(|&(lo, hi)| lo <= v && v <= hi)
+    }
+
+    /// Re-establishes the sorted/disjoint/non-adjacent invariant.
+    fn normalize(mut ranges: Vec<(i64, i64)>) -> IdSet {
+        ranges.retain(|&(lo, hi)| lo <= hi);
+        ranges.sort_unstable();
+        let mut out: Vec<(i64, i64)> = Vec::with_capacity(ranges.len());
+        for (lo, hi) in ranges {
+            match out.last_mut() {
+                // Merge overlapping or adjacent ranges (hi + 1 == lo).
+                Some(last) if lo <= last.1.saturating_add(1) => last.1 = last.1.max(hi),
+                _ => out.push((lo, hi)),
+            }
+        }
+        IdSet { ranges: out }
+    }
+
+    /// Set union (`OR` of identity guards).
+    pub fn union(&self, other: &IdSet) -> IdSet {
+        let mut ranges = self.ranges.clone();
+        ranges.extend_from_slice(&other.ranges);
+        IdSet::normalize(ranges)
+    }
+
+    /// Set intersection (`AND` of identity guards).
+    pub fn intersect(&self, other: &IdSet) -> IdSet {
+        let mut out = Vec::new();
+        for &(alo, ahi) in &self.ranges {
+            for &(blo, bhi) in &other.ranges {
+                let lo = alo.max(blo);
+                let hi = ahi.min(bhi);
+                if lo <= hi {
+                    out.push((lo, hi));
+                }
+            }
+        }
+        IdSet::normalize(out)
+    }
+
+    /// Set complement (`NOT` of an identity guard).
+    pub fn complement(&self) -> IdSet {
+        let mut out = Vec::new();
+        let mut next = i64::MIN;
+        let mut exhausted = false;
+        for &(lo, hi) in &self.ranges {
+            if lo > next {
+                out.push((next, lo - 1));
+            }
+            if hi == i64::MAX {
+                exhausted = true;
+                break;
+            }
+            next = hi + 1;
+        }
+        if !exhausted {
+            out.push((next, i64::MAX));
+        }
+        IdSet { ranges: out }
+    }
+
+    /// The smallest value in `[0, limit)` *not* in the set — a concrete
+    /// starved-identity witness under the verifier's subflow cap.
+    pub fn excluded_below(&self, limit: i64) -> Option<i64> {
+        (0..limit).find(|&v| !self.contains(v))
+    }
+
+    /// Compact human-readable form, e.g. `{0}`, `{0-2, 5}`, `all`, `none`.
+    pub fn render(&self) -> String {
+        if self.is_any() {
+            return "all".into();
+        }
+        if self.is_empty() {
+            return "none".into();
+        }
+        let parts: Vec<String> = self
+            .ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                if lo == hi {
+                    format!("{lo}")
+                } else if lo == i64::MIN {
+                    format!("<={hi}")
+                } else if hi == i64::MAX {
+                    format!(">={lo}")
+                } else {
+                    format!("{lo}-{hi}")
+                }
+            })
+            .collect();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
 /// Whether a packet/subflow reference is `NULL`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Nullability {
@@ -382,6 +535,44 @@ mod tests {
     }
 
     #[test]
+    fn idset_algebra_is_exact() {
+        let a = IdSet::range(0, 4);
+        let b = IdSet::singleton(2).complement();
+        let c = a.intersect(&b);
+        assert!(c.contains(0) && c.contains(1) && c.contains(3) && c.contains(4));
+        assert!(!c.contains(2));
+        assert_eq!(c.render(), "{0-1, 3-4}");
+        assert_eq!(c.excluded_below(8), Some(2));
+        // Union heals the hole back to the original range.
+        assert_eq!(c.union(&IdSet::singleton(2)), a);
+        // Complement round-trips.
+        assert_eq!(b.complement(), IdSet::singleton(2));
+        assert!(IdSet::any().complement().is_empty());
+        assert!(IdSet::none().complement().is_any());
+        // Adjacent ranges merge under normalization.
+        assert_eq!(
+            IdSet::range(0, 1).union(&IdSet::range(2, 3)),
+            IdSet::range(0, 3)
+        );
+        // Intersection with none is none; empty ranges are empty.
+        assert!(a.intersect(&IdSet::none()).is_empty());
+        assert!(IdSet::range(5, 3).is_empty());
+        assert_eq!(IdSet::any().excluded_below(64), None);
+    }
+
+    #[test]
+    fn idset_complement_at_extremes() {
+        let low = IdSet::range(i64::MIN, 0);
+        let c = low.complement();
+        assert!(!c.contains(i64::MIN) && !c.contains(0));
+        assert!(c.contains(1) && c.contains(i64::MAX));
+        assert_eq!(c.complement(), low);
+        let hi = IdSet::singleton(i64::MAX);
+        assert!(hi.complement().contains(i64::MAX - 1));
+        assert!(!hi.complement().contains(i64::MAX));
+    }
+
+    #[test]
     fn joins_meets_widen() {
         assert_eq!(
             Interval::new(0, 3).join(Interval::new(7, 9)),
@@ -395,5 +586,132 @@ mod tests {
             Nullability::MaybeNull
         );
         assert_eq!(Emptiness::Empty.join(Emptiness::Empty), Emptiness::Empty);
+    }
+}
+
+/// Randomized soundness checks for the interval transfer functions at the
+/// `i64` boundary, where wrapping, saturation, and endpoint-overflow
+/// widening interact: every concrete value drawn from the operand
+/// intervals must land inside the abstract result, and refinement under a
+/// satisfied guard must keep the satisfying pair.
+#[cfg(test)]
+mod boundary_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// `i64` values heavily biased toward the overflow-prone extremes.
+    fn boundary_i64() -> BoxedStrategy<i64> {
+        prop_oneof![
+            Just(i64::MIN),
+            Just(i64::MIN + 1),
+            Just(i64::MIN + 2),
+            Just(-2i64),
+            Just(-1i64),
+            Just(0i64),
+            Just(1i64),
+            Just(2i64),
+            Just(i64::MAX - 2),
+            Just(i64::MAX - 1),
+            Just(i64::MAX),
+            any::<i64>(),
+        ]
+        .boxed()
+    }
+
+    /// An interval together with one concrete member of it.
+    fn interval_and_member() -> BoxedStrategy<(Interval, i64)> {
+        (boundary_i64(), boundary_i64(), boundary_i64())
+            .prop_map(|(a, b, m)| {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                (Interval::new(lo, hi), m.clamp(lo, hi))
+            })
+            .boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn add_sub_mul_are_sound_at_extremes(
+            (a, x) in interval_and_member(),
+            (b, y) in interval_and_member(),
+        ) {
+            prop_assert!(a.add(b).contains(x.wrapping_add(y)), "{a:?}+{b:?} vs {x}+{y}");
+            prop_assert!(a.sub(b).contains(x.wrapping_sub(y)), "{a:?}-{b:?} vs {x}-{y}");
+            prop_assert!(a.mul(b).contains(x.wrapping_mul(y)), "{a:?}*{b:?} vs {x}*{y}");
+            prop_assert!(a.neg().contains(x.wrapping_neg()), "-{a:?} vs -{x}");
+        }
+
+        #[test]
+        fn div_rem_are_sound_at_extremes(
+            (a, x) in interval_and_member(),
+            (b, y) in interval_and_member(),
+        ) {
+            // Runtime semantics: by-zero yields 0, i64::MIN / -1 wraps.
+            let q = if y == 0 { 0 } else { x.wrapping_div(y) };
+            let r = if y == 0 { 0 } else { x.wrapping_rem(y) };
+            prop_assert!(a.div(b).contains(q), "{a:?}/{b:?} vs {x}/{y}");
+            prop_assert!(a.rem(b).contains(r), "{a:?}%{b:?} vs {x}%{y}");
+        }
+
+        #[test]
+        fn widening_is_an_upper_bound_that_pins_or_escapes(
+            (a, _) in interval_and_member(),
+            (b, _) in interval_and_member(),
+        ) {
+            let w = a.widen(b);
+            prop_assert!(w.lo <= a.lo && w.hi >= a.hi, "covers self");
+            prop_assert!(w.lo <= b.lo && w.hi >= b.hi, "covers next");
+            // Termination: each widened bound is either self's bound
+            // (unchanged) or jumped straight to infinity — a bound can
+            // move at most once across the whole fixpoint.
+            prop_assert!(w.lo == a.lo || w.lo == i64::MIN);
+            prop_assert!(w.hi == a.hi || w.hi == i64::MAX);
+        }
+
+        #[test]
+        fn guard_refinement_keeps_satisfying_pairs(
+            (a, x) in interval_and_member(),
+            (b, y) in interval_and_member(),
+        ) {
+            if x < y {
+                let (ra, rb) = a.assume_lt(b).expect("x < y is witnessed");
+                prop_assert!(ra.contains(x) && rb.contains(y), "lt {a:?} {b:?} {x} {y}");
+            }
+            if x <= y {
+                let (ra, rb) = a.assume_le(b).expect("x <= y is witnessed");
+                prop_assert!(ra.contains(x) && rb.contains(y), "le {a:?} {b:?} {x} {y}");
+            }
+            if x == y {
+                let (ra, rb) = a.assume_eq(b).expect("x == y is witnessed");
+                prop_assert!(ra.contains(x) && rb.contains(y), "eq {a:?} {b:?} {x} {y}");
+            }
+            if x != y {
+                let (ra, rb) = a.assume_ne(b).expect("x != y is witnessed");
+                prop_assert!(ra.contains(x) && rb.contains(y), "ne {a:?} {b:?} {x} {y}");
+            }
+        }
+
+        #[test]
+        fn idset_operations_agree_with_membership(
+            (a_lo, a_hi) in (boundary_i64(), boundary_i64()),
+            v in boundary_i64(),
+            probe in boundary_i64(),
+        ) {
+            let (lo, hi) = if a_lo <= a_hi { (a_lo, a_hi) } else { (a_hi, a_lo) };
+            let a = IdSet::range(lo, hi);
+            let b = IdSet::singleton(v).complement();
+            for p in [probe, lo, hi, v] {
+                prop_assert_eq!(
+                    a.union(&b).contains(p),
+                    a.contains(p) || b.contains(p)
+                );
+                prop_assert_eq!(
+                    a.intersect(&b).contains(p),
+                    a.contains(p) && b.contains(p)
+                );
+                prop_assert_eq!(a.complement().contains(p), !a.contains(p));
+            }
+        }
     }
 }

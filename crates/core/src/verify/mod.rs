@@ -21,9 +21,12 @@ mod dataflow;
 pub(crate) mod diag;
 pub(crate) mod domain;
 mod lints;
+pub mod props;
 pub mod vm;
 
 pub use diag::{Diagnostic, Lint, Severity, Verdict};
+pub use domain::IdSet;
+pub use props::{verify_properties, PropStatus, PropertyCertificate};
 
 use crate::hir::HProgram;
 

@@ -30,7 +30,7 @@
 //! operations (unfiltered `COUNT`/`EMPTY`/`TOP`/`POP`, plain `GET` —
 //! recognized as filter-free loops whose body performs no helper work
 //! beyond the element fetch) are charged a single iteration, exactly as
-//! [`super::cost`] charges the construct they were compiled from. Scan
+//! `super::cost` charges the construct they were compiled from. Scan
 //! realizations (filtered views, `MIN`/`MAX`/`SUM`, `FOREACH`, any
 //! call-bearing body) are charged their full inferred trip count. The
 //! bound is the longest path through the back-edge-free CFG (so `IF`

@@ -6,7 +6,7 @@
 //! those are cancelled or superseded within an RTT. A binary heap pays
 //! `O(log n)` per operation and keeps no locality; the timing wheel
 //! pays amortized `O(1)` for both insert and pop by bucketing events
-//! into per-microsecond slots across [`LEVELS`] hierarchical levels
+//! into per-microsecond slots across `LEVELS` hierarchical levels
 //! (the Varghese–Lauck scheme, as in kernel timer wheels), with
 //! per-level occupancy bitmaps so finding the next non-empty slot is a
 //! couple of trailing-zero scans rather than a walk.

@@ -100,6 +100,12 @@ pub struct Connection {
     /// cannot recover reinjected segments, so the liveness oracle must
     /// not hold them to that standard.
     pub pops_rq: bool,
+    /// The compiled program's semantic property certificate (DSL
+    /// schedulers only). When present and the invariant oracle is
+    /// attached, the engine checks every scheduler execution against the
+    /// statically proved properties
+    /// ([`crate::oracle::InvariantOracle::check_properties`]).
+    pub prop_cert: Option<progmp_core::PropertyCertificate>,
 }
 
 impl Connection {
@@ -143,6 +149,7 @@ impl Connection {
             record_timelines: false,
             default_prop: 0,
             pops_rq: true,
+            prop_cert: None,
         }
     }
 

@@ -189,10 +189,12 @@ impl Sim {
         // Native schedulers are opaque, so assume full capability (the
         // strict liveness standard); DSL programs are analyzed below.
         let mut pops_rq = true;
+        let mut prop_cert = None;
         let scheduler = match cfg.scheduler {
             SchedulerSpec::Dsl { source, backend } => {
                 let program: SchedulerProgram = compile(&source)?;
                 pops_rq = program.analyze().queues_popped.contains("RQ");
+                prop_cert = Some(program.property_certificate().clone());
                 // The config default is a sentinel meaning "let the
                 // admission verifier pick": admitted programs carry a
                 // per-program certified worst-case bound, which is much
@@ -254,6 +256,7 @@ impl Sim {
         conn.max_sched_rounds = cfg.max_sched_rounds;
         conn.record_timelines = cfg.record_timelines;
         conn.pops_rq = pops_rq;
+        conn.prop_cert = prop_cert;
         self.connections.push(conn);
         Ok(id)
     }
@@ -758,10 +761,24 @@ impl Sim {
         let max_rounds = self.connections[conn].max_sched_rounds;
         for _ in 0..max_rounds {
             let pushes;
+            let mut prop_obs: Option<crate::oracle::PropObservation> = None;
             {
                 let c = &mut self.connections[conn];
                 c.now = self.now;
                 let budget = c.step_budget;
+                // Pre-state for the property certificate's dynamic checks
+                // must be sampled before the execution mutates the views.
+                let watch_props = self.oracle.is_some() && c.prop_cert.is_some();
+                let (pre_q_nonempty, pre_subflows_nonempty, n_subflows) = if watch_props {
+                    let env: &dyn SchedulerEnv = &*c;
+                    (
+                        !env.queue(progmp_core::env::QueueKind::SendQueue).is_empty(),
+                        !env.subflows().is_empty(),
+                        env.subflows().len() as u64,
+                    )
+                } else {
+                    (false, false, 0)
+                };
                 let t0 = Instant::now();
                 let mut ctx = ExecCtx::new(&*c, budget);
                 let result = handle.execute_once(&mut ctx);
@@ -771,11 +788,36 @@ impl Sim {
                     break;
                 }
                 let (regs, actions, stats) = ctx.finish();
+                if watch_props {
+                    let push_targets = actions
+                        .iter()
+                        .filter_map(|a| match a {
+                            progmp_core::env::Action::Push { subflow, packet } => {
+                                Some((subflow.0, *packet))
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    prop_obs = Some(crate::oracle::PropObservation {
+                        pre_q_nonempty,
+                        pre_subflows_nonempty,
+                        pushes: u64::from(stats.pushes),
+                        null_pops: u64::from(stats.null_pops),
+                        push_targets,
+                        n_subflows,
+                    });
+                }
                 c.apply(&regs, &actions);
                 c.stats.scheduler_executions += 1;
                 c.stats.scheduler_steps += stats.steps;
                 c.stats.scheduler_host_ns += host_ns;
                 pushes = stats.pushes;
+            }
+            if let Some(obs) = prop_obs {
+                let oracle = self.oracle.as_mut().expect("checked above");
+                if let Some(cert) = self.connections[conn].prop_cert.as_ref() {
+                    oracle.check_properties(self.now, conn, cert, &obs);
+                }
             }
             let pending = self.connections[conn].take_pending_tx();
             for (sbf, pkt) in pending {

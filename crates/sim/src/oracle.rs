@@ -34,6 +34,17 @@
 //! * **step-bound** — no scheduler execution aborted on its certified
 //!   step budget (admitted programs carry a verified worst-case bound;
 //!   exceeding it would starve the connection).
+//! * **property-work-conservation** — a program whose certificate
+//!   *proves* work-conservation must emit at least one effective `PUSH`
+//!   whenever it runs with a non-empty send queue and an established
+//!   subflow ([`InvariantOracle::check_properties`]).
+//! * **property-starvation** — every `PUSH` target id stays inside the
+//!   certificate's statically derived allowed-id set.
+//! * **property-redundancy-bound** — no packet is pushed more often in
+//!   one execution than the certificate's closed-form duplication bound
+//!   evaluated at the actual subflow count.
+//! * **property-reinjection** — a program whose `POP` sites are all
+//!   proved guarded never observes a `NULL` pop at runtime.
 //! * **eventual-progress** — checked at quiescence: if the event queue
 //!   drains while unacknowledged data remains, a live (established)
 //!   subflow exists, and the scheduler never dropped a packet, the
@@ -44,6 +55,9 @@
 
 use crate::connection::Connection;
 use crate::time::SimTime;
+use progmp_core::env::PacketRef;
+use progmp_core::verify::props::PropStatus;
+use progmp_core::PropertyCertificate;
 use std::collections::VecDeque;
 
 /// How many trailing events the oracle keeps for violation reports.
@@ -70,6 +84,27 @@ impl std::fmt::Display for OracleViolation {
             self.invariant, self.conn, self.at, self.detail
         )
     }
+}
+
+/// What one scheduler execution actually did, as far as the property
+/// certificate's dynamic checks are concerned. The engine collects one
+/// observation around every `execute_once` round (pre-state before the
+/// run, actions and stats after) and hands it to
+/// [`InvariantOracle::check_properties`].
+#[derive(Debug, Clone, Default)]
+pub struct PropObservation {
+    /// Send queue was non-empty *before* the execution.
+    pub pre_q_nonempty: bool,
+    /// At least one established subflow existed *before* the execution.
+    pub pre_subflows_nonempty: bool,
+    /// Effective pushes (both operands non-`NULL`) the execution emitted.
+    pub pushes: u64,
+    /// Pops that observed `NULL` (an empty queue view).
+    pub null_pops: u64,
+    /// `(subflow id, packet)` of every emitted `Push` action.
+    pub push_targets: Vec<(u32, PacketRef)>,
+    /// Established subflows visible to the execution.
+    pub n_subflows: u64,
 }
 
 /// Per-connection high-water marks for monotonicity checks.
@@ -269,6 +304,86 @@ impl InvariantOracle {
         }
     }
 
+    /// Checks one scheduler execution against the statically derived
+    /// property certificate: every dynamic check enforces a claim the
+    /// verifier *proved* (or a bound it certified), so any violation here
+    /// is an analysis soundness bug, not a scheduler bug.
+    pub fn check_properties(
+        &mut self,
+        now: SimTime,
+        conn: usize,
+        cert: &PropertyCertificate,
+        obs: &PropObservation,
+    ) {
+        let mut bad: Vec<(&'static str, String)> = Vec::new();
+        if cert.work_conservation.status == PropStatus::Proved
+            && obs.pre_q_nonempty
+            && obs.pre_subflows_nonempty
+            && obs.pushes == 0
+        {
+            bad.push((
+                "property-work-conservation",
+                "proved work-conserving, yet an execution with a non-empty send queue \
+                 and an established subflow pushed nothing"
+                    .to_string(),
+            ));
+        }
+        for &(sbf, _) in &obs.push_targets {
+            if !cert.allowed_ids.contains(i64::from(sbf)) {
+                bad.push((
+                    "property-starvation",
+                    format!(
+                        "PUSH targeted subflow id {sbf}, outside the statically derived \
+                         allowed set {}",
+                        cert.allowed_ids.render()
+                    ),
+                ));
+            }
+        }
+        if !obs.push_targets.is_empty() {
+            let cap = cert.dup_bound.eval(obs.n_subflows);
+            let mut counts: Vec<(PacketRef, u64)> = Vec::new();
+            for &(_, pkt) in &obs.push_targets {
+                match counts.iter_mut().find(|(p, _)| *p == pkt) {
+                    Some((_, c)) => *c += 1,
+                    None => counts.push((pkt, 1)),
+                }
+            }
+            for (pkt, c) in counts {
+                if c > cap {
+                    bad.push((
+                        "property-redundancy-bound",
+                        format!(
+                            "packet {} was pushed {c} times in one execution; the \
+                             certificate bounds it by {} = {cap} at n={}",
+                            pkt.0,
+                            cert.dup_bound.render(),
+                            obs.n_subflows
+                        ),
+                    ));
+                }
+            }
+        }
+        if cert.pops_fully_guarded && obs.null_pops > 0 {
+            bad.push((
+                "property-reinjection",
+                format!(
+                    "{} POP(s) observed an empty queue view although every POP site \
+                     was proved guarded",
+                    obs.null_pops
+                ),
+            ));
+        }
+        for (invariant, detail) in bad {
+            self.report(OracleViolation {
+                at: now,
+                conn,
+                invariant,
+                detail,
+            });
+        }
+    }
+
     /// Liveness check run when the event queue drains: with unacked data,
     /// at least one live subflow, and no scheduler-sanctioned drops, the
     /// simulation must not be quiescent.
@@ -432,6 +547,88 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.invariant == "eventual-progress"));
+    }
+
+    #[test]
+    fn property_checks_enforce_the_certificate() {
+        // A certificate proving everything: wc proved, all ids allowed,
+        // dup bound 1, pops fully guarded.
+        let cert = progmp_core::compile(
+            "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) { SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }",
+        )
+        .unwrap()
+        .property_certificate()
+        .clone();
+        assert_eq!(
+            cert.work_conservation.status,
+            progmp_core::PropStatus::Proved
+        );
+        let mut oracle = InvariantOracle::new("unit", false);
+        // A conforming observation passes.
+        let ok = PropObservation {
+            pre_q_nonempty: true,
+            pre_subflows_nonempty: true,
+            pushes: 1,
+            null_pops: 0,
+            push_targets: vec![(0, PacketRef(7))],
+            n_subflows: 2,
+        };
+        oracle.check_properties(1, 0, &cert, &ok);
+        assert!(oracle.violations.is_empty(), "{:?}", oracle.violations);
+        // No push despite the precondition: work-conservation violated.
+        let silent = PropObservation {
+            pushes: 0,
+            push_targets: vec![],
+            ..ok.clone()
+        };
+        oracle.check_properties(2, 0, &cert, &silent);
+        // The same packet pushed twice busts the dup bound of 1.
+        let dup = PropObservation {
+            pushes: 2,
+            push_targets: vec![(0, PacketRef(7)), (1, PacketRef(7))],
+            ..ok.clone()
+        };
+        oracle.check_properties(3, 0, &cert, &dup);
+        // A NULL pop under a fully-guarded certificate.
+        let nullpop = PropObservation {
+            null_pops: 1,
+            ..ok.clone()
+        };
+        oracle.check_properties(4, 0, &cert, &nullpop);
+        let names: Vec<&str> = oracle.violations.iter().map(|v| v.invariant).collect();
+        assert_eq!(
+            names,
+            vec![
+                "property-work-conservation",
+                "property-redundancy-bound",
+                "property-reinjection"
+            ],
+            "{:?}",
+            oracle.violations
+        );
+
+        // A starver certificate restricts the allowed target ids.
+        let starver = progmp_core::compile(
+            "VAR fast = SUBFLOWS.FILTER(sbf => sbf.ID == 0).MIN(sbf => sbf.RTT);\n\
+             IF (fast != NULL AND !Q.EMPTY) { fast.PUSH(Q.POP()); }",
+        )
+        .unwrap()
+        .property_certificate()
+        .clone();
+        oracle.violations.clear();
+        let stray = PropObservation {
+            push_targets: vec![(3, PacketRef(9))],
+            ..ok
+        };
+        oracle.check_properties(5, 0, &starver, &stray);
+        assert!(
+            oracle
+                .violations
+                .iter()
+                .any(|v| v.invariant == "property-starvation"),
+            "{:?}",
+            oracle.violations
+        );
     }
 
     #[test]

@@ -30,13 +30,25 @@
 //!   rollback to a hard compile error — the CI posture, where a pass
 //!   that cannot be re-certified on a first-party scheduler is a
 //!   compiler regression, not a shrug.
+//! * `--properties`: additionally derive and print the semantic property
+//!   certificate (work-conservation, per-subflow starvation, redundancy
+//!   bound, reinjection safety; see `progmp_core::verify::props`). A
+//!   *refuted* property counts as a warning-class finding; with `--json`
+//!   the certificate appears as a `"properties"` object on each entry.
+//! * `--strict-warnings`: exit `2` when the run is otherwise clean but
+//!   any program produced warning-severity findings (including refuted
+//!   properties under `--properties`) — lets CI gate on warnings without
+//!   conflating them with rejects.
 //!
-//! Exit status: `0` when every program is admitted, `1` when any program
-//! has error-severity findings or fails to compile, `2` on usage errors.
+//! Exit status: `0` when every program is admitted and (under
+//! `--strict-warnings`) warning-free, `1` when any program has
+//! error-severity findings or fails to compile, `2` when clean of errors
+//! but a warning was reported and `--strict-warnings` is set, `64` on
+//! usage errors.
 
 use std::process::ExitCode;
 
-use progmp_core::{compile_with_options, CompileOptions};
+use progmp_core::{compile_with_options, CompileOptions, Severity};
 
 struct Options {
     json: bool,
@@ -44,20 +56,35 @@ struct Options {
     bytecode: bool,
     optimize: bool,
     strict: bool,
+    properties: bool,
+    strict_warnings: bool,
     targets: Vec<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: progmp-lint [--json] [--inspect] [--bytecode] [--optimize [--strict]] <file.progmp | scheduler-name>...\n\
-         \x20      progmp-lint [--json] [--inspect] [--bytecode] [--optimize [--strict]] --all\n\
+        "usage: progmp-lint [--json] [--inspect] [--bytecode] [--optimize [--strict]] [--properties] [--strict-warnings] <file.progmp | scheduler-name>...\n\
+         \x20      progmp-lint [... same flags ...] --all\n\
+         \n\
+         flags:\n\
+         \x20 --json             machine-readable output, one JSON object per program\n\
+         \x20 --inspect          also print the static audit report\n\
+         \x20 --bytecode         also run and print the bytecode verifier\n\
+         \x20 --optimize         run the verified bytecode optimizer and report per-pass counts\n\
+         \x20 --strict           (with --optimize) escalate optimizer rollbacks to hard errors\n\
+         \x20 --properties       derive and print the semantic property certificate\n\
+         \x20                    (work-conservation, starvation, redundancy bound, reinjection)\n\
+         \x20 --strict-warnings  exit 2 when clean of errors but warnings were reported\n\
+         \n\
+         exit status: 0 clean; 1 admission/bytecode reject or compile error;\n\
+         \x20            2 warnings under --strict-warnings; 64 usage error\n\
          \n\
          bundled scheduler names:"
     );
     for (name, _) in progmp_schedulers::sources::ALL {
         eprintln!("  {name}");
     }
-    ExitCode::from(2)
+    ExitCode::from(64)
 }
 
 fn parse_args() -> Result<Options, ExitCode> {
@@ -67,6 +94,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         bytecode: false,
         optimize: false,
         strict: false,
+        properties: false,
+        strict_warnings: false,
         targets: Vec::new(),
     };
     let mut all = false;
@@ -77,6 +106,8 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--bytecode" => opts.bytecode = true,
             "--optimize" => opts.optimize = true,
             "--strict" => opts.strict = true,
+            "--properties" => opts.properties = true,
+            "--strict-warnings" => opts.strict_warnings = true,
             "--all" => all = true,
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with("--") => return Err(usage()),
@@ -136,6 +167,7 @@ fn main() -> ExitCode {
     };
 
     let mut failed = false;
+    let mut warned = false;
     let mut first = true;
     if opts.json {
         println!("[");
@@ -177,6 +209,22 @@ fn main() -> ExitCode {
                 if !verdict.admitted() {
                     failed = true;
                 }
+                if verdict.count(Severity::Warning) > 0 {
+                    warned = true;
+                }
+                if opts.properties {
+                    // A refuted property surfaces as a warning-severity
+                    // diagnostic: it never gates admission, but it does
+                    // trip `--strict-warnings`.
+                    let cert = program.property_certificate();
+                    if cert
+                        .diagnostics()
+                        .iter()
+                        .any(|d| d.severity == Severity::Warning)
+                    {
+                        warned = true;
+                    }
+                }
                 if opts.json {
                     let mut obj = verdict.render_json(&name);
                     if let Some(report) = program.opt_report() {
@@ -185,9 +233,20 @@ fn main() -> ExitCode {
                         let trimmed = obj.trim_end().strip_suffix('}').unwrap().to_string();
                         obj = format!("{trimmed},\"optimizer\":{}}}", report.render_json());
                     }
+                    if opts.properties {
+                        let trimmed = obj.trim_end().strip_suffix('}').unwrap().to_string();
+                        obj = format!(
+                            "{trimmed},\"properties\":{}}}",
+                            program.property_certificate().render_json()
+                        );
+                    }
                     print!("{obj}");
                 } else {
                     println!("{}", verdict.render_human(&name));
+                    if opts.properties {
+                        print!("{}", program.property_certificate().render_human(&name));
+                        println!();
+                    }
                 }
                 if opts.optimize && !opts.json {
                     if let Some(report) = program.opt_report() {
@@ -203,8 +262,12 @@ fn main() -> ExitCode {
                     println!();
                 }
                 if opts.bytecode {
-                    if !program.bytecode_verdict().admitted() {
+                    let bv = program.bytecode_verdict();
+                    if !bv.admitted() {
                         failed = true;
+                    }
+                    if bv.count(Severity::Warning) > 0 {
+                        warned = true;
                     }
                     if !opts.json {
                         println!("--- bytecode verification: {name} ---");
@@ -231,6 +294,8 @@ fn main() -> ExitCode {
     }
     if failed {
         ExitCode::from(1)
+    } else if opts.strict_warnings && warned {
+        ExitCode::from(2)
     } else {
         ExitCode::SUCCESS
     }
