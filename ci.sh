@@ -32,6 +32,9 @@ cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --seeds 5
 echo "==> verifier-soundness sweep (500 seeds)"
 cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --soundness --seeds 500
 
+echo "==> verifier-soundness sweep, octagon disabled (500 seeds)"
+cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --soundness --no-octagon --seeds 500
+
 echo "==> bytecode-verifier soundness sweep + codegen-mutation check (500 seeds)"
 cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --vm-soundness --seeds 500
 
@@ -40,6 +43,9 @@ cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --opt-sou
 
 echo "==> property-soundness sweep + analysis-weakening check (500 seeds)"
 cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --prop-soundness --seeds 500
+
+echo "==> property-soundness sweep, octagon disabled (500 seeds)"
+cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --prop-soundness --no-octagon --seeds 500
 
 echo "==> chaos sweep: fault plans x schedulers x backends + oracle mutation check (200 plans)"
 cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --chaos --seeds 200

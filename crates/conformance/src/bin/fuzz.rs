@@ -1,7 +1,7 @@
 //! Seed-sweeping differential and soundness fuzzer.
 //!
 //! ```text
-//! conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness | --opt-soundness | --prop-soundness | --chaos]
+//! conformance-fuzz [--start S] [--seeds N] [--no-octagon] [--soundness | --vm-soundness | --opt-soundness | --prop-soundness | --chaos]
 //! ```
 //!
 //! Explores seeds `[S, S+N)` (default `[0, 500)`).
@@ -47,6 +47,11 @@
 //! check catches, while the honest certificate stays silent on the same
 //! execution.
 //!
+//! `--no-octagon` combines with `--soundness` and `--prop-soundness` to
+//! force the verifier's projection-only (pure interval) fallback,
+//! exercising the differential contract: the relational octagon domain
+//! may only sharpen verdicts, and both configurations must be sound.
+//!
 //! With `--chaos`, each seed generates a whole simulated transfer under
 //! a random fault plan (blackouts, burst loss, jitter, rwnd stalls,
 //! subflow churn) and runs one of the paper's schedulers across all
@@ -68,6 +73,7 @@ use progmp_conformance::vm_soundness;
 struct Args {
     start: u64,
     seeds: u64,
+    no_octagon: bool,
     soundness: bool,
     vm_soundness: bool,
     opt_soundness: bool,
@@ -79,6 +85,7 @@ fn parse_args() -> Args {
     let mut parsed = Args {
         start: 0,
         seeds: 500,
+        no_octagon: false,
         soundness: false,
         vm_soundness: false,
         opt_soundness: false,
@@ -87,13 +94,14 @@ fn parse_args() -> Args {
     };
     fn usage() -> ! {
         eprintln!(
-            "usage: conformance-fuzz [--start S] [--seeds N] [--soundness | --vm-soundness | --opt-soundness | --prop-soundness | --chaos]"
+            "usage: conformance-fuzz [--start S] [--seeds N] [--no-octagon] [--soundness | --vm-soundness | --opt-soundness | --prop-soundness | --chaos]"
         );
         std::process::exit(2);
     }
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--no-octagon" => parsed.no_octagon = true,
             "--soundness" => parsed.soundness = true,
             "--vm-soundness" => parsed.vm_soundness = true,
             "--opt-soundness" => parsed.opt_soundness = true,
@@ -138,12 +146,13 @@ fn minimize(divergence: Divergence) -> Divergence {
     }
 }
 
-fn run_soundness(start: u64, seeds: u64) {
+fn run_soundness(start: u64, seeds: u64, relational: bool) {
     println!(
-        "conformance-fuzz --soundness: seeds [{start}, {})",
+        "conformance-fuzz --soundness{}: seeds [{start}, {})",
+        if relational { "" } else { " --no-octagon" },
         start + seeds
     );
-    let report = soundness::sweep(start, seeds);
+    let report = soundness::sweep(start, seeds, relational);
     println!("{}", report.summary());
     if !report.violations.is_empty() {
         for violation in &report.violations {
@@ -234,12 +243,13 @@ fn run_opt_soundness(start: u64, seeds: u64) {
     }
 }
 
-fn run_prop_soundness(start: u64, seeds: u64) {
+fn run_prop_soundness(start: u64, seeds: u64, relational: bool) {
     println!(
-        "conformance-fuzz --prop-soundness: seeds [{start}, {})",
+        "conformance-fuzz --prop-soundness{}: seeds [{start}, {})",
+        if relational { "" } else { " --no-octagon" },
         start + seeds
     );
-    let report = prop_soundness::sweep(start, seeds);
+    let report = prop_soundness::sweep(start, seeds, relational);
     println!("{}", report.summary());
     let mut failed = false;
     if !report.violations.is_empty() {
@@ -326,11 +336,11 @@ fn main() {
         return;
     }
     if args.prop_soundness {
-        run_prop_soundness(args.start, args.seeds);
+        run_prop_soundness(args.start, args.seeds, !args.no_octagon);
         return;
     }
     if args.soundness {
-        run_soundness(args.start, args.seeds);
+        run_soundness(args.start, args.seeds, !args.no_octagon);
         return;
     }
     let (start, seeds) = (args.start, args.seeds);

@@ -98,6 +98,17 @@ impl PropSweepReport {
 fn observe(program: &SchedulerProgram, backend: Backend, env: &MockEnv) -> Option<PropObservation> {
     let pre_q_nonempty = !env.queue(QueueKind::SendQueue).is_empty();
     let pre_subflows_nonempty = !env.subflows().is_empty();
+    // Mirror the work-conservation analysis' availability precondition
+    // (and the simulator engine's pre-round sampling): not TSQ-throttled,
+    // not lossy, congestion window above in-flight + queued (wrapping,
+    // as the DSL's ADD evaluates).
+    let pre_avail_subflow = env.subflows().iter().any(|&s| {
+        let prop = |p| env.subflow_prop(s, p);
+        prop(SubflowProp::TsqThrottled) == 0
+            && prop(SubflowProp::Lossy) == 0
+            && prop(SubflowProp::Cwnd)
+                > prop(SubflowProp::SkbsInFlight).wrapping_add(prop(SubflowProp::Queued))
+    });
     let n_subflows = env.subflows().len() as u64;
     let mut ctx = ExecCtx::new(env, program.certified_step_bound());
     let mut instance = program.instantiate(backend);
@@ -113,6 +124,7 @@ fn observe(program: &SchedulerProgram, backend: Backend, env: &MockEnv) -> Optio
     Some(PropObservation {
         pre_q_nonempty,
         pre_subflows_nonempty,
+        pre_avail_subflow,
         pushes: u64::from(stats.pushes),
         null_pops: u64::from(stats.null_pops),
         push_targets,
@@ -148,25 +160,58 @@ fn check_observation(
 /// derives the property certificate, and validates it against the
 /// observed execution on every backend. Returns `(wc proved?, any
 /// refutation?, exec errors, violations)`.
-pub fn check_seed(seed: u64) -> (bool, bool, u64, Vec<PropViolation>) {
+///
+/// `relational` selects the octagon domain. With it on, the certificate
+/// is also derived with the projection-only fallback and every verdict
+/// must move monotonically toward PROVED (the octagon may sharpen a
+/// verdict, never lose one).
+pub fn check_seed(seed: u64, relational: bool) -> (bool, bool, u64, Vec<PropViolation>) {
     let mut generator = Generator::new(seed);
     let candidate = generator.program();
     let spec = generator.env_spec();
     let source = candidate.to_string();
-    let program = progmp_core::compile_with_options(
-        None,
-        &source,
-        CompileOptions {
-            enforce_admission: false,
-            ..CompileOptions::default()
-        },
-    )
-    .unwrap_or_else(|e| panic!("seed {seed}: generated program failed to compile: {e}\n{source}"));
+    let compile = |rel: bool| {
+        progmp_core::compile_with_options(
+            None,
+            &source,
+            CompileOptions {
+                enforce_admission: false,
+                relational_domain: rel,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| {
+            panic!("seed {seed}: generated program failed to compile: {e}\n{source}")
+        })
+    };
+    let program = compile(relational);
     let cert = program.property_certificate().clone();
     let wc_proved = cert.work_conservation.status == progmp_core::PropStatus::Proved;
     let refuted = !cert.clean();
     let mut exec_errors = 0;
     let mut violations = Vec::new();
+    if relational {
+        let fallback = compile(false);
+        let cert_off = fallback.property_certificate();
+        for ((lint, on), (_, off)) in cert.outcomes().iter().zip(cert_off.outcomes().iter()) {
+            if off.status == progmp_core::PropStatus::Proved
+                && on.status != progmp_core::PropStatus::Proved
+            {
+                violations.push(PropViolation {
+                    seed,
+                    backend: Backend::ALL[0],
+                    source: source.clone(),
+                    invariant: "octagon-monotonicity",
+                    detail: format!(
+                        "{}: proved by the projection-only analysis but {} with the \
+                         octagon enabled",
+                        lint.name(),
+                        on.status.name()
+                    ),
+                });
+            }
+        }
+    }
     for backend in Backend::ALL {
         let env = spec.build();
         match observe(&program, backend, &env) {
@@ -180,11 +225,11 @@ pub fn check_seed(seed: u64) -> (bool, bool, u64, Vec<PropViolation>) {
 }
 
 /// Runs [`check_seed`] over seeds `[start, start + count)`.
-pub fn sweep(start: u64, count: u64) -> PropSweepReport {
+pub fn sweep(start: u64, count: u64, relational: bool) -> PropSweepReport {
     let mut report = PropSweepReport::default();
     for seed in start..start + count {
         report.checked += 1;
-        let (wc, refuted, exec_errors, violations) = check_seed(seed);
+        let (wc, refuted, exec_errors, violations) = check_seed(seed, relational);
         if wc {
             report.wc_proved += 1;
         }
@@ -241,12 +286,13 @@ impl WeakeningReport {
 /// A crafted scheduler + environment that exposes one weakening: the
 /// weakened analysis makes a claim the execution falsifies.
 fn weakening_case(weakening: PropWeakening) -> (&'static str, EnvSpec) {
-    // The default environment: one established subflow (id 0, RTT 10),
-    // one packet waiting in the send queue.
+    // The default environment: one established subflow (id 0, RTT 10,
+    // open congestion window so it counts as *available* under the
+    // work-conservation precondition), one packet in the send queue.
     let mut spec = EnvSpec {
         subflows: vec![SubflowSpec {
             id: 0,
-            props: vec![(SubflowProp::Rtt, 10)],
+            props: vec![(SubflowProp::Rtt, 10), (SubflowProp::Cwnd, 10)],
             has_window: true,
         }],
         ..EnvSpec::default()
@@ -279,7 +325,7 @@ fn weakening_case(weakening: PropWeakening) -> (&'static str, EnvSpec) {
         PropWeakening::IgnoreLoopMultiplicity => {
             spec.subflows.push(SubflowSpec {
                 id: 1,
-                props: vec![(SubflowProp::Rtt, 20)],
+                props: vec![(SubflowProp::Rtt, 20), (SubflowProp::Cwnd, 10)],
                 has_window: true,
             });
             ("FOREACH (VAR sbf IN SUBFLOWS) { sbf.PUSH(Q.TOP); }", spec)
@@ -291,7 +337,7 @@ fn weakening_case(weakening: PropWeakening) -> (&'static str, EnvSpec) {
         PropWeakening::TreatTransientAsId => {
             spec.subflows.push(SubflowSpec {
                 id: 1,
-                props: vec![(SubflowProp::Rtt, 0)],
+                props: vec![(SubflowProp::Rtt, 0), (SubflowProp::Cwnd, 10)],
                 has_window: true,
             });
             (
@@ -305,6 +351,23 @@ fn weakening_case(weakening: PropWeakening) -> (&'static str, EnvSpec) {
         // `pops_fully_guarded`.
         PropWeakening::AssumePopsGuarded => (
             "VAR p = RQ.POP();\nIF (p != NULL AND !SUBFLOWS.EMPTY) { SUBFLOWS.MIN(s => s.RTT).PUSH(p); }",
+            spec,
+        ),
+        // The contradictory relational guard pair (R1 < R2 then
+        // R1 >= R2) makes the no-push RETURN path infeasible only while
+        // the octagon tracks the R1/R2 relation: dropping relations must
+        // lose the work-conservation proof (checked statically in
+        // `mutation_check`), while the concrete run (registers default
+        // to 0, taking the ELSE push) keeps the clean baseline silent.
+        PropWeakening::OctagonDropRelations => (
+            "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {\n\
+             IF (R1 < R2) {\n\
+             IF (R1 >= R2) { RETURN; }\n\
+             SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP());\n\
+             } ELSE {\n\
+             SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP());\n\
+             }\n\
+             }",
             spec,
         ),
     }
@@ -333,6 +396,50 @@ pub fn mutation_check() -> WeakeningReport {
         };
         let weakened = compile(Some(weakening));
         let clean = compile(None);
+        if weakening == PropWeakening::OctagonDropRelations {
+            // Not an unsoundness injection: the weakening only discards
+            // precision, so the catch is *losing a PROVED* — the clean
+            // certificate proves work-conservation via the relational
+            // guard contradiction, the weakened one must not. The clean
+            // certificate must still stay dynamically silent on every
+            // backend, pinning the proof's soundness.
+            let clean_wc = clean.property_certificate().work_conservation.status;
+            let weak_wc = weakened.property_certificate().work_conservation.status;
+            let caught = clean_wc == progmp_core::PropStatus::Proved
+                && weak_wc != progmp_core::PropStatus::Proved;
+            let mut baseline_clean = true;
+            for backend in Backend::ALL {
+                let env = spec.build();
+                let obs = observe(&clean, backend, &env)
+                    .unwrap_or_else(|| panic!("weakening case {} must execute", weakening.name()));
+                if !check_observation(
+                    u64::MAX,
+                    backend,
+                    source,
+                    clean.property_certificate(),
+                    &obs,
+                )
+                .is_empty()
+                {
+                    baseline_clean = false;
+                }
+            }
+            report.outcomes.push(WeakeningOutcome {
+                weakening: weakening.name(),
+                caught,
+                sound_baseline: baseline_clean,
+                detail: if caught {
+                    format!(
+                        "work-conservation {} -> {} when the relational domain is dropped",
+                        clean_wc.name(),
+                        weak_wc.name()
+                    )
+                } else {
+                    String::new()
+                },
+            });
+            continue;
+        }
         let mut caught_everywhere = true;
         let mut baseline_clean = true;
         let mut detail = String::new();
@@ -387,8 +494,26 @@ mod tests {
 
     #[test]
     fn small_prop_sweep_is_clean() {
-        let report = sweep(0, 64);
+        let report = sweep(0, 64, true);
         assert_eq!(report.checked, 64);
+        assert!(
+            report.violations.is_empty(),
+            "{}",
+            report
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn projection_only_prop_sweep_is_clean() {
+        // With the octagon force-disabled the weaker certificates must
+        // still be dynamically sound.
+        let report = sweep(0, 32, false);
+        assert_eq!(report.checked, 32);
         assert!(
             report.violations.is_empty(),
             "{}",

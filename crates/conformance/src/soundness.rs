@@ -62,14 +62,35 @@ pub enum SeedOutcome {
 /// Generates the program and environment for `seed` and checks the
 /// soundness contract, panicking on generator bugs (programs that fail
 /// to compile) since those invalidate the harness itself.
-pub fn check_seed(seed: u64) -> SeedOutcome {
+///
+/// `relational` selects the octagon domain; with it on, the seed is also
+/// compiled with the projection-only fallback and the admission verdict
+/// must move monotonically (anything the weaker domain admits, the
+/// octagon must admit too).
+pub fn check_seed(seed: u64, relational: bool) -> SeedOutcome {
     let mut generator = Generator::new(seed);
     let candidate = generator.program();
     let spec = generator.env_spec();
     let source = candidate.to_string();
-    let program = crate::compile_observed(&source).unwrap_or_else(|e| {
+    let program = crate::compile_observed_relational(&source, relational).unwrap_or_else(|e| {
         panic!("seed {seed}: generated program failed to compile: {e}\n{source}")
     });
+    if relational {
+        let fallback = crate::compile_observed_relational(&source, false).unwrap_or_else(|e| {
+            panic!("seed {seed}: projection-only compile failed: {e}\n{source}")
+        });
+        if fallback.verdict().admitted() && !program.verdict().admitted() {
+            return SeedOutcome::Unsound(Box::new(Violation {
+                seed,
+                source,
+                backend: Backend::ALL[0],
+                certified_bound: 0,
+                detail: "octagon-monotonicity: the projection-only verifier admits the \
+                         program but the octagon-enabled verifier rejects it"
+                    .to_string(),
+            }));
+        }
+    }
     if !program.verdict().admitted() {
         return SeedOutcome::Rejected;
     }
@@ -145,11 +166,11 @@ impl SweepReport {
 }
 
 /// Runs [`check_seed`] over seeds `[start, start + count)`.
-pub fn sweep(start: u64, count: u64) -> SweepReport {
+pub fn sweep(start: u64, count: u64, relational: bool) -> SweepReport {
     let mut report = SweepReport::default();
     for seed in start..start + count {
         report.checked += 1;
-        match check_seed(seed) {
+        match check_seed(seed, relational) {
             SeedOutcome::Rejected => report.rejected += 1,
             SeedOutcome::Sound => report.admitted += 1,
             SeedOutcome::Unsound(v) => {
@@ -167,7 +188,7 @@ mod tests {
 
     #[test]
     fn small_sweep_is_sound() {
-        let report = sweep(0, 32);
+        let report = sweep(0, 32, true);
         assert_eq!(report.checked, 32);
         assert!(
             report.violations.is_empty(),
@@ -182,5 +203,22 @@ mod tests {
         // The generator mostly emits guarded programs; the verifier must
         // not reject everything wholesale.
         assert!(report.admitted > 0, "{}", report.summary());
+    }
+
+    #[test]
+    fn projection_only_sweep_is_sound() {
+        // The octagon-disabled fallback must uphold the same contract.
+        let report = sweep(0, 16, false);
+        assert_eq!(report.checked, 16);
+        assert!(
+            report.violations.is_empty(),
+            "{}",
+            report
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
     }
 }

@@ -13,7 +13,7 @@ const SEEDS: u64 = 500;
 
 #[test]
 fn admitted_programs_never_fail_at_runtime() {
-    let report = sweep(0, SEEDS);
+    let report = sweep(0, SEEDS, true);
     println!("{}", report.summary());
     assert_eq!(report.checked, SEEDS);
     assert!(

@@ -119,6 +119,11 @@ pub struct CompileOptions {
     /// [`crate::verify::props::PropWeakening`]).
     #[doc(hidden)]
     pub prop_weakening: Option<crate::verify::props::PropWeakening>,
+    /// Run the relational octagon domain in the admission and property
+    /// verifiers. Off, both fall back to the projection-only (pure
+    /// interval) analysis — the differential soundness sweeps compare
+    /// the two modes.
+    pub relational_domain: bool,
 }
 
 impl Default for CompileOptions {
@@ -130,6 +135,7 @@ impl Default for CompileOptions {
             strict_optimize: false,
             opt_sabotage: None,
             prop_weakening: None,
+            relational_domain: true,
         }
     }
 }
@@ -150,7 +156,11 @@ pub fn compile_with_options(
     // Static admission: the abstract-interpretation verifier runs on the
     // exact HIR the backends execute. Its verdict is always recorded;
     // enforcement turns error-severity findings into compile errors.
-    let verdict = crate::verify::verify(&hir);
+    let verify_cfg = crate::verify::VerifyConfig {
+        relational_domain: options.relational_domain,
+        ..crate::verify::VerifyConfig::default()
+    };
+    let verdict = crate::verify::verify_with_config(&hir, &verify_cfg);
     if options.enforce_admission && !verdict.admitted() {
         let first = verdict
             .diagnostics
@@ -167,7 +177,11 @@ pub fn compile_with_options(
     // redundancy bound, reinjection safety) over the same HIR. Findings
     // never gate admission: they are recorded on the program for the lint
     // CLI and armed as dynamic invariants by the simulator's oracle.
-    let props = crate::verify::props::verify_properties_weakened(&hir, options.prop_weakening);
+    let props = crate::verify::props::verify_properties_with(
+        &hir,
+        options.prop_weakening,
+        options.relational_domain,
+    );
     let vcode = codegen::generate(&hir)?;
     let (bytecode, debug) = regalloc::allocate_with_debug(&vcode)?;
     // Optional verified bytecode optimization: each pass's output is

@@ -46,6 +46,10 @@ pub struct VerifyConfig {
     /// Multiplier applied to the closed-form cost total to absorb
     /// step-accounting differences between backends.
     pub cost_safety_factor: u64,
+    /// Run the relational octagon domain alongside the intervals. Off,
+    /// the verifier falls back to the projection-only (pure interval)
+    /// analysis — used by the differential soundness sweeps.
+    pub relational_domain: bool,
 }
 
 impl Default for VerifyConfig {
@@ -55,6 +59,7 @@ impl Default for VerifyConfig {
             max_queue_len: 65_536,
             max_scan_depth: 8,
             cost_safety_factor: 16,
+            relational_domain: true,
         }
     }
 }
@@ -66,7 +71,7 @@ pub fn verify(prog: &HProgram) -> Verdict {
 
 /// Verifies `prog` under explicit caps, returning the full [`Verdict`].
 pub fn verify_with_config(prog: &HProgram, cfg: &VerifyConfig) -> Verdict {
-    let mut diagnostics = dataflow::run(prog);
+    let mut diagnostics = dataflow::run(prog, cfg.relational_domain);
     diagnostics.extend(lints::run(prog, cfg));
     diagnostics.sort_by(|a, b| {
         (a.pos.line, a.pos.col, a.lint, &a.message)

@@ -9,11 +9,14 @@
 //! [`PropertyCertificate`] over four semantic properties:
 //!
 //! 1. **Work-conservation** — under the assumption that the send queue is
-//!    non-empty and at least one subflow exists, every execution path
-//!    reaches a `PUSH` whose operands are provably non-`NULL`. Proofs are
-//!    sound (and dynamically validated by the conformance sweep);
-//!    refutations carry a best-effort witness path and may be abstractly
-//!    feasible but concretely dead.
+//!    non-empty and at least one *available* subflow exists (not
+//!    TSQ-throttled, not lossy, and — when the relational domain is on —
+//!    with congestion-window room above its in-flight bytes), every
+//!    execution path reaches a `PUSH` whose operands are provably
+//!    non-`NULL`. Proofs are sound (and dynamically validated by the
+//!    conformance sweep, which samples the same availability predicate
+//!    pre-round); refutations carry a best-effort witness path and may be
+//!    abstractly feasible but concretely dead.
 //! 2. **Per-subflow starvation** — the set of subflow identities that can
 //!    ever be the target of a `PUSH`, derived from guard satisfiability
 //!    of `FILTER` predicates over the [`IdSet`] domain. When some id
@@ -460,17 +463,25 @@ pub enum PropWeakening {
     TreatTransientAsId,
     /// Reinjection: report every `POP` site as emptiness-guarded.
     AssumePopsGuarded,
+    /// Work-conservation: drop the octagon relational state (and the
+    /// relational congestion-window availability conjunct), falling back
+    /// to the projection-only interval analysis. Not unsound by itself —
+    /// the sweep proves the relational information is load-bearing by
+    /// requiring the weakened run to lose a PROVED (or be caught
+    /// dynamically).
+    OctagonDropRelations,
 }
 
 #[doc(hidden)]
 impl PropWeakening {
     /// All weakenings, for the mutation sweep.
-    pub const ALL: [PropWeakening; 5] = [
+    pub const ALL: [PropWeakening; 6] = [
         PropWeakening::AssumeLoopsRun,
         PropWeakening::IgnoreNullableOperands,
         PropWeakening::IgnoreLoopMultiplicity,
         PropWeakening::TreatTransientAsId,
         PropWeakening::AssumePopsGuarded,
+        PropWeakening::OctagonDropRelations,
     ];
 
     /// Stable name for harness output.
@@ -481,13 +492,14 @@ impl PropWeakening {
             PropWeakening::IgnoreLoopMultiplicity => "ignore-loop-multiplicity",
             PropWeakening::TreatTransientAsId => "treat-transient-as-id",
             PropWeakening::AssumePopsGuarded => "assume-pops-guarded",
+            PropWeakening::OctagonDropRelations => "octagon-drop-relations",
         }
     }
 }
 
 /// Derives the property certificate for `prog` (production entry point).
 pub fn verify_properties(prog: &HProgram) -> PropertyCertificate {
-    verify_properties_weakened(prog, None)
+    verify_properties_with(prog, None, true)
 }
 
 /// Like [`verify_properties`] with an optional sabotage weakening
@@ -497,11 +509,23 @@ pub fn verify_properties_weakened(
     prog: &HProgram,
     weaken: Option<PropWeakening>,
 ) -> PropertyCertificate {
+    verify_properties_with(prog, weaken, true)
+}
+
+/// Full-control entry point: optional weakening plus the relational
+/// (octagon) domain toggle used by the differential soundness sweeps.
+#[doc(hidden)]
+pub fn verify_properties_with(
+    prog: &HProgram,
+    weaken: Option<PropWeakening>,
+    relational: bool,
+) -> PropertyCertificate {
     let config = VerifyConfig::default();
-    let work_conservation = analyze_work_conservation(prog, weaken);
+    let relational = relational && weaken != Some(PropWeakening::OctagonDropRelations);
+    let work_conservation = analyze_work_conservation(prog, weaken, relational);
     let (starvation, allowed_ids) = analyze_starvation(prog, weaken);
     let (redundancy, dup_bound) = analyze_redundancy(prog, weaken, &config);
-    let (reinjection, pops_fully_guarded) = analyze_reinjection(prog, weaken);
+    let (reinjection, pops_fully_guarded) = analyze_reinjection(prog, weaken, relational);
     let dup_cap = dup_bound.eval(config.max_subflows);
     PropertyCertificate {
         work_conservation,
@@ -537,17 +561,27 @@ struct WcAnalysis<'a> {
     saw_path: bool,
 }
 
-fn analyze_work_conservation(prog: &HProgram, weaken: Option<PropWeakening>) -> PropOutcome {
-    // Assumption environment: send queue non-empty, >= 1 subflow.
-    let mut st = AbsState::initial(prog);
+fn analyze_work_conservation(
+    prog: &HProgram,
+    weaken: Option<PropWeakening>,
+    relational: bool,
+) -> PropOutcome {
+    // Assumption environment: send queue non-empty, >= 1 *available*
+    // subflow (not TSQ-throttled, not lossy, and — relationally — with
+    // congestion-window room). The availability witness is consulted by
+    // the analyzer when it classifies view emptiness.
+    let mut st = AbsState::initial_with(prog, relational);
     st.queues[dataflow::queue_index(QueueKind::SendQueue)] = Emptiness::NonEmpty;
     st.subflow_count = st
         .subflow_count
         .meet(super::domain::Interval::new(1, i64::MAX))
         .expect("initial subflow range contains [1, MAX]");
+    let mut az = Analyzer::quiet(prog);
+    az.assume_avail = true;
+    az.avail_relational = relational;
     let mut wc = WcAnalysis {
         prog,
-        az: Analyzer::quiet(prog),
+        az,
         weaken,
         paths: 0,
         overflowed: false,
@@ -559,7 +593,8 @@ fn analyze_work_conservation(prog: &HProgram, weaken: Option<PropWeakening>) -> 
     if let Some(witness) = wc.refutation {
         return PropOutcome::refuted(
             "a feasible path reaches the end of the upcall without any PUSH \
-             even though the send queue is non-empty and a subflow exists",
+             even though the send queue is non-empty and an available subflow \
+             exists",
             witness,
         );
     }
@@ -577,7 +612,7 @@ fn analyze_work_conservation(prog: &HProgram, weaken: Option<PropWeakening>) -> 
     if wc.saw_path {
         PropOutcome::proved(
             "every feasible path issues a PUSH with non-NULL operands whenever \
-             the send queue is non-empty and a subflow exists",
+             the send queue is non-empty and an available subflow exists",
         )
     } else {
         // Every branch combination was infeasible; vacuously conservative.
@@ -1350,13 +1385,17 @@ struct ReinjAnalysis<'a> {
     sites: Vec<PopSite>,
 }
 
-fn analyze_reinjection(prog: &HProgram, weaken: Option<PropWeakening>) -> (PropOutcome, bool) {
+fn analyze_reinjection(
+    prog: &HProgram,
+    weaken: Option<PropWeakening>,
+    relational: bool,
+) -> (PropOutcome, bool) {
     let mut ra = ReinjAnalysis {
         prog,
         az: Analyzer::quiet(prog),
         sites: Vec::new(),
     };
-    let mut st = AbsState::initial(prog);
+    let mut st = AbsState::initial_with(prog, relational);
     ra.walk(&mut st, &prog.body);
     if weaken == Some(PropWeakening::AssumePopsGuarded) {
         for s in &mut ra.sites {
@@ -1723,6 +1762,29 @@ mod tests {
         assert!(!cert(unguarded).pops_fully_guarded);
         assert!(
             cert_weakened(unguarded, Some(PropWeakening::AssumePopsGuarded)).pops_fully_guarded
+        );
+
+        // octagon-drop-relations: the contradictory relational guard pair
+        // (R1 < R2 then R1 >= R2) kills the no-push RETURN path only when
+        // the octagon tracks the R1/R2 relation, so dropping it loses the
+        // work-conservation proof.
+        let relational_guard = "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {
+                 IF (R1 < R2) {
+                     IF (R1 >= R2) { RETURN; }
+                     SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+                 } ELSE {
+                     SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+                 }
+             }";
+        assert_eq!(
+            cert(relational_guard).work_conservation.status,
+            PropStatus::Proved
+        );
+        assert_ne!(
+            cert_weakened(relational_guard, Some(PropWeakening::OctagonDropRelations))
+                .work_conservation
+                .status,
+            PropStatus::Proved
         );
     }
 

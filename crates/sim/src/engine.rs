@@ -769,16 +769,29 @@ impl Sim {
                 // Pre-state for the property certificate's dynamic checks
                 // must be sampled before the execution mutates the views.
                 let watch_props = self.oracle.is_some() && c.prop_cert.is_some();
-                let (pre_q_nonempty, pre_subflows_nonempty, n_subflows) = if watch_props {
-                    let env: &dyn SchedulerEnv = &*c;
-                    (
-                        !env.queue(progmp_core::env::QueueKind::SendQueue).is_empty(),
-                        !env.subflows().is_empty(),
-                        env.subflows().len() as u64,
-                    )
-                } else {
-                    (false, false, 0)
-                };
+                let (pre_q_nonempty, pre_subflows_nonempty, pre_avail_subflow, n_subflows) =
+                    if watch_props {
+                        let env: &dyn SchedulerEnv = &*c;
+                        // Availability mirrors the DSL predicate the
+                        // work-conservation analysis assumes (wrapping
+                        // arithmetic matches the interpreter's ADD).
+                        let avail = env.subflows().iter().any(|&s| {
+                            use progmp_core::env::SubflowProp as P;
+                            let prop = |p| env.subflow_prop(s, p);
+                            prop(P::TsqThrottled) == 0
+                                && prop(P::Lossy) == 0
+                                && prop(P::Cwnd)
+                                    > prop(P::SkbsInFlight).wrapping_add(prop(P::Queued))
+                        });
+                        (
+                            !env.queue(progmp_core::env::QueueKind::SendQueue).is_empty(),
+                            !env.subflows().is_empty(),
+                            avail,
+                            env.subflows().len() as u64,
+                        )
+                    } else {
+                        (false, false, false, 0)
+                    };
                 let t0 = Instant::now();
                 let mut ctx = ExecCtx::new(&*c, budget);
                 let result = handle.execute_once(&mut ctx);
@@ -801,6 +814,7 @@ impl Sim {
                     prop_obs = Some(crate::oracle::PropObservation {
                         pre_q_nonempty,
                         pre_subflows_nonempty,
+                        pre_avail_subflow,
                         pushes: u64::from(stats.pushes),
                         null_pops: u64::from(stats.null_pops),
                         push_targets,

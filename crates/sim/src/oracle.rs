@@ -97,6 +97,12 @@ pub struct PropObservation {
     pub pre_q_nonempty: bool,
     /// At least one established subflow existed *before* the execution.
     pub pre_subflows_nonempty: bool,
+    /// At least one *available* subflow existed *before* the execution:
+    /// not TSQ-throttled, not lossy, and with congestion-window room
+    /// (`CWND > SKBS_IN_FLIGHT + QUEUED`, evaluated with the DSL's
+    /// wrapping arithmetic). Mirrors the work-conservation analysis'
+    /// availability precondition.
+    pub pre_avail_subflow: bool,
     /// Effective pushes (both operands non-`NULL`) the execution emitted.
     pub pushes: u64,
     /// Pops that observed `NULL` (an empty queue view).
@@ -319,12 +325,13 @@ impl InvariantOracle {
         if cert.work_conservation.status == PropStatus::Proved
             && obs.pre_q_nonempty
             && obs.pre_subflows_nonempty
+            && obs.pre_avail_subflow
             && obs.pushes == 0
         {
             bad.push((
                 "property-work-conservation",
                 "proved work-conserving, yet an execution with a non-empty send queue \
-                 and an established subflow pushed nothing"
+                 and an available subflow pushed nothing"
                     .to_string(),
             ));
         }
@@ -568,6 +575,7 @@ mod tests {
         let ok = PropObservation {
             pre_q_nonempty: true,
             pre_subflows_nonempty: true,
+            pre_avail_subflow: true,
             pushes: 1,
             null_pops: 0,
             push_targets: vec![(0, PacketRef(7))],
