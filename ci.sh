@@ -50,6 +50,12 @@ cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --prop-so
 echo "==> chaos sweep: fault plans x schedulers x backends + oracle mutation check (200 plans)"
 cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --chaos --seeds 200
 
+echo "==> fleet-chaos containment sweep: faulting fleets at 1/2/8 workers (100 fleets of 8)"
+cargo run -q --release -p progmp-conformance --bin conformance-fuzz -- --chaos --fleet 8 --seeds 100
+
+echo "==> containment regression suite (supervisor + end-to-end fault classes)"
+cargo test -q --release -p mptcp-sim --test containment
+
 echo "==> bench smoke: every experiment binary in --smoke mode"
 cargo build -q --release -p progmp-bench --bins
 for bin in crates/bench/src/bin/*.rs; do

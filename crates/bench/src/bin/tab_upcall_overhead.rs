@@ -12,6 +12,13 @@
 //! instruction count without touching the certified step bound, and
 //! this bench pins the before/after numbers for all seven paper
 //! schedulers (the `optimizer` meta object in the JSON report).
+//!
+//! The third section prices the containment supervisor's clean path: a
+//! healthy transfer with and without the supervisor enabled, compared
+//! per scheduling decision. The fault boundary only pays when a fault
+//! actually fires; on the clean path the supervisor adds a per-upcall
+//! branch and a once-per-second watchdog tick, so the target is <5%
+//! wall overhead.
 
 use progmp_bench::optimizer;
 use progmp_bench::report::{Json, Report};
@@ -34,6 +41,38 @@ fn env() -> MockEnv {
         env.push_packet(QueueKind::SendQueue, 100 + p, 1400 * p as i64, 1400);
     }
     env
+}
+
+/// Runs one healthy bulk transfer, optionally under the containment
+/// supervisor, and returns `(wall, scheduler executions)`.
+fn contained_clean_run(contained: bool, bytes: u64) -> (std::time::Duration, u64) {
+    use mptcp_sim::time::{from_millis, SECONDS};
+    use mptcp_sim::{
+        ConnectionConfig, ContainmentConfig, PathConfig, SchedulerSpec, Sim, SubflowConfig,
+    };
+
+    let mut sim = Sim::new(7);
+    if contained {
+        sim.enable_containment(ContainmentConfig::default());
+    }
+    let cfg = ConnectionConfig::new(
+        vec![
+            SubflowConfig::new(PathConfig::symmetric(from_millis(10), 5_000_000)),
+            SubflowConfig::new(PathConfig::symmetric(from_millis(40), 5_000_000)),
+        ],
+        SchedulerSpec::dsl(DEFAULT_MIN_RTT),
+    );
+    let conn = sim.add_connection(cfg).expect("scheduler compiles");
+    sim.add_bulk_source(conn, bytes, 0);
+    let t0 = Instant::now();
+    sim.run_to_completion(600 * SECONDS);
+    let wall = t0.elapsed();
+    assert!(sim.connections[conn].all_acked(), "clean run completes");
+    assert!(
+        sim.incidents().is_empty(),
+        "a healthy scheduler must produce no incidents"
+    );
+    (wall, sim.connections[conn].stats.scheduler_executions)
 }
 
 fn main() {
@@ -140,6 +179,47 @@ fn main() {
         measurements.len()
     );
 
+    // Clean-path cost of the containment supervisor: same healthy
+    // transfer, supervisor off vs on, best-of-N to shed scheduler noise.
+    let (bytes, repeats) = if progmp_bench::report::smoke() {
+        (1_000_000u64, 2)
+    } else {
+        (5_000_000, 5)
+    };
+    let best = |contained: bool| -> (f64, u64) {
+        let mut best_ns = f64::INFINITY;
+        let mut execs = 0;
+        for _ in 0..repeats {
+            let (wall, e) = contained_clean_run(contained, bytes);
+            let ns = wall.as_nanos() as f64 / e.max(1) as f64;
+            if ns < best_ns {
+                best_ns = ns;
+                execs = e;
+            }
+        }
+        (best_ns, execs)
+    };
+    let (plain_ns, plain_execs) = best(false);
+    let (contained_ns, contained_execs) = best(true);
+    let overhead_pct = 100.0 * (contained_ns - plain_ns) / plain_ns;
+    println!("\n=== containment supervisor: clean-path overhead ===\n");
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "configuration", "per decision", "decisions"
+    );
+    println!(
+        "{:<34} {:>9.0} ns {:>12}",
+        "supervisor off", plain_ns, plain_execs
+    );
+    println!(
+        "{:<34} {:>9.0} ns {:>12}",
+        "supervisor on (no faults)", contained_ns, contained_execs
+    );
+    println!(
+        "\n  [{}] clean-path containment overhead {overhead_pct:+.1}% (target < 5%)",
+        if overhead_pct < 5.0 { "ok" } else { "??" }
+    );
+
     let mut report = Report::new("tab_upcall_overhead");
     report
         .meta("iters", u64::from(iters))
@@ -153,6 +233,15 @@ fn main() {
     report.row(vec![
         ("model", Json::from("thread_round_trip")),
         ("ns_per_decision", Json::from(upcall_ns)),
+    ]);
+    report.meta("containment_overhead_pct", overhead_pct);
+    report.row(vec![
+        ("model", Json::from("sim_supervisor_off")),
+        ("ns_per_decision", Json::from(plain_ns)),
+    ]);
+    report.row(vec![
+        ("model", Json::from("sim_supervisor_on")),
+        ("ns_per_decision", Json::from(contained_ns)),
     ]);
     report.write_if_requested().expect("write JSON report");
 }

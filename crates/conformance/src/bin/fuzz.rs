@@ -1,7 +1,7 @@
 //! Seed-sweeping differential and soundness fuzzer.
 //!
 //! ```text
-//! conformance-fuzz [--start S] [--seeds N] [--no-octagon] [--soundness | --vm-soundness | --opt-soundness | --prop-soundness | --chaos]
+//! conformance-fuzz [--start S] [--seeds N] [--no-octagon] [--fleet C] [--soundness | --vm-soundness | --opt-soundness | --prop-soundness | --chaos]
 //! ```
 //!
 //! Explores seeds `[S, S+N)` (default `[0, 500)`).
@@ -60,9 +60,19 @@
 //! minimal fault plans and reported. The run finishes with a mutation
 //! check: a deliberately injected double-delivery defect must be caught
 //! by the conservation oracle with a shrunk, seed-replayable repro.
+//!
+//! `--chaos --fleet C` switches to the fleet-chaos containment sweep:
+//! each seed builds a fleet of `C` connections in which most schedulers
+//! deliberately fault (step-budget bombs, starvers, certificate
+//! saboteurs, trapping native code) under the containment supervisor,
+//! runs it at 1, 2, and 8 workers, and requires bit-identical fleet
+//! digests and canonical incident logs, zero permanently stalled
+//! connections, at least one quarantine, and a reproducing incident
+//! replay string — with zero panics throughout.
 
 use progmp_conformance::chaos;
 use progmp_conformance::differ::{check_seed, run_differential, Divergence};
+use progmp_conformance::fleet_chaos;
 use progmp_conformance::gen::Generator;
 use progmp_conformance::opt_soundness;
 use progmp_conformance::prop_soundness;
@@ -73,6 +83,7 @@ use progmp_conformance::vm_soundness;
 struct Args {
     start: u64,
     seeds: u64,
+    fleet: u64,
     no_octagon: bool,
     soundness: bool,
     vm_soundness: bool,
@@ -85,6 +96,7 @@ fn parse_args() -> Args {
     let mut parsed = Args {
         start: 0,
         seeds: 500,
+        fleet: 0,
         no_octagon: false,
         soundness: false,
         vm_soundness: false,
@@ -94,7 +106,7 @@ fn parse_args() -> Args {
     };
     fn usage() -> ! {
         eprintln!(
-            "usage: conformance-fuzz [--start S] [--seeds N] [--no-octagon] [--soundness | --vm-soundness | --opt-soundness | --prop-soundness | --chaos]"
+            "usage: conformance-fuzz [--start S] [--seeds N] [--no-octagon] [--fleet C] [--soundness | --vm-soundness | --opt-soundness | --prop-soundness | --chaos]"
         );
         std::process::exit(2);
     }
@@ -107,15 +119,15 @@ fn parse_args() -> Args {
             "--opt-soundness" => parsed.opt_soundness = true,
             "--prop-soundness" => parsed.prop_soundness = true,
             "--chaos" => parsed.chaos = true,
-            "--start" | "--seeds" => {
+            "--start" | "--seeds" | "--fleet" => {
                 let value = match args.next().and_then(|v| v.parse().ok()) {
                     Some(v) => v,
                     None => usage(),
                 };
-                if arg == "--start" {
-                    parsed.start = value;
-                } else {
-                    parsed.seeds = value;
+                match arg.as_str() {
+                    "--start" => parsed.start = value,
+                    "--seeds" => parsed.seeds = value,
+                    _ => parsed.fleet = value,
                 }
             }
             _ => usage(),
@@ -321,10 +333,46 @@ fn run_chaos(start: u64, seeds: u64) {
     println!("all {seeds} fault plans agree across interpreter, aot, and vm with a silent oracle");
 }
 
+fn run_fleet_chaos(start: u64, seeds: u64, conns: usize) {
+    println!(
+        "conformance-fuzz --chaos --fleet {conns}: seeds [{start}, {}), workers {:?}",
+        start + seeds,
+        fleet_chaos::WORKER_COUNTS
+    );
+    let mut done = 0u64;
+    let report = fleet_chaos::sweep(start, seeds, conns, &mut |_| {
+        done += 1;
+        if done.is_multiple_of(20) {
+            println!("  {done} fleets swept");
+        }
+    });
+    println!(
+        "{} fleets: {} quarantine(s), {} canonical incident(s), {} failure(s)",
+        report.cases,
+        report.quarantines,
+        report.incidents,
+        report.failures.len()
+    );
+    if !report.failures.is_empty() {
+        for (seed, describe, failure) in &report.failures {
+            eprintln!("seed {seed}: {failure}\n  repro: {describe}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "all {seeds} fleets contained their faults with bit-identical digests and incident logs at {:?} workers",
+        fleet_chaos::WORKER_COUNTS
+    );
+}
+
 fn main() {
     let args = parse_args();
     if args.chaos {
-        run_chaos(args.start, args.seeds);
+        if args.fleet > 0 {
+            run_fleet_chaos(args.start, args.seeds, args.fleet as usize);
+        } else {
+            run_chaos(args.start, args.seeds);
+        }
         return;
     }
     if args.vm_soundness {

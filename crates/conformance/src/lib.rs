@@ -20,6 +20,7 @@
 
 pub mod chaos;
 pub mod differ;
+pub mod fleet_chaos;
 pub mod gen;
 pub mod opt_soundness;
 pub mod prop_soundness;

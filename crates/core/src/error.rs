@@ -110,6 +110,18 @@ pub enum ExecError {
         /// Description of the fault.
         detail: String,
     },
+    /// A backend aborted the upcall with a structured trap: a native
+    /// scheduler signalled an unrecoverable condition, or an execution
+    /// path reached a state the backend cannot continue from. Traps
+    /// propagate as values — never panics — so the simulator's
+    /// containment supervisor can quarantine the program without
+    /// `catch_unwind`.
+    Trap {
+        /// Backend or component that raised the trap.
+        origin: &'static str,
+        /// Description of the fault.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -120,6 +132,9 @@ impl fmt::Display for ExecError {
             }
             ExecError::MalformedBytecode { pc, detail } => {
                 write!(f, "malformed bytecode at pc {pc}: {detail}")
+            }
+            ExecError::Trap { origin, detail } => {
+                write!(f, "scheduler trap in {origin}: {detail}")
             }
         }
     }
@@ -146,6 +161,12 @@ mod tests {
             detail: "bad jump".into(),
         };
         assert!(e.to_string().contains("pc 4"));
+        let e = ExecError::Trap {
+            origin: "native",
+            detail: "induced fault".into(),
+        };
+        assert!(e.to_string().contains("native"));
+        assert!(e.to_string().contains("induced fault"));
     }
 
     #[test]

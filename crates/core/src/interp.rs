@@ -491,7 +491,14 @@ impl<'p> Interp<'p> {
                     BinOp::Le => Value::Bool(l.as_int() <= r.as_int()),
                     BinOp::Gt => Value::Bool(l.as_int() > r.as_int()),
                     BinOp::Ge => Value::Bool(l.as_int() >= r.as_int()),
-                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                    // Short-circuited above; surface a structured trap
+                    // instead of panicking if control ever reaches here.
+                    BinOp::And | BinOp::Or => {
+                        return Err(ExecError::Trap {
+                            origin: "interp",
+                            detail: "short-circuit operator reached strict evaluation".into(),
+                        })
+                    }
                 }
             }
         })

@@ -452,6 +452,152 @@ pub(crate) fn facts(code: &[Insn], stack_slots: u16) -> Facts {
     Facts { before }
 }
 
+/// Index of an effectful helper in [`EffectProfile::must`] order
+/// (`PUSH`, `POP`, `DROP`); `None` for pure helpers.
+pub(crate) fn effect_helper_index(h: Helper) -> Option<usize> {
+    match h {
+        Helper::Push => Some(0),
+        Helper::Pop => Some(1),
+        Helper::DropPkt => Some(2),
+        _ => None,
+    }
+}
+
+/// Display name for [`EffectProfile::must`] index `i`.
+pub(crate) fn effect_helper_name(i: usize) -> &'static str {
+    ["PUSH", "POP", "DROP"][i]
+}
+
+/// Must-execute profile of the effectful helper calls: which `PUSH` /
+/// `POP` / `DROP` sites run on *every* feasible path from entry to exit.
+///
+/// Feasibility uses the same forward interval facts that drive SCCP, so
+/// a legitimate constant-guard fold leaves the profile unchanged (the
+/// proven edge was already the only feasible one), while an *unproven*
+/// guard deleted in front of an effect site turns that site from
+/// conditional into must-execute. The property-certificate gate in
+/// [`super::check_candidate`](crate::opt) rejects exactly that shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct EffectProfile {
+    /// Per helper (`PUSH`, `POP`, `DROP`): count of must-execute call
+    /// sites and the pc of the first one.
+    pub must: [(u32, Option<usize>); 3],
+}
+
+pub(crate) fn effect_profile(code: &[Insn], stack_slots: u16) -> EffectProfile {
+    let n = code.len();
+    let f = facts(code, stack_slots);
+    // Effectful call sites in pc order; each gets one bit.
+    let sites: Vec<usize> = (0..n)
+        .filter(|&pc| {
+            matches!(&code[pc], Insn::Call { helper } if effect_helper_index(*helper).is_some())
+        })
+        .collect();
+    let mut bit_of = vec![usize::MAX; n];
+    for (bit, &pc) in sites.iter().enumerate() {
+        bit_of[pc] = bit;
+    }
+    let words = sites.len().div_ceil(64).max(1);
+
+    // Forward must-analysis: `must[pc]` = sites executed on every
+    // feasible path reaching `pc` (None = not yet reached, the top
+    // element); meet over predecessors is bitset intersection.
+    let mut must: Vec<Option<Vec<u64>>> = vec![None; n];
+    if n == 0 {
+        return EffectProfile {
+            must: [(0, None); 3],
+        };
+    }
+    must[0] = Some(vec![0u64; words]);
+    let mut work = vec![0usize];
+    while let Some(pc) = work.pop() {
+        let (Some(cur), Some(state)) = (must[pc].clone(), f.before[pc].as_ref()) else {
+            continue;
+        };
+        let mut out = cur;
+        if bit_of[pc] != usize::MAX {
+            let b = bit_of[pc];
+            out[b / 64] |= 1 << (b % 64);
+        }
+        // Feasible successors under the interval facts at `pc`.
+        let mut succs: Vec<usize> = Vec::with_capacity(2);
+        match &code[pc] {
+            Insn::Exit => {}
+            Insn::Ja { .. } => succs.extend(jump_target(pc, &code[pc])),
+            Insn::Jmp { cond, lhs, rhs, .. } => {
+                let a = state.regs[usize::from(*lhs)];
+                let b = state.regs[usize::from(*rhs)];
+                if assume(negate(*cond), a, b).is_some() {
+                    succs.push(pc + 1);
+                }
+                if assume(*cond, a, b).is_some() {
+                    succs.extend(jump_target(pc, &code[pc]));
+                }
+            }
+            Insn::JmpImm { cond, lhs, imm, .. } => {
+                let a = state.regs[usize::from(*lhs)];
+                let b = Interval::exact(*imm);
+                if assume(negate(*cond), a, b).is_some() {
+                    succs.push(pc + 1);
+                }
+                if assume(*cond, a, b).is_some() {
+                    succs.extend(jump_target(pc, &code[pc]));
+                }
+            }
+            _ => succs.push(pc + 1),
+        }
+        for t in succs {
+            if t >= n {
+                continue;
+            }
+            let merged = match &must[t] {
+                None => out.clone(),
+                Some(old) => {
+                    let m: Vec<u64> = old.iter().zip(&out).map(|(a, b)| a & b).collect();
+                    if m == *old {
+                        continue;
+                    }
+                    m
+                }
+            };
+            must[t] = Some(merged);
+            work.push(t);
+        }
+    }
+
+    // Sites on every path = intersection over all reached exits.
+    let mut at_exit: Option<Vec<u64>> = None;
+    for pc in 0..n {
+        if !matches!(code[pc], Insn::Exit) {
+            continue;
+        }
+        let Some(set) = &must[pc] else { continue };
+        at_exit = Some(match at_exit {
+            None => set.clone(),
+            Some(acc) => acc.iter().zip(set).map(|(a, b)| a & b).collect(),
+        });
+    }
+    let mut profile = EffectProfile {
+        must: [(0, None); 3],
+    };
+    if let Some(set) = at_exit {
+        for (bit, &pc) in sites.iter().enumerate() {
+            if set[bit / 64] & (1 << (bit % 64)) == 0 {
+                continue;
+            }
+            if let Insn::Call { helper } = &code[pc] {
+                if let Some(i) = effect_helper_index(*helper) {
+                    profile.must[i].0 += 1;
+                    if profile.must[i].1.is_none() {
+                        profile.must[i].1 = Some(pc);
+                    }
+                }
+            }
+        }
+    }
+    profile
+}
+
 fn negate(cond: Cond) -> Cond {
     match cond {
         Cond::Eq => Cond::Ne,

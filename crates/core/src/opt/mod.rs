@@ -30,6 +30,7 @@ pub(crate) mod sccp;
 use crate::bytecode::{BytecodeProgram, DebugTable};
 use crate::error::{CompileError, Pos, Stage};
 use crate::hir::HProgram;
+use crate::verify::props::{PropStatus, PropertyCertificate};
 use crate::verify::vm::{validate_translation, verify_bytecode};
 use crate::verify::{Diagnostic, Lint, Severity, VerifyConfig};
 
@@ -48,16 +49,22 @@ pub enum Sabotage {
     LoopVariantHoist,
     /// Peephole threads a back edge one instruction past the exit test.
     BadJumpThread,
+    /// SCCP deletes the live guard in front of an effectful `PUSH`/`POP`
+    /// region as if proven constant, making the effect unconditional.
+    /// Survives every structural/bound/audit check (the call sites are
+    /// unchanged) — only the property-certificate gate catches it.
+    UnguardEffect,
 }
 
 impl Sabotage {
-    /// All sabotage hooks, one per pass class.
-    pub const ALL: [Sabotage; 5] = [
+    /// All sabotage hooks, at least one per pass class.
+    pub const ALL: [Sabotage; 6] = [
         Sabotage::DropLiveGuard,
         Sabotage::DeleteLiveIncrement,
         Sabotage::ImpureCse,
         Sabotage::LoopVariantHoist,
         Sabotage::BadJumpThread,
+        Sabotage::UnguardEffect,
     ];
 
     /// Stable name, for harness output.
@@ -68,13 +75,14 @@ impl Sabotage {
             Sabotage::ImpureCse => "cse-impure-pop",
             Sabotage::LoopVariantHoist => "licm-loop-variant-hoist",
             Sabotage::BadJumpThread => "peephole-bad-jump-thread",
+            Sabotage::UnguardEffect => "sccp-unguard-effect",
         }
     }
 
     /// The pass the hook is wired into.
     fn pass(self) -> &'static str {
         match self {
-            Sabotage::DropLiveGuard => "sccp",
+            Sabotage::DropLiveGuard | Sabotage::UnguardEffect => "sccp",
             Sabotage::DeleteLiveIncrement => "dce",
             Sabotage::ImpureCse => "cse",
             Sabotage::LoopVariantHoist => "licm",
@@ -210,8 +218,38 @@ const PASSES: [(&str, PassFn); 5] = [
 /// the pipeline stops early when a round keeps no rewrite.
 const MAX_ROUNDS: u32 = 4;
 
+/// True when `cert` carries claims worth gating on: at least one PROVED
+/// scheduler property, or the guarded-POP proof that arms the oracle's
+/// `null_pops == 0` dynamic check. Those claims were derived from the
+/// HIR's *guard structure* around effectful calls, so the gate below
+/// rejects any rewrite that changes which effect sites are
+/// unconditional.
+fn cert_armed(cert: &PropertyCertificate) -> bool {
+    cert.pops_fully_guarded
+        || cert
+            .outcomes()
+            .iter()
+            .any(|(_, o)| o.status == PropStatus::Proved)
+}
+
+/// Human name of the certificate claim the gate protects for the effect
+/// helper at [`analysis::EffectProfile`] index `i`.
+fn gated_claim(cert: &PropertyCertificate, i: usize) -> String {
+    if i > 0 && cert.pops_fully_guarded {
+        return "pops-fully-guarded (null_pops == 0)".to_string();
+    }
+    cert.outcomes()
+        .iter()
+        .find(|(_, o)| o.status == PropStatus::Proved)
+        .map(|(lint, _)| lint.to_string())
+        .unwrap_or_else(|| "pops-fully-guarded (null_pops == 0)".to_string())
+}
+
 /// Validates a candidate image against the previous one. Returns the new
-/// bytecode-model step bound, or the span + reason of the first failure.
+/// bytecode-model step bound (plus the candidate's effect profile when
+/// the property-certificate gate is armed), or the span + reason of the
+/// first failure.
+#[allow(clippy::too_many_arguments)]
 fn check_candidate(
     cand: &BytecodeProgram,
     cand_debug: &DebugTable,
@@ -219,7 +257,9 @@ fn check_candidate(
     certified_bound: u64,
     cfg: &VerifyConfig,
     prev_bound: u64,
-) -> Result<u64, (Pos, String)> {
+    props: Option<&PropertyCertificate>,
+    prev_profile: Option<&analysis::EffectProfile>,
+) -> Result<(u64, Option<analysis::EffectProfile>), (Pos, String)> {
     if let Err(e) = crate::vm::verify(cand) {
         return Err((e.pos, format!("structural verify failed: {}", e.message)));
     }
@@ -256,7 +296,37 @@ fn check_candidate(
             ),
         ));
     }
-    Ok(bound)
+    // Property-certificate gate: the certificate's PROVED claims were
+    // derived from the HIR's guard structure around effectful calls, so
+    // a pass must not change which PUSH/POP/DROP sites execute
+    // unconditionally. Feasibility uses the same interval facts SCCP
+    // folds with, so a *proven* constant-guard fold leaves the profile
+    // unchanged; only an unproven unguarding trips the gate.
+    let mut new_profile = None;
+    if let (Some(cert), Some(prev)) = (props, prev_profile) {
+        let profile = analysis::effect_profile(&cand.code, cand.stack_slots);
+        for i in 0..3 {
+            if profile.must[i].0 > prev.must[i].0 {
+                let pos = profile.must[i]
+                    .1
+                    .map(|pc| cand_debug.pos(pc))
+                    .unwrap_or(Pos::new(0, 0));
+                return Err((
+                    pos,
+                    format!(
+                        "property-certificate gate: pass makes a {} site unconditional \
+                         ({} -> {} must-execute), weakening the certified {} claim",
+                        analysis::effect_helper_name(i),
+                        prev.must[i].0,
+                        profile.must[i].0,
+                        gated_claim(cert, i),
+                    ),
+                ));
+            }
+        }
+        new_profile = Some(profile);
+    }
+    Ok((bound, new_profile))
 }
 
 /// Runs the verified optimizing pipeline over `prog`.
@@ -269,6 +339,11 @@ fn check_candidate(
 /// as a [`Lint::Misoptimization`] warning, or — under
 /// [`OptOptions::strict`] — becomes the returned [`CompileError`].
 ///
+/// When `props` carries a [`PropertyCertificate`] with PROVED claims,
+/// per-pass validation additionally enforces the property gate: no pass
+/// may change which effectful helper sites execute unconditionally
+/// (`check_candidate`).
+///
 /// # Errors
 ///
 /// Only in strict mode, and only when a pass fails validation.
@@ -279,6 +354,7 @@ pub fn optimize_bytecode(
     certified_bound: u64,
     cfg: &VerifyConfig,
     options: &OptOptions,
+    props: Option<&PropertyCertificate>,
 ) -> Result<(BytecodeProgram, DebugTable, OptReport), CompileError> {
     let mut report = OptReport {
         passes: PASSES
@@ -311,6 +387,9 @@ pub fn optimize_bytecode(
     let mut cur = prog.clone();
     let mut dbg = debug.clone();
     let mut bound = initial_bound;
+    // Arm the property gate only for certificates with PROVED claims.
+    let gate = props.filter(|c| cert_armed(c));
+    let mut profile = gate.map(|_| analysis::effect_profile(&prog.code, prog.stack_slots));
     let mut sabotage = options.sabotage;
     // A rolled-back pass is disabled for the rest of the pipeline: passes
     // are deterministic, so re-running one against the same image would
@@ -332,11 +411,23 @@ pub fn optimize_bytecode(
             if rewrites == 0 {
                 continue;
             }
-            match check_candidate(&cand, &cand_dbg, hir, certified_bound, cfg, bound) {
-                Ok(new_bound) => {
+            match check_candidate(
+                &cand,
+                &cand_dbg,
+                hir,
+                certified_bound,
+                cfg,
+                bound,
+                gate,
+                profile.as_ref(),
+            ) {
+                Ok((new_bound, new_profile)) => {
                     cur = cand;
                     dbg = cand_dbg;
                     bound = new_bound;
+                    if new_profile.is_some() {
+                        profile = new_profile;
+                    }
                     report.passes[i].rewrites += rewrites;
                     kept_this_round += rewrites;
                 }
@@ -378,14 +469,23 @@ pub fn optimize_bytecode(
 mod tests {
     use super::*;
 
-    fn compile_parts(src: &str) -> (BytecodeProgram, DebugTable, HProgram, u64) {
+    fn compile_parts(
+        src: &str,
+    ) -> (
+        BytecodeProgram,
+        DebugTable,
+        HProgram,
+        u64,
+        PropertyCertificate,
+    ) {
         let ast = crate::parser::parse(src).unwrap();
         let hir = crate::sema::lower(&ast).unwrap();
         let verdict = crate::verify::verify(&hir);
         assert!(verdict.admitted(), "{src}");
+        let props = crate::verify::props::verify_properties_with(&hir, None, true);
         let vcode = crate::codegen::generate(&hir).unwrap();
         let (bytecode, debug) = crate::regalloc::allocate_with_debug(&vcode).unwrap();
-        (bytecode, debug, hir, verdict.certified_step_bound)
+        (bytecode, debug, hir, verdict.certified_step_bound, props)
     }
 
     const MIN_RTT: &str =
@@ -393,10 +493,18 @@ mod tests {
 
     #[test]
     fn clean_run_shrinks_and_never_raises_bound() {
-        let (prog, debug, hir, cert) = compile_parts(MIN_RTT);
+        let (prog, debug, hir, cert, props) = compile_parts(MIN_RTT);
         let cfg = VerifyConfig::default();
-        let (opt, opt_dbg, report) =
-            optimize_bytecode(&prog, &debug, &hir, cert, &cfg, &OptOptions::default()).unwrap();
+        let (opt, opt_dbg, report) = optimize_bytecode(
+            &prog,
+            &debug,
+            &hir,
+            cert,
+            &cfg,
+            &OptOptions::default(),
+            Some(&props),
+        )
+        .unwrap();
         assert!(report.total_rewrites() > 0, "{}", report.render_human());
         assert!(
             opt.code.len() < prog.code.len(),
@@ -413,7 +521,7 @@ mod tests {
 
     #[test]
     fn every_sabotage_is_caught_and_rolled_back() {
-        let (prog, debug, hir, cert) = compile_parts(MIN_RTT);
+        let (prog, debug, hir, cert, props) = compile_parts(MIN_RTT);
         let cfg = VerifyConfig::default();
         for sab in Sabotage::ALL {
             let (opt, opt_dbg, report) = optimize_bytecode(
@@ -426,6 +534,7 @@ mod tests {
                     strict: false,
                     sabotage: Some(sab),
                 },
+                Some(&props),
             )
             .unwrap();
             let hit = report
@@ -440,8 +549,48 @@ mod tests {
     }
 
     #[test]
+    fn unguard_sabotage_is_caught_by_the_property_gate_only() {
+        // The unguarding rewrite keeps every call site, never grows the
+        // bound, and re-verifies cleanly (NULL is a graceful no-op handle
+        // argument) — so the rollback must come from the certificate
+        // gate, and must vanish when no certificate is supplied.
+        let (prog, debug, hir, cert, props) = compile_parts(MIN_RTT);
+        let cfg = VerifyConfig::default();
+        let sab = OptOptions {
+            strict: false,
+            sabotage: Some(Sabotage::UnguardEffect),
+        };
+        let (_, _, report) =
+            optimize_bytecode(&prog, &debug, &hir, cert, &cfg, &sab, Some(&props)).unwrap();
+        let diag = report
+            .diagnostics
+            .iter()
+            .find(|d| d.lint == Lint::Misoptimization)
+            .expect("unguarding rolled back");
+        assert!(
+            diag.message.contains("property-certificate gate"),
+            "{}",
+            diag.message
+        );
+        assert!(diag.pos.line > 0, "gate diagnostics carry a source span");
+
+        // Without the certificate the unsound image sails through every
+        // legacy check — the gap this gate closes.
+        let (_, _, ungated) =
+            optimize_bytecode(&prog, &debug, &hir, cert, &cfg, &sab, None).unwrap();
+        assert!(
+            !ungated
+                .diagnostics
+                .iter()
+                .any(|d| d.lint == Lint::Misoptimization),
+            "{:?}",
+            ungated.diagnostics
+        );
+    }
+
+    #[test]
     fn strict_mode_turns_rollback_into_error() {
-        let (prog, debug, hir, cert) = compile_parts(MIN_RTT);
+        let (prog, debug, hir, cert, props) = compile_parts(MIN_RTT);
         let cfg = VerifyConfig::default();
         let err = optimize_bytecode(
             &prog,
@@ -453,6 +602,7 @@ mod tests {
                 strict: true,
                 sabotage: Some(Sabotage::DropLiveGuard),
             },
+            Some(&props),
         )
         .unwrap_err();
         assert!(err.message.contains("misoptimization"), "{}", err.message);

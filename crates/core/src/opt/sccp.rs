@@ -8,7 +8,7 @@
 //! or disappear. Dead fallthrough/branch code left behind is swept by the
 //! dead-code pass.
 
-use crate::bytecode::{AluOp, BytecodeProgram, DebugTable, Insn};
+use crate::bytecode::{AluOp, BytecodeProgram, DebugTable, Helper, Insn};
 use crate::opt::analysis::{eval_cond, facts, reachable};
 use crate::opt::edit::{jump_target, Editor};
 use crate::opt::Sabotage;
@@ -125,6 +125,50 @@ pub(crate) fn run(
                     ed.delete(pc);
                     break 'outer;
                 }
+            }
+        }
+    }
+
+    if sabotage == Some(Sabotage::UnguardEffect) {
+        // Deliberately unsound: claim the first *undecided* forward guard
+        // whose guarded region contains an effectful PUSH/POP/DROP call
+        // is constant and delete it, making the effect unconditional.
+        // Every call site survives and the bound never grows, so only the
+        // property-certificate gate can catch this.
+        for (pc, &reachable) in reach.iter().enumerate() {
+            if !reachable {
+                continue;
+            }
+            let Some(state) = &f.before[pc] else { continue };
+            let undecided = match prog.code[pc] {
+                Insn::Jmp { cond, lhs, rhs, .. } => {
+                    let a = state.regs[usize::from(lhs)];
+                    let b = state.regs[usize::from(rhs)];
+                    eval_cond(cond, a, b) == Tri::Unknown
+                }
+                Insn::JmpImm { cond, lhs, imm, .. } => {
+                    let a = state.regs[usize::from(lhs)];
+                    eval_cond(cond, a, Interval::exact(imm)) == Tri::Unknown
+                }
+                _ => false,
+            };
+            if !undecided {
+                continue;
+            }
+            let Some(target) = jump_target(pc, &prog.code[pc]).filter(|t| *t > pc) else {
+                continue;
+            };
+            let guards_effect = (pc + 1..target.min(prog.code.len())).any(|i| {
+                matches!(
+                    prog.code[i],
+                    Insn::Call {
+                        helper: Helper::Push | Helper::Pop | Helper::DropPkt
+                    }
+                )
+            });
+            if guards_effect {
+                ed.delete(pc);
+                break;
             }
         }
     }

@@ -200,6 +200,7 @@ pub fn compile_with_options(
                 strict: options.strict_optimize,
                 sabotage: options.opt_sabotage,
             },
+            Some(&props),
         )?;
         (b, d, Some(r))
     } else {

@@ -176,6 +176,29 @@ pub fn execute(prog: &BytecodeProgram, ctx: &mut ExecCtx<'_>) -> Result<(), Exec
     execute_inner(prog, ctx, None)
 }
 
+/// Checked register read: unverified hand-built images surface a
+/// structured [`ExecError::MalformedBytecode`] instead of panicking, so
+/// the simulator's containment boundary never needs `catch_unwind`.
+#[inline]
+fn reg(regs: &[i64; NUM_MACH_REGS], r: u8, pc: usize) -> Result<i64, ExecError> {
+    regs.get(usize::from(r))
+        .copied()
+        .ok_or_else(|| ExecError::MalformedBytecode {
+            pc,
+            detail: format!("register r{r} out of range"),
+        })
+}
+
+/// Checked register write (see [`reg`]).
+#[inline]
+fn reg_mut(regs: &mut [i64; NUM_MACH_REGS], r: u8, pc: usize) -> Result<&mut i64, ExecError> {
+    regs.get_mut(usize::from(r))
+        .ok_or_else(|| ExecError::MalformedBytecode {
+            pc,
+            detail: format!("register r{r} out of range"),
+        })
+}
+
 fn execute_inner(
     prog: &BytecodeProgram,
     ctx: &mut ExecCtx<'_>,
@@ -194,20 +217,27 @@ fn execute_inner(
         if let Some(counts) = profile.as_deref_mut() {
             counts[pc] += 1;
         }
+        let at = pc;
         pc += 1;
         match *insn {
-            Insn::MovImm { dst, imm } => regs[usize::from(dst)] = imm,
-            Insn::Mov { dst, src } => regs[usize::from(dst)] = regs[usize::from(src)],
+            Insn::MovImm { dst, imm } => *reg_mut(&mut regs, dst, at)? = imm,
+            Insn::Mov { dst, src } => {
+                let v = reg(&regs, src, at)?;
+                *reg_mut(&mut regs, dst, at)? = v;
+            }
             Insn::Alu { op, dst, src } => {
-                let a = regs[usize::from(dst)];
-                let b = regs[usize::from(src)];
-                regs[usize::from(dst)] = alu(op, a, b);
+                let a = reg(&regs, dst, at)?;
+                let b = reg(&regs, src, at)?;
+                *reg_mut(&mut regs, dst, at)? = alu(op, a, b);
             }
             Insn::AluImm { op, dst, imm } => {
-                let a = regs[usize::from(dst)];
-                regs[usize::from(dst)] = alu(op, a, imm);
+                let a = reg(&regs, dst, at)?;
+                *reg_mut(&mut regs, dst, at)? = alu(op, a, imm);
             }
-            Insn::Neg { dst } => regs[usize::from(dst)] = regs[usize::from(dst)].wrapping_neg(),
+            Insn::Neg { dst } => {
+                let a = reg(&regs, dst, at)?;
+                *reg_mut(&mut regs, dst, at)? = a.wrapping_neg();
+            }
             Insn::Ja { off } => {
                 pc = jump(pc, off);
             }
@@ -217,7 +247,7 @@ fn execute_inner(
                 rhs,
                 off,
             } => {
-                if cond.eval(regs[usize::from(lhs)], regs[usize::from(rhs)]) {
+                if cond.eval(reg(&regs, lhs, at)?, reg(&regs, rhs, at)?) {
                     pc = jump(pc, off);
                 }
             }
@@ -227,7 +257,7 @@ fn execute_inner(
                 imm,
                 off,
             } => {
-                if cond.eval(regs[usize::from(lhs)], imm) {
+                if cond.eval(reg(&regs, lhs, at)?, imm) {
                     pc = jump(pc, off);
                 }
             }
@@ -241,19 +271,20 @@ fn execute_inner(
                 }
             }
             Insn::Ld { dst, slot } => {
-                regs[usize::from(dst)] =
+                let v =
                     *stack
                         .get(usize::from(slot))
                         .ok_or_else(|| ExecError::MalformedBytecode {
-                            pc: pc - 1,
+                            pc: at,
                             detail: "stack read out of range".into(),
                         })?;
+                *reg_mut(&mut regs, dst, at)? = v;
             }
             Insn::St { slot, src } => {
-                let v = regs[usize::from(src)];
+                let v = reg(&regs, src, at)?;
                 *stack.get_mut(usize::from(slot)).ok_or_else(|| {
                     ExecError::MalformedBytecode {
-                        pc: pc - 1,
+                        pc: at,
                         detail: "stack write out of range".into(),
                     }
                 })? = v;
@@ -511,6 +542,23 @@ mod tests {
         let (regs, actions, _) = ctx.finish();
         env.apply(&regs, &actions);
         assert_eq!(env.register(crate::env::RegId::R1), 3);
+    }
+
+    #[test]
+    fn unverified_bad_register_traps_instead_of_panicking() {
+        // Malformed images that skip structural verification must surface
+        // a structured error, never a panic: the simulator's containment
+        // boundary depends on trap-as-value propagation.
+        let prog = BytecodeProgram {
+            code: vec![Insn::MovImm { dst: 12, imm: 1 }, Insn::Exit],
+            stack_slots: 0,
+        };
+        let env = MockEnv::new();
+        let mut ctx = ExecCtx::new(&env, 1000);
+        assert!(matches!(
+            execute(&prog, &mut ctx),
+            Err(ExecError::MalformedBytecode { pc: 0, .. })
+        ));
     }
 
     #[test]

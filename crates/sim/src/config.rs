@@ -118,6 +118,12 @@ pub struct ConnectionConfig {
     pub max_sched_rounds: u32,
     /// Whether to record per-packet timelines (costs memory).
     pub record_timelines: bool,
+    /// Replaces the compiled program's property certificate with this
+    /// one. Testing hook for the containment tier: pairing a scheduler
+    /// with a *stronger* certificate than it earns fakes a verifier
+    /// soundness gap, driving the oracle's `property-*` checks — and the
+    /// supervisor's quarantine path — on demand.
+    pub cert_override: Option<progmp_core::PropertyCertificate>,
 }
 
 impl ConnectionConfig {
@@ -135,6 +141,7 @@ impl ConnectionConfig {
             step_budget: progmp_core::DEFAULT_STEP_BUDGET,
             max_sched_rounds: 256,
             record_timelines: false,
+            cert_override: None,
         }
     }
 
@@ -165,6 +172,13 @@ impl ConnectionConfig {
     /// Enables timeline recording.
     pub fn with_timelines(mut self) -> Self {
         self.record_timelines = true;
+        self
+    }
+
+    /// Overrides the property certificate (containment-tier testing
+    /// hook; see [`ConnectionConfig::cert_override`]).
+    pub fn with_cert_override(mut self, cert: progmp_core::PropertyCertificate) -> Self {
+        self.cert_override = Some(cert);
         self
     }
 }

@@ -55,6 +55,11 @@ pub struct AckOutcome {
 pub struct Connection {
     /// Connection index within the simulation.
     pub id: usize,
+    /// Global identity for fleet-sharded runs (defaults to `id`): keys
+    /// the connection's deterministic random streams, including the
+    /// containment supervisor's backoff jitter, so containment behaviour
+    /// is invariant under fleet partitioning.
+    pub identity: u64,
     /// All subflows, established or not; `SubflowId(i)` indexes this.
     pub subflows: Vec<Subflow>,
     /// Cache of established subflow ids, in establishment order.
@@ -127,6 +132,7 @@ impl Connection {
             .collect();
         Connection {
             id,
+            identity: id as u64,
             subflows,
             active,
             segments: SegmentSlab::new(),

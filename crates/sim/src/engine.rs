@@ -18,6 +18,10 @@ use crate::path::{Path, PathProfileEntry};
 use crate::pathman::{PathManager, PmAction};
 use crate::receiver::Receiver;
 use crate::subflow::Subflow;
+use crate::supervisor::{
+    classify_exec_error, fallback_program, ContainState, ContainmentConfig, FaultAction,
+    FaultClass, IncidentReport, ParkedScheduler, Supervisor,
+};
 use crate::time::SimTime;
 use progmp_core::env::{PacketRef, RegId, SchedulerEnv, SubflowId, Trigger};
 use progmp_core::exec::ExecCtx;
@@ -102,6 +106,16 @@ enum EventKind {
         conn: ConnId,
         stalled: bool,
     },
+    /// Probationary re-admission of a quarantined scheduler (containment
+    /// supervisor backoff timer).
+    Readmit {
+        conn: ConnId,
+    },
+    /// Periodic per-connection stall watchdog tick (containment
+    /// supervisor eventual-progress boundary).
+    StallCheck {
+        conn: ConnId,
+    },
 }
 
 /// The discrete-event MPTCP simulator.
@@ -117,6 +131,7 @@ pub struct Sim {
     /// Total events processed (engine health metric).
     pub events_processed: u64,
     oracle: Option<InvariantOracle>,
+    supervisor: Option<Supervisor>,
 }
 
 impl Sim {
@@ -131,6 +146,7 @@ impl Sim {
             path_managers: Vec::new(),
             events_processed: 0,
             oracle: None,
+            supervisor: None,
         }
     }
 
@@ -139,7 +155,39 @@ impl Sim {
     /// (the replay seed) and the trailing event log; otherwise violations
     /// collect and are readable via [`Sim::oracle_violations`].
     pub fn enable_oracle(&mut self, label: impl Into<String>, panic_on_violation: bool) {
-        self.oracle = Some(InvariantOracle::new(label, panic_on_violation));
+        let mut oracle = InvariantOracle::new(label, panic_on_violation);
+        oracle.contain_scheduler_faults = self.supervisor.is_some();
+        self.oracle = Some(oracle);
+    }
+
+    /// Attaches the containment supervisor (see [`crate::supervisor`]):
+    /// scheduler faults — backend errors, oracle-detected property
+    /// violations, progress stalls — quarantine the offending program
+    /// behind the built-in fallback instead of failing the run. Call
+    /// before the simulation starts; an attached oracle switches its
+    /// scheduler-fault invariants to containment routing.
+    pub fn enable_containment(&mut self, cfg: ContainmentConfig) {
+        let mut sup = Supervisor::new(self.seed, cfg);
+        for (i, c) in self.connections.iter().enumerate() {
+            sup.register(i, c.identity);
+        }
+        self.supervisor = Some(sup);
+        if let Some(o) = self.oracle.as_mut() {
+            o.contain_scheduler_faults = true;
+        }
+    }
+
+    /// The containment supervisor, when attached.
+    pub fn supervisor(&self) -> Option<&Supervisor> {
+        self.supervisor.as_ref()
+    }
+
+    /// Containment incidents recorded so far (empty without containment).
+    pub fn incidents(&self) -> &[IncidentReport] {
+        self.supervisor
+            .as_ref()
+            .map(|s| s.incidents.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Violations collected so far (empty when the oracle is off or
@@ -252,12 +300,19 @@ impl Sim {
             cfg.mss,
             cfg.recv_buf,
         );
+        conn.identity = identity;
         conn.step_budget = step_budget;
         conn.max_sched_rounds = cfg.max_sched_rounds;
         conn.record_timelines = cfg.record_timelines;
         conn.pops_rq = pops_rq;
-        conn.prop_cert = prop_cert;
+        conn.prop_cert = match cfg.cert_override {
+            Some(cert) => Some(cert),
+            None => prop_cert,
+        };
         self.connections.push(conn);
+        if let Some(sup) = self.supervisor.as_mut() {
+            sup.register(id, identity);
+        }
         Ok(id)
     }
 
@@ -459,26 +514,52 @@ impl Sim {
     /// the queue fully drains with the oracle attached, the quiescent
     /// eventual-progress invariant is checked as well.
     pub fn run_to_completion(&mut self, max_time: SimTime) {
-        while let Some(t) = self.queue.next_time() {
-            if t > max_time {
-                break;
-            }
-            let (time, kind) = self.queue.pop().expect("peeked");
-            self.now = time;
-            self.events_processed += 1;
-            if let Some(o) = &mut self.oracle {
-                if o.log_events {
-                    o.log_event(format!("t={time} {kind:?}"));
+        loop {
+            while let Some(t) = self.queue.next_time() {
+                if t > max_time {
+                    break;
                 }
+                let (time, kind) = self.queue.pop().expect("peeked");
+                self.now = time;
+                self.events_processed += 1;
+                if let Some(o) = &mut self.oracle {
+                    if o.log_events {
+                        o.log_event(format!("t={time} {kind:?}"));
+                    }
+                }
+                self.dispatch(kind);
+                self.oracle_check();
             }
-            self.dispatch(kind);
-            self.oracle_check();
-        }
-        if self.queue.is_empty() {
+            if !self.queue.is_empty() {
+                // Horizon reached with events still pending: quiescent
+                // checks do not apply.
+                return;
+            }
             if let Some(oracle) = self.oracle.as_mut() {
                 for conn in &self.connections {
                     oracle.check_quiescent(self.now, conn);
                 }
+            }
+            // Under containment the quiescent check queued any
+            // eventual-progress violation instead of reporting it; the
+            // supervisor quarantines the offender and the fallback gets
+            // a chance to drain the stranded data.
+            let mut swapped = false;
+            if self.supervisor.is_some() {
+                let pending = self
+                    .oracle
+                    .as_mut()
+                    .map(|o| o.take_pending_faults())
+                    .unwrap_or_default();
+                for (conn, invariant) in pending {
+                    if self.contain_fault(conn, FaultClass::OracleViolation { invariant }, None) {
+                        self.run_scheduler(conn, Trigger::Timer);
+                        swapped = true;
+                    }
+                }
+            }
+            if !swapped || self.queue.is_empty() {
+                return;
             }
         }
     }
@@ -499,6 +580,7 @@ impl Sim {
                 let now = self.now;
                 self.connections[conn].now = now;
                 self.connections[conn].enqueue_data(bytes, prop, now);
+                self.arm_stall_watchdog(conn);
                 self.run_scheduler(conn, Trigger::NewData);
             }
             EventKind::SetRegister { conn, reg, value } => {
@@ -718,6 +800,12 @@ impl Sim {
                     self.run_scheduler(conn, Trigger::Timer);
                 }
             }
+            EventKind::Readmit { conn } => {
+                self.handle_readmit(conn);
+            }
+            EventKind::StallCheck { conn } => {
+                self.handle_stall_check(conn);
+            }
         }
     }
 
@@ -742,6 +830,7 @@ impl Sim {
             let prop = self.bulk_sources[source].prop;
             self.connections[conn].now = now;
             self.connections[conn].enqueue_data(add, prop, now);
+            self.arm_stall_watchdog(conn);
             self.run_scheduler(conn, Trigger::NewData);
         }
         if reschedule && self.bulk_sources[source].remaining > 0 {
@@ -753,12 +842,19 @@ impl Sim {
     /// Executes the scheduler of `conn` to quiescence (the paper's
     /// compressed-execution driver), flushing requested transmissions
     /// after every round so each round observes fresh state.
+    ///
+    /// Every round runs under the containment fault boundary: a backend
+    /// error or an oracle-detected property violation is converted into
+    /// a structured [`FaultClass`] and — when the supervisor is attached
+    /// — handled by quarantining the program behind the fallback, which
+    /// then gets an immediate execution on the same trigger.
     pub fn run_scheduler(&mut self, conn: ConnId, trigger: Trigger) {
         let _ = trigger;
         let Some(mut handle) = self.connections[conn].scheduler.take() else {
             return;
         };
         let max_rounds = self.connections[conn].max_sched_rounds;
+        let mut fault: Option<(FaultClass, Option<String>)> = None;
         for _ in 0..max_rounds {
             let pushes;
             let mut prop_obs: Option<crate::oracle::PropObservation> = None;
@@ -796,8 +892,9 @@ impl Sim {
                 let mut ctx = ExecCtx::new(&*c, budget);
                 let result = handle.execute_once(&mut ctx);
                 let host_ns = t0.elapsed().as_nanos() as u64;
-                if result.is_err() {
+                if let Err(err) = &result {
                     c.stats.scheduler_errors += 1;
+                    fault = Some((classify_exec_error(err), fault_location(&handle, err)));
                     break;
                 }
                 let (regs, actions, stats) = ctx.finish();
@@ -832,16 +929,177 @@ impl Sim {
                 if let Some(cert) = self.connections[conn].prop_cert.as_ref() {
                     oracle.check_properties(self.now, conn, cert, &obs);
                 }
+                // Under containment routing the oracle queued any
+                // property violation instead of reporting it; the
+                // supervisor treats it like a backend fault.
+                if self.supervisor.is_some() {
+                    for (fc, invariant) in self
+                        .oracle
+                        .as_mut()
+                        .expect("checked above")
+                        .take_pending_faults()
+                    {
+                        debug_assert_eq!(fc, conn, "property faults arise on the executing conn");
+                        fault = Some((FaultClass::OracleViolation { invariant }, None));
+                    }
+                }
             }
             let pending = self.connections[conn].take_pending_tx();
             for (sbf, pkt) in pending {
                 self.transmit(conn, sbf.0 as usize, pkt, None);
             }
-            if pushes == 0 {
+            if fault.is_some() || pushes == 0 {
                 break;
             }
         }
         self.connections[conn].scheduler = Some(handle);
+        if let Some((class, location)) = fault {
+            if self.contain_fault(conn, class, location) {
+                // The fallback just took over; run it on the same
+                // trigger so the event that found the fault still gets
+                // scheduled. Recursion is bounded: a fault while
+                // quarantined is recorded, never re-swapped.
+                self.run_scheduler(conn, Trigger::Timer);
+            }
+        }
+    }
+
+    /// Routes a classified scheduler fault through the supervisor.
+    /// Returns `true` when the fallback was installed (the caller should
+    /// give it an immediate execution).
+    fn contain_fault(&mut self, conn: ConnId, class: FaultClass, location: Option<String>) -> bool {
+        let now = self.now;
+        let Some(sup) = self.supervisor.as_mut() else {
+            return false;
+        };
+        let action = sup.on_fault(now, conn, class, location);
+        if sup.take_breaker_trip() {
+            // Fleet-level breaker: from here on the oracle collects
+            // instead of aborting, so one bad cohort cannot take down
+            // the connections that are still healthy.
+            if let Some(o) = self.oracle.as_mut() {
+                o.set_panic_on_violation(false);
+            }
+        }
+        match action {
+            FaultAction::Recorded => false,
+            FaultAction::Quarantine { until } => {
+                self.install_fallback(conn);
+                self.schedule(until, EventKind::Readmit { conn });
+                true
+            }
+            FaultAction::Pin => {
+                self.install_fallback(conn);
+                true
+            }
+        }
+    }
+
+    /// Parks the connection's scheduler (with its certificate, `RQ`
+    /// capability, and step budget) and installs the shared fallback.
+    fn install_fallback(&mut self, conn: ConnId) {
+        let c = &mut self.connections[conn];
+        let parked = ParkedScheduler {
+            handle: c
+                .scheduler
+                .take()
+                .expect("scheduler is restored before fault handling"),
+            prop_cert: c.prop_cert.take(),
+            pops_rq: c.pops_rq,
+            step_budget: c.step_budget,
+        };
+        let program = fallback_program();
+        c.scheduler = Some(SchedulerHandle::Dsl(SchedulerProgram::instantiate_shared(
+            program.clone(),
+            progmp_core::Backend::Vm,
+        )));
+        c.prop_cert = Some(program.property_certificate().clone());
+        c.pops_rq = true;
+        c.step_budget = program.certified_step_bound();
+        self.supervisor
+            .as_mut()
+            .expect("containment active")
+            .park(conn, parked);
+    }
+
+    /// Arms the per-connection stall watchdog when containment is on and
+    /// new data just arrived (idempotent while armed).
+    fn arm_stall_watchdog(&mut self, conn: ConnId) {
+        let Some(sup) = self.supervisor.as_mut() else {
+            return;
+        };
+        let data_acked = self.connections[conn].data_acked;
+        if sup.arm_watchdog(conn, data_acked) {
+            let at = self.now + sup.stall_check_interval();
+            self.schedule(at, EventKind::StallCheck { conn });
+        }
+    }
+
+    /// One stall-watchdog tick: faults the scheduler with
+    /// [`FaultClass::ProgressStall`] when a full period passed with
+    /// schedulable work, an available subflow, an open receive window,
+    /// and zero forward progress. All inputs are per-connection state and
+    /// the tick times are multiples of the period from the connection's
+    /// own first-data event, so the decision is identical no matter how a
+    /// fleet is sharded.
+    fn handle_stall_check(&mut self, conn: ConnId) {
+        use progmp_core::env::{QueueKind, SchedulerEnv, SubflowProp};
+        let Some(sup) = self.supervisor.as_mut() else {
+            return;
+        };
+        let c = &self.connections[conn];
+        if c.all_acked() {
+            sup.disarm_watchdog(conn);
+            return;
+        }
+        let progressed = sup.watchdog_progressed(conn, c.data_acked);
+        let interval = sup.stall_check_interval();
+        let state = sup.state(conn);
+        let live = c.subflows.iter().any(|s| s.established);
+        // Schedulable work: data reachable through Q or RQ (the fallback
+        // pops RQ even when the original program does not).
+        let env: &dyn SchedulerEnv = c;
+        let work = !env.queue(QueueKind::SendQueue).is_empty()
+            || !env.queue(QueueKind::Reinject).is_empty();
+        // An execution right now could actually push: mirrors the
+        // work-conservation availability precondition. Without this, a
+        // path blackout or an exhausted congestion window would be blamed
+        // on the scheduler.
+        let avail = env.subflows().iter().any(|&s| {
+            let prop = |p| env.subflow_prop(s, p);
+            prop(SubflowProp::TsqThrottled) == 0
+                && prop(SubflowProp::Lossy) == 0
+                && prop(SubflowProp::Cwnd)
+                    > prop(SubflowProp::SkbsInFlight).wrapping_add(prop(SubflowProp::Queued))
+        });
+        let stalled = !progressed
+            && live
+            && work
+            && avail
+            && c.adv_rwnd > 0
+            && c.stats.scheduler_drops == 0
+            && matches!(state, ContainState::Healthy | ContainState::Probation);
+        if stalled && self.contain_fault(conn, FaultClass::ProgressStall, None) {
+            self.run_scheduler(conn, Trigger::Timer);
+        }
+        self.schedule(self.now + interval, EventKind::StallCheck { conn });
+    }
+
+    /// Handles the supervisor's re-admission timer: restores the parked
+    /// scheduler on probation and gives it an immediate execution.
+    fn handle_readmit(&mut self, conn: ConnId) {
+        let now = self.now;
+        let Some(sup) = self.supervisor.as_mut() else {
+            return;
+        };
+        if let Some(parked) = sup.unpark(now, conn) {
+            let c = &mut self.connections[conn];
+            c.scheduler = Some(parked.handle);
+            c.prop_cert = parked.prop_cert;
+            c.pops_rq = parked.pops_rq;
+            c.step_budget = parked.step_budget;
+            self.run_scheduler(conn, Trigger::Timer);
+        }
     }
 
     /// Transmits `pkt` on subflow `sbf_idx` of `conn`. `reuse_seq` marks a
@@ -952,6 +1210,20 @@ impl Sim {
             }
         }
     }
+}
+
+/// Source location (`line:col`) of a backend fault, when attributable:
+/// a `MalformedBytecode` fault carries its program counter, which the
+/// compiled program's debug table maps back to the DSL span.
+fn fault_location(handle: &SchedulerHandle, err: &progmp_core::ExecError) -> Option<String> {
+    let SchedulerHandle::Dsl(inst) = handle else {
+        return None;
+    };
+    let progmp_core::ExecError::MalformedBytecode { pc, .. } = err else {
+        return None;
+    };
+    let pos = inst.program().debug_table().pos(*pc);
+    (pos.line > 0).then(|| format!("{}:{}", pos.line, pos.col))
 }
 
 #[cfg(test)]

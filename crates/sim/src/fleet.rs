@@ -27,6 +27,7 @@ use crate::config::ConnectionConfig;
 use crate::engine::Sim;
 use crate::faults::{ChaosRng, FaultPlan};
 use crate::oracle::OracleViolation;
+use crate::supervisor::{ContainAction, ContainmentConfig, IncidentReport};
 use crate::time::SimTime;
 use progmp_core::env::RegId;
 use std::time::{Duration, Instant};
@@ -111,6 +112,13 @@ pub struct FleetConfig {
     pub horizon: SimTime,
     /// Oracle arming mode.
     pub oracle: OracleMode,
+    /// Containment supervisor configuration; `None` runs uncontained.
+    /// Per-connection containment decisions (backoff draws, watchdog
+    /// ticks) are pure functions of `(fleet seed, global index)`, so
+    /// digests stay bit-identical across worker counts. The fleet-level
+    /// breaker is shard-local and only flips oracle *routing*, never
+    /// simulated behaviour, so it cannot perturb digests either.
+    pub containment: Option<ContainmentConfig>,
 }
 
 impl FleetConfig {
@@ -123,6 +131,7 @@ impl FleetConfig {
             seed,
             horizon: 300 * crate::time::SECONDS,
             oracle: OracleMode::Off,
+            containment: None,
         }
     }
 
@@ -141,6 +150,12 @@ impl FleetConfig {
     /// Sets the oracle mode.
     pub fn with_oracle(mut self, oracle: OracleMode) -> Self {
         self.oracle = oracle;
+        self
+    }
+
+    /// Enables the containment supervisor on every shard.
+    pub fn with_containment(mut self, cfg: ContainmentConfig) -> Self {
+        self.containment = Some(cfg);
         self
     }
 
@@ -193,6 +208,9 @@ pub struct FleetReport {
     pub events_processed: u64,
     /// Oracle violations across all shards (empty unless armed).
     pub violations: Vec<OracleViolation>,
+    /// Containment incidents across all shards (empty unless the
+    /// supervisor is enabled), concatenated in shard order.
+    pub incidents: Vec<IncidentReport>,
     /// Wall-clock time of the parallel section.
     pub wall: Duration,
     /// Worker threads actually used.
@@ -233,6 +251,29 @@ impl FleetReport {
             return 1.0;
         }
         self.per_conn.iter().filter(|c| c.all_acked).count() as f64 / self.per_conn.len() as f64
+    }
+
+    /// Number of quarantine transitions (including pins) across the fleet.
+    pub fn quarantines(&self) -> usize {
+        self.incidents
+            .iter()
+            .filter(|i| matches!(i.action, ContainAction::Quarantined | ContainAction::Pinned))
+            .count()
+    }
+
+    /// Containment incidents in the partition-independent canonical
+    /// order — sorted by `(conn, at)` with shard-local fleet-breaker
+    /// trips excluded (the breaker depends on which connections share a
+    /// shard, by design). Two runs of the same fleet at different worker
+    /// counts must produce identical canonical incident logs.
+    pub fn canonical_incidents(&self) -> Vec<&IncidentReport> {
+        let mut out: Vec<&IncidentReport> = self
+            .incidents
+            .iter()
+            .filter(|i| i.action != ContainAction::FleetBreakerTripped)
+            .collect();
+        out.sort_by_key(|i| (i.conn, i.at));
+        out
     }
 }
 
@@ -296,6 +337,7 @@ where
         per_conn: Vec::with_capacity(n),
         events_processed: 0,
         violations: Vec::new(),
+        incidents: Vec::new(),
         wall,
         workers,
     };
@@ -303,6 +345,7 @@ where
         report.per_conn.extend(shard.per_conn);
         report.events_processed += shard.events_processed;
         report.violations.extend(shard.violations);
+        report.incidents.extend(shard.incidents);
     }
     debug_assert!(report.per_conn.windows(2).all(|w| w[0].conn < w[1].conn));
     report
@@ -312,6 +355,7 @@ struct ShardResult {
     per_conn: Vec<ConnReport>,
     events_processed: u64,
     violations: Vec<OracleViolation>,
+    incidents: Vec<IncidentReport>,
 }
 
 fn run_shard<F>(
@@ -326,6 +370,9 @@ where
     F: Fn(usize, u64) -> ConnScenario + Sync,
 {
     let mut sim = Sim::new(cfg.seed);
+    if let Some(contain) = &cfg.containment {
+        sim.enable_containment(contain.clone());
+    }
     match cfg.oracle {
         OracleMode::Off => {}
         OracleMode::Collect => {
@@ -390,6 +437,7 @@ where
         per_conn,
         events_processed: sim.events_processed,
         violations: sim.oracle_violations().to_vec(),
+        incidents: sim.incidents().to_vec(),
     }
 }
 
@@ -455,6 +503,59 @@ mod tests {
         for (a, b) in one.per_conn.iter().zip(&three.per_conn) {
             assert_eq!(a.digest, b.digest, "conn {}", a.conn);
             assert_eq!(a.tx_packets, b.tx_packets);
+        }
+    }
+
+    #[test]
+    fn containment_is_invariant_under_sharding() {
+        // Every third connection is a starver the supervisor must
+        // quarantine; the rest are healthy. Digests and the canonical
+        // incident log must not depend on the partition.
+        let chaotic = |global: usize, seed: u64| {
+            let dsl = if global % 3 == 2 {
+                "RETURN;"
+            } else {
+                crate::engine::tests::MIN_RTT_DSL
+            };
+            let cfg = ConnectionConfig::new(
+                vec![
+                    SubflowConfig::new(
+                        PathConfig::symmetric(from_millis(10), 1_250_000)
+                            .with_loss((seed % 3) as f64 * 0.01),
+                    ),
+                    SubflowConfig::new(PathConfig::symmetric(from_millis(40), 1_250_000)),
+                ],
+                SchedulerSpec::dsl(dsl),
+            );
+            ConnScenario::new(
+                cfg,
+                Workload::Bulk {
+                    bytes: 30_000 + (seed % 5) * 1400,
+                    prop: 0,
+                },
+            )
+        };
+        let run = |workers| {
+            let cfg = FleetConfig::new(6, 21)
+                .with_workers(workers)
+                .with_horizon(120 * SECONDS)
+                .with_oracle(OracleMode::Collect)
+                .with_containment(ContainmentConfig::default());
+            run_fleet(&cfg, chaotic)
+        };
+        let one = run(1);
+        let three = run(3);
+        assert!(one.quarantines() > 0, "the starvers must be contained");
+        assert_eq!(one.digest(), three.digest());
+        let render = |r: &FleetReport| -> Vec<String> {
+            r.canonical_incidents()
+                .iter()
+                .map(|i| i.to_string())
+                .collect()
+        };
+        assert_eq!(render(&one), render(&three));
+        for c in &one.per_conn {
+            assert!(c.all_acked, "conn {} completed via fallback", c.conn);
         }
     }
 

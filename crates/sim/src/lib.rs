@@ -65,6 +65,7 @@ pub mod receiver;
 pub mod rtt;
 pub mod stats;
 pub mod subflow;
+pub mod supervisor;
 pub mod time;
 
 pub use calendar::CalendarQueue;
@@ -76,9 +77,13 @@ pub use faults::{ChaosRng, FaultClause, FaultPlan, LossModel};
 pub use fleet::{
     run_fleet, ConnReport, ConnScenario, FleetConfig, FleetReport, OracleMode, Workload,
 };
-pub use native::{NativeMinRtt, NativeRoundRobin, NativeScheduler};
+pub use native::{NativeMinRtt, NativeRoundRobin, NativeScheduler, NativeTrapping};
 pub use oracle::{InvariantOracle, OracleViolation};
 pub use path::{PathConfig, PathProfileEntry};
 pub use pathman::{PathManager, PathManagerPolicy, PmAction};
 pub use receiver::ReceiverMode;
 pub use stats::{ConnStats, SubflowStats};
+pub use supervisor::{
+    classify_exec_error, fallback_program, ContainAction, ContainState, ContainmentConfig,
+    FaultAction, FaultClass, IncidentReport, ParkedScheduler, Supervisor,
+};

@@ -166,6 +166,64 @@ impl NativeScheduler for NativeRoundRobin {
     }
 }
 
+/// A scheduler that behaves like [`NativeMinRtt`] for its first
+/// `trap_after` executions and then raises a structured
+/// [`ExecError::Trap`] on every subsequent call. Exercises the
+/// containment supervisor's backend-trap boundary: native code has no
+/// bytecode verifier in front of it, so a runtime trap is its only
+/// structured failure mode.
+#[derive(Debug, Clone)]
+pub struct NativeTrapping {
+    /// Healthy executions before the first trap.
+    pub trap_after: u64,
+    /// Traps left to raise before behaving again (`u64::MAX` = forever).
+    traps_remaining: u64,
+    calls: u64,
+    inner: NativeMinRtt,
+}
+
+impl NativeTrapping {
+    /// Schedules like minRtt for `trap_after` calls, then traps forever.
+    pub fn new(trap_after: u64) -> Self {
+        NativeTrapping {
+            trap_after,
+            traps_remaining: u64::MAX,
+            calls: 0,
+            inner: NativeMinRtt,
+        }
+    }
+
+    /// Schedules like minRtt for `trap_after` calls, traps exactly once,
+    /// then behaves forever — a transient fault the containment
+    /// supervisor's probationary re-admission should survive.
+    pub fn one_shot(trap_after: u64) -> Self {
+        NativeTrapping {
+            traps_remaining: 1,
+            ..NativeTrapping::new(trap_after)
+        }
+    }
+}
+
+impl NativeScheduler for NativeTrapping {
+    fn name(&self) -> &str {
+        "native-trapping"
+    }
+
+    fn schedule(&mut self, ctx: &mut ExecCtx<'_>) -> Result<(), ExecError> {
+        self.calls += 1;
+        if self.calls > self.trap_after && self.traps_remaining > 0 {
+            if self.traps_remaining != u64::MAX {
+                self.traps_remaining -= 1;
+            }
+            return Err(ExecError::Trap {
+                origin: "native-trapping",
+                detail: format!("deliberate trap on call {}", self.calls),
+            });
+        }
+        self.inner.schedule(ctx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +287,24 @@ mod tests {
             env.transmissions[0].0 .0, 1,
             "higher-RTT non-backup beats low-RTT backup"
         );
+    }
+
+    #[test]
+    fn native_trapping_schedules_then_traps() {
+        let mut env = env2();
+        env.push_packet(QueueKind::SendQueue, 1, 0, 1400);
+        let mut s = NativeTrapping::new(1);
+        run_native(&mut s, &mut env);
+        assert_eq!(env.transmissions.len(), 1, "first call behaves like minRtt");
+        let mut ctx = ExecCtx::new(&env, 100_000);
+        let err = s.schedule(&mut ctx).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Trap {
+                origin: "native-trapping",
+                ..
+            }
+        ));
     }
 
     #[test]

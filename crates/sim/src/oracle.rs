@@ -63,6 +63,14 @@ use std::collections::VecDeque;
 /// How many trailing events the oracle keeps for violation reports.
 const EVENT_LOG_CAP: usize = 48;
 
+/// Cap on stored violations in collecting mode. A pathological scheduler
+/// in a long fleet run can violate on every event; unbounded storage
+/// would turn one bad connection into an OOM for the whole harness. The
+/// buffer keeps the *latest* violations (the oldest are dropped and
+/// counted in [`InvariantOracle::dropped_violations`]) because the most
+/// recent ones carry the state closest to the final report.
+pub const VIOLATION_CAP: usize = 256;
+
 /// One detected invariant violation.
 #[derive(Debug, Clone)]
 pub struct OracleViolation {
@@ -119,6 +127,7 @@ struct Marks {
     data_acked: u64,
     expected: u64,
     sbf_acked: Vec<u64>,
+    scheduler_errors: u64,
 }
 
 /// The oracle itself; owned by the engine and consulted after each event.
@@ -132,8 +141,21 @@ pub struct InvariantOracle {
     /// default; fleet-scale runs in collect mode turn it off because
     /// formatting every event dominates the simulation itself.
     pub log_events: bool,
-    /// Violations found so far (collecting mode).
+    /// Violations found so far (collecting mode), capped at
+    /// [`VIOLATION_CAP`]; see [`InvariantOracle::dropped_violations`].
     pub violations: Vec<OracleViolation>,
+    /// Violations evicted from the bounded buffer once it filled up.
+    pub dropped_violations: u64,
+    /// When true (set by the containment supervisor), scheduler-fault
+    /// invariants — the `property-*` family, `eventual-progress`, and
+    /// `step-bound` — are *routed* instead of reported: recorded in the
+    /// bounded violation buffer and queued as pending faults for the
+    /// engine to quarantine, never panicking even in panicking mode.
+    /// Transport-machinery invariants (conservation, acks, reorder,
+    /// queue structure) are unaffected: the fallback scheduler cannot
+    /// repair an engine bug, so those still abort.
+    pub contain_scheduler_faults: bool,
+    pending_faults: Vec<(usize, &'static str)>,
     log: VecDeque<String>,
     marks: Vec<Marks>,
 }
@@ -147,9 +169,26 @@ impl InvariantOracle {
             panic_on_violation,
             log_events: true,
             violations: Vec::new(),
+            dropped_violations: 0,
+            contain_scheduler_faults: false,
+            pending_faults: Vec::new(),
             log: VecDeque::new(),
             marks: Vec::new(),
         }
+    }
+
+    /// Switches abort-vs-collect at runtime (the fleet-level circuit
+    /// breaker flips a panicking oracle to collect mode so one bad
+    /// cohort cannot take down the whole fleet run).
+    pub fn set_panic_on_violation(&mut self, panic_on_violation: bool) {
+        self.panic_on_violation = panic_on_violation;
+    }
+
+    /// Drains the scheduler faults queued while
+    /// [`InvariantOracle::contain_scheduler_faults`] routing was active:
+    /// `(connection, invariant)` pairs for the engine to quarantine.
+    pub fn take_pending_faults(&mut self) -> Vec<(usize, &'static str)> {
+        std::mem::take(&mut self.pending_faults)
     }
 
     /// Appends one event description to the bounded replay log.
@@ -178,7 +217,29 @@ impl InvariantOracle {
             }
             panic!("{msg}");
         }
+        self.store(v);
+    }
+
+    /// Appends to the bounded violation buffer, evicting the oldest entry
+    /// (and counting it) once [`VIOLATION_CAP`] is reached.
+    fn store(&mut self, v: OracleViolation) {
+        if self.violations.len() == VIOLATION_CAP {
+            self.violations.remove(0);
+            self.dropped_violations += 1;
+        }
         self.violations.push(v);
+    }
+
+    /// Reports a *scheduler-fault* invariant: under containment routing
+    /// the violation is stored (never panics) and queued for the engine
+    /// to quarantine; otherwise it goes through [`Self::report`] as usual.
+    fn report_scheduler_fault(&mut self, v: OracleViolation) {
+        if self.contain_scheduler_faults {
+            self.pending_faults.push((v.conn, v.invariant));
+            self.store(v);
+        } else {
+            self.report(v);
+        }
     }
 
     /// Checks every per-event invariant on `conn` at time `now`.
@@ -284,7 +345,12 @@ impl InvariantOracle {
         if let Err(detail) = conn.queue_invariants() {
             bad.push(("queue-structure", detail));
         }
-        if conn.stats.scheduler_errors > 0 {
+        // Delta-based so each aborted execution is reported once, not on
+        // every subsequent event. Skipped entirely under containment:
+        // the supervisor's exec-error boundary already converted the
+        // abort into a structured fault, and reporting it here as well
+        // would charge the connection a second strike for one incident.
+        if conn.stats.scheduler_errors > marks.scheduler_errors && !self.contain_scheduler_faults {
             bad.push((
                 "step-bound",
                 format!(
@@ -296,6 +362,7 @@ impl InvariantOracle {
 
         marks.data_acked = conn.data_acked;
         marks.expected = expected;
+        marks.scheduler_errors = conn.stats.scheduler_errors;
         for (i, sbf) in conn.subflows.iter().enumerate() {
             marks.sbf_acked[i] = sbf.acked_seq;
         }
@@ -382,7 +449,7 @@ impl InvariantOracle {
             ));
         }
         for (invariant, detail) in bad {
-            self.report(OracleViolation {
+            self.report_scheduler_fault(OracleViolation {
                 at: now,
                 conn,
                 invariant,
@@ -413,7 +480,7 @@ impl InvariantOracle {
                 conn.enqueued_bytes(),
                 conn.subflows.iter().filter(|s| s.established).count()
             );
-            self.report(OracleViolation {
+            self.report_scheduler_fault(OracleViolation {
                 at: now,
                 conn: conn.id,
                 invariant: "eventual-progress",
@@ -637,6 +704,106 @@ mod tests {
             "{:?}",
             oracle.violations
         );
+    }
+
+    #[test]
+    fn violation_buffer_is_bounded_and_counts_drops() {
+        let mut oracle = InvariantOracle::new("unit", false);
+        for i in 0..(VIOLATION_CAP as u64 + 10) {
+            oracle.store(OracleViolation {
+                at: i,
+                conn: 0,
+                invariant: "step-bound",
+                detail: String::new(),
+            });
+        }
+        assert_eq!(oracle.violations.len(), VIOLATION_CAP);
+        assert_eq!(oracle.dropped_violations, 10);
+        // Keep-latest: the survivors are the most recent ones.
+        assert_eq!(oracle.violations[0].at, 10);
+        assert_eq!(
+            oracle.violations.last().unwrap().at,
+            VIOLATION_CAP as u64 + 9
+        );
+    }
+
+    #[test]
+    fn step_bound_fires_once_per_new_error_and_is_skipped_under_containment() {
+        let mut oracle = InvariantOracle::new("unit", false);
+        let mut c = conn();
+        c.stats.scheduler_errors = 1;
+        oracle.check(1, &c);
+        oracle.check(2, &c);
+        assert_eq!(
+            oracle
+                .violations
+                .iter()
+                .filter(|v| v.invariant == "step-bound")
+                .count(),
+            1,
+            "delta-based: one violation per new error, not per event: {:?}",
+            oracle.violations
+        );
+        c.stats.scheduler_errors = 2;
+        oracle.check(3, &c);
+        assert_eq!(oracle.violations.len(), 2);
+
+        // Under containment routing the exec-error boundary owns the
+        // fault; the oracle stays silent.
+        let mut contained = InvariantOracle::new("unit", true);
+        contained.contain_scheduler_faults = true;
+        contained.check(1, &c); // would panic without the skip
+        assert!(contained.violations.is_empty());
+        assert!(contained.take_pending_faults().is_empty());
+    }
+
+    #[test]
+    fn containment_routing_queues_scheduler_faults_instead_of_panicking() {
+        let cert = progmp_core::compile(
+            "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) { SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }",
+        )
+        .unwrap()
+        .property_certificate()
+        .clone();
+        let mut oracle = InvariantOracle::new("unit", true); // panicking mode
+        oracle.contain_scheduler_faults = true;
+        let silent = PropObservation {
+            pre_q_nonempty: true,
+            pre_subflows_nonempty: true,
+            pre_avail_subflow: true,
+            pushes: 0,
+            null_pops: 0,
+            push_targets: vec![],
+            n_subflows: 2,
+        };
+        oracle.check_properties(1, 3, &cert, &silent);
+        assert_eq!(
+            oracle.take_pending_faults(),
+            vec![(3, "property-work-conservation")]
+        );
+        assert!(oracle.take_pending_faults().is_empty(), "drained");
+        assert_eq!(oracle.violations.len(), 1, "still recorded for reports");
+
+        // eventual-progress routes the same way.
+        let mut c = conn();
+        c.enqueue_data(1400, 0, 0);
+        c.subflows[0].established = true;
+        oracle.check_quiescent(5, &c);
+        assert_eq!(oracle.take_pending_faults(), vec![(0, "eventual-progress")]);
+
+        // Transport-machinery invariants are NOT contained: a
+        // conservation bug still panics in panicking mode.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut c = conn();
+            c.receiver.inject_double_delivery_bug();
+            let p = progmp_core::env::PacketRef(1);
+            c.enqueue_data(1400, 0, 0);
+            c.receiver.on_arrival(0, 0, 0, p, 1400);
+            c.receiver.on_arrival(0, 1, 0, p, 1400);
+            c.stats.delivered_bytes = c.receiver.delivered_total;
+            oracle.check(7, &c);
+        }));
+        assert!(result.is_err(), "engine bugs must still abort");
     }
 
     #[test]
